@@ -1,0 +1,108 @@
+//! Criterion micro-benchmarks for the estimator: spline fitting and the
+//! REG(·) hot path the solver hammers in its inner loop.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use cast_cloud::tier::Tier;
+use cast_cloud::units::DataSize;
+use cast_cloud::Catalog;
+use cast_estimator::model::{CapacityCurve, ModelMatrix, PhaseBw};
+use cast_estimator::mrcute::ClusterSpec;
+use cast_estimator::profiler::{profile_point, ProfilerConfig};
+use cast_estimator::{Estimator, MonotoneSpline};
+use cast_workload::apps::AppKind;
+use cast_workload::dataset::DatasetId;
+use cast_workload::job::{Job, JobId};
+use cast_workload::profile::ProfileSet;
+
+fn synthetic_estimator() -> Estimator {
+    let mut matrix = ModelMatrix::new();
+    for app in AppKind::ALL {
+        for tier in Tier::ALL {
+            let samples: Vec<(f64, PhaseBw)> = (1..=6)
+                .map(|i| {
+                    let cap = 100.0 * i as f64;
+                    (
+                        cap,
+                        PhaseBw {
+                            map: cap / 40.0,
+                            shuffle_reduce: cap / 50.0,
+                        },
+                    )
+                })
+                .collect();
+            matrix.insert(app, tier, CapacityCurve::fit(&samples).expect("fit"));
+        }
+    }
+    Estimator {
+        matrix,
+        catalog: Catalog::google_cloud(),
+        cluster: ClusterSpec::paper(),
+        profiles: ProfileSet::defaults(),
+    }
+}
+
+fn bench_spline(c: &mut Criterion) {
+    let points: Vec<(f64, f64)> = (0..32).map(|i| (i as f64, (i * i) as f64)).collect();
+    c.bench_function("estimator/spline_fit_32_knots", |b| {
+        b.iter(|| MonotoneSpline::fit(black_box(&points)).expect("fit"))
+    });
+    let spline = MonotoneSpline::fit(&points).expect("fit");
+    c.bench_function("estimator/spline_eval", |b| {
+        b.iter(|| spline.eval(black_box(17.3)))
+    });
+}
+
+fn bench_reg(c: &mut Criterion) {
+    let est = synthetic_estimator();
+    let job = Job::with_default_layout(
+        JobId(0),
+        AppKind::Sort,
+        DatasetId(0),
+        DataSize::from_gb(256.0),
+    );
+    c.bench_function("estimator/reg_call", |b| {
+        b.iter(|| {
+            est.reg(
+                black_box(&job),
+                Tier::PersSsd,
+                DataSize::from_gb(5_000.0),
+            )
+            .expect("profiled")
+        })
+    });
+    c.bench_function("estimator/transfer_estimate", |b| {
+        b.iter(|| {
+            est.transfer(
+                black_box(DataSize::from_gb(100.0)),
+                Tier::ObjStore,
+                Tier::EphSsd,
+                DataSize::from_gb(9_375.0),
+            )
+        })
+    });
+}
+
+fn bench_profile_point(c: &mut Criterion) {
+    let catalog = Catalog::google_cloud();
+    let profiles = ProfileSet::defaults();
+    let cfg = ProfilerConfig {
+        nvm: 2,
+        reference_input: DataSize::from_gb(20.0),
+        block_grid: vec![200.0],
+        eph_grid: vec![375.0],
+        objstore_scratch_gb: 100.0,
+    };
+    let mut group = c.benchmark_group("estimator/profile_point");
+    group.sample_size(20);
+    group.bench_function("grep_persssd_200gb", |b| {
+        b.iter(|| {
+            profile_point(&catalog, &profiles, &cfg, AppKind::Grep, Tier::PersSsd, 200.0)
+                .expect("profiling")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_spline, bench_reg, bench_profile_point);
+criterion_main!(benches);

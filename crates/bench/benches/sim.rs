@@ -1,0 +1,73 @@
+//! Criterion micro-benchmarks for the discrete-event simulator.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cast_cloud::tier::{PerTier, Tier};
+use cast_cloud::units::DataSize;
+use cast_cloud::Catalog;
+use cast_sim::config::SimConfig;
+use cast_sim::placement::PlacementMap;
+use cast_sim::runner::simulate;
+use cast_workload::apps::AppKind;
+use cast_workload::synth;
+
+fn cfg(nvm: usize) -> SimConfig {
+    let agg = PerTier::from_fn(|_| DataSize::from_gb(1000.0) * nvm as f64);
+    SimConfig::with_aggregate_capacity(Catalog::google_cloud(), nvm, &agg).expect("provision")
+}
+
+fn bench_single_job(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim/single_sort_job");
+    for gb in [10.0, 50.0, 200.0] {
+        let spec = synth::single_job(AppKind::Sort, DataSize::from_gb(gb));
+        let placements = PlacementMap::uniform(spec.jobs.iter().map(|j| j.id), Tier::PersSsd);
+        let config = cfg(4);
+        group.bench_with_input(BenchmarkId::from_parameter(gb as u64), &gb, |b, _| {
+            b.iter(|| simulate(&spec, &placements, &config).expect("simulation"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_per_app(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim/per_app_50gb");
+    for app in AppKind::ALL {
+        let spec = synth::single_job(app, DataSize::from_gb(50.0));
+        let placements = PlacementMap::uniform(spec.jobs.iter().map(|j| j.id), Tier::PersSsd);
+        let config = cfg(4);
+        group.bench_with_input(BenchmarkId::from_parameter(app.name()), &app, |b, _| {
+            b.iter(|| simulate(&spec, &placements, &config).expect("simulation"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_facebook_workload(c: &mut Criterion) {
+    let spec = synth::facebook_workload(Default::default()).expect("synthesis");
+    let placements = PlacementMap::uniform(spec.jobs.iter().map(|j| j.id), Tier::PersSsd);
+    let config = cfg(25);
+    let mut group = c.benchmark_group("sim/facebook_100_jobs");
+    group.sample_size(10);
+    group.bench_function("persSSD_uniform", |b| {
+        b.iter(|| simulate(&spec, &placements, &config).expect("simulation"))
+    });
+    group.finish();
+}
+
+fn bench_workflow(c: &mut Criterion) {
+    let spec = synth::fig4_workflow();
+    let placements = PlacementMap::uniform(spec.jobs.iter().map(|j| j.id), Tier::PersSsd);
+    let config = cfg(4);
+    c.bench_function("sim/fig4_workflow", |b| {
+        b.iter(|| simulate(&spec, &placements, &config).expect("simulation"))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_single_job,
+    bench_per_app,
+    bench_facebook_workload,
+    bench_workflow
+);
+criterion_main!(benches);

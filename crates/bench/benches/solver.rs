@@ -1,0 +1,103 @@
+//! Criterion micro-benchmarks for the tiering solvers.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cast_cloud::tier::Tier;
+use cast_cloud::Catalog;
+use cast_estimator::model::{CapacityCurve, ModelMatrix, PhaseBw};
+use cast_estimator::mrcute::ClusterSpec;
+use cast_estimator::Estimator;
+use cast_solver::{
+    evaluate, greedy_plan, AnnealConfig, Annealer, EvalContext, GreedyMode, TieringPlan,
+};
+use cast_workload::apps::AppKind;
+use cast_workload::profile::ProfileSet;
+use cast_workload::synth;
+
+fn synthetic_estimator(nvm: usize) -> Estimator {
+    let mut matrix = ModelMatrix::new();
+    for app in AppKind::ALL {
+        for tier in Tier::ALL {
+            let samples: Vec<(f64, PhaseBw)> = (1..=5)
+                .map(|i| {
+                    let cap = 120.0 * i as f64;
+                    (
+                        cap,
+                        PhaseBw {
+                            map: cap / 35.0,
+                            shuffle_reduce: cap / 45.0,
+                        },
+                    )
+                })
+                .collect();
+            matrix.insert(app, tier, CapacityCurve::fit(&samples).expect("fit"));
+        }
+    }
+    Estimator {
+        matrix,
+        catalog: Catalog::google_cloud(),
+        cluster: ClusterSpec {
+            nvm,
+            map_slots: 16,
+            reduce_slots: 8,
+            task_startup_secs: 1.5,
+        },
+        profiles: ProfileSet::defaults(),
+    }
+}
+
+fn bench_evaluate(c: &mut Criterion) {
+    let spec = synth::facebook_workload(Default::default()).expect("synthesis");
+    let est = synthetic_estimator(25);
+    let ctx = EvalContext::new(&est, &spec);
+    let plan = TieringPlan::uniform(&spec, Tier::PersSsd);
+    c.bench_function("solver/evaluate_100_jobs", |b| {
+        b.iter(|| evaluate(black_box(&plan), &ctx).expect("evaluation"))
+    });
+}
+
+fn bench_greedy(c: &mut Criterion) {
+    let spec = synth::facebook_workload(Default::default()).expect("synthesis");
+    let est = synthetic_estimator(25);
+    let ctx = EvalContext::new(&est, &spec);
+    let mut group = c.benchmark_group("solver/greedy_100_jobs");
+    for (label, mode) in [
+        ("exact_fit", GreedyMode::ExactFit),
+        ("over_provisioned", GreedyMode::OverProvisioned),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter(|| greedy_plan(&ctx, mode).expect("greedy"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_anneal(c: &mut Criterion) {
+    let spec = synth::facebook_workload(Default::default()).expect("synthesis");
+    let est = synthetic_estimator(25);
+    let ctx = EvalContext::new(&est, &spec);
+    let init = greedy_plan(&ctx, GreedyMode::OverProvisioned).expect("greedy");
+    let mut group = c.benchmark_group("solver/anneal_100_jobs");
+    group.sample_size(10);
+    for iterations in [500usize, 2000] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(iterations),
+            &iterations,
+            |b, &iters| {
+                let cfg = AnnealConfig {
+                    iterations: iters,
+                    ..AnnealConfig::default()
+                };
+                b.iter(|| {
+                    Annealer::new(cfg)
+                        .solve(&ctx, init.clone())
+                        .expect("anneal")
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_evaluate, bench_greedy, bench_anneal);
+criterion_main!(benches);

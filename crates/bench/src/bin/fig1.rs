@@ -1,0 +1,7 @@
+//! Regenerates fig1 of the paper. See `cast_bench::experiments::fig1`.
+
+fn main() {
+    let table = cast_bench::experiments::fig1::run();
+    println!("{}", table.render());
+    cast_bench::save_json("fig1", &table.to_json());
+}

@@ -1,0 +1,13 @@
+//! Regenerates Fig. 2 of the paper. See `cast_bench::experiments::fig2`.
+
+fn main() {
+    let table = cast_bench::experiments::fig2::run();
+    println!("{}", table.render());
+    let (sort_red, grep_red) = cast_bench::experiments::fig2::reduction_100_to_200();
+    println!(
+        "100->200 GB runtime reduction: Sort {:.1}% (paper 51.6%), Grep {:.1}% (paper 60.2%)",
+        sort_red * 100.0,
+        grep_red * 100.0
+    );
+    cast_bench::save_json("fig2", &table.to_json());
+}

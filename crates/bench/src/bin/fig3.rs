@@ -1,0 +1,7 @@
+//! Regenerates fig3 of the paper. See `cast_bench::experiments::fig3`.
+
+fn main() {
+    let table = cast_bench::experiments::fig3::run();
+    println!("{}", table.render());
+    cast_bench::save_json("fig3", &table.to_json());
+}

@@ -1,0 +1,7 @@
+//! Regenerates Fig. 4 of the paper. See `cast_bench::experiments::fig4`.
+
+fn main() {
+    let table = cast_bench::experiments::fig4::run();
+    println!("{}", table.render());
+    cast_bench::save_json("fig4", &table.to_json());
+}

@@ -1,0 +1,9 @@
+//! Regenerates Fig. 5 of the paper. See `cast_bench::experiments::fig5`.
+
+fn main() {
+    let (a, b) = cast_bench::experiments::fig5::run();
+    println!("{}", a.render());
+    println!("{}", b.render());
+    cast_bench::save_json("fig5a", &a.to_json());
+    cast_bench::save_json("fig5b", &b.to_json());
+}

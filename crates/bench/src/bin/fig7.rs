@@ -1,0 +1,7 @@
+//! Regenerates fig7 of the paper. See `cast_bench::experiments::fig7`.
+
+fn main() {
+    let table = cast_bench::experiments::fig7::run();
+    println!("{}", table.render());
+    cast_bench::save_json("fig7", &table.to_json());
+}

@@ -1,0 +1,7 @@
+//! Regenerates fig8 of the paper. See `cast_bench::experiments::fig8`.
+
+fn main() {
+    let table = cast_bench::experiments::fig8::run();
+    println!("{}", table.render());
+    cast_bench::save_json("fig8", &table.to_json());
+}

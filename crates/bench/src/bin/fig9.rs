@@ -1,0 +1,7 @@
+//! Regenerates fig9 of the paper. See `cast_bench::experiments::fig9`.
+
+fn main() {
+    let table = cast_bench::experiments::fig9::run();
+    println!("{}", table.render());
+    cast_bench::save_json("fig9", &table.to_json());
+}

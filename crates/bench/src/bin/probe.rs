@@ -1,0 +1,39 @@
+//! Calibration probe: prints the Fig. 1 unit results for each app × tier.
+//! Not part of the paper's experiment set — a development aid.
+
+use cast_bench::harness::fig1_cluster;
+use cast_cloud::tier::Tier;
+use cast_cloud::units::DataSize;
+use cast_workload::apps::AppKind;
+
+fn main() {
+    let cases = [
+        (AppKind::Sort, 100.0),
+        (AppKind::Join, 120.0),
+        (AppKind::Grep, 300.0),
+        (AppKind::KMeans, 100.0),
+    ];
+    for (app, gb) in cases {
+        println!("== {app} {gb} GB ==");
+        let mut rows = Vec::new();
+        for tier in Tier::ALL {
+            let r = fig1_cluster(app, DataSize::from_gb(gb), tier, 1);
+            rows.push((tier, r));
+        }
+        let eph_u = rows[0].1.utility;
+        for (tier, r) in rows {
+            println!(
+                "  {:<9} run={:>7.0}s (in={:>6.0} map={:>6.0} red={:>6.0} out={:>5.0}) cost=${:<6.2} U={:.4e} U/Ueph={:.2}",
+                tier.name(),
+                r.runtime.secs(),
+                r.metrics.stage_in.secs(),
+                r.metrics.map.secs(),
+                r.metrics.reduce.secs(),
+                r.metrics.stage_out.secs(),
+                r.cost,
+                r.utility,
+                r.utility / eph_u,
+            );
+        }
+    }
+}

@@ -1,0 +1,7 @@
+//! Regenerates table1 of the paper. See `cast_bench::experiments::table1`.
+
+fn main() {
+    let table = cast_bench::experiments::table1::run();
+    println!("{}", table.render());
+    cast_bench::save_json("table1", &table.to_json());
+}

@@ -1,0 +1,7 @@
+//! Regenerates table2 of the paper. See `cast_bench::experiments::table2`.
+
+fn main() {
+    let table = cast_bench::experiments::table2::run();
+    println!("{}", table.render());
+    cast_bench::save_json("table2", &table.to_json());
+}

@@ -1,0 +1,7 @@
+//! Regenerates table4 of the paper. See `cast_bench::experiments::table4`.
+
+fn main() {
+    let table = cast_bench::experiments::table4::run();
+    println!("{}", table.render());
+    cast_bench::save_json("table4", &table.to_json());
+}

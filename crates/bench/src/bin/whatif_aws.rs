@@ -1,0 +1,77 @@
+//! What-if study: replan the 100-job workload against an AWS-2015-style
+//! catalog (§1 notes other providers offer the same tier menu with
+//! different performance–cost trade-offs). Not a paper figure — a
+//! demonstration that the framework is provider-agnostic.
+//!
+//! ```text
+//! cargo run --release -p cast-bench --bin whatif_aws
+//! ```
+
+use cast_bench::format::{Cell, TableWriter};
+use cast_bench::save_json;
+use cast_cloud::tier::Tier;
+use cast_cloud::Catalog;
+use cast_core::framework::{CastBuilder, PlanStrategy};
+use cast_estimator::profiler::ProfilerConfig;
+use cast_workload::synth::{facebook_workload, FacebookConfig};
+
+fn main() {
+    let spec = facebook_workload(FacebookConfig::default()).expect("synthesis");
+    let mut t = TableWriter::new(
+        "What-if: CAST on a different provider's catalog (not a paper figure)",
+        &[
+            "Catalog",
+            "Strategy",
+            "Est. runtime (min)",
+            "Runtime (min)",
+            "Cost ($)",
+            "Utility",
+            "%ephSSD",
+            "%persSSD",
+            "%persHDD",
+            "%objStore",
+        ],
+    );
+    for (label, catalog) in [
+        ("google-2015", Catalog::google_cloud()),
+        ("aws-2015", Catalog::aws_like()),
+    ] {
+        eprintln!("[profiling on the {label} catalog...]");
+        let framework = CastBuilder::default()
+            .nvm(25)
+            .catalog(catalog)
+            .profiler(ProfilerConfig::default())
+            .build()
+            .expect("profiling");
+        for strategy in [PlanStrategy::Uniform(Tier::PersSsd), PlanStrategy::Cast] {
+            let planned = framework.plan(&spec, strategy).expect("planning");
+            let out = framework.deploy(&spec, &planned.plan).expect("deployment");
+            let total: f64 = Tier::ALL.iter().map(|&x| out.capacities.get(x).gb()).sum();
+            let frac =
+                Tier::ALL.map(|x| out.capacities.get(x).gb() / total.max(f64::MIN_POSITIVE));
+            t.row(vec![
+                label.into(),
+                strategy.name().into(),
+                Cell::Prec(planned.eval.time.mins(), 0),
+                Cell::Prec(out.makespan.mins(), 0),
+                Cell::Prec(out.cost.total().dollars(), 2),
+                Cell::Prec(out.utility * 1e4, 3),
+                Cell::Prec(frac[0] * 100.0, 0),
+                Cell::Prec(frac[1] * 100.0, 0),
+                Cell::Prec(frac[2] * 100.0, 0),
+                Cell::Prec(frac[3] * 100.0, 0),
+            ]);
+        }
+    }
+    println!("{}", t.render());
+    println!(
+        "CAST's placement shifts with the provider's trade-offs: the free\n\
+         instance store pulls the AWS plan onto the ephemeral tier, while\n\
+         Google's capacity-scaled persSSD anchors the GCP plan. Note the AWS\n\
+         run is also a model-sensitivity case study: the annealer's estimated\n\
+         advantage for the ephemeral-heavy plan does not fully survive\n\
+         deployment — the kind of profiling-model risk §6 of the paper\n\
+         acknowledges for workloads outside the profiled envelope."
+    );
+    save_json("whatif_aws", &t.to_json());
+}

@@ -1,0 +1,131 @@
+//! Fig. 9: workflow deadline miss rate vs cost.
+//!
+//! Five workflows (31 jobs, longest 9) run under six configurations: the
+//! four non-tiered baselines, workflow-oblivious CAST, and CAST++. Each
+//! workflow's deadline is set relative to its persSSD-uniform completion
+//! time with mixed tightness (from 20 % tighter to 10 % looser), the same
+//! "15–40 minute, size-derived" methodology as §5.2.1: some deadlines are
+//! beatable only with tiering + over-provisioning, some are loose.
+
+use cast_core::framework::{Cast, PlanStrategy};
+use cast_solver::TieringPlan;
+use cast_workload::spec::WorkloadSpec;
+use cast_workload::synth;
+
+use crate::format::{Cell, TableWriter};
+use crate::harness::paper_framework;
+
+/// Deadline tightness factors applied to each workflow's persSSD-uniform
+/// completion time, in workflow order.
+pub const TIGHTNESS: [f64; 5] = [0.88, 0.95, 1.05, 1.20, 1.40];
+
+/// The six Fig. 9 configurations.
+pub fn strategies() -> [PlanStrategy; 6] {
+    use cast_cloud::tier::Tier::*;
+    [
+        PlanStrategy::Uniform(EphSsd),
+        PlanStrategy::Uniform(PersSsd),
+        PlanStrategy::Uniform(PersHdd),
+        PlanStrategy::Uniform(ObjStore),
+        PlanStrategy::Cast,
+        PlanStrategy::CastPlusPlus,
+    ]
+}
+
+/// Build the workflow suite and derive its deadlines from the
+/// persSSD-uniform baseline run.
+pub fn suite_with_deadlines(framework: &Cast) -> WorkloadSpec {
+    let mut spec = synth::workflow_suite(11);
+    let baseline = TieringPlan::uniform(&spec, cast_cloud::tier::Tier::PersSsd);
+    let out = framework.deploy(&spec, &baseline).expect("baseline deploy");
+    for (i, wf) in spec.workflows.iter_mut().enumerate() {
+        let t = out
+            .report
+            .workflow_completion(&wf.jobs)
+            .expect("members simulated");
+        wf.deadline = t * TIGHTNESS[i % TIGHTNESS.len()];
+    }
+    spec
+}
+
+/// One configuration's outcome: (label, miss rate, cost dollars,
+/// per-workflow (completion s, deadline s)).
+pub type Fig9Row = (String, f64, f64, Vec<(f64, f64)>);
+
+/// Evaluate all six configurations.
+pub fn evaluate_all(framework: &Cast, spec: &WorkloadSpec) -> Vec<Fig9Row> {
+    strategies()
+        .into_iter()
+        .map(|strategy| {
+            let planned = framework.plan(spec, strategy).expect("planning");
+            let out = framework.deploy(spec, &planned.plan).expect("deployment");
+            let mut detail = Vec::new();
+            let mut misses = 0usize;
+            for wf in &spec.workflows {
+                let t = out
+                    .report
+                    .workflow_completion(&wf.jobs)
+                    .expect("members simulated");
+                if t > wf.deadline {
+                    misses += 1;
+                }
+                detail.push((t.secs(), wf.deadline.secs()));
+            }
+            (
+                strategy.name(),
+                misses as f64 / spec.workflows.len() as f64,
+                out.cost.total().dollars(),
+                detail,
+            )
+        })
+        .collect()
+}
+
+/// Reproduce Fig. 9.
+pub fn run() -> TableWriter {
+    let framework = paper_framework();
+    let spec = suite_with_deadlines(&framework);
+    let results = evaluate_all(&framework, &spec);
+    let mut t = TableWriter::new(
+        "Fig. 9: workflow deadline misses and cost (5 workflows, 31 jobs)",
+        &["Configuration", "Deadline misses (%)", "Cost ($)"],
+    );
+    for (label, miss, cost, _) in &results {
+        t.row(vec![
+            label.clone().into(),
+            Cell::Prec(miss * 100.0, 0),
+            Cell::Prec(*cost, 2),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[ignore = "slow: plans and simulates 6 configurations of 31 jobs; run with --ignored"]
+    fn castpp_meets_deadlines_cheaply() {
+        let framework = paper_framework();
+        let spec = suite_with_deadlines(&framework);
+        let results = evaluate_all(&framework, &spec);
+        let get = |label: &str| {
+            results
+                .iter()
+                .find(|(l, ..)| l == label)
+                .unwrap_or_else(|| panic!("{label} missing"))
+        };
+        let castpp = get("CAST++");
+        assert!(
+            castpp.1 <= 0.21,
+            "CAST++ should meet (nearly) all deadlines: missed {:.0}%",
+            castpp.1 * 100.0
+        );
+        // Slow tiers miss most deadlines.
+        assert!(get("persHDD 100%").1 >= 0.8);
+        assert!(get("objStore 100%").1 >= 0.8);
+        // CAST++ must not cost more than the all-SSD baselines.
+        assert!(castpp.2 <= get("persSSD 100%").2 * 1.05);
+    }
+}

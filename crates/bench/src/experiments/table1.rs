@@ -1,0 +1,54 @@
+//! Table 1: the Google Cloud storage catalog.
+
+use cast_cloud::tier::Tier;
+use cast_cloud::units::DataSize;
+use cast_cloud::Catalog;
+
+use crate::format::{Cell, TableWriter};
+
+/// Reproduce Table 1 from the programmed catalog.
+pub fn run() -> TableWriter {
+    let catalog = Catalog::google_cloud();
+    let mut t = TableWriter::new(
+        "Table 1: Google Cloud storage details",
+        &[
+            "Storage type",
+            "Capacity (GB/volume)",
+            "Throughput (MB/s)",
+            "IOPS (4KB)",
+            "Cost ($/GB/month)",
+        ],
+    );
+    let rows: [(Tier, &[f64]); 4] = [
+        (Tier::EphSsd, &[375.0]),
+        (Tier::PersSsd, &[100.0, 250.0, 500.0]),
+        (Tier::PersHdd, &[100.0, 250.0, 500.0]),
+        (Tier::ObjStore, &[f64::NAN]),
+    ];
+    for (tier, caps) in rows {
+        let svc = catalog.service(tier);
+        for &gb in caps {
+            let cap = DataSize::from_gb(if gb.is_nan() { 1.0 } else { gb });
+            t.row(vec![
+                tier.name().into(),
+                if gb.is_nan() {
+                    Cell::Text("N/A".into())
+                } else {
+                    Cell::Prec(gb, 0)
+                },
+                Cell::Prec(svc.throughput(cap).mb_per_sec(), 0),
+                Cell::Prec(svc.iops(cap), 0),
+                Cell::Prec(svc.price_per_gb_month.dollars(), 3),
+            ]);
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn has_eight_rows_like_the_paper() {
+        assert_eq!(super::run().len(), 8);
+    }
+}

@@ -1,0 +1,37 @@
+//! Table 2: I/O vs CPU character of the studied applications.
+
+use cast_workload::apps::{AppKind, Phase};
+
+use crate::format::TableWriter;
+
+/// Reproduce Table 2 from the application model.
+pub fn run() -> TableWriter {
+    let mut t = TableWriter::new(
+        "Table 2: Characteristics of studied applications",
+        &["App", "IO:Map", "IO:Shuffle", "IO:Reduce", "CPU-intensive"],
+    );
+    let tick = |b: bool| if b { "yes" } else { "-" };
+    for app in AppKind::TABLE2 {
+        t.row(vec![
+            app.name().into(),
+            tick(app.io_intensive_in(Phase::Map)).into(),
+            tick(app.io_intensive_in(Phase::Shuffle)).into(),
+            tick(app.io_intensive_in(Phase::Reduce)).into(),
+            tick(app.cpu_intensive()).into(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn covers_the_four_table2_apps() {
+        let t = super::run();
+        assert_eq!(t.len(), 4);
+        let s = t.render();
+        for app in ["Sort", "Join", "Grep", "KMeans"] {
+            assert!(s.contains(app));
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! Table 4: Facebook trace bins and the synthesized 100-job workload.
+
+use cast_workload::facebook::table4;
+use cast_workload::synth::{facebook_workload, FacebookConfig};
+
+use crate::format::{Cell, TableWriter};
+
+/// Reproduce Table 4 and verify the synthesized workload honours it.
+pub fn run() -> TableWriter {
+    let spec = facebook_workload(FacebookConfig::default()).expect("synthesis");
+    let mut t = TableWriter::new(
+        "Table 4: job-size distribution (Facebook trace -> synthesized workload)",
+        &[
+            "Bin",
+            "#Maps at FB",
+            "%Jobs at FB",
+            "%Data at FB",
+            "#Maps in workload",
+            "#Jobs in workload",
+            "#Jobs synthesized",
+        ],
+    );
+    for bin in table4() {
+        let synthesized = spec
+            .jobs
+            .iter()
+            .filter(|j| j.maps == bin.workload_maps)
+            .count();
+        let range = if bin.fb_maps.0 == bin.fb_maps.1 {
+            format!("{}", bin.fb_maps.0)
+        } else if bin.fb_maps.1 > 100_000 {
+            format!(">{}", bin.fb_maps.0 - 1)
+        } else {
+            format!("{}-{}", bin.fb_maps.0, bin.fb_maps.1)
+        };
+        t.row(vec![
+            Cell::Prec(bin.bin as f64, 0),
+            range.into(),
+            Cell::Num(bin.fb_jobs_pct),
+            Cell::Prec(bin.fb_data_pct, 2),
+            Cell::Prec(bin.workload_maps as f64, 0),
+            Cell::Prec(bin.workload_jobs as f64, 0),
+            Cell::Prec(synthesized as f64, 0),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn seven_bins() {
+        assert_eq!(super::run().len(), 7);
+    }
+}

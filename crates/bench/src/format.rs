@@ -1,0 +1,168 @@
+//! Plain-text result tables.
+//!
+//! Every experiment binary prints an aligned table mirroring the paper's
+//! figure/table and writes the same rows as JSON for machine consumption.
+
+use serde_json::Value;
+
+/// One table cell.
+#[derive(Debug, Clone)]
+pub enum Cell {
+    /// Text cell.
+    Text(String),
+    /// Numeric cell rendered with 1 decimal.
+    Num(f64),
+    /// Numeric cell with explicit precision.
+    Prec(f64, usize),
+}
+
+impl Cell {
+    fn render(&self) -> String {
+        match self {
+            Cell::Text(s) => s.clone(),
+            Cell::Num(x) => format!("{x:.1}"),
+            Cell::Prec(x, p) => format!("{x:.*}", p),
+        }
+    }
+
+    fn json(&self) -> Value {
+        match self {
+            Cell::Text(s) => Value::String(s.clone()),
+            Cell::Num(x) | Cell::Prec(x, _) =>
+
+                serde_json::Number::from_f64(*x).map(Value::Number).unwrap_or(Value::Null),
+        }
+    }
+}
+
+impl From<&str> for Cell {
+    fn from(s: &str) -> Cell {
+        Cell::Text(s.to_string())
+    }
+}
+
+impl From<String> for Cell {
+    fn from(s: String) -> Cell {
+        Cell::Text(s)
+    }
+}
+
+impl From<f64> for Cell {
+    fn from(x: f64) -> Cell {
+        Cell::Num(x)
+    }
+}
+
+/// Accumulates rows and renders an aligned table + JSON.
+#[derive(Debug, Clone)]
+pub struct TableWriter {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<Cell>>,
+}
+
+impl TableWriter {
+    /// New table with a title and column headers.
+    pub fn new(title: &str, headers: &[&str]) -> TableWriter {
+        TableWriter {
+            title: title.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match header arity).
+    pub fn row(&mut self, cells: Vec<Cell>) {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Render the aligned text table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        let rendered: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| r.iter().map(Cell::render).collect())
+            .collect();
+        for row in &rendered {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = format!("## {}\n", self.title);
+        let head: Vec<String> = self
+            .headers
+            .iter()
+            .zip(&widths)
+            .map(|(h, w)| format!("{h:<w$}"))
+            .collect();
+        out.push_str(&head.join("  "));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &rendered {
+            let line: Vec<String> = row
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:<w$}"))
+                .collect();
+            out.push_str(&line.join("  "));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// JSON form: `{title, headers, rows}`.
+    pub fn to_json(&self) -> Value {
+        serde_json::json!({
+            "title": self.title,
+            "headers": self.headers,
+            "rows": self.rows.iter()
+                .map(|r| r.iter().map(Cell::json).collect::<Vec<_>>())
+                .collect::<Vec<_>>(),
+        })
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = TableWriter::new("Demo", &["name", "value"]);
+        t.row(vec!["short".into(), 1.5.into()]);
+        t.row(vec!["a-much-longer-name".into(), Cell::Prec(2.25, 2)]);
+        let s = t.render();
+        assert!(s.contains("## Demo"));
+        assert!(s.contains("a-much-longer-name  2.25"));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_checked() {
+        let mut t = TableWriter::new("X", &["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn json_shape() {
+        let mut t = TableWriter::new("J", &["k", "v"]);
+        t.row(vec!["x".into(), 3.0.into()]);
+        let j = t.to_json();
+        assert_eq!(j["title"], "J");
+        assert_eq!(j["rows"][0][1], 3.0);
+    }
+}

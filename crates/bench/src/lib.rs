@@ -1,0 +1,15 @@
+//! # cast-bench
+//!
+//! The experiment harness: one binary per table/figure of the paper (see
+//! `src/bin/`), Criterion micro-benchmarks (see `benches/`), and the shared
+//! machinery in this library — deterministic experiment setup, result
+//! tables, and JSON output under `results/`.
+
+pub mod expected;
+pub mod format;
+pub mod harness;
+
+pub use format::{Cell, TableWriter};
+pub use harness::{fig1_cluster, paper_estimator, paper_framework, results_dir, save_json};
+
+pub mod experiments;

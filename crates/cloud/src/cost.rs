@@ -1,0 +1,183 @@
+//! Deployment cost accounting — Eq. 5 ($vm) and Eq. 6 ($store).
+//!
+//! The paper charges VM time per minute for the whole workload makespan and
+//! storage per provisioned GB rounded up to whole hours. Tenant utility
+//! (Eq. 2) is `(1/T) / ($vm + $store)` with `T` in minutes.
+
+use serde::{Deserialize, Serialize};
+
+use crate::catalog::Catalog;
+use crate::pricing::PriceSheet;
+use crate::tier::{PerTier, Tier};
+use crate::units::{DataSize, Duration, Money};
+
+/// Itemised deployment cost.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostBreakdown {
+    /// Compute cost: `nvm · price_vm · T` (Eq. 5), master included.
+    pub vm: Money,
+    /// Storage cost per tier: `capacity[f] · price_store[f] · ceil(hours)`.
+    pub storage: PerTier<Money>,
+}
+
+impl CostBreakdown {
+    /// Total storage dollars across tiers.
+    pub fn storage_total(&self) -> Money {
+        Tier::ALL.iter().map(|&t| *self.storage.get(t)).sum()
+    }
+
+    /// Grand total (`$vm + $store`).
+    pub fn total(&self) -> Money {
+        self.vm + self.storage_total()
+    }
+}
+
+/// Prices a deployment: fixed cluster size, per-tier provisioned capacity,
+/// and a makespan.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    prices: PriceSheet,
+    /// Number of worker VMs.
+    pub nvm: usize,
+    /// Whether the master VM's cost is included (the paper's cluster has
+    /// one master; its cost is marginal but real).
+    pub include_master: bool,
+}
+
+impl CostModel {
+    /// Build from a catalog and a cluster size.
+    pub fn new(catalog: &Catalog, nvm: usize) -> CostModel {
+        CostModel {
+            prices: PriceSheet::from_catalog(catalog),
+            nvm,
+            include_master: true,
+        }
+    }
+
+    /// Eq. 5: VM cost for makespan `t`.
+    pub fn vm_cost(&self, t: Duration) -> Money {
+        let worker = self.prices.worker_vm_per_minute * (t.mins() * self.nvm as f64);
+        if self.include_master {
+            worker + self.prices.master_vm_per_minute * t.mins()
+        } else {
+            worker
+        }
+    }
+
+    /// Eq. 6: storage cost for per-tier aggregate `capacity` held for `t`
+    /// (billed in whole hours, minimum one).
+    pub fn storage_cost(&self, capacity: &PerTier<DataSize>, t: Duration) -> PerTier<Money> {
+        let hours = t.billing_hours();
+        PerTier::from_fn(|tier| {
+            let cap = *capacity.get(tier);
+            if cap.is_zero() {
+                Money::ZERO
+            } else {
+                self.prices.storage_hourly(tier, cap) * hours
+            }
+        })
+    }
+
+    /// Full breakdown for a deployment.
+    pub fn breakdown(&self, capacity: &PerTier<DataSize>, t: Duration) -> CostBreakdown {
+        CostBreakdown {
+            vm: self.vm_cost(t),
+            storage: self.storage_cost(capacity, t),
+        }
+    }
+
+    /// Eq. 2: tenant utility `(1/T) / ($vm + $store)` with `T` in minutes.
+    ///
+    /// Returns 0 for a non-positive makespan or cost (degenerate inputs).
+    pub fn tenant_utility(&self, capacity: &PerTier<DataSize>, t: Duration) -> f64 {
+        let total = self.breakdown(capacity, t).total();
+        if t.mins() <= 0.0 || total.dollars() <= 0.0 {
+            return 0.0;
+        }
+        (1.0 / t.mins()) / total.dollars()
+    }
+
+    /// Access the underlying price sheet.
+    pub fn prices(&self) -> &PriceSheet {
+        &self.prices
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn caps(ssd_gb: f64) -> PerTier<DataSize> {
+        let mut c = PerTier::from_fn(|_| DataSize::ZERO);
+        *c.get_mut(Tier::PersSsd) = DataSize::from_gb(ssd_gb);
+        c
+    }
+
+    #[test]
+    fn vm_cost_matches_hand_calc() {
+        let model = CostModel::new(&Catalog::google_cloud(), 25);
+        // 25 workers * $0.80/h + master $0.20/h for 2 h = $40.40.
+        let c = model.vm_cost(Duration::from_hours(2.0));
+        assert!((c.dollars() - (25.0 * 0.80 * 2.0 + 0.20 * 2.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn master_can_be_excluded() {
+        let mut model = CostModel::new(&Catalog::google_cloud(), 10);
+        model.include_master = false;
+        let c = model.vm_cost(Duration::from_hours(1.0));
+        assert!((c.dollars() - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn storage_cost_rounds_up_to_hours() {
+        let model = CostModel::new(&Catalog::google_cloud(), 1);
+        let cap = caps(730.0); // $0.17*730/month → $0.17/h.
+        let half_hour = model.storage_cost(&cap, Duration::from_mins(30.0));
+        let full_hour = model.storage_cost(&cap, Duration::from_hours(1.0));
+        assert_eq!(
+            half_hour.get(Tier::PersSsd).dollars(),
+            full_hour.get(Tier::PersSsd).dollars()
+        );
+        assert!((full_hour.get(Tier::PersSsd).dollars() - 0.17).abs() < 1e-9);
+        let ninety_min = model.storage_cost(&cap, Duration::from_mins(90.0));
+        assert!((ninety_min.get(Tier::PersSsd).dollars() - 0.34).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_tier_costs_nothing() {
+        let model = CostModel::new(&Catalog::google_cloud(), 1);
+        let cap = caps(100.0);
+        let bd = model.breakdown(&cap, Duration::from_hours(1.0));
+        assert_eq!(*bd.storage.get(Tier::EphSsd), Money::ZERO);
+        assert_eq!(*bd.storage.get(Tier::ObjStore), Money::ZERO);
+    }
+
+    #[test]
+    fn utility_falls_with_time_and_cost() {
+        let model = CostModel::new(&Catalog::google_cloud(), 10);
+        let cap = caps(1000.0);
+        let fast = model.tenant_utility(&cap, Duration::from_mins(60.0));
+        let slow = model.tenant_utility(&cap, Duration::from_mins(120.0));
+        assert!(fast > slow, "shorter makespan must yield higher utility");
+        let big = caps(10_000.0);
+        let pricey = model.tenant_utility(&big, Duration::from_mins(60.0));
+        assert!(fast > pricey, "more provisioned storage must cost utility");
+    }
+
+    #[test]
+    fn utility_degenerate_inputs_are_zero() {
+        let model = CostModel::new(&Catalog::google_cloud(), 10);
+        assert_eq!(model.tenant_utility(&caps(100.0), Duration::ZERO), 0.0);
+    }
+
+    #[test]
+    fn breakdown_total_is_sum_of_parts() {
+        let model = CostModel::new(&Catalog::google_cloud(), 5);
+        let mut cap = caps(500.0);
+        *cap.get_mut(Tier::ObjStore) = DataSize::from_gb(2000.0);
+        let bd = model.breakdown(&cap, Duration::from_hours(3.0));
+        let sum = bd.vm + bd.storage_total();
+        assert!((bd.total().dollars() - sum.dollars()).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,75 @@
+//! Error type for the cloud model.
+
+use std::fmt;
+
+/// Errors raised by catalog lookups, provisioning and cost accounting.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CloudError {
+    /// A tier name could not be parsed.
+    UnknownTier(String),
+    /// Requested capacity violates a provisioning rule.
+    InvalidCapacity {
+        /// Tier the request was made against.
+        tier: String,
+        /// Requested capacity in GB.
+        requested_gb: f64,
+        /// Human-readable rule that was violated.
+        rule: &'static str,
+    },
+    /// A VM type name was not found in the price sheet.
+    UnknownVmType(String),
+    /// An attachment limit (e.g. 4 ephemeral volumes per VM) was exceeded.
+    AttachmentLimit {
+        /// Tier of the volumes being attached.
+        tier: String,
+        /// Number of volumes requested per VM.
+        requested: usize,
+        /// Maximum allowed per VM.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for CloudError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CloudError::UnknownTier(name) => write!(f, "unknown storage tier {name:?}"),
+            CloudError::InvalidCapacity {
+                tier,
+                requested_gb,
+                rule,
+            } => write!(
+                f,
+                "invalid capacity {requested_gb} GB for tier {tier}: {rule}"
+            ),
+            CloudError::UnknownVmType(name) => write!(f, "unknown VM type {name:?}"),
+            CloudError::AttachmentLimit {
+                tier,
+                requested,
+                limit,
+            } => write!(
+                f,
+                "cannot attach {requested} {tier} volumes per VM (limit {limit})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CloudError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = CloudError::InvalidCapacity {
+            tier: "persSSD".into(),
+            requested_gb: -5.0,
+            rule: "capacity must be positive",
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("persSSD"));
+        assert!(msg.contains("-5"));
+        assert!(msg.contains("positive"));
+    }
+}

@@ -1,0 +1,82 @@
+//! Price sheet utilities.
+//!
+//! Thin helpers over [`Catalog`] that answer the
+//! pricing questions the solver asks: the `price_vm` and `price_store`
+//! terms of Table 3.
+
+use serde::{Deserialize, Serialize};
+
+use crate::catalog::Catalog;
+use crate::error::CloudError;
+use crate::tier::{PerTier, Tier};
+use crate::units::{DataSize, Money};
+use crate::vm::VmType;
+
+/// Snapshot of the prices the optimizer needs, decoupled from the richer
+/// catalog so solver code stays allocation-free in its inner loop.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PriceSheet {
+    /// $/GB/hour per tier (monthly list price over a 730-hour month).
+    pub storage_per_gb_hour: PerTier<Money>,
+    /// $/minute for one worker VM.
+    pub worker_vm_per_minute: Money,
+    /// $/minute for the master VM.
+    pub master_vm_per_minute: Money,
+}
+
+impl PriceSheet {
+    /// Extract the price sheet from a catalog.
+    pub fn from_catalog(catalog: &Catalog) -> PriceSheet {
+        PriceSheet {
+            storage_per_gb_hour: PerTier::from_fn(|t| {
+                catalog.service(t).price_per_hour(DataSize::from_gb(1.0))
+            }),
+            worker_vm_per_minute: catalog.worker_vm.price_per_minute(),
+            master_vm_per_minute: catalog.master_vm.price_per_minute(),
+        }
+    }
+
+    /// Hourly storage price for `capacity` on `tier`.
+    #[inline]
+    pub fn storage_hourly(&self, tier: Tier, capacity: DataSize) -> Money {
+        *self.storage_per_gb_hour.get(tier) * capacity.gb()
+    }
+
+    /// Look up a VM type by name among the known shapes.
+    pub fn lookup_vm(name: &str) -> Result<VmType, CloudError> {
+        match name {
+            "n1-standard-16" => Ok(VmType::n1_standard_16()),
+            "n1-standard-4" => Ok(VmType::n1_standard_4()),
+            other => Err(CloudError::UnknownVmType(other.to_string())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sheet_matches_catalog() {
+        let c = Catalog::google_cloud();
+        let p = PriceSheet::from_catalog(&c);
+        // persHDD: $0.04/GB-month / 730 h.
+        let want = 0.04 / 730.0;
+        assert!((p.storage_per_gb_hour.get(Tier::PersHdd).dollars() - want).abs() < 1e-15);
+        assert!((p.worker_vm_per_minute.dollars() - 0.80 / 60.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn storage_hourly_scales_with_capacity() {
+        let p = PriceSheet::from_catalog(&Catalog::google_cloud());
+        let one = p.storage_hourly(Tier::ObjStore, DataSize::from_gb(100.0));
+        let two = p.storage_hourly(Tier::ObjStore, DataSize::from_gb(200.0));
+        assert!((two.dollars() - 2.0 * one.dollars()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn vm_lookup() {
+        assert!(PriceSheet::lookup_vm("n1-standard-16").is_ok());
+        assert!(PriceSheet::lookup_vm("m5.24xlarge").is_err());
+    }
+}

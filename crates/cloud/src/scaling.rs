@@ -1,0 +1,190 @@
+//! Capacity→performance scaling models.
+//!
+//! Google Cloud persistent volumes earn bandwidth and IOPS proportionally to
+//! their provisioned capacity (Table 1: a 500 GB `persSSD` volume is ~5×
+//! faster than a 100 GB one). Ephemeral SSD comes in fixed 375 GB volumes
+//! each contributing full bandwidth, and object storage offers a flat
+//! per-stream rate regardless of stored bytes. CAST exploits exactly this
+//! surface when it over-provisions capacity to buy performance (§3.1.2,
+//! "Performance Scaling").
+
+use serde::{Deserialize, Serialize};
+
+use crate::units::{Bandwidth, DataSize};
+
+/// How a storage service's performance responds to provisioned capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ScalingModel {
+    /// Fixed-size volumes, each contributing its full bandwidth
+    /// (ephemeral SSD: 375 GB / 733 MB/s per volume).
+    PerVolume {
+        /// Size of one volume.
+        volume: DataSize,
+        /// Sequential bandwidth of one volume.
+        bw_per_volume: Bandwidth,
+        /// 4 KB IOPS of one volume.
+        iops_per_volume: f64,
+        /// Maximum number of volumes that may be aggregated (per VM).
+        max_volumes: usize,
+    },
+    /// Bandwidth and IOPS grow linearly with capacity up to a cap
+    /// (persistent SSD/HDD).
+    Linear {
+        /// MB/s earned per provisioned GB.
+        bw_per_gb: f64,
+        /// 4 KB IOPS earned per provisioned GB.
+        iops_per_gb: f64,
+        /// Per-VM bandwidth ceiling.
+        bw_cap: Bandwidth,
+        /// Per-VM IOPS ceiling.
+        iops_cap: f64,
+    },
+    /// Capacity-independent per-stream rate (object storage).
+    FlatStream {
+        /// Sequential bandwidth of one stream.
+        stream_bw: Bandwidth,
+        /// 4 KB IOPS.
+        iops: f64,
+    },
+}
+
+impl ScalingModel {
+    /// Aggregate sequential bandwidth available to one VM that has
+    /// provisioned `capacity` on this service.
+    pub fn throughput(&self, capacity: DataSize) -> Bandwidth {
+        match *self {
+            ScalingModel::PerVolume {
+                volume,
+                bw_per_volume,
+                max_volumes,
+                ..
+            } => {
+                let n = volumes_for(capacity, volume).min(max_volumes);
+                bw_per_volume * n as f64
+            }
+            ScalingModel::Linear {
+                bw_per_gb, bw_cap, ..
+            } => Bandwidth::from_mbps(bw_per_gb * capacity.gb()).min(bw_cap),
+            ScalingModel::FlatStream { stream_bw, .. } => stream_bw,
+        }
+    }
+
+    /// Aggregate 4 KB random IOPS for `capacity`.
+    pub fn iops(&self, capacity: DataSize) -> f64 {
+        match *self {
+            ScalingModel::PerVolume {
+                volume,
+                iops_per_volume,
+                max_volumes,
+                ..
+            } => {
+                let n = volumes_for(capacity, volume).min(max_volumes);
+                iops_per_volume * n as f64
+            }
+            ScalingModel::Linear {
+                iops_per_gb,
+                iops_cap,
+                ..
+            } => (iops_per_gb * capacity.gb()).min(iops_cap),
+            ScalingModel::FlatStream { iops, .. } => iops,
+        }
+    }
+
+    /// Smallest provisionable capacity that actually stores `size` bytes
+    /// under this model (e.g. ephemeral SSD rounds up to whole 375 GB
+    /// volumes; object storage is exact).
+    pub fn provisionable(&self, size: DataSize) -> DataSize {
+        match *self {
+            ScalingModel::PerVolume { volume, .. } => {
+                let n = volumes_for(size, volume).max(1);
+                volume * n as f64
+            }
+            ScalingModel::Linear { .. } | ScalingModel::FlatStream { .. } => size,
+        }
+    }
+}
+
+/// Number of whole volumes needed to hold `capacity`.
+fn volumes_for(capacity: DataSize, volume: DataSize) -> usize {
+    if capacity.is_zero() {
+        return 0;
+    }
+    (capacity.gb() / volume.gb()).ceil() as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eph() -> ScalingModel {
+        ScalingModel::PerVolume {
+            volume: DataSize::from_gb(375.0),
+            bw_per_volume: Bandwidth::from_mbps(733.0),
+            iops_per_volume: 100_000.0,
+            max_volumes: 4,
+        }
+    }
+
+    fn ssd() -> ScalingModel {
+        ScalingModel::Linear {
+            bw_per_gb: 0.468,
+            iops_per_gb: 30.0,
+            bw_cap: Bandwidth::from_mbps(240.0),
+            iops_cap: 15_000.0,
+        }
+    }
+
+    #[test]
+    fn per_volume_quantizes_and_caps() {
+        let m = eph();
+        // 1 GB still needs one whole volume.
+        assert!((m.throughput(DataSize::from_gb(1.0)).mb_per_sec() - 733.0).abs() < 1e-9);
+        // 400 GB spills into a second volume.
+        assert!((m.throughput(DataSize::from_gb(400.0)).mb_per_sec() - 1466.0).abs() < 1e-9);
+        // The 4-volume cap binds at 10 volumes' worth of data.
+        assert!((m.throughput(DataSize::from_gb(3750.0)).mb_per_sec() - 4.0 * 733.0).abs() < 1e-9);
+        assert!((m.iops(DataSize::from_gb(3750.0)) - 400_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn per_volume_provisionable_rounds_to_whole_volumes() {
+        let m = eph();
+        assert!((m.provisionable(DataSize::from_gb(1.0)).gb() - 375.0).abs() < 1e-9);
+        assert!((m.provisionable(DataSize::from_gb(376.0)).gb() - 750.0).abs() < 1e-9);
+        // Zero-sized datasets still need one volume to exist on the tier.
+        assert!((m.provisionable(DataSize::ZERO).gb() - 375.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn linear_matches_table1_within_tolerance() {
+        let m = ssd();
+        // Table 1: 100 GB → 48 MB/s, 250 GB → 118 MB/s, 500 GB → 234 MB/s.
+        for (gb, expect) in [(100.0, 48.0), (250.0, 118.0), (500.0, 234.0)] {
+            let got = m.throughput(DataSize::from_gb(gb)).mb_per_sec();
+            let err = (got - expect).abs() / expect;
+            assert!(err < 0.03, "{gb} GB: got {got}, want {expect}");
+        }
+        // IOPS slope is exactly 30/GB in Table 1.
+        assert!((m.iops(DataSize::from_gb(250.0)) - 7500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn linear_caps_bind() {
+        let m = ssd();
+        assert!((m.throughput(DataSize::from_gb(5000.0)).mb_per_sec() - 240.0).abs() < 1e-9);
+        assert!((m.iops(DataSize::from_gb(5000.0)) - 15_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn flat_stream_ignores_capacity() {
+        let m = ScalingModel::FlatStream {
+            stream_bw: Bandwidth::from_mbps(265.0),
+            iops: 550.0,
+        };
+        assert_eq!(
+            m.throughput(DataSize::from_gb(1.0)),
+            m.throughput(DataSize::from_tb(100.0))
+        );
+        assert!((m.provisionable(DataSize::from_gb(7.0)).gb() - 7.0).abs() < 1e-12);
+    }
+}

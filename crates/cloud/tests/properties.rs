@@ -1,0 +1,122 @@
+//! Property-based tests for the cloud model.
+
+use proptest::prelude::*;
+
+use cast_cloud::tier::{PerTier, Tier};
+use cast_cloud::units::{DataSize, Duration};
+use cast_cloud::{Catalog, CostModel, Provisioner};
+
+fn arb_tier() -> impl Strategy<Value = Tier> {
+    prop::sample::select(Tier::ALL.to_vec())
+}
+
+proptest! {
+    /// Throughput and IOPS never decrease with capacity on any service.
+    #[test]
+    fn performance_is_monotone_in_capacity(
+        tier in arb_tier(),
+        a in 1.0f64..20_000.0,
+        b in 1.0f64..20_000.0,
+    ) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        for catalog in [Catalog::google_cloud(), Catalog::aws_like()] {
+            let svc = catalog.service(tier);
+            prop_assert!(
+                svc.throughput(DataSize::from_gb(hi)).mb_per_sec() + 1e-9
+                    >= svc.throughput(DataSize::from_gb(lo)).mb_per_sec()
+            );
+            prop_assert!(svc.iops(DataSize::from_gb(hi)) + 1e-9 >= svc.iops(DataSize::from_gb(lo)));
+        }
+    }
+
+    /// `provisionable` is idempotent and never shrinks a request.
+    #[test]
+    fn provisionable_is_a_closure_operator(tier in arb_tier(), gb in 0.1f64..5_000.0) {
+        let catalog = Catalog::google_cloud();
+        let svc = catalog.service(tier);
+        let once = svc.provisionable(DataSize::from_gb(gb));
+        let twice = svc.provisionable(once);
+        prop_assert!(once.gb() + 1e-9 >= gb);
+        prop_assert!((twice.gb() - once.gb()).abs() < 1e-9, "idempotence");
+    }
+
+    /// Cluster provisioning covers the aggregate demand on every tier.
+    #[test]
+    fn provision_plan_covers_demand(
+        nvm in 1usize..32,
+        eph in 0.0f64..2_000.0,
+        ssd in 0.0f64..20_000.0,
+        hdd in 0.0f64..20_000.0,
+        obj in 0.0f64..50_000.0,
+    ) {
+        let catalog = Catalog::google_cloud();
+        let mut agg = PerTier::from_fn(|_| DataSize::ZERO);
+        *agg.get_mut(Tier::EphSsd) = DataSize::from_gb(eph);
+        *agg.get_mut(Tier::PersSsd) = DataSize::from_gb(ssd);
+        *agg.get_mut(Tier::PersHdd) = DataSize::from_gb(hdd);
+        *agg.get_mut(Tier::ObjStore) = DataSize::from_gb(obj);
+        let p = Provisioner::new(&catalog);
+        // Ephemeral demand may exceed the 4-volume/VM attachment budget;
+        // that's a legitimate rejection, not a property violation.
+        match p.plan(&agg, nvm) {
+            Ok(plan) => {
+                for t in Tier::ALL {
+                    prop_assert!(
+                        plan.aggregate(t).gb() + 1e-6 >= agg.get(t).gb(),
+                        "{t}: {} < {}",
+                        plan.aggregate(t).gb(),
+                        agg.get(t).gb()
+                    );
+                }
+            }
+            Err(_) => {
+                prop_assert!(eph > 0.0, "only ephemeral limits can reject here");
+            }
+        }
+    }
+
+    /// VM cost is linear in time; storage cost is monotone and
+    /// step-constant within a billing hour.
+    #[test]
+    fn cost_model_shape(nvm in 1usize..64, mins in 1.0f64..600.0, gb in 1.0f64..10_000.0) {
+        let model = CostModel::new(&Catalog::google_cloud(), nvm);
+        let t = Duration::from_mins(mins);
+        let vm1 = model.vm_cost(t).dollars();
+        let vm2 = model.vm_cost(t * 2.0).dollars();
+        prop_assert!((vm2 - 2.0 * vm1).abs() < 1e-9, "VM cost linear in T");
+
+        let mut caps = PerTier::from_fn(|_| DataSize::ZERO);
+        *caps.get_mut(Tier::PersSsd) = DataSize::from_gb(gb);
+        let s1: f64 = model.storage_cost(&caps, t).iter().map(|(_, m)| m.dollars()).sum();
+        let s2: f64 = model
+            .storage_cost(&caps, t * 2.0)
+            .iter()
+            .map(|(_, m)| m.dollars())
+            .sum();
+        prop_assert!(s2 + 1e-12 >= s1, "storage cost monotone in T");
+        // Within the same billing hour the charge is identical.
+        let within = Duration::from_mins(mins.min(59.0));
+        let sa: f64 = model
+            .storage_cost(&caps, within)
+            .iter()
+            .map(|(_, m)| m.dollars())
+            .sum();
+        let sb: f64 = model
+            .storage_cost(&caps, Duration::from_mins(1.0))
+            .iter()
+            .map(|(_, m)| m.dollars())
+            .sum();
+        prop_assert!((sa - sb).abs() < 1e-12, "hourly billing is a step function");
+    }
+
+    /// Utility strictly decreases when only the makespan grows.
+    #[test]
+    fn utility_decreases_with_time(nvm in 1usize..32, gb in 1.0f64..5_000.0, mins in 61.0f64..600.0) {
+        let model = CostModel::new(&Catalog::google_cloud(), nvm);
+        let mut caps = PerTier::from_fn(|_| DataSize::ZERO);
+        *caps.get_mut(Tier::PersHdd) = DataSize::from_gb(gb);
+        let fast = model.tenant_utility(&caps, Duration::from_mins(mins));
+        let slow = model.tenant_utility(&caps, Duration::from_mins(mins * 1.5));
+        prop_assert!(fast > slow);
+    }
+}

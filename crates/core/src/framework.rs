@@ -1,0 +1,350 @@
+//! The [`Cast`] framework object: profiling + planning.
+
+use serde::{Deserialize, Serialize};
+
+use cast_cloud::tier::Tier;
+use cast_cloud::Catalog;
+use cast_estimator::mrcute::ClusterSpec;
+use cast_estimator::profiler::{profile_all, ProfilerConfig};
+use cast_estimator::Estimator;
+use cast_solver::castpp::{CastPlusPlus, CastPlusPlusConfig};
+use cast_solver::{
+    evaluate, greedy_plan, AnnealConfig, Annealer, EvalContext, GreedyMode, PlanEval,
+    SolverError, TieringPlan,
+};
+use cast_workload::profile::ProfileSet;
+use cast_workload::spec::WorkloadSpec;
+
+use crate::deploy::{self, DeployOutcome};
+
+/// Which planner produces the tiering plan — the eight configurations of
+/// Fig. 7 plus CAST++.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PlanStrategy {
+    /// Everything on one tier (the four non-tiered baselines).
+    Uniform(Tier),
+    /// Algorithm 1 with exact-fit capacities.
+    GreedyExactFit,
+    /// Algorithm 1 with per-job over-provisioning.
+    GreedyOverProvisioned,
+    /// Algorithm 2: simulated-annealing utility maximisation.
+    Cast,
+    /// CAST plus reuse- and workflow-awareness.
+    CastPlusPlus,
+}
+
+impl PlanStrategy {
+    /// All strategies in Fig. 7 presentation order.
+    pub const ALL: [PlanStrategy; 8] = [
+        PlanStrategy::Uniform(Tier::EphSsd),
+        PlanStrategy::Uniform(Tier::PersSsd),
+        PlanStrategy::Uniform(Tier::PersHdd),
+        PlanStrategy::Uniform(Tier::ObjStore),
+        PlanStrategy::GreedyExactFit,
+        PlanStrategy::GreedyOverProvisioned,
+        PlanStrategy::Cast,
+        PlanStrategy::CastPlusPlus,
+    ];
+
+    /// Display name matching the paper's figure labels.
+    pub fn name(self) -> String {
+        match self {
+            PlanStrategy::Uniform(t) => format!("{} 100%", t.name()),
+            PlanStrategy::GreedyExactFit => "Greedy exact-fit".to_string(),
+            PlanStrategy::GreedyOverProvisioned => "Greedy over-prov".to_string(),
+            PlanStrategy::Cast => "CAST".to_string(),
+            PlanStrategy::CastPlusPlus => "CAST++".to_string(),
+        }
+    }
+}
+
+/// A plan together with its model-side evaluation.
+#[derive(Debug, Clone)]
+pub struct Planned {
+    /// The chosen assignments.
+    pub plan: TieringPlan,
+    /// Estimated time/cost/utility (Eq. 2–6).
+    pub eval: PlanEval,
+    /// Per-workflow evaluations (CAST++ only; empty otherwise).
+    pub workflows: Vec<(cast_workload::WorkflowId, cast_solver::castpp::WorkflowEval)>,
+}
+
+/// The CAST framework: a profiled estimator bound to a target cluster.
+#[derive(Debug, Clone)]
+pub struct Cast {
+    estimator: Estimator,
+    anneal: AnnealConfig,
+    castpp: CastPlusPlusConfig,
+}
+
+/// Builder for [`Cast`].
+#[derive(Debug, Clone)]
+pub struct CastBuilder {
+    catalog: Catalog,
+    cluster: ClusterSpec,
+    profiles: ProfileSet,
+    profiler: ProfilerConfig,
+    anneal: AnnealConfig,
+    castpp: CastPlusPlusConfig,
+}
+
+impl Default for CastBuilder {
+    fn default() -> Self {
+        CastBuilder {
+            catalog: Catalog::google_cloud(),
+            cluster: ClusterSpec::paper(),
+            profiles: ProfileSet::defaults(),
+            profiler: ProfilerConfig::default(),
+            anneal: AnnealConfig::default(),
+            castpp: CastPlusPlusConfig::default(),
+        }
+    }
+}
+
+impl CastBuilder {
+    /// Target cluster size (worker VMs); slots follow the VM shape.
+    pub fn nvm(mut self, nvm: usize) -> Self {
+        self.cluster.nvm = nvm;
+        self
+    }
+
+    /// Override the provider catalog.
+    pub fn catalog(mut self, catalog: Catalog) -> Self {
+        self.catalog = catalog;
+        self
+    }
+
+    /// Override application profiles.
+    pub fn profiles(mut self, profiles: ProfileSet) -> Self {
+        self.profiles = profiles;
+        self
+    }
+
+    /// Override profiling parameters.
+    pub fn profiler(mut self, cfg: ProfilerConfig) -> Self {
+        self.profiler = cfg;
+        self
+    }
+
+    /// Override annealing parameters.
+    pub fn anneal(mut self, cfg: AnnealConfig) -> Self {
+        self.anneal = cfg;
+        self.castpp.utility_anneal = cfg;
+        self
+    }
+
+    /// Run the offline profiling campaign and produce the framework.
+    pub fn build(self) -> Result<Cast, cast_estimator::EstimatorError> {
+        let matrix = profile_all(&self.catalog, &self.profiles, &self.profiler)?;
+        Ok(Cast {
+            estimator: Estimator {
+                matrix,
+                catalog: self.catalog,
+                cluster: self.cluster,
+                profiles: self.profiles,
+            },
+            anneal: self.anneal,
+            castpp: self.castpp,
+        })
+    }
+
+    /// Build with an already-profiled estimator (skips profiling — used by
+    /// tests and by callers that persist the model matrix).
+    pub fn build_with_estimator(self, estimator: Estimator) -> Cast {
+        Cast {
+            estimator,
+            anneal: self.anneal,
+            castpp: self.castpp,
+        }
+    }
+}
+
+impl Cast {
+    /// Start building a framework.
+    pub fn builder() -> CastBuilder {
+        CastBuilder::default()
+    }
+
+    /// The profiled estimator.
+    pub fn estimator(&self) -> &Estimator {
+        &self.estimator
+    }
+
+    /// Produce a tiering plan for `spec` with `strategy`.
+    pub fn plan(
+        &self,
+        spec: &WorkloadSpec,
+        strategy: PlanStrategy,
+    ) -> Result<Planned, SolverError> {
+        let ctx = EvalContext::new(&self.estimator, spec);
+        match strategy {
+            PlanStrategy::Uniform(tier) => {
+                let plan = TieringPlan::uniform(spec, tier);
+                let eval = evaluate(&plan, &ctx)?;
+                Ok(Planned {
+                    plan,
+                    eval,
+                    workflows: Vec::new(),
+                })
+            }
+            PlanStrategy::GreedyExactFit => {
+                let plan = greedy_plan(&ctx, GreedyMode::ExactFit)?;
+                let eval = evaluate(&plan, &ctx)?;
+                Ok(Planned {
+                    plan,
+                    eval,
+                    workflows: Vec::new(),
+                })
+            }
+            PlanStrategy::GreedyOverProvisioned => {
+                let plan = greedy_plan(&ctx, GreedyMode::OverProvisioned)?;
+                let eval = evaluate(&plan, &ctx)?;
+                Ok(Planned {
+                    plan,
+                    eval,
+                    workflows: Vec::new(),
+                })
+            }
+            PlanStrategy::Cast => {
+                let init = best_init(&ctx)?;
+                let out = Annealer::new(self.anneal).solve(&ctx, init)?;
+                Ok(Planned {
+                    plan: out.plan,
+                    eval: out.eval,
+                    workflows: Vec::new(),
+                })
+            }
+            PlanStrategy::CastPlusPlus => {
+                let out = CastPlusPlus::new(self.castpp).solve(&ctx)?;
+                Ok(Planned {
+                    plan: out.plan,
+                    eval: out.eval,
+                    workflows: out.workflows,
+                })
+            }
+        }
+    }
+
+    /// Plan for a high-level tenant goal (Fig. 6's "tenant goals" input):
+    /// utility maximisation runs plain CAST; deadline-bound goals run the
+    /// full CAST++ pipeline.
+    pub fn plan_for_goal(
+        &self,
+        spec: &WorkloadSpec,
+        goal: crate::goals::TenantGoal,
+    ) -> Result<Planned, SolverError> {
+        let strategy = if goal.needs_workflow_awareness() {
+            PlanStrategy::CastPlusPlus
+        } else {
+            PlanStrategy::Cast
+        };
+        self.plan(spec, strategy)
+    }
+
+    /// Deploy a plan on the simulated cluster and measure the outcome.
+    pub fn deploy(
+        &self,
+        spec: &WorkloadSpec,
+        plan: &TieringPlan,
+    ) -> Result<DeployOutcome, deploy::DeployError> {
+        deploy::deploy(&self.estimator, spec, plan)
+    }
+}
+
+/// The annealer's starting point: the best-estimated of the greedy plans
+/// and the four uniform plans (§4.2.2: "the results from the greedy
+/// algorithm or the characteristics of analytics applications ... can be
+/// used to devise an initial placement").
+pub fn best_init(ctx: &EvalContext<'_>) -> Result<TieringPlan, SolverError> {
+    let mut candidates = vec![
+        greedy_plan(ctx, GreedyMode::OverProvisioned)?,
+        greedy_plan(ctx, GreedyMode::ExactFit)?,
+    ];
+    for tier in Tier::ALL {
+        candidates.push(TieringPlan::uniform(ctx.spec, tier));
+    }
+    let mut best: Option<(f64, TieringPlan)> = None;
+    for plan in candidates {
+        let u = evaluate(&plan, ctx)?.utility;
+        if best.as_ref().is_none_or(|(bu, _)| u > *bu) {
+            best = Some((u, plan));
+        }
+    }
+    Ok(best.expect("non-empty candidate set").1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cast_cloud::units::DataSize;
+    use cast_estimator::profiler::ProfilerConfig;
+    use cast_workload::synth;
+
+    fn quick_framework() -> Cast {
+        let profiler = ProfilerConfig {
+            nvm: 2,
+            reference_input: DataSize::from_gb(20.0),
+            block_grid: vec![100.0, 400.0, 1600.0],
+            eph_grid: vec![375.0],
+            objstore_scratch_gb: 100.0,
+        };
+        CastBuilder::default()
+            .nvm(4)
+            .profiler(profiler)
+            .anneal(AnnealConfig {
+                iterations: 300,
+                ..AnnealConfig::default()
+            })
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn build_profiles_all_pairs() {
+        let fw = quick_framework();
+        assert_eq!(fw.estimator().matrix.len(), 20);
+    }
+
+    #[test]
+    fn every_strategy_produces_a_full_plan() {
+        let fw = quick_framework();
+        let spec = synth::prediction_workload();
+        for strategy in PlanStrategy::ALL {
+            let planned = fw.plan(&spec, strategy).unwrap();
+            assert_eq!(planned.plan.len(), spec.jobs.len(), "{}", strategy.name());
+            assert!(planned.eval.utility.is_finite());
+        }
+    }
+
+    #[test]
+    fn cast_at_least_matches_greedy() {
+        let fw = quick_framework();
+        let spec = synth::prediction_workload();
+        let greedy = fw.plan(&spec, PlanStrategy::GreedyOverProvisioned).unwrap();
+        let cast = fw.plan(&spec, PlanStrategy::Cast).unwrap();
+        assert!(cast.eval.utility >= greedy.eval.utility - 1e-15);
+    }
+
+    #[test]
+    fn goals_select_the_right_solver() {
+        let fw = quick_framework();
+        let spec = synth::fig4_workflow();
+        // Deadline goals must produce per-workflow evaluations.
+        let deadline = fw
+            .plan_for_goal(&spec, crate::goals::TenantGoal::MeetDeadlinesMinCost)
+            .unwrap();
+        assert_eq!(deadline.workflows.len(), 1);
+        // Utility goals run plain CAST (no workflow evaluations).
+        let utility = fw
+            .plan_for_goal(&spec, crate::goals::TenantGoal::MaxUtility)
+            .unwrap();
+        assert!(utility.workflows.is_empty());
+    }
+
+    #[test]
+    fn strategy_names_match_figures() {
+        assert_eq!(PlanStrategy::Uniform(Tier::EphSsd).name(), "ephSSD 100%");
+        assert_eq!(PlanStrategy::Cast.name(), "CAST");
+        assert_eq!(PlanStrategy::CastPlusPlus.name(), "CAST++");
+    }
+}

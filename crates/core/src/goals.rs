@@ -1,0 +1,33 @@
+//! High-level tenant goals (§4: "high-level tenants' goals such as
+//! achieving high utility, or reducing deadline miss rates").
+
+use serde::{Deserialize, Serialize};
+
+/// What the tenant asks CAST to optimise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TenantGoal {
+    /// Maximise tenant utility `U = (1/T)/($vm + $store)` over the whole
+    /// workload (Eq. 2).
+    MaxUtility,
+    /// Meet every workflow's deadline while minimising total cost
+    /// (Eq. 8–9); independent jobs still optimise utility.
+    MeetDeadlinesMinCost,
+}
+
+impl TenantGoal {
+    /// Whether this goal requires workflow-aware optimisation.
+    pub fn needs_workflow_awareness(self) -> bool {
+        matches!(self, TenantGoal::MeetDeadlinesMinCost)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workflow_awareness_flag() {
+        assert!(!TenantGoal::MaxUtility.needs_workflow_awareness());
+        assert!(TenantGoal::MeetDeadlinesMinCost.needs_workflow_awareness());
+    }
+}

@@ -1,0 +1,15 @@
+//! One-stop imports for CAST users.
+//!
+//! ```
+//! use cast_core::prelude::*;
+//! ```
+
+pub use crate::deploy::{DeployError, DeployOutcome};
+pub use crate::framework::{Cast, CastBuilder, PlanStrategy, Planned};
+pub use crate::goals::TenantGoal;
+pub use crate::report::DeploymentReport;
+pub use cast_cloud::{Catalog, Tier};
+pub use cast_cloud::units::{Bandwidth, DataSize, Duration, Money};
+pub use cast_estimator::{Estimator, ModelMatrix};
+pub use cast_solver::{AnnealConfig, Assignment, TieringPlan};
+pub use cast_workload::{AppKind, Job, JobId, WorkloadSpec};

@@ -1,0 +1,118 @@
+//! Prediction-error statistics — the Fig. 8 methodology.
+//!
+//! The paper validates its regression by predicting a 16-job workload's
+//! runtime across a persSSD capacity sweep and reports an average error of
+//! 7.9 %. [`PredictionError`] accumulates (predicted, observed) pairs and
+//! reports the same statistics.
+
+use serde::{Deserialize, Serialize};
+
+/// Accumulated prediction/observation pairs.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct PredictionError {
+    points: Vec<(f64, f64)>,
+}
+
+impl PredictionError {
+    /// Empty accumulator.
+    pub fn new() -> PredictionError {
+        PredictionError::default()
+    }
+
+    /// Record one (predicted, observed) pair. Units are the caller's but
+    /// must be consistent.
+    pub fn record(&mut self, predicted: f64, observed: f64) {
+        assert!(
+            predicted.is_finite() && observed.is_finite() && observed > 0.0,
+            "degenerate prediction pair ({predicted}, {observed})"
+        );
+        self.points.push((predicted, observed));
+    }
+
+    /// Number of recorded pairs.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether no pairs are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Mean absolute percentage error, in percent (the paper's "average
+    /// prediction error of 7.9%").
+    pub fn mape(&self) -> f64 {
+        if self.points.is_empty() {
+            return 0.0;
+        }
+        let sum: f64 = self
+            .points
+            .iter()
+            .map(|&(p, o)| ((p - o) / o).abs())
+            .sum();
+        100.0 * sum / self.points.len() as f64
+    }
+
+    /// Largest absolute percentage error, in percent.
+    pub fn max_pct(&self) -> f64 {
+        self.points
+            .iter()
+            .map(|&(p, o)| 100.0 * ((p - o) / o).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Mean signed percentage error (bias), in percent. Positive =
+    /// over-prediction.
+    pub fn bias_pct(&self) -> f64 {
+        if self.points.is_empty() {
+            return 0.0;
+        }
+        let sum: f64 = self.points.iter().map(|&(p, o)| (p - o) / o).sum();
+        100.0 * sum / self.points.len() as f64
+    }
+
+    /// The recorded pairs.
+    pub fn points(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_predictions_have_zero_error() {
+        let mut e = PredictionError::new();
+        e.record(10.0, 10.0);
+        e.record(50.0, 50.0);
+        assert_eq!(e.mape(), 0.0);
+        assert_eq!(e.max_pct(), 0.0);
+        assert_eq!(e.bias_pct(), 0.0);
+    }
+
+    #[test]
+    fn mape_hand_calc() {
+        let mut e = PredictionError::new();
+        e.record(110.0, 100.0); // +10 %
+        e.record(80.0, 100.0); // -20 %
+        assert!((e.mape() - 15.0).abs() < 1e-9);
+        assert!((e.max_pct() - 20.0).abs() < 1e-9);
+        assert!((e.bias_pct() - (-5.0)).abs() < 1e-9);
+        assert_eq!(e.len(), 2);
+    }
+
+    #[test]
+    fn empty_is_zero() {
+        let e = PredictionError::new();
+        assert!(e.is_empty());
+        assert_eq!(e.mape(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate")]
+    fn zero_observation_panics() {
+        let mut e = PredictionError::new();
+        e.record(1.0, 0.0);
+    }
+}

@@ -1,0 +1,169 @@
+//! The model matrix `M̂`: profiled per-task phase bandwidths.
+//!
+//! For each (application, tier) pair the profiler records effective
+//! per-task bandwidths at several per-VM capacities; a
+//! [`MonotoneSpline`] interpolates between them. This is the quantitative
+//! heart of CAST: every solver decision reduces to lookups in this matrix.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+use cast_cloud::tier::Tier;
+use cast_workload::apps::AppKind;
+
+use crate::error::EstimatorError;
+use crate::spline::MonotoneSpline;
+
+/// Effective per-task bandwidths for one (app, tier, capacity) point,
+/// in MB/s.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PhaseBw {
+    /// Map-phase bandwidth over `inputᵢ/m` bytes per task.
+    pub map: f64,
+    /// Joint shuffle+reduce bandwidth over `(interᵢ+outputᵢ)/r` bytes per
+    /// task (the folded Eq. 1 form; see crate docs).
+    pub shuffle_reduce: f64,
+}
+
+/// Capacity-parameterised bandwidths for one (app, tier).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CapacityCurve {
+    map: MonotoneSpline,
+    shuffle_reduce: MonotoneSpline,
+}
+
+impl CapacityCurve {
+    /// Build from profiled `(per-VM capacity GB, PhaseBw)` samples.
+    pub fn fit(samples: &[(f64, PhaseBw)]) -> Result<CapacityCurve, EstimatorError> {
+        let map_pts: Vec<(f64, f64)> = samples.iter().map(|&(c, b)| (c, b.map)).collect();
+        let sr_pts: Vec<(f64, f64)> = samples
+            .iter()
+            .map(|&(c, b)| (c, b.shuffle_reduce))
+            .collect();
+        Ok(CapacityCurve {
+            map: MonotoneSpline::fit(&map_pts)?,
+            shuffle_reduce: MonotoneSpline::fit(&sr_pts)?,
+        })
+    }
+
+    /// Bandwidths at `per_vm_capacity_gb`.
+    pub fn at(&self, per_vm_capacity_gb: f64) -> PhaseBw {
+        PhaseBw {
+            map: self.map.eval(per_vm_capacity_gb),
+            shuffle_reduce: self.shuffle_reduce.eval(per_vm_capacity_gb),
+        }
+    }
+
+    /// Profiled capacity grid (map-phase knots).
+    pub fn capacities(&self) -> &[f64] {
+        self.map.knots()
+    }
+}
+
+/// `M̂`: the full profiled model.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct ModelMatrix {
+    // Serialised as an entry list: JSON map keys must be strings, and the
+    // matrix is persisted to disk as the profiling cache.
+    #[serde(with = "entries")]
+    curves: BTreeMap<(AppKind, Tier), CapacityCurve>,
+}
+
+mod entries {
+    use super::*;
+    use serde::{Deserializer, Serializer};
+
+    pub fn serialize<S: Serializer>(
+        map: &BTreeMap<(AppKind, Tier), CapacityCurve>,
+        ser: S,
+    ) -> Result<S::Ok, S::Error> {
+        let entries: Vec<(&(AppKind, Tier), &CapacityCurve)> = map.iter().collect();
+        serde::Serialize::serialize(&entries, ser)
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(
+        de: D,
+    ) -> Result<BTreeMap<(AppKind, Tier), CapacityCurve>, D::Error> {
+        let entries: Vec<((AppKind, Tier), CapacityCurve)> =
+            serde::Deserialize::deserialize(de)?;
+        Ok(entries.into_iter().collect())
+    }
+}
+
+impl ModelMatrix {
+    /// Empty matrix.
+    pub fn new() -> ModelMatrix {
+        ModelMatrix::default()
+    }
+
+    /// Insert/replace the curve for (app, tier).
+    pub fn insert(&mut self, app: AppKind, tier: Tier, curve: CapacityCurve) {
+        self.curves.insert((app, tier), curve);
+    }
+
+    /// Bandwidths for (app, tier) at a per-VM capacity.
+    pub fn bandwidths(
+        &self,
+        app: AppKind,
+        tier: Tier,
+        per_vm_capacity_gb: f64,
+    ) -> Result<PhaseBw, EstimatorError> {
+        self.curves
+            .get(&(app, tier))
+            .map(|c| c.at(per_vm_capacity_gb))
+            .ok_or_else(|| EstimatorError::NotProfiled {
+                app: app.name().to_string(),
+                tier: tier.name().to_string(),
+            })
+    }
+
+    /// Whether (app, tier) has been profiled.
+    pub fn contains(&self, app: AppKind, tier: Tier) -> bool {
+        self.curves.contains_key(&(app, tier))
+    }
+
+    /// Number of profiled (app, tier) pairs.
+    pub fn len(&self) -> usize {
+        self.curves.len()
+    }
+
+    /// Whether the matrix is empty.
+    pub fn is_empty(&self) -> bool {
+        self.curves.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn curve() -> CapacityCurve {
+        CapacityCurve::fit(&[
+            (100.0, PhaseBw { map: 10.0, shuffle_reduce: 5.0 }),
+            (500.0, PhaseBw { map: 40.0, shuffle_reduce: 20.0 }),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn curve_interpolates_and_clamps() {
+        let c = curve();
+        let mid = c.at(300.0);
+        assert!(mid.map > 10.0 && mid.map < 40.0);
+        assert_eq!(c.at(1000.0).map, 40.0);
+        assert_eq!(c.at(10.0).shuffle_reduce, 5.0);
+    }
+
+    #[test]
+    fn matrix_lookup() {
+        let mut m = ModelMatrix::new();
+        assert!(m.is_empty());
+        m.insert(AppKind::Sort, Tier::PersSsd, curve());
+        assert!(m.contains(AppKind::Sort, Tier::PersSsd));
+        assert_eq!(m.len(), 1);
+        let bw = m.bandwidths(AppKind::Sort, Tier::PersSsd, 100.0).unwrap();
+        assert_eq!(bw.map, 10.0);
+        let err = m.bandwidths(AppKind::Grep, Tier::PersSsd, 100.0).unwrap_err();
+        assert!(matches!(err, EstimatorError::NotProfiled { .. }));
+    }
+}

@@ -1,0 +1,236 @@
+//! The `REG(·)` façade: job + tier + provisioned capacity → runtime.
+//!
+//! This is the function the tiering solver evaluates in its inner loop
+//! (Eq. 4): given a job's assigned storage service and the *total* capacity
+//! provisioned on that service for the workload, predict the job's
+//! completion time on the cluster, including staging transfers for
+//! non-persistent placements.
+
+use serde::{Deserialize, Serialize};
+
+use cast_cloud::tier::Tier;
+use cast_cloud::units::{DataSize, Duration};
+use cast_cloud::Catalog;
+use cast_workload::job::Job;
+use cast_workload::profile::{AppProfile, ProfileSet};
+
+use crate::error::EstimatorError;
+use crate::model::ModelMatrix;
+use crate::mrcute::{estimate_phases, estimate_transfer, ClusterSpec, PhaseEstimate};
+
+/// A profiled, cluster-bound performance estimator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Estimator {
+    /// Profiled model matrix `M̂`.
+    pub matrix: ModelMatrix,
+    /// Provider catalog (prices, request overheads, scaling).
+    pub catalog: Catalog,
+    /// Target cluster `R̂`.
+    pub cluster: ClusterSpec,
+    /// Application profiles (selectivities, file counts).
+    pub profiles: ProfileSet,
+}
+
+impl Estimator {
+    /// Predict the phase breakdown of `job` on `tier`, with `tier_total`
+    /// provisioned across the cluster for that tier.
+    pub fn phases(
+        &self,
+        job: &Job,
+        tier: Tier,
+        tier_total: DataSize,
+    ) -> Result<PhaseEstimate, EstimatorError> {
+        let profile = self.profiles.get(job.app);
+        let per_vm_gb = per_vm_capacity(&self.catalog, tier, tier_total, self.cluster.nvm);
+        let bw = self.matrix.bandwidths(job.app, tier, per_vm_gb)?;
+        let mut est = estimate_phases(
+            job,
+            profile,
+            bw,
+            &self.cluster,
+            &self.catalog,
+            tier,
+            tier,
+        );
+        if tier == Tier::EphSsd {
+            // Non-persistent placement: input comes down from, and output
+            // returns to, the backing object store (Fig. 1 accounting).
+            let backing = self.catalog.backing_store();
+            est.stage_in = self.transfer(job.input, backing, tier, tier_total);
+            est.stage_out = self.transfer(job.output(profile), tier, backing, tier_total);
+        }
+        Ok(est)
+    }
+
+    /// `REG(sᵢ, capacity[sᵢ], R̂, L̂ᵢ)`: total predicted runtime.
+    pub fn reg(
+        &self,
+        job: &Job,
+        tier: Tier,
+        tier_total: DataSize,
+    ) -> Result<Duration, EstimatorError> {
+        Ok(self.phases(job, tier, tier_total)?.total())
+    }
+
+    /// Predicted time to move `bytes` between tiers with one stream per VM
+    /// (workflow cross-tier hand-off; ephemeral staging).
+    ///
+    /// `scaled_total` is the provisioned capacity of whichever endpoint is
+    /// capacity-scaled (used for its bandwidth lookup); object storage is
+    /// capacity-independent.
+    pub fn transfer(
+        &self,
+        bytes: DataSize,
+        src: Tier,
+        dst: Tier,
+        scaled_total: DataSize,
+    ) -> Duration {
+        let bw_of = |tier: Tier| {
+            let per_vm = per_vm_capacity(&self.catalog, tier, scaled_total, self.cluster.nvm);
+            let raw = self
+                .catalog
+                .service(tier)
+                .throughput(DataSize::from_gb(per_vm));
+            if tier == Tier::ObjStore {
+                // Per-VM share of the cluster-wide bucket ceiling.
+                raw.min(cast_cloud::units::Bandwidth::from_mbps(
+                    cast_cloud::catalog::OBJSTORE_CLUSTER_MBPS / self.cluster.nvm as f64,
+                ))
+            } else {
+                raw
+            }
+        };
+        estimate_transfer(
+            bytes,
+            src,
+            dst,
+            bw_of(src),
+            bw_of(dst),
+            cast_cloud::VmType::n1_standard_16().nic,
+            &self.cluster,
+            &self.catalog,
+        )
+    }
+
+    /// Profile of `app` used by this estimator.
+    pub fn profile(&self, app: cast_workload::AppKind) -> &AppProfile {
+        self.profiles.get(app)
+    }
+}
+
+/// Per-VM capacity (GB) for a tier given the workload's total provisioned
+/// bytes on it, respecting volume granularity (ephemeral volumes round up;
+/// a block tier always has at least a minimum useful volume once used).
+pub fn per_vm_capacity(catalog: &Catalog, tier: Tier, total: DataSize, nvm: usize) -> f64 {
+    match tier {
+        Tier::ObjStore => total.gb().max(1.0) / nvm as f64,
+        _ => {
+            let per_vm = total / nvm as f64;
+            catalog.service(tier).provisionable(per_vm).gb()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{CapacityCurve, PhaseBw};
+    use cast_workload::apps::AppKind;
+    use cast_workload::dataset::DatasetId;
+    use cast_workload::job::JobId;
+
+    fn toy_estimator() -> Estimator {
+        let mut matrix = ModelMatrix::new();
+        for app in AppKind::ALL {
+            for tier in Tier::ALL {
+                // Bandwidth grows with capacity on block tiers.
+                let samples = match tier {
+                    Tier::PersSsd | Tier::PersHdd => vec![
+                        (100.0, PhaseBw { map: 3.0, shuffle_reduce: 3.0 }),
+                        (500.0, PhaseBw { map: 15.0, shuffle_reduce: 15.0 }),
+                    ],
+                    _ => vec![(375.0, PhaseBw { map: 40.0, shuffle_reduce: 40.0 })],
+                };
+                matrix.insert(app, tier, CapacityCurve::fit(&samples).unwrap());
+            }
+        }
+        Estimator {
+            matrix,
+            catalog: Catalog::google_cloud(),
+            cluster: ClusterSpec {
+                nvm: 5,
+                map_slots: 16,
+                reduce_slots: 8,
+                task_startup_secs: 1.5,
+            },
+            profiles: ProfileSet::defaults(),
+        }
+    }
+
+    fn job(app: AppKind, gb: f64) -> Job {
+        Job::with_default_layout(JobId(0), app, DatasetId(0), DataSize::from_gb(gb))
+    }
+
+    #[test]
+    fn reg_decreases_with_capacity_on_scaled_tiers() {
+        let e = toy_estimator();
+        let j = job(AppKind::Sort, 50.0);
+        let small = e.reg(&j, Tier::PersSsd, DataSize::from_gb(500.0)).unwrap();
+        let large = e.reg(&j, Tier::PersSsd, DataSize::from_gb(2500.0)).unwrap();
+        assert!(
+            large.secs() < small.secs() / 2.0,
+            "5x capacity should speed Sort well over 2x: {small} vs {large}"
+        );
+    }
+
+    #[test]
+    fn ephemeral_includes_staging() {
+        let e = toy_estimator();
+        let j = job(AppKind::Sort, 50.0);
+        let phases = e
+            .phases(&j, Tier::EphSsd, DataSize::from_gb(375.0 * 5.0))
+            .unwrap();
+        assert!(phases.stage_in.secs() > 0.0);
+        assert!(phases.stage_out.secs() > 0.0);
+        let persistent = e
+            .phases(&j, Tier::PersSsd, DataSize::from_gb(500.0))
+            .unwrap();
+        assert_eq!(persistent.stage_in, Duration::ZERO);
+    }
+
+    #[test]
+    fn transfer_uses_endpoint_bandwidths() {
+        let e = toy_estimator();
+        let fast = e.transfer(
+            DataSize::from_gb(10.0),
+            Tier::ObjStore,
+            Tier::EphSsd,
+            DataSize::from_gb(375.0 * 5.0),
+        );
+        let slow = e.transfer(
+            DataSize::from_gb(10.0),
+            Tier::ObjStore,
+            Tier::PersHdd,
+            DataSize::from_gb(100.0 * 5.0),
+        );
+        // HDD endpoint at 100 GB/VM (~19 MB/s) is far slower than eph.
+        assert!(slow.secs() > 5.0 * fast.secs(), "{fast} vs {slow}");
+    }
+
+    #[test]
+    fn per_vm_capacity_rounds_ephemeral_volumes() {
+        let catalog = Catalog::google_cloud();
+        let c = per_vm_capacity(&catalog, Tier::EphSsd, DataSize::from_gb(100.0), 5);
+        assert!((c - 375.0).abs() < 1e-9, "got {c}");
+        let s = per_vm_capacity(&catalog, Tier::PersSsd, DataSize::from_gb(1000.0), 5);
+        assert!((s - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unprofiled_pair_errors() {
+        let mut e = toy_estimator();
+        e.matrix = ModelMatrix::new();
+        let j = job(AppKind::Sort, 10.0);
+        assert!(e.reg(&j, Tier::PersSsd, DataSize::from_gb(500.0)).is_err());
+    }
+}

@@ -1,0 +1,165 @@
+//! Property-based tests for the estimator: REG monotonicity, sanity of the
+//! Eq. 1 structure, and profiler↔predictor consistency.
+
+use proptest::prelude::*;
+
+use cast_cloud::tier::Tier;
+use cast_cloud::units::DataSize;
+use cast_cloud::Catalog;
+use cast_estimator::model::{CapacityCurve, ModelMatrix, PhaseBw};
+use cast_estimator::mrcute::ClusterSpec;
+use cast_estimator::profiler::{profile_all, ProfilerConfig};
+use cast_estimator::Estimator;
+use cast_workload::apps::AppKind;
+use cast_workload::dataset::DatasetId;
+use cast_workload::job::{Job, JobId};
+use cast_workload::profile::ProfileSet;
+
+fn arb_app() -> impl Strategy<Value = AppKind> {
+    prop::sample::select(AppKind::ALL.to_vec())
+}
+
+fn toy_estimator(nvm: usize) -> Estimator {
+    let mut matrix = ModelMatrix::new();
+    for app in AppKind::ALL {
+        for tier in Tier::ALL {
+            let samples: Vec<(f64, PhaseBw)> = (1..=5)
+                .map(|i| {
+                    let cap = 100.0 * i as f64;
+                    (
+                        cap,
+                        PhaseBw {
+                            map: cap / 30.0,
+                            shuffle_reduce: cap / 40.0,
+                        },
+                    )
+                })
+                .collect();
+            matrix.insert(app, tier, CapacityCurve::fit(&samples).expect("fit"));
+        }
+    }
+    Estimator {
+        matrix,
+        catalog: Catalog::google_cloud(),
+        cluster: ClusterSpec {
+            nvm,
+            map_slots: 16,
+            reduce_slots: 8,
+            task_startup_secs: 1.5,
+        },
+        profiles: ProfileSet::defaults(),
+    }
+}
+
+proptest! {
+    /// REG never increases with provisioned capacity.
+    #[test]
+    fn reg_is_monotone_in_capacity(
+        app in arb_app(),
+        gb in 1.0f64..500.0,
+        lo in 100.0f64..2_000.0,
+        extra in 1.0f64..8_000.0,
+    ) {
+        let est = toy_estimator(4);
+        let job = Job::with_default_layout(
+            JobId(0),
+            app,
+            DatasetId(0),
+            DataSize::from_gb(gb),
+        );
+        let t_lo = est
+            .reg(&job, Tier::PersSsd, DataSize::from_gb(lo))
+            .expect("profiled");
+        let t_hi = est
+            .reg(&job, Tier::PersSsd, DataSize::from_gb(lo + extra))
+            .expect("profiled");
+        prop_assert!(t_hi.secs() <= t_lo.secs() + 1e-9);
+    }
+
+    /// More input bytes never predict faster on the same tier/capacity
+    /// (up to the ±5 % wobble that block-size rounding introduces in
+    /// per-task split sizes).
+    #[test]
+    fn reg_is_monotone_in_input(
+        app in arb_app(),
+        gb in 1.0f64..300.0,
+        extra in 1.0f64..300.0,
+    ) {
+        let est = toy_estimator(4);
+        let small = Job::with_default_layout(
+            JobId(0),
+            app,
+            DatasetId(0),
+            DataSize::from_gb(gb),
+        );
+        let big = Job::with_default_layout(
+            JobId(1),
+            app,
+            DatasetId(0),
+            DataSize::from_gb(gb + extra),
+        );
+        let cap = DataSize::from_gb(2_000.0);
+        let t_small = est.reg(&small, Tier::PersSsd, cap).expect("profiled");
+        let t_big = est.reg(&big, Tier::PersSsd, cap).expect("profiled");
+        prop_assert!(
+            t_big.secs() + 1e-9 >= 0.95 * t_small.secs(),
+            "{} GB: {}s vs {} GB: {}s",
+            gb, t_small.secs(), gb + extra, t_big.secs()
+        );
+    }
+
+    /// Transfer estimates scale linearly-or-worse with bytes.
+    #[test]
+    fn transfer_superadditive(bytes in 1.0f64..500.0) {
+        let est = toy_estimator(4);
+        let cap = DataSize::from_gb(1_500.0);
+        let one = est.transfer(DataSize::from_gb(bytes), Tier::ObjStore, Tier::EphSsd, cap);
+        let two = est.transfer(DataSize::from_gb(2.0 * bytes), Tier::ObjStore, Tier::EphSsd, cap);
+        prop_assert!(two.secs() + 1e-9 >= 2.0 * one.secs() - 1.0,
+            "doubling bytes should ~double time: {} vs {}", one, two);
+    }
+}
+
+#[test]
+fn profiled_matrix_orders_tiers_correctly() {
+    // An honest profiling campaign must find ephSSD faster than persHDD
+    // for the I/O-bound application at matched capacities.
+    let cfg = ProfilerConfig {
+        nvm: 2,
+        reference_input: DataSize::from_gb(20.0),
+        block_grid: vec![375.0],
+        eph_grid: vec![375.0],
+        objstore_scratch_gb: 100.0,
+    };
+    let matrix = profile_all(&Catalog::google_cloud(), &ProfileSet::defaults(), &cfg)
+        .expect("profiling");
+    let eph = matrix
+        .bandwidths(AppKind::Grep, Tier::EphSsd, 375.0)
+        .expect("profiled");
+    let hdd = matrix
+        .bandwidths(AppKind::Grep, Tier::PersHdd, 375.0)
+        .expect("profiled");
+    assert!(
+        eph.map > 3.0 * hdd.map,
+        "ephSSD {} vs persHDD {} per-task map bandwidth",
+        eph.map,
+        hdd.map
+    );
+}
+
+#[test]
+fn matrix_serde_roundtrip() {
+    let mut matrix = ModelMatrix::new();
+    matrix.insert(
+        AppKind::Sort,
+        Tier::PersSsd,
+        CapacityCurve::fit(&[
+            (100.0, PhaseBw { map: 5.0, shuffle_reduce: 4.0 }),
+            (500.0, PhaseBw { map: 20.0, shuffle_reduce: 16.0 }),
+        ])
+        .expect("fit"),
+    );
+    let json = serde_json::to_string(&matrix).expect("serialise");
+    let back: ModelMatrix = serde_json::from_str(&json).expect("deserialise");
+    assert_eq!(back, matrix);
+}

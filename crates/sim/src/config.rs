@@ -1,0 +1,166 @@
+//! Simulator configuration: the cluster being simulated.
+
+use serde::{Deserialize, Serialize};
+
+use cast_cloud::provision::{ProvisionPlan, Provisioner};
+use cast_cloud::tier::{PerTier, Tier};
+use cast_cloud::units::{Bandwidth, DataSize};
+use cast_cloud::{Catalog, VmType};
+
+/// How jobs contend for the cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Concurrency {
+    /// Jobs run strictly back-to-back (the execution model behind Eq. 4,
+    /// and how the paper's trace replays drive a saturated cluster).
+    Sequential,
+    /// Independent jobs run concurrently, sharing slots; workflow edges are
+    /// still honoured.
+    Parallel,
+}
+
+/// A simulated cluster: VM fleet plus its per-tier storage provisioning.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// The provider catalog (storage performance, prices, request
+    /// overheads).
+    pub catalog: Catalog,
+    /// Worker VM shape.
+    pub vm: VmType,
+    /// Number of worker VMs.
+    pub nvm: usize,
+    /// Per-VM provisioned capacity on each tier (drives volume bandwidth
+    /// via the catalog's scaling models).
+    pub plan: ProvisionPlan,
+    /// Fraction of VM memory usable as write-back page cache for
+    /// intermediate data. Hadoop spills transit the page cache; when a
+    /// job's intermediate data fits, most of it never touches the volume.
+    pub cache_fraction: f64,
+    /// Deterministic per-task speed jitter amplitude (0 = all tasks of a
+    /// wave identical; 0.08 gives ±8 % spread, matching the task-time
+    /// variance of a real cluster).
+    pub jitter: f64,
+    /// Job scheduling mode.
+    pub concurrency: Concurrency,
+    /// Parallel staging/transfer streams per VM (a distcp-style copy job
+    /// runs many tasks, amortising per-object request overheads).
+    pub transfer_streams_per_vm: usize,
+    /// Fixed per-task framework overhead (JVM launch + scheduling),
+    /// seconds. Sets the runtime floor that makes further volume
+    /// over-provisioning futile beyond a point (Fig. 2's plateau).
+    pub task_startup_secs: f64,
+    /// Cluster-wide object-store throughput ceiling (MB/s): per-VM streams
+    /// see the Table 1 rate, but the bucket saturates once enough VMs pull
+    /// concurrently.
+    pub objstore_cluster_mbps: f64,
+    /// Record a per-task [`crate::trace::Trace`] during simulation
+    /// (off by default; adds memory proportional to task count).
+    pub collect_trace: bool,
+}
+
+impl SimConfig {
+    /// A cluster of `nvm` workers with per-tier *aggregate* capacities,
+    /// provisioned through the catalog rules.
+    pub fn with_aggregate_capacity(
+        catalog: Catalog,
+        nvm: usize,
+        aggregate: &PerTier<DataSize>,
+    ) -> Result<SimConfig, cast_cloud::CloudError> {
+        let vm = catalog.worker_vm.clone();
+        let plan = Provisioner::new(&catalog).plan(aggregate, nvm)?;
+        Ok(SimConfig {
+            catalog,
+            vm,
+            nvm,
+            plan,
+            cache_fraction: 0.75,
+            jitter: 0.08,
+            concurrency: Concurrency::Sequential,
+            transfer_streams_per_vm: 4,
+            task_startup_secs: 1.5,
+            objstore_cluster_mbps: cast_cloud::catalog::OBJSTORE_CLUSTER_MBPS,
+            collect_trace: false,
+        })
+    }
+
+    /// The paper's evaluation cluster: 25 × n1-standard-16 (400 cores),
+    /// with `aggregate` capacity per tier.
+    pub fn paper_cluster(
+        aggregate: &PerTier<DataSize>,
+    ) -> Result<SimConfig, cast_cloud::CloudError> {
+        SimConfig::with_aggregate_capacity(Catalog::google_cloud(), 25, aggregate)
+    }
+
+    /// Sequential bandwidth one VM gets on `tier` under this provisioning.
+    pub fn vm_tier_bandwidth(&self, tier: Tier) -> Bandwidth {
+        Provisioner::new(&self.catalog).per_vm_bandwidth(&self.plan, tier)
+    }
+
+    /// Total map slots across the cluster.
+    pub fn map_slots(&self) -> usize {
+        self.vm.map_slots * self.nvm
+    }
+
+    /// Total reduce slots across the cluster.
+    pub fn reduce_slots(&self) -> usize {
+        self.vm.reduce_slots * self.nvm
+    }
+
+    /// Cluster-wide page-cache budget for intermediate data.
+    pub fn cache_budget(&self) -> DataSize {
+        DataSize::from_gb(self.vm.memory_gb * self.cache_fraction) * self.nvm as f64
+    }
+
+    /// Page-cache hit fraction for repeated reads of an `input`-sized
+    /// dataset (iterative applications re-reading their input).
+    pub fn input_cache_hit(&self, input: DataSize) -> f64 {
+        if input.bytes() <= 0.0 {
+            return 1.0;
+        }
+        (self.cache_budget() / input).clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn agg(ssd_gb: f64) -> PerTier<DataSize> {
+        let mut a = PerTier::from_fn(|_| DataSize::ZERO);
+        *a.get_mut(Tier::PersSsd) = DataSize::from_gb(ssd_gb);
+        a
+    }
+
+    #[test]
+    fn paper_cluster_has_400_cores() {
+        let cfg = SimConfig::paper_cluster(&agg(1000.0)).unwrap();
+        assert_eq!(cfg.nvm * cfg.vm.vcpus, 400);
+        assert_eq!(cfg.map_slots(), 400);
+        assert_eq!(cfg.reduce_slots(), 200);
+    }
+
+    #[test]
+    fn vm_tier_bandwidth_tracks_provisioning() {
+        let small = SimConfig::paper_cluster(&agg(25.0 * 100.0)).unwrap();
+        let large = SimConfig::paper_cluster(&agg(25.0 * 500.0)).unwrap();
+        let bw_small = small.vm_tier_bandwidth(Tier::PersSsd).mb_per_sec();
+        let bw_large = large.vm_tier_bandwidth(Tier::PersSsd).mb_per_sec();
+        assert!(bw_large > 4.0 * bw_small, "{bw_small} vs {bw_large}");
+    }
+
+    #[test]
+    fn input_cache_hit_clamps() {
+        let cfg = SimConfig::paper_cluster(&agg(1000.0)).unwrap();
+        // Cache budget: 25 VMs × 60 GB × 0.75 = 1125 GB.
+        assert_eq!(cfg.input_cache_hit(DataSize::from_gb(100.0)), 1.0);
+        assert_eq!(cfg.input_cache_hit(DataSize::ZERO), 1.0);
+        let h = cfg.input_cache_hit(DataSize::from_gb(2250.0));
+        assert!((h - 0.5).abs() < 1e-9);
+        assert!(cfg.input_cache_hit(DataSize::from_tb(100.0)) < 0.02);
+    }
+
+    #[test]
+    fn objstore_bandwidth_exists_without_provisioning() {
+        let cfg = SimConfig::paper_cluster(&agg(100.0)).unwrap();
+        assert!(cfg.vm_tier_bandwidth(Tier::ObjStore).mb_per_sec() > 0.0);
+    }
+}

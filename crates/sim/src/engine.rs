@@ -1,0 +1,555 @@
+//! The progress-based discrete-event engine.
+//!
+//! The engine owns the job table, the active task set and the resource
+//! registry. Each iteration it (1) dispatches pending tasks onto free
+//! slots, (2) recomputes every streaming task's rate from current resource
+//! shares, (3) advances simulated time to the earliest stage completion,
+//! and (4) retires finished stages/tasks, advancing job phases as they
+//! drain. Rates are recomputed after every event, so contention effects —
+//! a wave of 400 map tasks splitting volume bandwidth 16-ways per VM —
+//! appear without any closed-form modelling.
+
+use cast_workload::job::JobId;
+
+use crate::config::{Concurrency, SimConfig};
+use crate::error::SimError;
+use crate::jobrun::{JobPhase, JobRun};
+use crate::metrics::{JobMetrics, SimReport};
+use crate::resources::ShareRegistry;
+use crate::task::{RunningTask, SlotKind};
+use crate::trace::{TaskEvent, TaskEventKind, Trace};
+use cast_cloud::units::Duration;
+
+/// Maximum number of engine iterations before declaring a runaway.
+const EVENT_BUDGET: u64 = 50_000_000;
+/// Completion tolerance for floating-point progress.
+const EPS: f64 = 1e-9;
+
+/// The simulation engine. Construct with [`Engine::new`], run with
+/// [`Engine::run`].
+pub struct Engine<'a> {
+    cfg: &'a SimConfig,
+    reg: ShareRegistry,
+    jobs: Vec<JobRun>,
+    tasks: Vec<RunningTask>,
+    rates: Vec<f64>,
+    free_map: Vec<usize>,
+    free_red: Vec<usize>,
+    clock: f64,
+    dispatch_cursor: usize,
+    trace: Option<Trace>,
+}
+
+impl<'a> Engine<'a> {
+    /// Build an engine over prepared job runs. `jobs` must be ordered so
+    /// that every dependency index is smaller than the dependent's index.
+    pub fn new(cfg: &'a SimConfig, jobs: Vec<JobRun>) -> Engine<'a> {
+        Engine {
+            reg: ShareRegistry::new(cfg),
+            jobs,
+            tasks: Vec::new(),
+            rates: Vec::new(),
+            free_map: vec![cfg.vm.map_slots; cfg.nvm],
+            free_red: vec![cfg.vm.reduce_slots; cfg.nvm],
+            clock: 0.0,
+            dispatch_cursor: 0,
+            trace: cfg.collect_trace.then(Trace::default),
+            cfg,
+        }
+    }
+
+    /// Run to completion, producing per-job metrics.
+    pub fn run(mut self) -> Result<SimReport, SimError> {
+        let mut events: u64 = 0;
+        loop {
+            self.activate_ready_jobs();
+            self.dispatch();
+            if self.tasks.is_empty() {
+                if self.jobs.iter().all(|j| j.phase == JobPhase::Done) {
+                    break;
+                }
+                return Err(SimError::Stalled { at_secs: self.clock });
+            }
+            self.step()?;
+            events += 1;
+            if events > EVENT_BUDGET {
+                return Err(SimError::EventBudgetExhausted);
+            }
+        }
+        let mut metrics: Vec<JobMetrics> = self
+            .jobs
+            .iter()
+            .map(|j| JobMetrics {
+                job: j.job.id,
+                submitted: Duration::from_secs(nan_zero(j.submitted)),
+                started: Duration::from_secs(nan_zero(j.started)),
+                finished: Duration::from_secs(nan_zero(j.finished)),
+                stage_in: Duration::from_secs(j.phase_secs[0]),
+                map: Duration::from_secs(j.phase_secs[1]),
+                reduce: Duration::from_secs(j.phase_secs[3]),
+                stage_out: Duration::from_secs(j.phase_secs[4]),
+            })
+            .collect();
+        metrics.sort_by(|a, b| {
+            a.finished
+                .secs()
+                .partial_cmp(&b.finished.secs())
+                .expect("finite times")
+        });
+        Ok(SimReport {
+            jobs: metrics,
+            makespan: Duration::from_secs(self.clock),
+            trace: self.trace,
+        })
+    }
+
+    /// Move `Waiting` jobs whose dependencies are done into their first
+    /// working phase, respecting the concurrency mode.
+    fn activate_ready_jobs(&mut self) {
+        for i in 0..self.jobs.len() {
+            if self.jobs[i].phase != JobPhase::Waiting {
+                continue;
+            }
+            let deps_done = self.jobs[i]
+                .deps
+                .iter()
+                .all(|&d| self.jobs[d].phase == JobPhase::Done);
+            if !deps_done {
+                continue;
+            }
+            if self.cfg.concurrency == Concurrency::Sequential {
+                // Only the earliest unfinished job may start.
+                let earlier_unfinished = self.jobs[..i]
+                    .iter()
+                    .any(|j| j.phase != JobPhase::Done);
+                if earlier_unfinished {
+                    continue;
+                }
+            }
+            let job = &mut self.jobs[i];
+            job.submitted = self.clock;
+            job.advance_phase(self.clock, self.cfg);
+        }
+    }
+
+    /// Assign pending task templates to free slots.
+    fn dispatch(&mut self) {
+        let n = self.jobs.len();
+        for off in 0..n {
+            let i = (self.dispatch_cursor + off) % n;
+            while let Some(tmpl) = self.jobs[i].pending.front() {
+                if matches!(
+                    self.jobs[i].phase,
+                    JobPhase::Waiting | JobPhase::Done
+                ) {
+                    break;
+                }
+                let vm = match tmpl.slot {
+                    SlotKind::Map => pick_vm(&self.free_map),
+                    SlotKind::Reduce => pick_vm(&self.free_red),
+                    SlotKind::Transfer => Some(self.tasks.len() % self.cfg.nvm),
+                };
+                let Some(vm) = vm else { break };
+                let tmpl = self.jobs[i].pending.pop_front().expect("peeked");
+                match tmpl.slot {
+                    SlotKind::Map => self.free_map[vm] -= 1,
+                    SlotKind::Reduce => self.free_red[vm] -= 1,
+                    SlotKind::Transfer => {}
+                }
+                if let Some(trace) = self.trace.as_mut() {
+                    trace.events.push(TaskEvent {
+                        time: self.clock,
+                        job: self.jobs[i].job.id,
+                        vm: vm as u32,
+                        slot: tmpl.slot,
+                        kind: TaskEventKind::Started,
+                    });
+                }
+                self.tasks.push(RunningTask::bind(i, vm as u32, &tmpl));
+                self.jobs[i].active += 1;
+            }
+        }
+        self.dispatch_cursor = (self.dispatch_cursor + 1) % n.max(1);
+    }
+
+    /// Advance time to the next stage completion.
+    fn step(&mut self) -> Result<(), SimError> {
+        // Register flows of streaming (non-latent) stages.
+        self.reg.clear_counts();
+        for t in &self.tasks {
+            if let Some(s) = t.current() {
+                if !s.is_latent() && s.units_remaining > EPS {
+                    s.register(&mut self.reg);
+                }
+            }
+        }
+        // Compute rates and the time of the earliest completion.
+        self.rates.clear();
+        let mut dt = f64::INFINITY;
+        for t in &self.tasks {
+            let s = t.current().expect("active task has a stage");
+            if s.is_latent() {
+                self.rates.push(0.0);
+                dt = dt.min(s.fixed_remaining);
+            } else if s.units_remaining <= EPS {
+                self.rates.push(0.0);
+                dt = 0.0;
+            } else {
+                let rate = s.rate(&self.reg);
+                if rate <= 0.0 || rate.is_nan() {
+                    return Err(SimError::Stalled { at_secs: self.clock });
+                }
+                self.rates.push(rate);
+                dt = dt.min(s.units_remaining / rate);
+            }
+        }
+        debug_assert!(dt.is_finite(), "no progress possible");
+        // Advance all tasks by dt.
+        self.clock += dt;
+        for (t, &rate) in self.tasks.iter_mut().zip(self.rates.iter()) {
+            let s = t.current_mut().expect("active task has a stage");
+            if s.fixed_remaining > 0.0 {
+                s.fixed_remaining -= dt;
+                if s.fixed_remaining < EPS {
+                    s.fixed_remaining = 0.0;
+                }
+            } else {
+                s.units_remaining -= dt * rate;
+                if s.units_remaining < EPS {
+                    s.units_remaining = 0.0;
+                }
+            }
+        }
+        // Retire completed stages and tasks.
+        let mut idx = 0;
+        while idx < self.tasks.len() {
+            let task = &mut self.tasks[idx];
+            while task.current().is_some_and(|s| s.is_done()) {
+                task.stages.pop_front();
+            }
+            if task.is_done() {
+                let vm = task.vm as usize;
+                match task.slot {
+                    SlotKind::Map => self.free_map[vm] += 1,
+                    SlotKind::Reduce => self.free_red[vm] += 1,
+                    SlotKind::Transfer => {}
+                }
+                let job = task.job;
+                let (slot, vm_id) = (task.slot, task.vm);
+                self.tasks.swap_remove(idx);
+                if let Some(trace) = self.trace.as_mut() {
+                    trace.events.push(TaskEvent {
+                        time: self.clock,
+                        job: self.jobs[job].job.id,
+                        vm: vm_id,
+                        slot,
+                        kind: TaskEventKind::Finished,
+                    });
+                }
+                self.jobs[job].active -= 1;
+                if self.jobs[job].phase_drained() && self.jobs[job].phase != JobPhase::Done {
+                    self.jobs[job].advance_phase(self.clock, self.cfg);
+                }
+            } else {
+                idx += 1;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// VM with the most free slots, or `None` if all are exhausted.
+fn pick_vm(free: &[usize]) -> Option<usize> {
+    let (vm, &n) = free
+        .iter()
+        .enumerate()
+        .max_by_key(|&(_, &n)| n)
+        .expect("cluster has VMs");
+    (n > 0).then_some(vm)
+}
+
+fn nan_zero(x: f64) -> f64 {
+    if x.is_nan() {
+        0.0
+    } else {
+        x
+    }
+}
+
+/// Convenience: ids of all jobs in the engine's table (test helper).
+pub fn job_ids(jobs: &[JobRun]) -> Vec<JobId> {
+    jobs.iter().map(|j| j.job.id).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::placement::JobPlacement;
+    use cast_cloud::tier::{PerTier, Tier};
+    use cast_cloud::units::DataSize;
+    use cast_cloud::Catalog;
+    use cast_workload::apps::AppKind;
+    use cast_workload::dataset::DatasetId;
+    use cast_workload::job::Job;
+    use cast_workload::profile::ProfileSet;
+
+    fn cfg(nvm: usize) -> SimConfig {
+        let mut agg = PerTier::from_fn(|_| DataSize::ZERO);
+        *agg.get_mut(Tier::PersSsd) = DataSize::from_gb(500.0 * nvm as f64);
+        *agg.get_mut(Tier::PersHdd) = DataSize::from_gb(500.0 * nvm as f64);
+        *agg.get_mut(Tier::EphSsd) = DataSize::from_gb(375.0 * nvm as f64);
+        let mut c = SimConfig::with_aggregate_capacity(Catalog::google_cloud(), nvm, &agg).unwrap();
+        c.jitter = 0.0;
+        c
+    }
+
+    fn run(app: AppKind, gb: f64, tier: Tier, c: &SimConfig) -> SimReport {
+        let profiles = ProfileSet::defaults();
+        let job = Job::with_default_layout(JobId(0), app, DatasetId(0), DataSize::from_gb(gb));
+        let jr = JobRun::new(job, JobPlacement::all_on(tier), *profiles.get(app), vec![]);
+        Engine::new(c, vec![jr]).run().unwrap()
+    }
+
+    #[test]
+    fn grep_runtime_tracks_storage_bandwidth() {
+        let c = cfg(1);
+        // Grep is map-I/O bound: 30 GB at ~234 MB/s (500 GB persSSD)
+        // against ~97 MB/s (500 GB persHDD): HDD should be ~2.4× slower.
+        let ssd = run(AppKind::Grep, 30.0, Tier::PersSsd, &c);
+        let hdd = run(AppKind::Grep, 30.0, Tier::PersHdd, &c);
+        let ratio = hdd.makespan.secs() / ssd.makespan.secs();
+        assert!(
+            (1.8..3.2).contains(&ratio),
+            "expected ~2.4x slowdown, got {ratio:.2} ({} vs {})",
+            ssd.makespan,
+            hdd.makespan
+        );
+    }
+
+    #[test]
+    fn grep_map_io_estimate_close_to_bandwidth_bound() {
+        let c = cfg(1);
+        let r = run(AppKind::Grep, 30.0, Tier::PersSsd, &c);
+        // Lower bound: 30 000 MB / 234 MB/s ≈ 128 s.
+        let lb = 30_000.0 / 234.0;
+        let got = r.makespan.secs();
+        assert!(got >= lb * 0.95, "impossibly fast: {got} < {lb}");
+        assert!(got <= lb * 1.6, "too slow: {got} vs bound {lb}");
+    }
+
+    #[test]
+    fn kmeans_insensitive_to_tier() {
+        let c = cfg(1);
+        let ssd = run(AppKind::KMeans, 20.0, Tier::PersSsd, &c);
+        let hdd = run(AppKind::KMeans, 20.0, Tier::PersHdd, &c);
+        let ratio = hdd.makespan.secs() / ssd.makespan.secs();
+        assert!(
+            (0.9..1.2).contains(&ratio),
+            "CPU-bound app should not care about tier, got {ratio:.2}"
+        );
+    }
+
+    #[test]
+    fn ephemeral_pays_staging() {
+        let c = cfg(1);
+        let r = run(AppKind::Grep, 30.0, Tier::EphSsd, &c);
+        let m = &r.jobs[0];
+        assert!(m.stage_in.secs() > 0.0, "must download input");
+        // Grep output is tiny; upload may be near-zero but present.
+        assert!(m.map.secs() > 0.0);
+        // Download at 265 MB/s vs map at 733 MB/s: staging dominates.
+        assert!(m.stage_in.secs() > m.map.secs());
+    }
+
+    #[test]
+    fn sort_slower_than_grep_same_tier() {
+        let c = cfg(1);
+        let sort = run(AppKind::Sort, 20.0, Tier::PersSsd, &c);
+        let grep = run(AppKind::Grep, 20.0, Tier::PersSsd, &c);
+        assert!(
+            sort.makespan.secs() > 1.5 * grep.makespan.secs(),
+            "sort moves ~3-4x the bytes: {} vs {}",
+            sort.makespan,
+            grep.makespan
+        );
+    }
+
+    #[test]
+    fn more_vms_speed_up_io_bound_jobs() {
+        let c1 = cfg(1);
+        let c4 = cfg(4);
+        let one = run(AppKind::Grep, 60.0, Tier::PersSsd, &c1);
+        let four = run(AppKind::Grep, 60.0, Tier::PersSsd, &c4);
+        let speedup = one.makespan.secs() / four.makespan.secs();
+        assert!(
+            speedup > 2.5,
+            "4 VMs with 4x aggregate volume bandwidth: got {speedup:.2}x"
+        );
+    }
+
+    #[test]
+    fn sequential_jobs_do_not_overlap() {
+        let c = cfg(1);
+        let profiles = ProfileSet::defaults();
+        let jobs: Vec<JobRun> = (0..2)
+            .map(|i| {
+                let job = Job::with_default_layout(
+                    JobId(i),
+                    AppKind::Grep,
+                    DatasetId(i),
+                    DataSize::from_gb(10.0),
+                );
+                JobRun::new(
+                    job,
+                    JobPlacement::all_on(Tier::PersSsd),
+                    *profiles.get(AppKind::Grep),
+                    vec![],
+                )
+            })
+            .collect();
+        let report = Engine::new(&c, jobs).run().unwrap();
+        let a = report.job(JobId(0)).unwrap();
+        let b = report.job(JobId(1)).unwrap();
+        assert!(b.started.secs() >= a.finished.secs() - 1e-6);
+    }
+
+    #[test]
+    fn parallel_jobs_overlap_and_contend() {
+        let mut c = cfg(1);
+        let profiles = ProfileSet::defaults();
+        let mk = |i: u32| {
+            let job = Job::with_default_layout(
+                JobId(i),
+                AppKind::Grep,
+                DatasetId(i),
+                DataSize::from_gb(10.0),
+            );
+            JobRun::new(
+                job,
+                JobPlacement::all_on(Tier::PersSsd),
+                *profiles.get(AppKind::Grep),
+                vec![],
+            )
+        };
+        let seq = Engine::new(&c, vec![mk(0), mk(1)]).run().unwrap();
+        c.concurrency = Concurrency::Parallel;
+        let par = Engine::new(&c, vec![mk(0), mk(1)]).run().unwrap();
+        let b = par.job(JobId(1)).unwrap();
+        let a = par.job(JobId(0)).unwrap();
+        assert!(
+            b.started.secs() < a.finished.secs(),
+            "parallel mode must overlap"
+        );
+        // Sharing the volume: parallel makespan close to sequential (same
+        // aggregate bytes through the same bottleneck).
+        let ratio = par.makespan.secs() / seq.makespan.secs();
+        assert!((0.8..1.25).contains(&ratio), "got {ratio}");
+    }
+
+    #[test]
+    fn dependency_ordering_enforced() {
+        let mut c = cfg(1);
+        c.concurrency = Concurrency::Parallel;
+        let profiles = ProfileSet::defaults();
+        let j0 = Job::with_default_layout(
+            JobId(0),
+            AppKind::Grep,
+            DatasetId(0),
+            DataSize::from_gb(10.0),
+        );
+        let j1 = Job::with_default_layout(
+            JobId(1),
+            AppKind::Grep,
+            DatasetId(1),
+            DataSize::from_gb(5.0),
+        );
+        let runs = vec![
+            JobRun::new(
+                j0,
+                JobPlacement::all_on(Tier::PersSsd),
+                *profiles.get(AppKind::Grep),
+                vec![],
+            ),
+            JobRun::new(
+                j1,
+                JobPlacement::all_on(Tier::PersSsd),
+                *profiles.get(AppKind::Grep),
+                vec![0],
+            ),
+        ];
+        let report = Engine::new(&c, runs).run().unwrap();
+        let a = report.job(JobId(0)).unwrap();
+        let b = report.job(JobId(1)).unwrap();
+        assert!(b.started.secs() >= a.finished.secs() - 1e-6);
+    }
+
+    #[test]
+    fn fine_grained_split_straggles() {
+        // A tenant splitting 6 GB 90/10 across ephSSD/persHDD provisions a
+        // minimal 100 GB HDD volume (20 MB/s) for the small slice.
+        let mut agg = PerTier::from_fn(|_| DataSize::ZERO);
+        *agg.get_mut(Tier::EphSsd) = DataSize::from_gb(375.0);
+        *agg.get_mut(Tier::PersHdd) = DataSize::from_gb(100.0);
+        let mut c =
+            SimConfig::with_aggregate_capacity(Catalog::google_cloud(), 1, &agg).unwrap();
+        c.jitter = 0.0;
+        let profiles = ProfileSet::defaults();
+        let mk = |input: crate::placement::SplitPlacement| {
+            let job = Job::with_default_layout(
+                JobId(0),
+                AppKind::Grep,
+                DatasetId(0),
+                DataSize::from_gb(6.0),
+            );
+            let mut p = JobPlacement::all_on(Tier::EphSsd);
+            p.stage_in_from = None; // isolate the map phase effect
+            p.stage_out_to = None;
+            p.input = input;
+            JobRun::new(job, p, *profiles.get(AppKind::Grep), vec![])
+        };
+        let all_eph = Engine::new(&c, vec![mk(crate::placement::SplitPlacement::single(Tier::EphSsd))])
+            .run()
+            .unwrap();
+        let split = Engine::new(
+            &c,
+            vec![mk(crate::placement::SplitPlacement::split(
+                Tier::EphSsd,
+                0.9,
+                Tier::PersHdd,
+            ))],
+        )
+        .run()
+        .unwrap();
+        // Even with 90% of data on the fast tier, the slow-tier tasks
+        // dominate the single map wave (Fig. 5b).
+        assert!(
+            split.makespan.secs() > 1.5 * all_eph.makespan.secs(),
+            "{} vs {}",
+            split.makespan,
+            all_eph.makespan
+        );
+    }
+
+    #[test]
+    fn stalls_on_unprovisioned_tier() {
+        let mut agg = PerTier::from_fn(|_| DataSize::ZERO);
+        *agg.get_mut(Tier::PersSsd) = DataSize::from_gb(500.0);
+        let c = SimConfig::with_aggregate_capacity(Catalog::google_cloud(), 1, &agg).unwrap();
+        let profiles = ProfileSet::defaults();
+        let job = Job::with_default_layout(
+            JobId(0),
+            AppKind::Grep,
+            DatasetId(0),
+            DataSize::from_gb(1.0),
+        );
+        // persHDD has zero provisioned capacity → zero bandwidth → stall.
+        let jr = JobRun::new(
+            job,
+            JobPlacement::all_on(Tier::PersHdd),
+            *profiles.get(AppKind::Grep),
+            vec![],
+        );
+        let err = Engine::new(&c, vec![jr]).run().unwrap_err();
+        assert!(matches!(err, SimError::Stalled { .. }));
+    }
+}

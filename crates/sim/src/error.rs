@@ -1,0 +1,85 @@
+//! Simulator error type.
+
+use std::fmt;
+
+/// Errors raised while preparing or running a simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// A job in the workload has no placement.
+    MissingPlacement(u32),
+    /// A placement references a block tier with zero provisioned capacity.
+    UnprovisionedTier {
+        /// Offending job.
+        job: u32,
+        /// Tier lacking capacity.
+        tier: String,
+    },
+    /// A placement's input split fractions are invalid.
+    InvalidSplit(u32),
+    /// The engine made no progress (internal invariant violation).
+    Stalled {
+        /// Simulated time at the stall.
+        at_secs: f64,
+    },
+    /// Event budget exhausted — almost certainly a bug or a degenerate
+    /// configuration (e.g. zero-bandwidth tier on the critical path).
+    EventBudgetExhausted,
+    /// Cloud-model error during provisioning.
+    Cloud(cast_cloud::CloudError),
+    /// Workload-model error.
+    Workload(cast_workload::WorkloadError),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::MissingPlacement(j) => write!(f, "job #{j} has no placement"),
+            SimError::UnprovisionedTier { job, tier } => {
+                write!(f, "job #{job} placed on {tier} which has no capacity")
+            }
+            SimError::InvalidSplit(j) => write!(f, "job #{j} has an invalid input split"),
+            SimError::Stalled { at_secs } => {
+                write!(f, "simulation stalled at t={at_secs:.3}s")
+            }
+            SimError::EventBudgetExhausted => write!(f, "simulation event budget exhausted"),
+            SimError::Cloud(e) => write!(f, "cloud model error: {e}"),
+            SimError::Workload(e) => write!(f, "workload error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+impl From<cast_cloud::CloudError> for SimError {
+    fn from(e: cast_cloud::CloudError) -> Self {
+        SimError::Cloud(e)
+    }
+}
+
+impl From<cast_workload::WorkloadError> for SimError {
+    fn from(e: cast_workload::WorkloadError) -> Self {
+        SimError::Workload(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_job() {
+        assert!(SimError::MissingPlacement(4).to_string().contains("#4"));
+        let e = SimError::UnprovisionedTier {
+            job: 2,
+            tier: "persHDD".into(),
+        };
+        assert!(e.to_string().contains("persHDD"));
+    }
+
+    #[test]
+    fn conversions() {
+        let ce = cast_cloud::CloudError::UnknownTier("x".into());
+        let se: SimError = ce.clone().into();
+        assert_eq!(se, SimError::Cloud(ce));
+    }
+}

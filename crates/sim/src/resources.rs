@@ -1,0 +1,208 @@
+//! Shared-resource bookkeeping: per-VM storage volumes and NICs.
+//!
+//! Every active streaming task registers its flows on the resources they
+//! touch, weighted by bytes-per-unit demand. A resource's bandwidth is
+//! divided in proportion to demand: every registered flow progresses at
+//! the same *units* rate `capacity / Σ weights`, consuming
+//! `weight × rate` bytes — demand-weighted processor sharing. This keeps
+//! a volume fully utilised even when some flows (e.g. a map task's small
+//! intermediate spill) need far fewer bytes per unit than others, while
+//! staying O(flows) to recompute. Slack from flows capped elsewhere (CPU
+//! rate, per-task client caps) is not redistributed — a deliberate,
+//! conservative simplification that errs in the same direction as real
+//! interference.
+
+use serde::{Deserialize, Serialize};
+
+use cast_cloud::tier::Tier;
+
+use crate::config::SimConfig;
+
+/// Identifies one shareable resource in the cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ResKey {
+    /// Worker VM index.
+    pub vm: u32,
+    /// Which of the VM's resources.
+    pub kind: ResKind,
+}
+
+/// The kinds of per-VM resources tasks contend on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ResKind {
+    /// The VM's provisioned volume (or object-store budget) on a tier.
+    Volume(Tier),
+    /// The VM's network interface.
+    Nic,
+}
+
+/// Resources per VM: four tier volumes + one NIC.
+const SLOTS_PER_VM: usize = 5;
+
+/// Sentinel VM id addressing cluster-global resources (the object-store
+/// bucket ceiling).
+pub const GLOBAL_VM: u32 = u32::MAX;
+
+#[inline]
+fn slot(kind: ResKind) -> usize {
+    match kind {
+        ResKind::Volume(t) => t.index(),
+        ResKind::Nic => 4,
+    }
+}
+
+/// Tracks capacity and aggregate flow demand for every resource.
+#[derive(Debug, Clone)]
+pub struct ShareRegistry {
+    caps: Vec<f64>,
+    load: Vec<f64>,
+}
+
+impl ShareRegistry {
+    /// Build the registry for a configured cluster.
+    pub fn new(cfg: &SimConfig) -> ShareRegistry {
+        // One extra slot at the end for the cluster-global object-store
+        // ceiling.
+        let mut caps = vec![0.0; cfg.nvm * SLOTS_PER_VM + 1];
+        for vm in 0..cfg.nvm {
+            for tier in Tier::ALL {
+                caps[vm * SLOTS_PER_VM + slot(ResKind::Volume(tier))] =
+                    cfg.vm_tier_bandwidth(tier).mb_per_sec();
+            }
+            caps[vm * SLOTS_PER_VM + slot(ResKind::Nic)] = cfg.vm.nic.mb_per_sec();
+        }
+        let n = caps.len();
+        caps[n - 1] = cfg.objstore_cluster_mbps;
+        let load = vec![0.0; caps.len()];
+        ShareRegistry { caps, load }
+    }
+
+    #[inline]
+    fn index(&self, key: ResKey) -> usize {
+        if key.vm == GLOBAL_VM {
+            self.caps.len() - 1
+        } else {
+            key.vm as usize * SLOTS_PER_VM + slot(key.kind)
+        }
+    }
+
+    /// Reset all loads (called before re-registering the active set).
+    pub fn clear_counts(&mut self) {
+        self.load.iter_mut().for_each(|c| *c = 0.0);
+    }
+
+    /// Register one flow on `key` demanding `weight` bytes per unit.
+    #[inline]
+    pub fn register(&mut self, key: ResKey, weight: f64) {
+        let i = self.index(key);
+        self.load[i] += weight;
+    }
+
+    /// Raw capacity of `key` in MB/s.
+    #[inline]
+    pub fn capacity(&self, key: ResKey) -> f64 {
+        self.caps[self.index(key)]
+    }
+
+    /// Units-rate available on `key`: `capacity / Σ weights`. A resource
+    /// with no registered demand imposes no constraint beyond capacity.
+    #[inline]
+    pub fn unit_rate(&self, key: ResKey) -> f64 {
+        let i = self.index(key);
+        if self.load[i] <= 0.0 {
+            f64::INFINITY
+        } else {
+            self.caps[i] / self.load[i]
+        }
+    }
+
+    /// Aggregate registered demand on `key` (bytes per unit summed over
+    /// flows).
+    #[inline]
+    pub fn load(&self, key: ResKey) -> f64 {
+        self.load[self.index(key)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cast_cloud::tier::PerTier;
+    use cast_cloud::units::DataSize;
+    use cast_cloud::Catalog;
+
+    fn cfg() -> SimConfig {
+        let mut agg = PerTier::from_fn(|_| DataSize::ZERO);
+        *agg.get_mut(Tier::PersSsd) = DataSize::from_gb(500.0);
+        SimConfig::with_aggregate_capacity(Catalog::google_cloud(), 2, &agg).unwrap()
+    }
+
+    #[test]
+    fn capacities_match_config() {
+        let c = cfg();
+        let reg = ShareRegistry::new(&c);
+        let key = ResKey {
+            vm: 0,
+            kind: ResKind::Volume(Tier::PersSsd),
+        };
+        // 250 GB per VM → 117 MB/s.
+        assert!((reg.capacity(key) - 0.468 * 250.0).abs() < 1e-9);
+        let nic = ResKey {
+            vm: 1,
+            kind: ResKind::Nic,
+        };
+        assert!((reg.capacity(nic) - 2000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn weighted_sharing_divides_by_demand() {
+        let c = cfg();
+        let mut reg = ShareRegistry::new(&c);
+        let key = ResKey {
+            vm: 0,
+            kind: ResKind::Volume(Tier::ObjStore),
+        };
+        assert_eq!(reg.unit_rate(key), f64::INFINITY);
+        // A full-rate reader (weight 1) plus a small spill (weight 0.25):
+        // both progress at 265/1.25 = 212 units/s; the reader consumes
+        // 212 MB/s, the spill 53 MB/s — the volume is fully used.
+        reg.register(key, 1.0);
+        reg.register(key, 0.25);
+        assert!((reg.unit_rate(key) - 265.0 / 1.25).abs() < 1e-9);
+        assert!((reg.load(key) - 1.25).abs() < 1e-12);
+        reg.clear_counts();
+        assert_eq!(reg.load(key), 0.0);
+    }
+
+    #[test]
+    fn vms_are_independent() {
+        let c = cfg();
+        let mut reg = ShareRegistry::new(&c);
+        let a = ResKey {
+            vm: 0,
+            kind: ResKind::Volume(Tier::PersSsd),
+        };
+        let b = ResKey {
+            vm: 1,
+            kind: ResKind::Volume(Tier::PersSsd),
+        };
+        reg.register(a, 1.0);
+        assert_eq!(reg.load(b), 0.0);
+        assert!(reg.unit_rate(b) > reg.unit_rate(a));
+    }
+
+    #[test]
+    fn equal_weights_reduce_to_equal_share() {
+        let c = cfg();
+        let mut reg = ShareRegistry::new(&c);
+        let key = ResKey {
+            vm: 0,
+            kind: ResKind::Volume(Tier::PersSsd),
+        };
+        for _ in 0..4 {
+            reg.register(key, 1.0);
+        }
+        let cap = reg.capacity(key);
+        assert!((reg.unit_rate(key) - cap / 4.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,253 @@
+//! High-level simulation entry points.
+//!
+//! [`simulate`] validates a workload + placement against a cluster
+//! configuration, wires up workflow dependencies (including cross-tier
+//! transfer staging between producer and consumer jobs), orders jobs
+//! topologically, and runs the engine.
+
+use std::collections::HashMap;
+
+use cast_cloud::tier::Tier;
+use cast_workload::job::JobId;
+use cast_workload::spec::WorkloadSpec;
+
+use crate::config::SimConfig;
+use crate::engine::Engine;
+use crate::error::SimError;
+use crate::jobrun::JobRun;
+use crate::metrics::SimReport;
+use crate::placement::{JobPlacement, PlacementMap};
+
+/// Simulate `spec` under `placements` on the cluster `cfg`.
+///
+/// Jobs inside workflows wait for their parents; when a parent's effective
+/// output tier differs from the child's input tier, the child is given a
+/// stage-in transfer from the parent's tier (the cross-tier pipelining of
+/// §3.1.3, whose cost CAST++ accounts and plain CAST does not).
+pub fn simulate(
+    spec: &WorkloadSpec,
+    placements: &PlacementMap,
+    cfg: &SimConfig,
+) -> Result<SimReport, SimError> {
+    spec.validate()?;
+    let order = execution_order(spec);
+    let index_of: HashMap<JobId, usize> = order
+        .iter()
+        .enumerate()
+        .map(|(i, &id)| (id, i))
+        .collect();
+
+    let mut runs: Vec<JobRun> = Vec::with_capacity(order.len());
+    for &jid in &order {
+        let job = *spec.job(jid).expect("ordered job exists");
+        let placement = placements
+            .get(jid)
+            .ok_or(SimError::MissingPlacement(jid.0))?
+            .clone();
+        validate_placement(jid, &placement, cfg)?;
+        let mut placement = placement;
+        let mut deps: Vec<usize> = Vec::new();
+        if let Some(wf) = spec.workflow_of(jid) {
+            let parents = wf.parents(jid);
+            for &p in &parents {
+                deps.push(index_of[&p]);
+            }
+            let own_in = placement.input.primary();
+            // Output pipelining (§3.1.3 / Eq. 9): an interior job writes
+            // its output directly to the tier its (dominant) consumer
+            // reads from, instead of persisting it through the backing
+            // store.
+            let children = wf.children(jid);
+            if let Some(&child) = children.first() {
+                let child_tier = placements
+                    .get(child)
+                    .ok_or(SimError::MissingPlacement(child.0))?
+                    .input
+                    .primary();
+                placement.output = child_tier;
+                placement.stage_out_to = None;
+            }
+            // Input arrival: the dominant (largest-output) parent's bytes
+            // land on this job's tier via pipelining; any remaining fresh
+            // input follows the tier's own convention (ephemeral SSD must
+            // download it from the backing store, persistent tiers hold it
+            // already).
+            let dominant_out = parents
+                .iter()
+                .map(|&p| {
+                    let job = spec.job(p).expect("validated member");
+                    job.output(spec.profiles.get(job.app)).bytes()
+                })
+                .fold(0.0_f64, f64::max);
+            let fresh = (job.input.bytes() - dominant_out).max(0.0);
+            if !parents.is_empty() {
+                if own_in == Tier::EphSsd && fresh > 0.0 {
+                    placement.stage_in_from = Some(Tier::ObjStore);
+                    placement.stage_in_bytes =
+                        Some(cast_cloud::units::DataSize::from_bytes(fresh));
+                } else {
+                    placement.stage_in_from = None;
+                    placement.stage_in_bytes = None;
+                }
+            }
+        }
+        let profile = *spec.profiles.get(job.app);
+        runs.push(JobRun::new(job, placement, profile, deps));
+    }
+    Engine::new(cfg, runs).run()
+}
+
+/// Topological execution order: independent jobs in id order, workflow
+/// members in dependency order at the position of their first member.
+fn execution_order(spec: &WorkloadSpec) -> Vec<JobId> {
+    let mut order: Vec<JobId> = Vec::with_capacity(spec.jobs.len());
+    let mut emitted: std::collections::HashSet<JobId> = Default::default();
+    for job in &spec.jobs {
+        if emitted.contains(&job.id) {
+            continue;
+        }
+        match spec.workflow_of(job.id) {
+            Some(wf) => {
+                for j in wf.topo_order().expect("validated workflow") {
+                    if emitted.insert(j) {
+                        order.push(j);
+                    }
+                }
+            }
+            None => {
+                emitted.insert(job.id);
+                order.push(job.id);
+            }
+        }
+    }
+    order
+}
+
+/// Reject placements that use block tiers with no provisioned capacity.
+fn validate_placement(
+    jid: JobId,
+    placement: &JobPlacement,
+    cfg: &SimConfig,
+) -> Result<(), SimError> {
+    if !placement.input.is_valid() {
+        return Err(SimError::InvalidSplit(jid.0));
+    }
+    let mut tiers: Vec<Tier> = placement.input.parts.iter().map(|&(t, _)| t).collect();
+    tiers.push(placement.inter);
+    tiers.push(placement.output);
+    if let Some(t) = placement.stage_in_from {
+        tiers.push(t);
+    }
+    if let Some(t) = placement.stage_out_to {
+        tiers.push(t);
+    }
+    for t in tiers {
+        if t.is_block() && cfg.vm_tier_bandwidth(t).mb_per_sec() <= 0.0 {
+            return Err(SimError::UnprovisionedTier {
+                job: jid.0,
+                tier: t.name().to_string(),
+            });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cast_cloud::tier::PerTier;
+    use cast_cloud::units::DataSize;
+    use cast_cloud::Catalog;
+    use cast_workload::apps::AppKind;
+    use cast_workload::synth;
+
+    fn full_cfg(nvm: usize) -> SimConfig {
+        let mut agg = PerTier::from_fn(|_| DataSize::ZERO);
+        for t in Tier::ALL {
+            *agg.get_mut(t) = DataSize::from_gb(750.0 * nvm as f64);
+        }
+        let mut c =
+            SimConfig::with_aggregate_capacity(Catalog::google_cloud(), nvm, &agg).unwrap();
+        c.jitter = 0.0;
+        c
+    }
+
+    #[test]
+    fn single_job_simulates() {
+        let spec = synth::single_job(AppKind::Grep, DataSize::from_gb(10.0));
+        let cfg = full_cfg(1);
+        let placements = PlacementMap::uniform(spec.jobs.iter().map(|j| j.id), Tier::PersSsd);
+        let report = simulate(&spec, &placements, &cfg).unwrap();
+        assert_eq!(report.jobs.len(), 1);
+        assert!(report.makespan.secs() > 0.0);
+    }
+
+    #[test]
+    fn missing_placement_is_an_error() {
+        let spec = synth::single_job(AppKind::Grep, DataSize::from_gb(10.0));
+        let cfg = full_cfg(1);
+        let err = simulate(&spec, &PlacementMap::new(), &cfg).unwrap_err();
+        assert!(matches!(err, SimError::MissingPlacement(0)));
+    }
+
+    #[test]
+    fn workflow_respects_dependencies_and_transfers() {
+        let spec = synth::fig4_workflow();
+        let cfg = full_cfg(4);
+        // Heterogeneous plan: Sort on ephemeral SSD inside the workflow —
+        // its fresh input (beyond the tiny Grep output) must be staged
+        // down from the backing store.
+        let mut placements = PlacementMap::new();
+        for i in [0u32, 1, 3] {
+            placements.set(JobId(i), JobPlacement::all_on(Tier::PersSsd));
+        }
+        placements.set(JobId(2), JobPlacement::all_on(Tier::EphSsd));
+        let report = simulate(&spec, &placements, &cfg).unwrap();
+        let grep = report.job(JobId(0)).unwrap();
+        let join = report.job(JobId(3)).unwrap();
+        assert!(join.started.secs() >= grep.finished.secs() - 1e-6);
+        let sort = report.job(JobId(2)).unwrap();
+        assert!(
+            sort.stage_in.secs() > 0.0,
+            "fresh input download must cost time"
+        );
+    }
+
+    #[test]
+    fn uniform_tier_workflow_has_no_internal_transfers() {
+        let spec = synth::fig4_workflow();
+        let cfg = full_cfg(4);
+        let placements = PlacementMap::uniform(spec.jobs.iter().map(|j| j.id), Tier::PersSsd);
+        let report = simulate(&spec, &placements, &cfg).unwrap();
+        for m in &report.jobs {
+            assert_eq!(m.stage_in.secs(), 0.0, "{}", m.job);
+        }
+    }
+
+    #[test]
+    fn unprovisioned_block_tier_rejected_up_front() {
+        let spec = synth::single_job(AppKind::Grep, DataSize::from_gb(10.0));
+        let mut agg = PerTier::from_fn(|_| DataSize::ZERO);
+        *agg.get_mut(Tier::PersSsd) = DataSize::from_gb(500.0);
+        let cfg = SimConfig::with_aggregate_capacity(Catalog::google_cloud(), 1, &agg).unwrap();
+        let placements = PlacementMap::uniform(spec.jobs.iter().map(|j| j.id), Tier::PersHdd);
+        let err = simulate(&spec, &placements, &cfg).unwrap_err();
+        assert!(matches!(err, SimError::UnprovisionedTier { .. }));
+    }
+
+    #[test]
+    fn facebook_workload_smoke() {
+        // Scaled-down check that a many-job mixed workload completes.
+        let spec = synth::facebook_workload(Default::default()).unwrap();
+        let cfg = full_cfg(8);
+        let placements = PlacementMap::uniform(spec.jobs.iter().map(|j| j.id), Tier::PersSsd);
+        // Trim to the 30 smallest jobs to keep the debug-build test fast.
+        let mut small = spec.clone();
+        small.jobs.truncate(60);
+        small.jobs.retain(|j| j.maps <= 50);
+        small.workflows.clear();
+        let report = simulate(&small, &placements, &cfg).unwrap();
+        assert_eq!(report.jobs.len(), small.jobs.len());
+        assert!(report.makespan.secs() > 0.0);
+    }
+}

@@ -1,0 +1,263 @@
+//! Algorithm 2: the simulated-annealing tiering solver (CAST).
+//!
+//! Starting from an initial plan (usually greedy's output), the annealer
+//! repeatedly scores a random neighbour; better plans are always adopted,
+//! worse ones with probability `exp(Δ/temp)` (Metropolis), and the
+//! temperature decays each iteration via the [`Cooling`] schedule —
+//! "making the search narrower as iterations increase" (§4.2.2).
+//! Utility differences are normalised by the initial score so one
+//! temperature scale works across workloads of any size.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::cooling::Cooling;
+use crate::diagnostics::SolveDiagnostics;
+use crate::error::SolverError;
+use crate::neighbor::NeighborGen;
+use crate::objective::{evaluate, EvalContext, PlanEval};
+use crate::plan::TieringPlan;
+
+/// Annealer parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AnnealConfig {
+    /// Iteration budget (`iter_max` of Algorithm 2).
+    pub iterations: usize,
+    /// Initial temperature (in normalised-utility units).
+    pub temp_init: f64,
+    /// Cooling schedule.
+    pub cooling: Cooling,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for AnnealConfig {
+    fn default() -> Self {
+        AnnealConfig {
+            iterations: 12_000,
+            temp_init: 0.3,
+            cooling: Cooling::default_geometric(),
+            seed: 0xCA57,
+        }
+    }
+}
+
+/// Result of an annealing run.
+#[derive(Debug, Clone)]
+pub struct AnnealOutcome {
+    /// Best plan found.
+    pub plan: TieringPlan,
+    /// Its evaluation.
+    pub eval: PlanEval,
+    /// Run statistics.
+    pub diagnostics: SolveDiagnostics,
+}
+
+/// The CAST simulated-annealing solver.
+#[derive(Debug, Clone)]
+pub struct Annealer {
+    cfg: AnnealConfig,
+}
+
+impl Annealer {
+    /// Create with the given parameters.
+    pub fn new(cfg: AnnealConfig) -> Annealer {
+        Annealer { cfg }
+    }
+
+    /// Maximise tenant utility starting from `init` (Algorithm 2).
+    ///
+    /// When `ctx.reuse_aware` is set, reuse groups move between tiers as a
+    /// unit and shared inputs are charged once (CAST++ Enhancement 1).
+    pub fn solve(
+        &self,
+        ctx: &EvalContext<'_>,
+        init: TieringPlan,
+    ) -> Result<AnnealOutcome, SolverError> {
+        let groups = if ctx.reuse_aware {
+            ctx.spec
+                .reuse_groups()
+                .into_iter()
+                .map(|(_, jobs)| jobs)
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let jobs = ctx.spec.jobs.iter().map(|j| j.id).collect();
+        let gen = NeighborGen::new(jobs, groups);
+        self.solve_with(
+            init,
+            &gen,
+            |plan| evaluate(plan, ctx).map(|e| (e.utility, e)),
+            None,
+        )
+    }
+
+    /// Generic annealing loop over an arbitrary score function. `cursor`
+    /// (when `Some`) supplies a deterministic job-visit order (CAST++'s
+    /// DFS traversal); otherwise neighbours mutate random jobs.
+    pub fn solve_with<F>(
+        &self,
+        init: TieringPlan,
+        gen: &NeighborGen,
+        mut score: F,
+        cursor_order: Option<&[usize]>,
+    ) -> Result<AnnealOutcome, SolverError>
+    where
+        F: FnMut(&TieringPlan) -> Result<(f64, PlanEval), SolverError>,
+    {
+        let mut rng = StdRng::seed_from_u64(self.cfg.seed);
+        let (init_score, init_eval) = score(&init)?;
+        let scale = init_score.abs().max(f64::MIN_POSITIVE);
+
+        let mut current = init.clone();
+        let mut current_score = init_score;
+        let mut best = init;
+        let mut best_score = init_score;
+        let mut best_eval = init_eval;
+
+        let mut diag = SolveDiagnostics {
+            initial_score: init_score,
+            trace_stride: (self.cfg.iterations / 100).max(1),
+            ..SolveDiagnostics::default()
+        };
+        let mut temp = self.cfg.temp_init;
+
+        for iter in 0..self.cfg.iterations {
+            temp = self.cfg.cooling.step(temp);
+            let cursor = cursor_order.map(|ord| ord[iter % ord.len()]);
+            let neighbor = gen.neighbor(&current, &mut rng, cursor);
+            let (n_score, n_eval) = score(&neighbor)?;
+            diag.iterations += 1;
+
+            if n_score > best_score {
+                best = neighbor.clone();
+                best_score = n_score;
+                best_eval = n_eval;
+                diag.improvements += 1;
+            }
+            let delta = (n_score - current_score) / scale;
+            let accept = if delta >= 0.0 {
+                true
+            } else {
+                let p = (delta / temp.max(1e-12)).exp();
+                let uphill = rng.gen_bool(p.clamp(0.0, 1.0));
+                if uphill {
+                    diag.uphill_accepted += 1;
+                }
+                uphill
+            };
+            if accept {
+                current = neighbor;
+                current_score = n_score;
+                diag.accepted += 1;
+            }
+            if iter % diag.trace_stride == 0 {
+                diag.trace.push(best_score);
+            }
+        }
+        diag.best_score = best_score;
+        Ok(AnnealOutcome {
+            plan: best,
+            eval: best_eval,
+            diagnostics: diag,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::greedy::{greedy_plan, GreedyMode};
+    use crate::objective::tests::toy_estimator;
+    use cast_cloud::tier::Tier;
+    use cast_workload::synth;
+
+    fn quick_cfg(seed: u64) -> AnnealConfig {
+        AnnealConfig {
+            iterations: 800,
+            seed,
+            ..AnnealConfig::default()
+        }
+    }
+
+    #[test]
+    fn annealer_beats_or_matches_uniform_baselines() {
+        let spec = synth::prediction_workload();
+        let est = toy_estimator(25);
+        let ctx = EvalContext::new(&est, &spec);
+        let init = TieringPlan::uniform(&spec, Tier::PersSsd);
+        let cfg = AnnealConfig {
+            iterations: 5000,
+            seed: 1,
+            ..AnnealConfig::default()
+        };
+        let out = Annealer::new(cfg).solve(&ctx, init).unwrap();
+        for tier in Tier::ALL {
+            let u = evaluate(&TieringPlan::uniform(&spec, tier), &ctx)
+                .unwrap()
+                .utility;
+            assert!(
+                out.eval.utility >= u - 1e-15,
+                "annealer worse than uniform {tier}: {} vs {u}",
+                out.eval.utility
+            );
+        }
+    }
+
+    #[test]
+    fn annealer_improves_on_greedy_init_or_keeps_it() {
+        let spec = synth::prediction_workload();
+        let est = toy_estimator(25);
+        let ctx = EvalContext::new(&est, &spec);
+        let greedy = greedy_plan(&ctx, GreedyMode::OverProvisioned).unwrap();
+        let greedy_u = evaluate(&greedy, &ctx).unwrap().utility;
+        let out = Annealer::new(quick_cfg(2)).solve(&ctx, greedy).unwrap();
+        assert!(out.eval.utility >= greedy_u - 1e-15);
+        assert!(out.diagnostics.iterations == 800);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let spec = synth::prediction_workload();
+        let est = toy_estimator(25);
+        let ctx = EvalContext::new(&est, &spec);
+        let init = TieringPlan::uniform(&spec, Tier::PersHdd);
+        let a = Annealer::new(quick_cfg(7)).solve(&ctx, init.clone()).unwrap();
+        let b = Annealer::new(quick_cfg(7)).solve(&ctx, init).unwrap();
+        assert_eq!(a.plan, b.plan);
+        assert_eq!(a.eval.utility, b.eval.utility);
+    }
+
+    #[test]
+    fn reuse_mode_keeps_groups_united() {
+        // Two Grep jobs sharing a dataset.
+        let mut spec = synth::single_job(
+            cast_workload::AppKind::Grep,
+            cast_cloud::units::DataSize::from_gb(200.0),
+        );
+        let mut j2 = spec.jobs[0];
+        j2.id = cast_workload::JobId(1);
+        spec.jobs.push(j2);
+        let est = toy_estimator(5);
+        let ctx = EvalContext::new(&est, &spec).with_reuse_awareness();
+        let init = TieringPlan::uniform(&spec, Tier::PersSsd);
+        let out = Annealer::new(quick_cfg(3)).solve(&ctx, init).unwrap();
+        let t0 = out.plan.get(cast_workload::JobId(0)).unwrap().tier;
+        let t1 = out.plan.get(cast_workload::JobId(1)).unwrap().tier;
+        assert_eq!(t0, t1, "Eq. 7: shared-input jobs share a tier");
+    }
+
+    #[test]
+    fn trace_is_monotone_nondecreasing() {
+        let spec = synth::prediction_workload();
+        let est = toy_estimator(25);
+        let ctx = EvalContext::new(&est, &spec);
+        let init = TieringPlan::uniform(&spec, Tier::ObjStore);
+        let out = Annealer::new(quick_cfg(9)).solve(&ctx, init).unwrap();
+        for w in out.diagnostics.trace.windows(2) {
+            assert!(w[1] >= w[0] - 1e-18, "best-score trace must not regress");
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! Cooling schedules for the simulated-annealing solver.
+//!
+//! Algorithm 2 adjusts a distance parameter `temp` downwards every
+//! iteration (`Cooling(.)`), narrowing the search as it progresses.
+
+use serde::{Deserialize, Serialize};
+
+/// A cooling schedule: how temperature decays per iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Cooling {
+    /// `temp ← α · temp` — the classic geometric schedule.
+    Geometric {
+        /// Decay factor in `(0, 1)`.
+        alpha: f64,
+    },
+    /// `temp ← temp − step`, floored at `min`.
+    Linear {
+        /// Amount subtracted each iteration.
+        step: f64,
+        /// Temperature floor.
+        min: f64,
+    },
+}
+
+impl Cooling {
+    /// The default schedule used by CAST.
+    pub fn default_geometric() -> Cooling {
+        Cooling::Geometric { alpha: 0.998 }
+    }
+
+    /// Apply one cooling step.
+    pub fn step(&self, temp: f64) -> f64 {
+        match *self {
+            Cooling::Geometric { alpha } => {
+                debug_assert!((0.0..1.0).contains(&alpha));
+                temp * alpha
+            }
+            Cooling::Linear { step, min } => (temp - step).max(min),
+        }
+    }
+
+    /// Temperature after `n` steps from `t0`.
+    pub fn after(&self, t0: f64, n: usize) -> f64 {
+        match *self {
+            Cooling::Geometric { alpha } => t0 * alpha.powi(n as i32),
+            Cooling::Linear { step, min } => (t0 - step * n as f64).max(min),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometric_decays() {
+        let c = Cooling::Geometric { alpha: 0.9 };
+        let t1 = c.step(1.0);
+        assert!((t1 - 0.9).abs() < 1e-12);
+        assert!((c.after(1.0, 10) - 0.9f64.powi(10)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn linear_floors() {
+        let c = Cooling::Linear { step: 0.3, min: 0.05 };
+        assert!((c.step(1.0) - 0.7).abs() < 1e-12);
+        assert_eq!(c.step(0.1), 0.05);
+        assert_eq!(c.after(1.0, 100), 0.05);
+    }
+
+    #[test]
+    fn after_matches_iterated_step() {
+        let c = Cooling::default_geometric();
+        let mut t = 2.0;
+        for _ in 0..50 {
+            t = c.step(t);
+        }
+        assert!((t - c.after(2.0, 50)).abs() < 1e-9);
+    }
+}

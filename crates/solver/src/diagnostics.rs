@@ -1,0 +1,72 @@
+//! Solver run diagnostics.
+
+use serde::{Deserialize, Serialize};
+
+/// Statistics from one annealing run.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct SolveDiagnostics {
+    /// Iterations performed.
+    pub iterations: usize,
+    /// Neighbour moves accepted (better or Metropolis).
+    pub accepted: usize,
+    /// Moves accepted despite being worse (uphill moves).
+    pub uphill_accepted: usize,
+    /// Number of times the incumbent best improved.
+    pub improvements: usize,
+    /// Utility (or score) of the initial plan.
+    pub initial_score: f64,
+    /// Utility (or score) of the best plan found.
+    pub best_score: f64,
+    /// Best-score trace sampled every `trace_stride` iterations.
+    pub trace: Vec<f64>,
+    /// Stride of the trace samples.
+    pub trace_stride: usize,
+}
+
+impl SolveDiagnostics {
+    /// Acceptance ratio.
+    pub fn acceptance_rate(&self) -> f64 {
+        if self.iterations == 0 {
+            0.0
+        } else {
+            self.accepted as f64 / self.iterations as f64
+        }
+    }
+
+    /// Relative improvement of best over initial.
+    pub fn improvement(&self) -> f64 {
+        if self.initial_score.abs() < f64::EPSILON {
+            0.0
+        } else {
+            (self.best_score - self.initial_score) / self.initial_score.abs()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates() {
+        let d = SolveDiagnostics {
+            iterations: 100,
+            accepted: 40,
+            uphill_accepted: 10,
+            improvements: 5,
+            initial_score: 1.0,
+            best_score: 1.5,
+            trace: vec![],
+            trace_stride: 100,
+        };
+        assert!((d.acceptance_rate() - 0.4).abs() < 1e-12);
+        assert!((d.improvement() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_iterations_safe() {
+        let d = SolveDiagnostics::default();
+        assert_eq!(d.acceptance_rate(), 0.0);
+        assert_eq!(d.improvement(), 0.0);
+    }
+}

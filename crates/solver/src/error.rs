@@ -1,0 +1,57 @@
+//! Solver error type.
+
+use std::fmt;
+
+/// Errors raised while constructing or evaluating tiering plans.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SolverError {
+    /// A job lacks an assignment in the plan under evaluation.
+    Unassigned(u32),
+    /// The estimator could not answer (missing profile, bad fit).
+    Estimator(cast_estimator::EstimatorError),
+    /// An over-provisioning factor below 1 would violate Eq. 3.
+    CapacityViolation {
+        /// Offending job.
+        job: u32,
+        /// The factor supplied.
+        factor: f64,
+    },
+    /// A workflow-mode solve was requested for a job outside any workflow.
+    NotInWorkflow(u32),
+}
+
+impl fmt::Display for SolverError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolverError::Unassigned(j) => write!(f, "job #{j} has no tier assignment"),
+            SolverError::Estimator(e) => write!(f, "estimator error: {e}"),
+            SolverError::CapacityViolation { job, factor } => write!(
+                f,
+                "job #{job}: over-provisioning factor {factor} violates Eq. 3 (must be ≥ 1)"
+            ),
+            SolverError::NotInWorkflow(j) => {
+                write!(f, "job #{j} is not a member of any workflow")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SolverError {}
+
+impl From<cast_estimator::EstimatorError> for SolverError {
+    fn from(e: cast_estimator::EstimatorError) -> Self {
+        SolverError::Estimator(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert!(SolverError::Unassigned(3).to_string().contains("#3"));
+        let e = SolverError::CapacityViolation { job: 1, factor: 0.5 };
+        assert!(e.to_string().contains("0.5"));
+    }
+}

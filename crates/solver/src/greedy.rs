@@ -1,0 +1,139 @@
+//! Algorithm 1: greedy static tiering.
+//!
+//! For each job independently, pick the tier (and, in the
+//! over-provisioned variant, the capacity factor) with the highest
+//! *per-job* utility. The paper uses this as the baseline that CAST's
+//! annealer beats: greedy ignores how placing a job changes the shared
+//! tier capacity — and therefore the performance — of every other job
+//! (§5.1.2).
+
+use serde::{Deserialize, Serialize};
+
+use cast_cloud::tier::Tier;
+
+use crate::error::SolverError;
+use crate::neighbor::OVERPROV_GRID;
+use crate::objective::{job_utility, EvalContext};
+use crate::plan::{Assignment, TieringPlan};
+
+/// Greedy capacity policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GreedyMode {
+    /// `cᵢ` = exactly the Eq. 3 floor. The paper's `Greedy exact-fit`.
+    ExactFit,
+    /// Additionally search the over-provisioning grid per job. The
+    /// paper's `Greedy over-provisioned`.
+    OverProvisioned,
+}
+
+/// Run Algorithm 1 over every job in the workload.
+pub fn greedy_plan(ctx: &EvalContext<'_>, mode: GreedyMode) -> Result<TieringPlan, SolverError> {
+    let mut plan = TieringPlan::new();
+    for job in &ctx.spec.jobs {
+        let mut best: Option<(f64, Assignment)> = None;
+        let factors: &[f64] = match mode {
+            GreedyMode::ExactFit => &[1.0],
+            GreedyMode::OverProvisioned => &OVERPROV_GRID,
+        };
+        for tier in Tier::ALL {
+            for &factor in factors {
+                let u = job_utility(ctx, job, tier, factor)?;
+                if best.is_none_or(|(bu, _)| u > bu) {
+                    best = Some((
+                        u,
+                        Assignment {
+                            tier,
+                            overprov: factor,
+                        },
+                    ));
+                }
+            }
+        }
+        let (_, a) = best.expect("at least one tier evaluated");
+        plan.assign(job.id, a);
+    }
+    Ok(plan)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objective::{evaluate, tests::toy_estimator};
+    use cast_workload::synth;
+
+    #[test]
+    fn greedy_assigns_every_job() {
+        let spec = synth::prediction_workload();
+        let est = toy_estimator(25);
+        let ctx = EvalContext::new(&est, &spec);
+        let plan = greedy_plan(&ctx, GreedyMode::ExactFit).unwrap();
+        assert_eq!(plan.len(), spec.jobs.len());
+    }
+
+    #[test]
+    fn exact_fit_never_overprovisions() {
+        let spec = synth::prediction_workload();
+        let est = toy_estimator(25);
+        let ctx = EvalContext::new(&est, &spec);
+        let plan = greedy_plan(&ctx, GreedyMode::ExactFit).unwrap();
+        assert!(plan.iter().all(|(_, a)| a.overprov == 1.0));
+    }
+
+    #[test]
+    fn overprovisioned_uses_factors_when_helpful() {
+        use cast_cloud::tier::Tier;
+        use cast_estimator::model::{CapacityCurve, ModelMatrix, PhaseBw};
+        // A matrix where the flat-rate tiers are hopeless and block-tier
+        // bandwidth grows steeply with capacity: buying space must pay.
+        let mut est = toy_estimator(25);
+        let mut matrix = ModelMatrix::new();
+        for app in cast_workload::AppKind::ALL {
+            for tier in Tier::ALL {
+                let samples = match tier {
+                    Tier::PersSsd | Tier::PersHdd => vec![
+                        (50.0, PhaseBw { map: 1.0, shuffle_reduce: 1.0 }),
+                        (800.0, PhaseBw { map: 25.0, shuffle_reduce: 25.0 }),
+                    ],
+                    _ => vec![(375.0, PhaseBw { map: 0.5, shuffle_reduce: 0.5 })],
+                };
+                matrix.insert(app, tier, CapacityCurve::fit(&samples).unwrap());
+            }
+        }
+        est.matrix = matrix;
+        let spec = synth::prediction_workload();
+        let ctx = EvalContext::new(&est, &spec);
+        let plan = greedy_plan(&ctx, GreedyMode::OverProvisioned).unwrap();
+        assert!(
+            plan.iter().any(|(_, a)| a.overprov > 1.0),
+            "expected some over-provisioning"
+        );
+    }
+
+    #[test]
+    fn overprovisioned_at_least_matches_exact_fit_per_job() {
+        let spec = synth::prediction_workload();
+        let est = toy_estimator(25);
+        let ctx = EvalContext::new(&est, &spec);
+        // Per-job utility of the chosen assignment can only improve when
+        // the search space is a superset.
+        let exact = greedy_plan(&ctx, GreedyMode::ExactFit).unwrap();
+        let over = greedy_plan(&ctx, GreedyMode::OverProvisioned).unwrap();
+        for job in &spec.jobs {
+            let ea = exact.get(job.id).unwrap();
+            let oa = over.get(job.id).unwrap();
+            let eu = job_utility(&ctx, job, ea.tier, ea.overprov).unwrap();
+            let ou = job_utility(&ctx, job, oa.tier, oa.overprov).unwrap();
+            assert!(ou >= eu - 1e-15, "{}: {eu} vs {ou}", job.id);
+        }
+    }
+
+    #[test]
+    fn whole_plan_evaluation_succeeds() {
+        let spec = synth::prediction_workload();
+        let est = toy_estimator(25);
+        let ctx = EvalContext::new(&est, &spec);
+        let plan = greedy_plan(&ctx, GreedyMode::OverProvisioned).unwrap();
+        let eval = evaluate(&plan, &ctx).unwrap();
+        assert!(eval.utility > 0.0);
+    }
+}

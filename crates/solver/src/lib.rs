@@ -1,0 +1,44 @@
+//! # cast-solver
+//!
+//! The CAST and CAST++ tiering solvers (§4.2–4.3 of the paper).
+//!
+//! Given a workload specification, a profiled performance estimator and the
+//! provider's price sheet, the solvers choose for every job a storage
+//! service `sᵢ` and a provisioned capacity `cᵢ` (Table 3's decision
+//! variables) to optimise a tenant goal:
+//!
+//! * **CAST** ([`anneal`]) maximises tenant utility
+//!   `U = (1/T)/($vm + $store)` (Eq. 2) over the whole workload with a
+//!   simulated-annealing search (Algorithm 2), subject to the capacity
+//!   constraint `cᵢ ≥ inputᵢ + interᵢ + outputᵢ` (Eq. 3).
+//! * **Greedy** ([`greedy`]) is Algorithm 1: per-job locally-optimal tier
+//!   choice, in `exact-fit` and `over-provisioned` flavours — the paper's
+//!   strawmen.
+//! * **CAST++** ([`castpp`]) adds data-reuse awareness (jobs sharing a
+//!   dataset share a tier, Eq. 7) and workflow awareness: each workflow's
+//!   cost is minimised subject to its deadline (Eq. 8–9) with the Eq. 10
+//!   capacity discount and cross-tier transfer times, exploring neighbours
+//!   along a DFS traversal of the workflow DAG.
+//!
+//! The solvers never touch the simulator — they see the world only through
+//! the [`cast_estimator::Estimator`], exactly as CAST sees the real cluster
+//! only through its profiled models.
+
+pub mod anneal;
+pub mod castpp;
+pub mod cooling;
+pub mod diagnostics;
+pub mod error;
+pub mod greedy;
+pub mod neighbor;
+pub mod objective;
+pub mod plan;
+
+pub use anneal::{AnnealConfig, Annealer};
+pub use castpp::{CastPlusPlus, CastPlusPlusConfig};
+pub use cooling::Cooling;
+pub use diagnostics::SolveDiagnostics;
+pub use error::SolverError;
+pub use greedy::{greedy_plan, GreedyMode};
+pub use objective::{evaluate, EvalContext, PlanEval};
+pub use plan::{Assignment, TieringPlan};

@@ -1,0 +1,190 @@
+//! Neighbour generation for the annealing search.
+//!
+//! A neighbour of a plan differs in one job's assignment: either the tier
+//! flips to another service, or the over-provisioning factor is nudged
+//! along a geometric grid. When reuse groups are active (CAST++), a tier
+//! flip applies to the whole group so Eq. 7 stays satisfied by
+//! construction.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use cast_cloud::tier::Tier;
+use cast_workload::job::JobId;
+
+use crate::plan::{Assignment, TieringPlan};
+
+/// Over-provisioning grid explored by the solver. Factor 1 = exact fit
+/// (Eq. 3 floor); larger factors buy bandwidth on capacity-scaled tiers.
+pub const OVERPROV_GRID: [f64; 5] = [1.0, 2.0, 4.0, 8.0, 16.0];
+
+/// Generates neighbours of the current plan.
+#[derive(Debug, Clone)]
+pub struct NeighborGen {
+    /// Jobs that may be mutated, in mutation order.
+    jobs: Vec<JobId>,
+    /// Reuse groups: mutating any member re-tiers the whole group.
+    groups: Vec<Vec<JobId>>,
+}
+
+impl NeighborGen {
+    /// Build a generator over `jobs`; `groups` lists reuse groups (may be
+    /// empty when reuse awareness is off).
+    pub fn new(jobs: Vec<JobId>, groups: Vec<Vec<JobId>>) -> NeighborGen {
+        NeighborGen { jobs, groups }
+    }
+
+    /// The jobs a mutation of `job` must also touch (its reuse group).
+    fn cohort(&self, job: JobId) -> Vec<JobId> {
+        self.groups
+            .iter()
+            .find(|g| g.contains(&job))
+            .cloned()
+            .unwrap_or_else(|| vec![job])
+    }
+
+    /// Produce a random neighbour of `plan`, mutating the job at
+    /// `cursor` (used by CAST++'s DFS traversal) or a random job when
+    /// `cursor` is `None`.
+    pub fn neighbor(
+        &self,
+        plan: &TieringPlan,
+        rng: &mut StdRng,
+        cursor: Option<usize>,
+    ) -> TieringPlan {
+        let mut next = plan.clone();
+        if self.jobs.is_empty() {
+            return next;
+        }
+        let idx = cursor.unwrap_or_else(|| rng.gen_range(0..self.jobs.len())) % self.jobs.len();
+        let job = self.jobs[idx];
+        let Some(current) = plan.get(job) else {
+            return next;
+        };
+        // Half the moves flip the tier (jointly drawing a fresh capacity
+        // factor — tier and provisioning are coupled decisions: a job
+        // moved to a capacity-scaled tier at exact-fit capacity may be
+        // starved, and the two-step path through that valley is hard for
+        // the annealer to cross), half nudge the capacity factor alone.
+        if rng.gen_bool(0.5) {
+            let choices: Vec<Tier> = Tier::ALL
+                .iter()
+                .copied()
+                .filter(|&t| t != current.tier)
+                .collect();
+            let tier = choices[rng.gen_range(0..choices.len())];
+            let overprov = OVERPROV_GRID[rng.gen_range(0..OVERPROV_GRID.len())];
+            for member in self.cohort(job) {
+                if plan.get(member).is_some() {
+                    next.assign(member, Assignment { tier, overprov });
+                }
+            }
+        } else {
+            let pos = OVERPROV_GRID
+                .iter()
+                .position(|&f| (f - current.overprov).abs() < 1e-9)
+                .unwrap_or(0);
+            let next_pos = if rng.gen_bool(0.5) {
+                (pos + 1).min(OVERPROV_GRID.len() - 1)
+            } else {
+                pos.saturating_sub(1)
+            };
+            next.assign(
+                job,
+                Assignment {
+                    tier: current.tier,
+                    overprov: OVERPROV_GRID[next_pos],
+                },
+            );
+        }
+        next
+    }
+
+    /// Number of mutable jobs.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Whether there is nothing to mutate.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn plan(jobs: &[u32]) -> TieringPlan {
+        let mut p = TieringPlan::new();
+        for &j in jobs {
+            p.assign(JobId(j), Assignment::exact(Tier::PersSsd));
+        }
+        p
+    }
+
+    #[test]
+    fn neighbor_differs_in_exactly_one_cohort() {
+        let gen = NeighborGen::new(vec![JobId(0), JobId(1), JobId(2)], vec![]);
+        let p = plan(&[0, 1, 2]);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..50 {
+            let n = gen.neighbor(&p, &mut rng, None);
+            let changed: Vec<JobId> = p
+                .iter()
+                .filter(|&(j, a)| n.get(j) != Some(a))
+                .map(|(j, _)| j)
+                .collect();
+            assert!(changed.len() <= 1, "one-job mutation, got {changed:?}");
+        }
+    }
+
+    #[test]
+    fn group_moves_together() {
+        let gen = NeighborGen::new(
+            vec![JobId(0), JobId(1), JobId(2)],
+            vec![vec![JobId(0), JobId(1)]],
+        );
+        let p = plan(&[0, 1, 2]);
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            let n = gen.neighbor(&p, &mut rng, None);
+            let t0 = n.get(JobId(0)).unwrap().tier;
+            let t1 = n.get(JobId(1)).unwrap().tier;
+            assert_eq!(t0, t1, "reuse group must stay on one tier");
+        }
+    }
+
+    #[test]
+    fn factors_stay_on_grid_and_above_one() {
+        let gen = NeighborGen::new(vec![JobId(0)], vec![]);
+        let mut p = plan(&[0]);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..200 {
+            p = gen.neighbor(&p, &mut rng, None);
+            let f = p.get(JobId(0)).unwrap().overprov;
+            assert!(OVERPROV_GRID.contains(&f), "off-grid factor {f}");
+        }
+    }
+
+    #[test]
+    fn cursor_targets_specific_job() {
+        let gen = NeighborGen::new(vec![JobId(0), JobId(1)], vec![]);
+        let p = plan(&[0, 1]);
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..50 {
+            let n = gen.neighbor(&p, &mut rng, Some(1));
+            // Only job 1 may change.
+            assert_eq!(n.get(JobId(0)), p.get(JobId(0)));
+        }
+    }
+
+    #[test]
+    fn empty_generator_returns_clone() {
+        let gen = NeighborGen::new(vec![], vec![]);
+        let p = plan(&[0]);
+        let mut rng = StdRng::seed_from_u64(5);
+        assert_eq!(gen.neighbor(&p, &mut rng, None), p);
+    }
+}

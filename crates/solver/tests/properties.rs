@@ -1,0 +1,163 @@
+//! Property-based tests for the solvers.
+
+use proptest::prelude::*;
+
+use cast_cloud::tier::Tier;
+use cast_cloud::units::DataSize;
+use cast_cloud::Catalog;
+use cast_estimator::model::{CapacityCurve, ModelMatrix, PhaseBw};
+use cast_estimator::mrcute::ClusterSpec;
+use cast_estimator::Estimator;
+use cast_solver::{
+    evaluate, greedy_plan, AnnealConfig, Annealer, Assignment, EvalContext, GreedyMode,
+    TieringPlan,
+};
+use cast_workload::apps::AppKind;
+use cast_workload::dataset::{Dataset, DatasetId};
+use cast_workload::job::{Job, JobId};
+use cast_workload::profile::ProfileSet;
+use cast_workload::spec::WorkloadSpec;
+
+fn toy_estimator(nvm: usize) -> Estimator {
+    let mut matrix = ModelMatrix::new();
+    for app in AppKind::ALL {
+        for tier in Tier::ALL {
+            let base = match tier {
+                Tier::EphSsd => 40.0,
+                Tier::PersSsd => 1.0,
+                Tier::PersHdd => 0.4,
+                Tier::ObjStore => 15.0,
+            };
+            let samples: Vec<(f64, PhaseBw)> = (1..=4)
+                .map(|i| {
+                    let cap = 150.0 * i as f64;
+                    let bw = if tier.scales_with_capacity() {
+                        base * cap / 30.0
+                    } else {
+                        base
+                    };
+                    (cap, PhaseBw { map: bw, shuffle_reduce: bw * 0.8 })
+                })
+                .collect();
+            matrix.insert(app, tier, CapacityCurve::fit(&samples).expect("fit"));
+        }
+    }
+    Estimator {
+        matrix,
+        catalog: Catalog::google_cloud(),
+        cluster: ClusterSpec {
+            nvm,
+            map_slots: 16,
+            reduce_slots: 8,
+            task_startup_secs: 1.5,
+        },
+        profiles: ProfileSet::defaults(),
+    }
+}
+
+fn arb_spec() -> impl Strategy<Value = WorkloadSpec> {
+    prop::collection::vec(
+        (prop::sample::select(AppKind::ALL.to_vec()), 2.0f64..200.0),
+        1..8,
+    )
+    .prop_map(|jobs| {
+        let mut spec = WorkloadSpec::empty();
+        for (i, (app, gb)) in jobs.into_iter().enumerate() {
+            let ds = DatasetId(i as u32);
+            spec.datasets
+                .push(Dataset::single_use(ds, DataSize::from_gb(gb)));
+            spec.jobs.push(Job::with_default_layout(
+                JobId(i as u32),
+                app,
+                ds,
+                DataSize::from_gb(gb),
+            ));
+        }
+        spec
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The annealer's best plan is never worse than its initial plan, for
+    /// any seed and any starting tier.
+    #[test]
+    fn annealer_never_regresses(
+        spec in arb_spec(),
+        seed in 0u64..1_000,
+        tier in prop::sample::select(Tier::ALL.to_vec()),
+    ) {
+        let est = toy_estimator(4);
+        let ctx = EvalContext::new(&est, &spec);
+        let init = TieringPlan::uniform(&spec, tier);
+        let init_u = evaluate(&init, &ctx).expect("eval").utility;
+        let cfg = AnnealConfig { iterations: 300, seed, ..AnnealConfig::default() };
+        let out = Annealer::new(cfg).solve(&ctx, init).expect("anneal");
+        prop_assert!(out.eval.utility + 1e-18 >= init_u);
+        prop_assert_eq!(out.plan.len(), spec.jobs.len());
+    }
+
+    /// Greedy plans are complete and valid (Eq. 3 respected by
+    /// construction).
+    #[test]
+    fn greedy_plans_are_well_formed(spec in arb_spec()) {
+        let est = toy_estimator(4);
+        let ctx = EvalContext::new(&est, &spec);
+        for mode in [GreedyMode::ExactFit, GreedyMode::OverProvisioned] {
+            let plan = greedy_plan(&ctx, mode).expect("greedy");
+            prop_assert_eq!(plan.len(), spec.jobs.len());
+            for (job, a) in plan.iter() {
+                prop_assert!(a.validate(job).is_ok());
+            }
+            let eval = evaluate(&plan, &ctx).expect("evaluation");
+            prop_assert!(eval.utility.is_finite() && eval.utility > 0.0);
+            prop_assert!(eval.time.secs().is_finite() && eval.time.secs() > 0.0);
+        }
+    }
+
+    /// Evaluation is a pure function of the plan.
+    #[test]
+    fn evaluation_is_deterministic(spec in arb_spec()) {
+        let est = toy_estimator(4);
+        let ctx = EvalContext::new(&est, &spec);
+        let plan = TieringPlan::uniform(&spec, Tier::PersSsd);
+        let a = evaluate(&plan, &ctx).expect("eval");
+        let b = evaluate(&plan, &ctx).expect("eval");
+        prop_assert_eq!(a, b);
+    }
+
+    /// Raising one job's over-provisioning factor never increases the
+    /// plan's estimated completion time.
+    #[test]
+    fn overprovisioning_never_slows_the_plan(
+        spec in arb_spec(),
+        idx in 0usize..8,
+    ) {
+        let est = toy_estimator(4);
+        let ctx = EvalContext::new(&est, &spec);
+        let job = spec.jobs[idx % spec.jobs.len()].id;
+        let base = TieringPlan::uniform(&spec, Tier::PersSsd);
+        let mut boosted = base.clone();
+        boosted.assign(job, Assignment { tier: Tier::PersSsd, overprov: 8.0 });
+        let t_base = evaluate(&base, &ctx).expect("eval").time;
+        let t_boost = evaluate(&boosted, &ctx).expect("eval").time;
+        prop_assert!(t_boost.secs() <= t_base.secs() + 1e-9);
+    }
+}
+
+#[test]
+fn plan_serde_roundtrip() {
+    let mut plan = TieringPlan::new();
+    plan.assign(JobId(0), Assignment::exact(Tier::EphSsd));
+    plan.assign(
+        JobId(7),
+        Assignment {
+            tier: Tier::ObjStore,
+            overprov: 4.0,
+        },
+    );
+    let json = serde_json::to_string(&plan).expect("serialise");
+    let back: TieringPlan = serde_json::from_str(&json).expect("deserialise");
+    assert_eq!(back, plan);
+}

@@ -1,0 +1,151 @@
+//! Application kinds and their qualitative character (Table 2).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+use crate::error::WorkloadError;
+
+/// A MapReduce execution phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Phase {
+    /// Read input split, apply the map function, emit intermediate data.
+    Map,
+    /// Move intermediate data from mappers to reducers.
+    Shuffle,
+    /// Merge, apply the reduce function, write final output.
+    Reduce,
+}
+
+impl Phase {
+    /// All phases in execution order.
+    pub const ALL: [Phase; 3] = [Phase::Map, Phase::Shuffle, Phase::Reduce];
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Phase::Map => "map",
+            Phase::Shuffle => "shuffle",
+            Phase::Reduce => "reduce",
+        })
+    }
+}
+
+/// The representative analytics applications studied by the paper.
+///
+/// Table 2 classifies four of them; `PageRank` appears in the Fig. 4
+/// workflow and "exhibits the same behavior as KMeans" (footnote 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum AppKind {
+    /// Shuffle-I/O-intensive total order sort.
+    Sort,
+    /// Reduce-intensive analytics query joining multiple tables.
+    Join,
+    /// Map-I/O-intensive pattern search.
+    Grep,
+    /// CPU-intensive iterative clustering.
+    KMeans,
+    /// CPU-intensive iterative link analysis (Fig. 4 workflow member).
+    PageRank,
+}
+
+impl AppKind {
+    /// The four applications of Table 2, in table order.
+    pub const TABLE2: [AppKind; 4] = [AppKind::Sort, AppKind::Join, AppKind::Grep, AppKind::KMeans];
+
+    /// All modelled applications.
+    pub const ALL: [AppKind; 5] = [
+        AppKind::Sort,
+        AppKind::Join,
+        AppKind::Grep,
+        AppKind::KMeans,
+        AppKind::PageRank,
+    ];
+
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            AppKind::Sort => "Sort",
+            AppKind::Join => "Join",
+            AppKind::Grep => "Grep",
+            AppKind::KMeans => "KMeans",
+            AppKind::PageRank => "PageRank",
+        }
+    }
+
+    /// Table 2: is the application I/O-intensive in `phase`?
+    pub fn io_intensive_in(self, phase: Phase) -> bool {
+        matches!(
+            (self, phase),
+            (AppKind::Sort, Phase::Shuffle)
+                | (AppKind::Join, Phase::Shuffle)
+                | (AppKind::Join, Phase::Reduce)
+                | (AppKind::Grep, Phase::Map)
+        )
+    }
+
+    /// Table 2: is the application CPU-intensive overall?
+    pub fn cpu_intensive(self) -> bool {
+        matches!(self, AppKind::KMeans | AppKind::PageRank)
+    }
+}
+
+impl fmt::Display for AppKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for AppKind {
+    type Err = WorkloadError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "sort" => Ok(AppKind::Sort),
+            "join" => Ok(AppKind::Join),
+            "grep" => Ok(AppKind::Grep),
+            "kmeans" => Ok(AppKind::KMeans),
+            "pagerank" => Ok(AppKind::PageRank),
+            other => Err(WorkloadError::UnknownApp(other.to_string())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_classification() {
+        // Sort: shuffle I/O-intensive only.
+        assert!(AppKind::Sort.io_intensive_in(Phase::Shuffle));
+        assert!(!AppKind::Sort.io_intensive_in(Phase::Map));
+        assert!(!AppKind::Sort.cpu_intensive());
+        // Join: shuffle + reduce.
+        assert!(AppKind::Join.io_intensive_in(Phase::Shuffle));
+        assert!(AppKind::Join.io_intensive_in(Phase::Reduce));
+        // Grep: map only.
+        assert!(AppKind::Grep.io_intensive_in(Phase::Map));
+        assert!(!AppKind::Grep.io_intensive_in(Phase::Reduce));
+        // KMeans: CPU-intensive, no I/O-intensive phase.
+        assert!(AppKind::KMeans.cpu_intensive());
+        for p in Phase::ALL {
+            assert!(!AppKind::KMeans.io_intensive_in(p));
+        }
+    }
+
+    #[test]
+    fn pagerank_mirrors_kmeans() {
+        assert!(AppKind::PageRank.cpu_intensive());
+    }
+
+    #[test]
+    fn parse_roundtrip() {
+        for app in AppKind::ALL {
+            let parsed: AppKind = app.name().parse().unwrap();
+            assert_eq!(parsed, app);
+        }
+        assert!("WordCount".parse::<AppKind>().is_err());
+    }
+}

@@ -1,0 +1,63 @@
+//! Datasets — the unit of data sharing between jobs.
+//!
+//! §3.1.3: production traces show substantial cross-job input sharing (78 %
+//! of Cloudera jobs involve reuse). CAST++ constrains all jobs reading the
+//! same dataset to the same tier (Eq. 7), so datasets need first-class
+//! identity.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use cast_cloud::units::DataSize;
+
+use crate::reuse::ReusePattern;
+
+/// Identifier of a dataset within a workload.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+pub struct DatasetId(pub u32);
+
+impl fmt::Display for DatasetId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ds{}", self.0)
+    }
+}
+
+/// A named input dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    /// Identifier, unique within a workload.
+    pub id: DatasetId,
+    /// Bytes on storage.
+    pub size: DataSize,
+    /// How this dataset is re-accessed over time.
+    pub reuse: ReusePattern,
+}
+
+impl Dataset {
+    /// A dataset accessed exactly once (no reuse).
+    pub fn single_use(id: DatasetId, size: DataSize) -> Dataset {
+        Dataset {
+            id,
+            size,
+            reuse: ReusePattern::none(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_format() {
+        assert_eq!(DatasetId(17).to_string(), "ds17");
+    }
+
+    #[test]
+    fn single_use_has_one_access() {
+        let d = Dataset::single_use(DatasetId(0), DataSize::from_gb(5.0));
+        assert_eq!(d.reuse.accesses, 1);
+    }
+}

@@ -1,0 +1,250 @@
+//! Quantitative application profiles.
+//!
+//! CAST profiles applications offline and feeds the resulting numbers to its
+//! performance estimator (§4.1). An [`AppProfile`] is our equivalent of that
+//! profile: a compact description of how an application transforms bytes and
+//! how fast a single task can process them on unconstrained storage. The
+//! simulator uses the same profiles as ground truth, which mirrors the
+//! paper's setup where the estimator is fit to measurements of the very
+//! cluster it later predicts.
+//!
+//! The default numbers are calibrated so the qualitative behaviour of each
+//! application matches §3.1.2:
+//!
+//! * **Sort** moves its full input through every phase (selectivity 1), so
+//!   the fastest tier wins outright (Fig. 1a).
+//! * **Join** is reduce-intensive and scatters many small output files,
+//!   which object storage punishes with per-request overheads (Fig. 1b).
+//! * **Grep** is map-I/O-bound with negligible intermediate/output data, so
+//!   runtime tracks sequential read bandwidth and the cheapest
+//!   adequate-bandwidth tier wins on utility (Fig. 1c).
+//! * **KMeans**/**PageRank** are CPU-bound; storage choice barely moves the
+//!   needle on runtime, so the cheapest tier wins (Fig. 1d).
+
+use serde::{Deserialize, Serialize};
+
+use cast_cloud::units::Bandwidth;
+
+use crate::apps::AppKind;
+
+/// Offline profile for one application kind.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AppProfile {
+    /// The application this profile describes.
+    pub kind: AppKind,
+    /// Intermediate bytes produced per input byte (`interᵢ / inputᵢ`).
+    pub map_selectivity: f64,
+    /// Output bytes produced per input byte (`outputᵢ / inputᵢ`).
+    pub output_selectivity: f64,
+    /// Per-task processing rate during the map phase: how fast the map
+    /// function itself consumes bytes when storage is not the bottleneck.
+    pub map_rate: Bandwidth,
+    /// Per-task processing rate during the reduce phase (merge + reduce
+    /// function + write path CPU).
+    pub reduce_rate: Bandwidth,
+    /// Per-task I/O ceiling imposed by the framework's streaming client
+    /// (HDFS/GCS client path); one task cannot pull more than this even
+    /// from an idle volume.
+    pub per_task_io_cap: Bandwidth,
+    /// Files written per reduce task. Join's many small per-reducer outputs
+    /// drive the object-store connection-setup penalty of §3.1.2.
+    pub output_files_per_reduce: usize,
+    /// Input files read per map task (1 for splittable single files).
+    pub input_files_per_map: usize,
+    /// Number of passes over the input (iterative ML/graph apps re-read
+    /// their dataset each iteration; re-reads hit the page cache on block
+    /// tiers but re-fetch from the object store).
+    pub iterations: usize,
+}
+
+impl AppProfile {
+    /// The calibrated default profile for `kind`.
+    pub fn default_for(kind: AppKind) -> AppProfile {
+        match kind {
+            AppKind::Sort => AppProfile {
+                kind,
+                map_selectivity: 1.0,
+                output_selectivity: 1.0,
+                map_rate: Bandwidth::from_mbps(65.0),
+                reduce_rate: Bandwidth::from_mbps(60.0),
+                per_task_io_cap: Bandwidth::from_mbps(150.0),
+                output_files_per_reduce: 1,
+                input_files_per_map: 1,
+                iterations: 1,
+            },
+            AppKind::Join => AppProfile {
+                kind,
+                map_selectivity: 0.45,
+                output_selectivity: 0.30,
+                map_rate: Bandwidth::from_mbps(45.0),
+                reduce_rate: Bandwidth::from_mbps(14.0),
+                per_task_io_cap: Bandwidth::from_mbps(150.0),
+                output_files_per_reduce: 300,
+                input_files_per_map: 1,
+                iterations: 1,
+            },
+            AppKind::Grep => AppProfile {
+                kind,
+                map_selectivity: 0.001,
+                output_selectivity: 0.001,
+                map_rate: Bandwidth::from_mbps(110.0),
+                reduce_rate: Bandwidth::from_mbps(60.0),
+                per_task_io_cap: Bandwidth::from_mbps(150.0),
+                output_files_per_reduce: 1,
+                input_files_per_map: 1,
+                iterations: 1,
+            },
+            AppKind::KMeans => AppProfile {
+                kind,
+                map_selectivity: 0.02,
+                output_selectivity: 0.02,
+                // Total-input processing rate: ~2.8 MB/s per task across
+                // all 8 clustering iterations.
+                map_rate: Bandwidth::from_mbps(2.8),
+                reduce_rate: Bandwidth::from_mbps(5.0),
+                per_task_io_cap: Bandwidth::from_mbps(150.0),
+                output_files_per_reduce: 1,
+                input_files_per_map: 1,
+                iterations: 8,
+            },
+            AppKind::PageRank => AppProfile {
+                kind,
+                map_selectivity: 0.30,
+                output_selectivity: 0.02,
+                map_rate: Bandwidth::from_mbps(3.0),
+                reduce_rate: Bandwidth::from_mbps(8.0),
+                per_task_io_cap: Bandwidth::from_mbps(150.0),
+                output_files_per_reduce: 1,
+                input_files_per_map: 1,
+                iterations: 8,
+            },
+        }
+    }
+
+    /// Basic sanity checks for a (possibly user-supplied) profile.
+    pub fn is_valid(&self) -> bool {
+        self.map_selectivity >= 0.0
+            && self.output_selectivity >= 0.0
+            && self.map_rate.mb_per_sec() > 0.0
+            && self.reduce_rate.mb_per_sec() > 0.0
+            && self.per_task_io_cap.mb_per_sec() > 0.0
+            && self.output_files_per_reduce >= 1
+            && self.input_files_per_map >= 1
+            && self.iterations >= 1
+    }
+}
+
+/// The full set of profiles the framework knows about.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProfileSet {
+    profiles: Vec<AppProfile>,
+}
+
+impl ProfileSet {
+    /// Calibrated defaults for every modelled application.
+    pub fn defaults() -> ProfileSet {
+        ProfileSet {
+            profiles: AppKind::ALL
+                .iter()
+                .map(|&k| AppProfile::default_for(k))
+                .collect(),
+        }
+    }
+
+    /// Look up the profile for `kind`.
+    pub fn get(&self, kind: AppKind) -> &AppProfile {
+        self.profiles
+            .iter()
+            .find(|p| p.kind == kind)
+            .expect("ProfileSet covers every AppKind")
+    }
+
+    /// Replace the profile for one application (profiling updates,
+    /// sensitivity studies).
+    pub fn set(&mut self, profile: AppProfile) {
+        if let Some(slot) = self.profiles.iter_mut().find(|p| p.kind == profile.kind) {
+            *slot = profile;
+        } else {
+            self.profiles.push(profile);
+        }
+    }
+
+    /// Iterate all profiles.
+    pub fn iter(&self) -> impl Iterator<Item = &AppProfile> {
+        self.profiles.iter()
+    }
+}
+
+impl Default for ProfileSet {
+    fn default() -> Self {
+        ProfileSet::defaults()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_cover_all_apps_and_validate() {
+        let set = ProfileSet::defaults();
+        for kind in AppKind::ALL {
+            let p = set.get(kind);
+            assert_eq!(p.kind, kind);
+            assert!(p.is_valid(), "{kind} profile invalid");
+        }
+    }
+
+    #[test]
+    fn sort_moves_all_bytes() {
+        let p = AppProfile::default_for(AppKind::Sort);
+        assert_eq!(p.map_selectivity, 1.0);
+        assert_eq!(p.output_selectivity, 1.0);
+    }
+
+    #[test]
+    fn cpu_bound_apps_have_low_rates() {
+        // A 16-slot VM of KMeans tasks must demand less aggregate first-pass
+        // bandwidth than persHDD's ~97 MB/s at 500 GB, so that storage
+        // choice does not affect its runtime (Fig. 1d).
+        let p = AppProfile::default_for(AppKind::KMeans);
+        assert!(p.map_rate.mb_per_sec() * 16.0 < 97.0);
+        assert!(p.iterations > 1, "KMeans is iterative");
+    }
+
+    #[test]
+    fn grep_is_storage_bound_on_every_tier() {
+        // 16 Grep tasks demand more than any single tier's per-VM
+        // bandwidth, so Grep's map phase tracks storage speed (Fig. 1c).
+        let p = AppProfile::default_for(AppKind::Grep);
+        assert!(p.map_rate.mb_per_sec() * 16.0 > 733.0);
+    }
+
+    #[test]
+    fn join_emits_many_small_files() {
+        let p = AppProfile::default_for(AppKind::Join);
+        assert!(p.output_files_per_reduce > 10);
+        let sort = AppProfile::default_for(AppKind::Sort);
+        assert_eq!(sort.output_files_per_reduce, 1);
+    }
+
+    #[test]
+    fn set_replaces_existing_profile() {
+        let mut set = ProfileSet::defaults();
+        let mut p = *set.get(AppKind::Grep);
+        p.map_rate = Bandwidth::from_mbps(999.0);
+        set.set(p);
+        assert_eq!(set.get(AppKind::Grep).map_rate.mb_per_sec(), 999.0);
+        assert_eq!(set.iter().count(), AppKind::ALL.len());
+    }
+
+    #[test]
+    fn invalid_profile_detected() {
+        let mut p = AppProfile::default_for(AppKind::Sort);
+        p.map_rate = Bandwidth::ZERO;
+        assert!(!p.is_valid());
+        let mut q = AppProfile::default_for(AppKind::Sort);
+        q.output_files_per_reduce = 0;
+        assert!(!q.is_valid());
+    }
+}

@@ -1,0 +1,344 @@
+//! Deterministic workload synthesis.
+//!
+//! Builders for every workload the paper evaluates:
+//!
+//! * [`facebook_workload`] — the 100-job Table 4 workload with 15 % input
+//!   sharing and round-robin application assignment (§5.1.1),
+//! * [`fig4_workflow`] — the 4-job search-log-analysis workflow of Fig. 4,
+//! * [`workflow_suite`] — the 5-workflow / 31-job deadline experiment of
+//!   §5.2.1,
+//! * [`prediction_workload`] — the 16-job / 2 TB regression-validation
+//!   workload of Fig. 8.
+//!
+//! All builders are deterministic given their seed.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use cast_cloud::units::{DataSize, Duration};
+
+use crate::apps::AppKind;
+use crate::dataset::{Dataset, DatasetId};
+use crate::error::WorkloadError;
+use crate::facebook::table4;
+use crate::job::{Job, JobId};
+use crate::reuse::ReusePattern;
+use crate::spec::WorkloadSpec;
+use crate::workflow::{Workflow, WorkflowId};
+
+/// Configuration for the Facebook-derived workload.
+#[derive(Debug, Clone, Copy)]
+pub struct FacebookConfig {
+    /// Fraction of jobs that read a dataset already read by another job
+    /// (the paper uses 0.15).
+    pub share_fraction: f64,
+    /// RNG seed for the round-robin offset and share selection.
+    pub seed: u64,
+}
+
+impl Default for FacebookConfig {
+    fn default() -> Self {
+        FacebookConfig {
+            share_fraction: 0.15,
+            seed: 42,
+        }
+    }
+}
+
+/// Build the paper's 100-job evaluation workload (§5.1.1): job sizes from
+/// Table 4, the four Table 2 applications assigned round-robin, and
+/// `share_fraction` of jobs sharing input datasets.
+pub fn facebook_workload(cfg: FacebookConfig) -> Result<WorkloadSpec, WorkloadError> {
+    if !(0.0..=1.0).contains(&cfg.share_fraction) {
+        return Err(WorkloadError::BadSynthesisParameter("share_fraction"));
+    }
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut spec = WorkloadSpec::empty();
+    let mut next_job = 0u32;
+    let mut next_ds = 0u32;
+
+    // Expand bins into (bin, input) job slots, largest first so the big
+    // jobs land early in round-robin app assignment (matching the paper's
+    // focus on large jobs).
+    let mut slots: Vec<DataSize> = Vec::new();
+    for bin in table4().iter().rev() {
+        for _ in 0..bin.workload_jobs {
+            slots.push(bin.input_size());
+        }
+    }
+
+    // Choose which jobs share input: a job marked "sharing" reads the
+    // dataset of the most recent prior job with the same input size.
+    let n_sharing = (slots.len() as f64 * cfg.share_fraction).round() as usize;
+    let mut share_idx: Vec<usize> = (1..slots.len()).collect();
+    share_idx.shuffle(&mut rng);
+    share_idx.truncate(n_sharing);
+    share_idx.sort_unstable();
+
+    let mut last_ds_for_size: Vec<(DataSize, DatasetId)> = Vec::new();
+    for (i, &input) in slots.iter().enumerate() {
+        let app = AppKind::TABLE2[i % AppKind::TABLE2.len()];
+        let shared = share_idx.contains(&i);
+        let ds_id = if shared {
+            last_ds_for_size
+                .iter()
+                .rev()
+                .find(|(s, _)| (s.gb() - input.gb()).abs() < 1e-9)
+                .map(|&(_, id)| id)
+        } else {
+            None
+        };
+        let ds_id = match ds_id {
+            Some(id) => id,
+            None => {
+                let id = DatasetId(next_ds);
+                next_ds += 1;
+                spec.datasets.push(Dataset::single_use(id, input));
+                last_ds_for_size.push((input, id));
+                id
+            }
+        };
+        let maps = (input.mb() / 256.0).ceil().max(1.0) as usize;
+        spec.jobs.push(Job {
+            id: JobId(next_job),
+            app,
+            dataset: ds_id,
+            input,
+            maps,
+            reduces: (maps / 4).max(1),
+        });
+        next_job += 1;
+    }
+
+    // Datasets read by several jobs over the course of one workload run are
+    // short-term reuse.
+    let groups = spec.reuse_groups();
+    for (ds, jobs) in groups {
+        if let Some(d) = spec.datasets.iter_mut().find(|d| d.id == ds) {
+            d.reuse = ReusePattern {
+                accesses: jobs.len(),
+                lifetime: Duration::from_hours(1.0),
+            };
+        }
+    }
+
+    spec.validate()?;
+    Ok(spec)
+}
+
+/// The Fig. 4 search-engine log-analysis workflow:
+/// `Grep 250G → {PageRank 20G, Sort 120G} → Join 120G`, deadline 8 000 s.
+pub fn fig4_workflow() -> WorkloadSpec {
+    let mut spec = WorkloadSpec::empty();
+    let sizes = [
+        (AppKind::Grep, 250.0),
+        (AppKind::PageRank, 20.0),
+        (AppKind::Sort, 120.0),
+        (AppKind::Join, 120.0),
+    ];
+    for (i, (app, gb)) in sizes.iter().enumerate() {
+        let ds = DatasetId(i as u32);
+        spec.datasets
+            .push(Dataset::single_use(ds, DataSize::from_gb(*gb)));
+        spec.jobs.push(Job::with_default_layout(
+            JobId(i as u32),
+            *app,
+            ds,
+            DataSize::from_gb(*gb),
+        ));
+    }
+    let mut wf = Workflow::new(WorkflowId(0), Duration::from_secs(8000.0));
+    wf.jobs = vec![JobId(0), JobId(1), JobId(2), JobId(3)];
+    wf.edges = vec![
+        (JobId(0), JobId(1)),
+        (JobId(0), JobId(2)),
+        (JobId(1), JobId(3)),
+        (JobId(2), JobId(3)),
+    ];
+    spec.workflows.push(wf);
+    spec
+}
+
+/// The §5.2.1 deadline experiment: five workflows totalling 31 jobs (the
+/// longest has 9), deadlines between 15 and 40 minutes, all jobs large
+/// enough to keep the 400-core cluster busy.
+pub fn workflow_suite(seed: u64) -> WorkloadSpec {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut spec = WorkloadSpec::empty();
+    let lengths = [9usize, 8, 6, 5, 3];
+    let deadlines_min = [40.0, 35.0, 28.0, 22.0, 15.0];
+    let mut next = 0u32;
+    for (w, (&len, &dl)) in lengths.iter().zip(deadlines_min.iter()).enumerate() {
+        let mut jobs = Vec::with_capacity(len);
+        for k in 0..len {
+            let app = AppKind::ALL[(next as usize + k) % AppKind::ALL.len()];
+            // Large jobs: 60–200 GB inputs.
+            let gb = rng.gen_range(60.0..200.0);
+            let ds = DatasetId(next);
+            spec.datasets
+                .push(Dataset::single_use(ds, DataSize::from_gb(gb)));
+            spec.jobs.push(Job::with_default_layout(
+                JobId(next),
+                app,
+                ds,
+                DataSize::from_gb(gb),
+            ));
+            jobs.push(JobId(next));
+            next += 1;
+        }
+        // Mostly-linear chains with an occasional fan-out, which matches
+        // the paper's query-plan-shaped workflows.
+        let mut wf = Workflow::new(WorkflowId(w as u32), Duration::from_mins(dl));
+        wf.jobs = jobs.clone();
+        for pair in jobs.windows(2) {
+            wf.edges.push((pair[0], pair[1]));
+        }
+        if len >= 5 {
+            // Add one fan-out edge from the first job to the midpoint.
+            wf.edges.push((jobs[0], jobs[len / 2]));
+        }
+        spec.workflows.push(wf);
+    }
+    debug_assert_eq!(spec.jobs.len(), 31);
+    spec.validate().expect("synthesized suite must validate");
+    spec
+}
+
+/// The Fig. 8 regression-validation workload: 16 modest jobs totalling
+/// 2 TB (125 GB each), four of each Table 2 application.
+pub fn prediction_workload() -> WorkloadSpec {
+    let mut spec = WorkloadSpec::empty();
+    for i in 0..16u32 {
+        let app = AppKind::TABLE2[i as usize % 4];
+        let ds = DatasetId(i);
+        let input = DataSize::from_gb(125.0);
+        spec.datasets.push(Dataset::single_use(ds, input));
+        spec.jobs
+            .push(Job::with_default_layout(JobId(i), app, ds, input));
+    }
+    spec.validate().expect("prediction workload must validate");
+    spec
+}
+
+/// A single-job workload for one application — the Fig. 1/3 micro studies.
+pub fn single_job(app: AppKind, input: DataSize) -> WorkloadSpec {
+    single_job_with_reuse(app, input, ReusePattern::none())
+}
+
+/// A single-job workload whose dataset carries a reuse pattern (Fig. 3).
+pub fn single_job_with_reuse(
+    app: AppKind,
+    input: DataSize,
+    reuse: ReusePattern,
+) -> WorkloadSpec {
+    let mut spec = WorkloadSpec::empty();
+    spec.datasets.push(Dataset {
+        id: DatasetId(0),
+        size: input,
+        reuse,
+    });
+    spec.jobs
+        .push(Job::with_default_layout(JobId(0), app, DatasetId(0), input));
+    spec
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn facebook_workload_matches_table4() {
+        let spec = facebook_workload(FacebookConfig::default()).unwrap();
+        assert_eq!(spec.jobs.len(), 100);
+        // Count jobs per bin size.
+        let count = |maps: usize| spec.jobs.iter().filter(|j| j.maps == maps).count();
+        assert_eq!(count(1), 35);
+        assert_eq!(count(5), 22);
+        assert_eq!(count(10), 16);
+        assert_eq!(count(50), 13);
+        assert_eq!(count(500), 7);
+        assert_eq!(count(1500), 4);
+        assert_eq!(count(3000), 3);
+    }
+
+    #[test]
+    fn facebook_workload_has_requested_sharing() {
+        let spec = facebook_workload(FacebookConfig::default()).unwrap();
+        let shared_jobs: usize = spec.reuse_groups().iter().map(|(_, js)| js.len()).sum();
+        // 15 jobs were marked sharing; each group has ≥2 members, so at
+        // least 15 jobs (sharers) participate and at most 30.
+        assert!(
+            (15..=30).contains(&shared_jobs),
+            "got {shared_jobs} sharing jobs"
+        );
+    }
+
+    #[test]
+    fn facebook_workload_round_robins_apps() {
+        let spec = facebook_workload(FacebookConfig::default()).unwrap();
+        for app in AppKind::TABLE2 {
+            let n = spec.jobs.iter().filter(|j| j.app == app).count();
+            assert_eq!(n, 25, "{app} should appear 25 times");
+        }
+    }
+
+    #[test]
+    fn facebook_workload_is_deterministic() {
+        let a = facebook_workload(FacebookConfig::default()).unwrap();
+        let b = facebook_workload(FacebookConfig::default()).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn bad_share_fraction_rejected() {
+        let cfg = FacebookConfig {
+            share_fraction: 1.5,
+            seed: 1,
+        };
+        assert!(facebook_workload(cfg).is_err());
+    }
+
+    #[test]
+    fn fig4_workflow_shape() {
+        let spec = fig4_workflow();
+        assert_eq!(spec.jobs.len(), 4);
+        let wf = &spec.workflows[0];
+        assert!(wf.validate().is_ok());
+        assert_eq!(wf.roots(), vec![JobId(0)]);
+        assert_eq!(wf.sinks(), vec![JobId(3)]);
+        assert!((wf.deadline.secs() - 8000.0).abs() < 1e-9);
+        assert_eq!(spec.job(JobId(0)).unwrap().app, AppKind::Grep);
+        assert!((spec.job(JobId(0)).unwrap().input.gb() - 250.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn workflow_suite_shape() {
+        let spec = workflow_suite(7);
+        assert_eq!(spec.jobs.len(), 31);
+        assert_eq!(spec.workflows.len(), 5);
+        let max_len = spec.workflows.iter().map(|w| w.jobs.len()).max().unwrap();
+        assert_eq!(max_len, 9);
+        for w in &spec.workflows {
+            assert!(w.deadline.mins() >= 15.0 && w.deadline.mins() <= 40.0);
+            assert!(w.validate().is_ok());
+        }
+    }
+
+    #[test]
+    fn prediction_workload_is_2tb() {
+        let spec = prediction_workload();
+        assert_eq!(spec.jobs.len(), 16);
+        assert!((spec.total_input().gb() - 2000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn single_job_reuse_carried() {
+        let spec = single_job_with_reuse(
+            AppKind::Grep,
+            DataSize::from_gb(10.0),
+            ReusePattern::short_term(),
+        );
+        assert_eq!(spec.datasets[0].reuse.accesses, 7);
+    }
+}

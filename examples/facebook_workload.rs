@@ -1,0 +1,59 @@
+//! The paper's 100-job Facebook-derived workload, end to end.
+//!
+//! Synthesizes the Table 4 workload (with 15 % input sharing), plans it
+//! with CAST and CAST++, deploys both on the simulated 400-core cluster
+//! and prints the comparison against the best non-tiered baseline.
+//!
+//! ```text
+//! cargo run --release --example facebook_workload
+//! ```
+
+use cast::prelude::*;
+use cast::workload::facebook;
+use cast::workload::synth::{facebook_workload, FacebookConfig};
+
+fn main() {
+    println!("{}", facebook::render_table4());
+
+    let spec = facebook_workload(FacebookConfig::default()).expect("synthesis");
+    println!(
+        "synthesized {} jobs, {:.1} TB of input, {} reuse groups\n",
+        spec.jobs.len(),
+        spec.total_input().gb() / 1000.0,
+        spec.reuse_groups().len()
+    );
+
+    // The full-fidelity profiling campaign runs ~150 calibration
+    // simulations on the 25-VM cluster; expect ~a minute in release mode.
+    eprintln!("[profiling applications offline...]");
+    let framework = Cast::builder().nvm(25).build().expect("profiling");
+
+    let strategies = [
+        PlanStrategy::Uniform(Tier::PersSsd),
+        PlanStrategy::GreedyOverProvisioned,
+        PlanStrategy::Cast,
+        PlanStrategy::CastPlusPlus,
+    ];
+    println!("configuration        runtime      cost       utility");
+    let mut utilities = Vec::new();
+    for strategy in strategies {
+        let planned = framework.plan(&spec, strategy).expect("planning");
+        let out = framework.deploy(&spec, &planned.plan).expect("deployment");
+        println!(
+            "{:<18}  {:>9}  {:>8}   {:.3e}",
+            strategy.name(),
+            format!("{}", out.makespan),
+            format!("{}", out.cost.total()),
+            out.utility
+        );
+        utilities.push((strategy.name(), out.utility));
+    }
+
+    let baseline = utilities[0].1;
+    for (name, u) in &utilities[1..] {
+        println!(
+            "{name} vs persSSD 100%: {:+.1}% utility",
+            (u / baseline - 1.0) * 100.0
+        );
+    }
+}

@@ -1,0 +1,25 @@
+//! # cast
+//!
+//! Umbrella crate for the CAST workspace (HPDC'15 reproduction): re-exports
+//! the public API of every member crate and hosts the runnable examples
+//! (`examples/`) and cross-crate integration tests (`tests/`).
+//!
+//! Start with [`cast_core::prelude`]:
+//!
+//! ```no_run
+//! use cast::prelude::*;
+//!
+//! let framework = Cast::builder().nvm(25).build().unwrap();
+//! let spec = cast::workload::synth::facebook_workload(Default::default()).unwrap();
+//! let planned = framework.plan(&spec, PlanStrategy::CastPlusPlus).unwrap();
+//! println!("estimated utility: {:.3e}", planned.eval.utility);
+//! ```
+
+pub use cast_cloud as cloud;
+pub use cast_core as core;
+pub use cast_estimator as estimator;
+pub use cast_sim as sim;
+pub use cast_solver as solver;
+pub use cast_workload as workload;
+
+pub use cast_core::prelude;

@@ -1,0 +1,56 @@
+//! Shared helpers for the integration tests: a quick profiling setup that
+//! keeps debug-mode test time reasonable.
+
+use cast::prelude::*;
+use cast_estimator::profiler::ProfilerConfig;
+
+/// A framework profiled on a tiny grid (seconds, not minutes, in debug).
+#[allow(dead_code)]
+pub fn quick_framework(nvm: usize) -> Cast {
+    Cast::builder()
+        .nvm(nvm)
+        .profiler(quick_profiler())
+        .build()
+        .expect("offline profiling")
+}
+
+/// The tiny profiling campaign behind [`quick_framework`].
+#[allow(dead_code)]
+pub fn quick_profiler() -> ProfilerConfig {
+    ProfilerConfig {
+        nvm: 2,
+        reference_input: DataSize::from_gb(20.0),
+        block_grid: vec![50.0, 200.0, 800.0],
+        eph_grid: vec![375.0],
+        objstore_scratch_gb: 100.0,
+    }
+}
+
+/// A four-job workload with one of each studied application.
+#[allow(dead_code)] // not every integration test file uses every helper
+pub fn mixed_spec() -> WorkloadSpec {
+    let mut spec = WorkloadSpec::empty();
+    for (i, (app, gb)) in [
+        (AppKind::Sort, 30.0),
+        (AppKind::Join, 40.0),
+        (AppKind::Grep, 60.0),
+        (AppKind::KMeans, 20.0),
+    ]
+    .iter()
+    .enumerate()
+    {
+        let ds = cast::workload::DatasetId(i as u32);
+        spec.datasets.push(cast::workload::Dataset::single_use(
+            ds,
+            DataSize::from_gb(*gb),
+        ));
+        spec.jobs.push(Job::with_default_layout(
+            JobId(i as u32),
+            *app,
+            ds,
+            DataSize::from_gb(*gb),
+        ));
+    }
+    spec.validate().expect("valid spec");
+    spec
+}

@@ -1,0 +1,49 @@
+//! Reproducibility: everything is deterministic given the seeds.
+
+mod common;
+
+use cast::prelude::*;
+use cast::workload::synth::{facebook_workload, workflow_suite, FacebookConfig};
+use common::{mixed_spec, quick_framework};
+
+#[test]
+fn workload_synthesis_is_deterministic() {
+    assert_eq!(
+        facebook_workload(FacebookConfig::default()).unwrap(),
+        facebook_workload(FacebookConfig::default()).unwrap()
+    );
+    assert_eq!(workflow_suite(3), workflow_suite(3));
+    assert_ne!(workflow_suite(3), workflow_suite(4), "seed must matter");
+}
+
+#[test]
+fn profiling_is_deterministic() {
+    let a = quick_framework(2);
+    let b = quick_framework(2);
+    assert_eq!(a.estimator().matrix, b.estimator().matrix);
+}
+
+#[test]
+fn planning_and_deployment_are_deterministic() {
+    let framework = quick_framework(2);
+    let spec = mixed_spec();
+    let p1 = framework.plan(&spec, PlanStrategy::Cast).unwrap();
+    let p2 = framework.plan(&spec, PlanStrategy::Cast).unwrap();
+    assert_eq!(p1.plan, p2.plan);
+    let d1 = framework.deploy(&spec, &p1.plan).unwrap();
+    let d2 = framework.deploy(&spec, &p2.plan).unwrap();
+    assert_eq!(d1.report, d2.report);
+    assert_eq!(d1.makespan, d2.makespan);
+}
+
+#[test]
+fn different_share_fractions_change_the_workload() {
+    let none = facebook_workload(FacebookConfig {
+        share_fraction: 0.0,
+        seed: 42,
+    })
+    .unwrap();
+    let some = facebook_workload(FacebookConfig::default()).unwrap();
+    assert!(none.reuse_groups().is_empty());
+    assert!(!some.reuse_groups().is_empty());
+}

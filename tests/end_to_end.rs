@@ -1,0 +1,108 @@
+//! End-to-end pipeline tests: profile → plan → deploy across crates.
+
+mod common;
+
+use cast::prelude::*;
+use common::{mixed_spec, quick_framework};
+
+#[test]
+fn every_strategy_plans_and_deploys() {
+    let framework = quick_framework(2);
+    let spec = mixed_spec();
+    for strategy in PlanStrategy::ALL {
+        let planned = framework.plan(&spec, strategy).expect("planning");
+        assert_eq!(planned.plan.len(), spec.jobs.len(), "{}", strategy.name());
+        let out = framework.deploy(&spec, &planned.plan).expect("deployment");
+        assert_eq!(out.report.jobs.len(), spec.jobs.len());
+        assert!(out.makespan.secs() > 0.0);
+        assert!(out.utility > 0.0, "{}", strategy.name());
+    }
+}
+
+#[test]
+fn cast_estimated_utility_dominates_every_baseline() {
+    let framework = quick_framework(2);
+    let spec = mixed_spec();
+    let cast = framework.plan(&spec, PlanStrategy::Cast).expect("CAST");
+    for strategy in [
+        PlanStrategy::Uniform(Tier::EphSsd),
+        PlanStrategy::Uniform(Tier::PersSsd),
+        PlanStrategy::Uniform(Tier::PersHdd),
+        PlanStrategy::Uniform(Tier::ObjStore),
+        PlanStrategy::GreedyExactFit,
+        PlanStrategy::GreedyOverProvisioned,
+    ] {
+        let other = framework.plan(&spec, strategy).expect("baseline");
+        assert!(
+            cast.eval.utility >= other.eval.utility - 1e-15,
+            "CAST ({:.3e}) must dominate {} ({:.3e}) in its own estimates",
+            cast.eval.utility,
+            strategy.name(),
+            other.eval.utility
+        );
+    }
+}
+
+#[test]
+fn predictions_track_deployments() {
+    let framework = quick_framework(2);
+    let spec = mixed_spec();
+    for strategy in [
+        PlanStrategy::Uniform(Tier::PersSsd),
+        PlanStrategy::Uniform(Tier::EphSsd),
+        PlanStrategy::Cast,
+    ] {
+        let planned = framework.plan(&spec, strategy).expect("planning");
+        let out = framework.deploy(&spec, &planned.plan).expect("deployment");
+        let err =
+            (planned.eval.time.secs() - out.makespan.secs()).abs() / out.makespan.secs();
+        assert!(
+            err < 0.35,
+            "{}: predicted {} vs observed {} ({:.0}% off)",
+            strategy.name(),
+            planned.eval.time,
+            out.makespan,
+            err * 100.0
+        );
+    }
+}
+
+#[test]
+fn deployment_capacities_cover_plan_requirements() {
+    let framework = quick_framework(2);
+    let spec = mixed_spec();
+    let planned = framework
+        .plan(&spec, PlanStrategy::GreedyOverProvisioned)
+        .expect("planning");
+    let out = framework.deploy(&spec, &planned.plan).expect("deployment");
+    // Every tier used by the plan must have at least the job footprints
+    // provisioned.
+    for (job, a) in planned.plan.iter() {
+        let j = spec.job(job).expect("assigned job");
+        let footprint = j.footprint(spec.profiles.get(j.app));
+        assert!(
+            out.capacities.get(a.tier).gb() + 1e-6 >= footprint.gb(),
+            "{job} on {} needs {footprint}",
+            a.tier
+        );
+    }
+}
+
+#[test]
+fn report_renders_for_deployed_plan() {
+    let framework = quick_framework(2);
+    let spec = mixed_spec();
+    let planned = framework
+        .plan(&spec, PlanStrategy::CastPlusPlus)
+        .expect("planning");
+    let out = framework.deploy(&spec, &planned.plan).expect("deployment");
+    let report = cast::core::DeploymentReport {
+        strategy: "CAST++".into(),
+        predicted: planned.eval,
+        observed: out,
+    };
+    let text = report.render();
+    assert!(text.contains("CAST++"));
+    assert!(text.contains("predicted"));
+    assert!(text.contains("observed"));
+}

@@ -1,0 +1,155 @@
+//! Cross-crate property-based tests: invariants that must hold for
+//! arbitrary workloads and placements.
+
+mod common;
+
+use proptest::prelude::*;
+
+use cast::prelude::*;
+use cast::cloud::tier::PerTier;
+use cast::sim::config::SimConfig;
+use cast::sim::placement::PlacementMap;
+use cast::sim::runner::simulate;
+use cast::solver::{evaluate, EvalContext, TieringPlan};
+use cast::workload::dataset::{Dataset, DatasetId};
+
+fn arb_app() -> impl Strategy<Value = AppKind> {
+    prop::sample::select(AppKind::ALL.to_vec())
+}
+
+fn arb_tier() -> impl Strategy<Value = Tier> {
+    prop::sample::select(Tier::ALL.to_vec())
+}
+
+/// A random small workload of 1–5 jobs with 1–40 GB inputs.
+fn arb_spec() -> impl Strategy<Value = WorkloadSpec> {
+    prop::collection::vec((arb_app(), 1.0f64..40.0), 1..5).prop_map(|jobs| {
+        let mut spec = WorkloadSpec::empty();
+        for (i, (app, gb)) in jobs.into_iter().enumerate() {
+            let ds = DatasetId(i as u32);
+            spec.datasets
+                .push(Dataset::single_use(ds, DataSize::from_gb(gb)));
+            spec.jobs.push(Job::with_default_layout(
+                JobId(i as u32),
+                app,
+                ds,
+                DataSize::from_gb(gb),
+            ));
+        }
+        spec
+    })
+}
+
+/// A cluster with every tier generously provisioned.
+fn sim_config(nvm: usize) -> SimConfig {
+    let agg = PerTier::from_fn(|_| DataSize::from_gb(1000.0) * nvm as f64);
+    SimConfig::with_aggregate_capacity(Catalog::google_cloud(), nvm, &agg)
+        .expect("provisionable")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The simulator never panics, always reports every job, and keeps
+    /// basic time accounting consistent for arbitrary workloads and
+    /// uniform placements.
+    #[test]
+    fn simulation_time_accounting_is_consistent(
+        spec in arb_spec(),
+        tier in arb_tier(),
+    ) {
+        let cfg = sim_config(2);
+        let placements = PlacementMap::uniform(spec.jobs.iter().map(|j| j.id), tier);
+        let report = simulate(&spec, &placements, &cfg).expect("simulation");
+        prop_assert_eq!(report.jobs.len(), spec.jobs.len());
+        for m in &report.jobs {
+            prop_assert!(m.finished.secs() >= m.started.secs());
+            prop_assert!(m.finished.secs() <= report.makespan.secs() + 1e-6);
+            // Phase wall times can never exceed the job's span.
+            let phases = m.stage_in + m.map + m.reduce + m.stage_out;
+            prop_assert!(
+                phases.secs() <= m.runtime().secs() + 1e-6,
+                "phases {} vs runtime {}",
+                phases,
+                m.runtime()
+            );
+        }
+    }
+
+    /// Sequential execution: job spans never overlap.
+    #[test]
+    fn sequential_jobs_never_overlap(spec in arb_spec(), tier in arb_tier()) {
+        let cfg = sim_config(2);
+        let placements = PlacementMap::uniform(spec.jobs.iter().map(|j| j.id), tier);
+        let report = simulate(&spec, &placements, &cfg).expect("simulation");
+        let mut spans: Vec<(f64, f64)> = report
+            .jobs
+            .iter()
+            .map(|m| (m.started.secs(), m.finished.secs()))
+            .collect();
+        spans.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
+        for w in spans.windows(2) {
+            prop_assert!(w[1].0 >= w[0].1 - 1e-6, "overlap: {w:?}");
+        }
+    }
+
+    /// Plan capacity accounting always covers the Eq. 3 footprints.
+    #[test]
+    fn plan_capacities_cover_footprints(
+        spec in arb_spec(),
+        tier in arb_tier(),
+        factor in prop::sample::select(vec![1.0f64, 2.0, 4.0]),
+    ) {
+        let mut plan = TieringPlan::new();
+        for j in &spec.jobs {
+            plan.assign(j.id, cast::solver::Assignment { tier, overprov: factor });
+        }
+        let caps = plan.capacities(&spec, false).expect("well-formed plan");
+        let total: f64 = Tier::ALL.iter().map(|&t| caps.get(t).gb()).sum();
+        let footprints: f64 = spec
+            .jobs
+            .iter()
+            .map(|j| j.footprint(spec.profiles.get(j.app)).gb() * factor)
+            .sum();
+        // Conventions may add backing capacity but never lose any.
+        prop_assert!(total + 1e-6 >= footprints, "{total} < {footprints}");
+    }
+
+    /// More provisioned capacity never makes the simulated workload slower
+    /// (monotonicity of the performance surface).
+    #[test]
+    fn capacity_is_monotone_in_the_simulator(
+        gb in 5.0f64..60.0,
+        app in arb_app(),
+    ) {
+        let spec = cast::workload::synth::single_job(app, DataSize::from_gb(gb));
+        let run = |per_vm: f64| {
+            let mut agg = PerTier::from_fn(|_| DataSize::ZERO);
+            *agg.get_mut(Tier::PersSsd) = DataSize::from_gb(per_vm) * 2.0;
+            let cfg = SimConfig::with_aggregate_capacity(
+                Catalog::google_cloud(),
+                2,
+                &agg,
+            )
+            .expect("provisionable");
+            let placements =
+                PlacementMap::uniform(spec.jobs.iter().map(|j| j.id), Tier::PersSsd);
+            simulate(&spec, &placements, &cfg).expect("simulation").makespan.secs()
+        };
+        let small = run(100.0);
+        let large = run(400.0);
+        prop_assert!(large <= small * 1.01, "more capacity slower: {small} -> {large}");
+    }
+}
+
+#[test]
+fn evaluated_utility_matches_manual_recomputation() {
+    // Non-random cross-check of Eq. 2 wiring through the solver.
+    let framework = common::quick_framework(2);
+    let spec = common::mixed_spec();
+    let ctx = EvalContext::new(framework.estimator(), &spec);
+    let plan = TieringPlan::uniform(&spec, Tier::PersSsd);
+    let eval = evaluate(&plan, &ctx).expect("evaluation");
+    let manual = (1.0 / eval.time.mins()) / eval.cost.total().dollars();
+    assert!((eval.utility - manual).abs() / manual < 1e-9);
+}

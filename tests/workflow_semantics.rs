@@ -1,0 +1,107 @@
+//! Workflow semantics across the solver and the simulator.
+
+mod common;
+
+use cast::prelude::*;
+use cast::solver::castpp::evaluate_workflow_global;
+use cast::solver::EvalContext;
+use cast::workload::synth;
+use common::quick_framework;
+
+#[test]
+fn deployment_honours_dag_order() {
+    let framework = quick_framework(2);
+    let spec = synth::fig4_workflow();
+    let planned = framework
+        .plan(&spec, PlanStrategy::Uniform(Tier::PersSsd))
+        .expect("planning");
+    let out = framework.deploy(&spec, &planned.plan).expect("deployment");
+    let wf = &spec.workflows[0];
+    for &(parent, child) in &wf.edges {
+        let p = out.report.job(parent).expect("parent simulated");
+        let c = out.report.job(child).expect("child simulated");
+        assert!(
+            c.started.secs() >= p.finished.secs() - 1e-6,
+            "{child} must start after {parent} finishes"
+        );
+    }
+}
+
+#[test]
+fn castpp_keeps_reuse_groups_on_one_tier() {
+    let framework = quick_framework(2);
+    // Three Grep jobs sharing one dataset.
+    let mut spec = synth::single_job(AppKind::Grep, DataSize::from_gb(40.0));
+    for i in 1..3u32 {
+        let mut j = spec.jobs[0];
+        j.id = JobId(i);
+        spec.jobs.push(j);
+    }
+    spec.validate().expect("valid");
+    let planned = framework
+        .plan(&spec, PlanStrategy::CastPlusPlus)
+        .expect("planning");
+    let tiers: Vec<Tier> = spec
+        .jobs
+        .iter()
+        .map(|j| planned.plan.get(j.id).expect("assigned").tier)
+        .collect();
+    assert!(
+        tiers.windows(2).all(|w| w[0] == w[1]),
+        "Eq. 7 violated: {tiers:?}"
+    );
+}
+
+#[test]
+fn castpp_meets_feasible_deadlines() {
+    let framework = quick_framework(2);
+    let mut spec = synth::fig4_workflow();
+    // A generous deadline must be reported feasible and met in deployment.
+    spec.workflows[0].deadline = Duration::from_hours(10.0);
+    let planned = framework
+        .plan(&spec, PlanStrategy::CastPlusPlus)
+        .expect("planning");
+    assert!(planned.workflows[0].1.feasible, "estimated feasible");
+    let out = framework.deploy(&spec, &planned.plan).expect("deployment");
+    let completion = out
+        .report
+        .workflow_completion(&spec.workflows[0].jobs)
+        .expect("members simulated");
+    assert!(completion <= spec.workflows[0].deadline);
+}
+
+#[test]
+fn tighter_deadlines_never_lower_planned_cost() {
+    let framework = quick_framework(2);
+    let mut costs = Vec::new();
+    for deadline in [10_000.0, 1_300.0] {
+        let mut spec = synth::fig4_workflow();
+        spec.workflows[0].deadline = Duration::from_secs(deadline);
+        let ctx = EvalContext::new(framework.estimator(), &spec).with_reuse_awareness();
+        let planned = framework
+            .plan(&spec, PlanStrategy::CastPlusPlus)
+            .expect("planning");
+        let eval = evaluate_workflow_global(&ctx, &spec.workflows[0], &planned.plan)
+            .expect("evaluation");
+        costs.push(eval.cost.dollars());
+    }
+    assert!(
+        costs[1] >= costs[0] * 0.95,
+        "tight deadline should not be cheaper: {costs:?}"
+    );
+}
+
+#[test]
+fn cross_tier_handoff_costs_show_in_deployment() {
+    let framework = quick_framework(2);
+    let spec = synth::fig4_workflow();
+    // Uniform persistent plan: no hand-off transfers at all.
+    let uniform = framework
+        .plan(&spec, PlanStrategy::Uniform(Tier::PersSsd))
+        .expect("planning");
+    let out = framework.deploy(&spec, &uniform.plan).expect("deployment");
+    for m in &out.report.jobs {
+        assert_eq!(m.stage_in.secs(), 0.0, "{}", m.job);
+        assert_eq!(m.stage_out.secs(), 0.0, "{}", m.job);
+    }
+}
