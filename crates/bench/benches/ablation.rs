@@ -33,10 +33,14 @@ fn ablation_placement_granularity(c: &mut Criterion) {
     let mut agg = PerTier::from_fn(|_| DataSize::ZERO);
     *agg.get_mut(Tier::EphSsd) = DataSize::from_gb(375.0);
     *agg.get_mut(Tier::PersHdd) = DataSize::from_gb(100.0);
-    let cfg = SimConfig::with_aggregate_capacity(Catalog::google_cloud(), 1, &agg)
-        .expect("provision");
+    let cfg =
+        SimConfig::with_aggregate_capacity(Catalog::google_cloud(), 1, &agg).expect("provision");
     let mut group = c.benchmark_group("ablation/placement_granularity");
-    for (label, frac) in [("all_or_nothing", 1.0), ("90pct_fast", 0.9), ("50pct_fast", 0.5)] {
+    for (label, frac) in [
+        ("all_or_nothing", 1.0),
+        ("90pct_fast", 0.9),
+        ("50pct_fast", 0.5),
+    ] {
         let mut placement = JobPlacement::all_on(Tier::EphSsd);
         placement.stage_in_from = None;
         placement.stage_out_to = None;
@@ -80,7 +84,13 @@ fn ablation_solver_quality(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::from_parameter(iterations),
             &iterations,
-            |b, _| b.iter(|| Annealer::new(cfg).solve(&ctx, greedy.clone()).expect("anneal")),
+            |b, _| {
+                b.iter(|| {
+                    Annealer::new(cfg)
+                        .solve(&ctx, greedy.clone())
+                        .expect("anneal")
+                })
+            },
         );
     }
     group.finish();
@@ -118,7 +128,11 @@ fn ablation_cooling(c: &mut Criterion) {
             out.diagnostics.acceptance_rate()
         );
         group.bench_function(label, |b| {
-            b.iter(|| Annealer::new(cfg).solve(&ctx, greedy.clone()).expect("anneal"))
+            b.iter(|| {
+                Annealer::new(cfg)
+                    .solve(&ctx, greedy.clone())
+                    .expect("anneal")
+            })
         });
     }
     group.finish();
@@ -154,7 +168,11 @@ fn ablation_reuse_awareness(c: &mut Criterion) {
             out.eval.cost.total()
         );
         group.bench_function(label, |b| {
-            b.iter(|| Annealer::new(cfg).solve(&ctx, greedy.clone()).expect("anneal"))
+            b.iter(|| {
+                Annealer::new(cfg)
+                    .solve(&ctx, greedy.clone())
+                    .expect("anneal")
+            })
         });
     }
     group.finish();
@@ -164,8 +182,11 @@ fn ablation_reuse_awareness(c: &mut Criterion) {
 fn ablation_regression_model(c: &mut Criterion) {
     // Ground truth: the Table 1 persSSD scaling curve with its cap.
     let svc = Catalog::google_cloud();
-    let truth =
-        |gb: f64| svc.service(Tier::PersSsd).throughput(DataSize::from_gb(gb)).mb_per_sec();
+    let truth = |gb: f64| {
+        svc.service(Tier::PersSsd)
+            .throughput(DataSize::from_gb(gb))
+            .mb_per_sec()
+    };
     let knots: Vec<(f64, f64)> = [50.0, 150.0, 400.0, 700.0, 1000.0]
         .iter()
         .map(|&x| (x, truth(x)))
@@ -189,11 +210,7 @@ fn ablation_regression_model(c: &mut Criterion) {
         err(&linear) * 100.0
     );
     c.bench_function("ablation/spline_vs_linear_eval", |b| {
-        b.iter(|| {
-            grid.iter()
-                .map(|&x| spline.eval(x))
-                .sum::<f64>()
-        })
+        b.iter(|| grid.iter().map(|&x| spline.eval(x)).sum::<f64>())
     });
 }
 

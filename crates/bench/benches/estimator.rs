@@ -63,12 +63,8 @@ fn bench_reg(c: &mut Criterion) {
     );
     c.bench_function("estimator/reg_call", |b| {
         b.iter(|| {
-            est.reg(
-                black_box(&job),
-                Tier::PersSsd,
-                DataSize::from_gb(5_000.0),
-            )
-            .expect("profiled")
+            est.reg(black_box(&job), Tier::PersSsd, DataSize::from_gb(5_000.0))
+                .expect("profiled")
         })
     });
     c.bench_function("estimator/transfer_estimate", |b| {
@@ -97,8 +93,15 @@ fn bench_profile_point(c: &mut Criterion) {
     group.sample_size(20);
     group.bench_function("grep_persssd_200gb", |b| {
         b.iter(|| {
-            profile_point(&catalog, &profiles, &cfg, AppKind::Grep, Tier::PersSsd, 200.0)
-                .expect("profiling")
+            profile_point(
+                &catalog,
+                &profiles,
+                &cfg,
+                AppKind::Grep,
+                Tier::PersSsd,
+                200.0,
+            )
+            .expect("profiling")
         })
     });
     group.finish();

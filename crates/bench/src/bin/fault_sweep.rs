@@ -1,0 +1,5 @@
+fn main() {
+    let table = cast_bench::experiments::fault_sweep::run();
+    println!("{}", table.render());
+    cast_bench::save_json("fault_sweep", &table.to_json());
+}

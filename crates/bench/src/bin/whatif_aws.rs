@@ -47,8 +47,7 @@ fn main() {
             let planned = framework.plan(&spec, strategy).expect("planning");
             let out = framework.deploy(&spec, &planned.plan).expect("deployment");
             let total: f64 = Tier::ALL.iter().map(|&x| out.capacities.get(x).gb()).sum();
-            let frac =
-                Tier::ALL.map(|x| out.capacities.get(x).gb() / total.max(f64::MIN_POSITIVE));
+            let frac = Tier::ALL.map(|x| out.capacities.get(x).gb() / total.max(f64::MIN_POSITIVE));
             t.row(vec![
                 label.into(),
                 strategy.name().into(),

@@ -52,13 +52,7 @@ pub fn run() -> TableWriter {
     let results = cells();
     let mut t = TableWriter::new(
         "Fig. 3: tenant utility under data reuse patterns (normalised to ephSSD)",
-        &[
-            "App",
-            "Tier",
-            "no reuse",
-            "reuse (1 hr)",
-            "reuse (1 week)",
-        ],
+        &["App", "Tier", "no reuse", "reuse (1 hr)", "reuse (1 week)"],
     );
     let get = |app: AppKind, tier: Tier, label: &str| {
         results

@@ -39,12 +39,9 @@ pub fn evaluate_all(framework: &Cast, spec: &WorkloadSpec) -> Vec<ConfigResult> 
         .map(|strategy| {
             let planned = framework.plan(spec, strategy).expect("planning");
             let out = framework.deploy(spec, &planned.plan).expect("deployment");
-            let total: f64 = Tier::ALL
-                .iter()
-                .map(|&t| out.capacities.get(t).gb())
-                .sum();
-            let capacity_frac = Tier::ALL
-                .map(|t| out.capacities.get(t).gb() / total.max(f64::MIN_POSITIVE));
+            let total: f64 = Tier::ALL.iter().map(|&t| out.capacities.get(t).gb()).sum();
+            let capacity_frac =
+                Tier::ALL.map(|t| out.capacities.get(t).gb() / total.max(f64::MIN_POSITIVE));
             ConfigResult {
                 label: strategy.name(),
                 runtime_min: out.makespan.mins(),
@@ -139,7 +136,12 @@ mod tests {
                 .utility
         };
         let cast = get("CAST");
-        for tier in ["ephSSD 100%", "persSSD 100%", "persHDD 100%", "objStore 100%"] {
+        for tier in [
+            "ephSSD 100%",
+            "persSSD 100%",
+            "persHDD 100%",
+            "objStore 100%",
+        ] {
             assert!(
                 cast > get(tier) * 1.02,
                 "CAST must beat {tier}: {cast:.3e} vs {:.3e}",
@@ -153,9 +155,6 @@ mod tests {
             "CAST vs greedy exact-fit"
         );
         assert!(cast > get("Greedy over-prov"), "CAST vs greedy over-prov");
-        assert!(
-            get("CAST++") >= cast * 0.98,
-            "CAST++ must not lose to CAST"
-        );
+        assert!(get("CAST++") >= cast * 0.98, "CAST++ must not lose to CAST");
     }
 }

@@ -28,9 +28,9 @@ impl Cell {
     fn json(&self) -> Value {
         match self {
             Cell::Text(s) => Value::String(s.clone()),
-            Cell::Num(x) | Cell::Prec(x, _) =>
-
-                serde_json::Number::from_f64(*x).map(Value::Number).unwrap_or(Value::Null),
+            Cell::Num(x) | Cell::Prec(x, _) => serde_json::Number::from_f64(*x)
+                .map(Value::Number)
+                .unwrap_or(Value::Null),
         }
     }
 }

@@ -33,8 +33,11 @@ pub fn results_dir() -> PathBuf {
 /// Write a JSON value under `results/<name>.json`.
 pub fn save_json(name: &str, value: &serde_json::Value) {
     let path = results_dir().join(format!("{name}.json"));
-    fs::write(&path, serde_json::to_string_pretty(value).expect("serialize"))
-        .unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+    fs::write(
+        &path,
+        serde_json::to_string_pretty(value).expect("serialize"),
+    )
+    .unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
     eprintln!("[saved {}]", path.display());
 }
 
@@ -220,12 +223,7 @@ mod tests {
 
     #[test]
     fn fig1_unit_runs() {
-        let r = fig1_cluster(
-            AppKind::Grep,
-            DataSize::from_gb(30.0),
-            Tier::PersSsd,
-            1,
-        );
+        let r = fig1_cluster(AppKind::Grep, DataSize::from_gb(30.0), Tier::PersSsd, 1);
         assert!(r.runtime.secs() > 0.0);
         assert!(r.utility > 0.0);
         assert!(r.cost > 0.0);

@@ -260,7 +260,10 @@ mod tests {
             (Tier::ObjStore, 500.0, 265.0, 0.0),
         ];
         for (tier, gb, want, tol) in cases {
-            let got = c.service(tier).throughput(DataSize::from_gb(gb)).mb_per_sec();
+            let got = c
+                .service(tier)
+                .throughput(DataSize::from_gb(gb))
+                .mb_per_sec();
             let err = (got - want).abs() / want;
             assert!(
                 err <= tol + 1e-9,
@@ -347,16 +350,22 @@ mod tests {
             gcp.service(Tier::PersSsd).price_per_gb_month
         );
         // Instance store comes bundled with the instance on AWS.
-        assert_eq!(
-            aws.service(Tier::EphSsd).price_per_gb_month.dollars(),
-            0.0
-        );
+        assert_eq!(aws.service(Tier::EphSsd).price_per_gb_month.dollars(), 0.0);
         // gp2's burstable streaming beats pd-ssd per GB but caps lower.
         let cap = DataSize::from_gb(100.0);
-        assert!(aws.service(Tier::PersSsd).throughput(cap).mb_per_sec()
-            > gcp.service(Tier::PersSsd).throughput(cap).mb_per_sec());
-        assert!(aws.service(Tier::PersSsd).throughput(DataSize::from_gb(2000.0)).mb_per_sec()
-            < gcp.service(Tier::PersSsd).throughput(DataSize::from_gb(2000.0)).mb_per_sec());
+        assert!(
+            aws.service(Tier::PersSsd).throughput(cap).mb_per_sec()
+                > gcp.service(Tier::PersSsd).throughput(cap).mb_per_sec()
+        );
+        assert!(
+            aws.service(Tier::PersSsd)
+                .throughput(DataSize::from_gb(2000.0))
+                .mb_per_sec()
+                < gcp
+                    .service(Tier::PersSsd)
+                    .throughput(DataSize::from_gb(2000.0))
+                    .mb_per_sec()
+        );
     }
 
     #[test]

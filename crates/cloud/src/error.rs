@@ -27,6 +27,8 @@ pub enum CloudError {
         /// Maximum allowed per VM.
         limit: usize,
     },
+    /// A cluster was configured with zero worker VMs.
+    EmptyCluster,
 }
 
 impl fmt::Display for CloudError {
@@ -50,6 +52,9 @@ impl fmt::Display for CloudError {
                 f,
                 "cannot attach {requested} {tier} volumes per VM (limit {limit})"
             ),
+            CloudError::EmptyCluster => {
+                write!(f, "cluster must have at least one worker VM")
+            }
         }
     }
 }

@@ -75,10 +75,23 @@ pub fn deploy(
     spec: &WorkloadSpec,
     plan: &TieringPlan,
 ) -> Result<DeployOutcome, DeployError> {
+    deploy_with_faults(estimator, spec, plan, &cast_sim::FaultPlan::default())
+}
+
+/// [`deploy`], but replaying the solved plan under a fault-injection
+/// scenario. With the default (empty) plan this is bit-identical to
+/// [`deploy`].
+pub fn deploy_with_faults(
+    estimator: &Estimator,
+    spec: &WorkloadSpec,
+    plan: &TieringPlan,
+    faults: &cast_sim::FaultPlan,
+) -> Result<DeployOutcome, DeployError> {
     let raw = plan.capacities(spec, true)?;
     let capacities = provision_round(estimator, &raw);
     let nvm = estimator.cluster.nvm;
-    let cfg = SimConfig::with_aggregate_capacity(estimator.catalog.clone(), nvm, &capacities)?;
+    let mut cfg = SimConfig::with_aggregate_capacity(estimator.catalog.clone(), nvm, &capacities)?;
+    cfg.faults = faults.clone();
     let report = cast_sim::runner::simulate(spec, &plan.to_placements(), &cfg)?;
     let makespan = report.makespan;
     let cost_model = CostModel::new(&estimator.catalog, nvm);
@@ -111,8 +124,14 @@ mod tests {
                 matrix.insert(
                     app,
                     tier,
-                    CapacityCurve::fit(&[(375.0, PhaseBw { map: 10.0, shuffle_reduce: 10.0 })])
-                        .unwrap(),
+                    CapacityCurve::fit(&[(
+                        375.0,
+                        PhaseBw {
+                            map: 10.0,
+                            shuffle_reduce: 10.0,
+                        },
+                    )])
+                    .unwrap(),
                 );
             }
         }
@@ -139,6 +158,24 @@ mod tests {
         assert!(out.utility > 0.0);
         assert!(out.cost.total().dollars() > 0.0);
         assert!(out.capacities.get(Tier::PersSsd).gb() > 0.0);
+    }
+
+    #[test]
+    fn faulted_deploy_degrades_and_empty_plan_matches() {
+        let est = estimator(2);
+        let spec = synth::single_job(AppKind::Grep, DataSize::from_gb(20.0));
+        let plan = TieringPlan::uniform(&spec, Tier::PersSsd);
+        let baseline = deploy(&est, &spec, &plan).unwrap();
+        let same = deploy_with_faults(&est, &spec, &plan, &cast_sim::FaultPlan::default()).unwrap();
+        assert_eq!(baseline.report, same.report, "empty plan must be a no-op");
+        let faults = cast_sim::FaultPlan {
+            max_task_attempts: 8,
+            ..cast_sim::FaultPlan::with_task_failures(0.4)
+        };
+        let faulted = deploy_with_faults(&est, &spec, &plan, &faults).unwrap();
+        assert!(faulted.report.faults.task_failures > 0);
+        assert!(faulted.makespan.secs() > baseline.makespan.secs());
+        assert!(faulted.utility < baseline.utility);
     }
 
     #[test]

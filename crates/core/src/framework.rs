@@ -9,8 +9,8 @@ use cast_estimator::profiler::{profile_all, ProfilerConfig};
 use cast_estimator::Estimator;
 use cast_solver::castpp::{CastPlusPlus, CastPlusPlusConfig};
 use cast_solver::{
-    evaluate, greedy_plan, AnnealConfig, Annealer, EvalContext, GreedyMode, PlanEval,
-    SolverError, TieringPlan,
+    evaluate, greedy_plan, AnnealConfig, Annealer, EvalContext, GreedyMode, PlanEval, SolverError,
+    TieringPlan,
 };
 use cast_workload::profile::ProfileSet;
 use cast_workload::spec::WorkloadSpec;
@@ -248,6 +248,30 @@ impl Cast {
         plan: &TieringPlan,
     ) -> Result<DeployOutcome, deploy::DeployError> {
         deploy::deploy(&self.estimator, spec, plan)
+    }
+
+    /// Deploy a plan under a fault-injection scenario.
+    pub fn deploy_with_faults(
+        &self,
+        spec: &WorkloadSpec,
+        plan: &TieringPlan,
+        faults: &cast_sim::FaultPlan,
+    ) -> Result<DeployOutcome, deploy::DeployError> {
+        deploy::deploy_with_faults(&self.estimator, spec, plan, faults)
+    }
+
+    /// Stress-test a solved plan: deploy it fault-free and again under
+    /// `faults`, reporting the runtime and utility degradation the tenant
+    /// would see on an unreliable cluster.
+    pub fn resilience(
+        &self,
+        spec: &WorkloadSpec,
+        plan: &TieringPlan,
+        faults: &cast_sim::FaultPlan,
+    ) -> Result<crate::report::ResilienceReport, deploy::DeployError> {
+        let baseline = self.deploy(spec, plan)?;
+        let faulted = self.deploy_with_faults(spec, plan, faults)?;
+        Ok(crate::report::ResilienceReport { baseline, faulted })
     }
 }
 

@@ -38,7 +38,7 @@ pub mod goals;
 pub mod prelude;
 pub mod report;
 
-pub use deploy::{DeployError, DeployOutcome};
+pub use deploy::{deploy_with_faults, DeployError, DeployOutcome};
 pub use framework::{Cast, CastBuilder, PlanStrategy, Planned};
 pub use goals::TenantGoal;
-pub use report::DeploymentReport;
+pub use report::{DeploymentReport, ResilienceReport};

@@ -7,9 +7,10 @@
 pub use crate::deploy::{DeployError, DeployOutcome};
 pub use crate::framework::{Cast, CastBuilder, PlanStrategy, Planned};
 pub use crate::goals::TenantGoal;
-pub use crate::report::DeploymentReport;
-pub use cast_cloud::{Catalog, Tier};
+pub use crate::report::{DeploymentReport, ResilienceReport};
 pub use cast_cloud::units::{Bandwidth, DataSize, Duration, Money};
+pub use cast_cloud::{Catalog, Tier};
 pub use cast_estimator::{Estimator, ModelMatrix};
+pub use cast_sim::{DegradationWindow, FaultPlan, VmCrash};
 pub use cast_solver::{AnnealConfig, Assignment, TieringPlan};
 pub use cast_workload::{AppKind, Job, JobId, WorkloadSpec};

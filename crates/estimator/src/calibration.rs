@@ -45,11 +45,7 @@ impl PredictionError {
         if self.points.is_empty() {
             return 0.0;
         }
-        let sum: f64 = self
-            .points
-            .iter()
-            .map(|&(p, o)| ((p - o) / o).abs())
-            .sum();
+        let sum: f64 = self.points.iter().map(|&(p, o)| ((p - o) / o).abs()).sum();
         100.0 * sum / self.points.len() as f64
     }
 

@@ -63,31 +63,9 @@ impl CapacityCurve {
 /// `M̂`: the full profiled model.
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct ModelMatrix {
-    // Serialised as an entry list: JSON map keys must be strings, and the
-    // matrix is persisted to disk as the profiling cache.
-    #[serde(with = "entries")]
+    // Maps serialise as `[key, value]` entry lists (JSON map keys must be
+    // strings), so tuple keys persist to the profiling cache unchanged.
     curves: BTreeMap<(AppKind, Tier), CapacityCurve>,
-}
-
-mod entries {
-    use super::*;
-    use serde::{Deserializer, Serializer};
-
-    pub fn serialize<S: Serializer>(
-        map: &BTreeMap<(AppKind, Tier), CapacityCurve>,
-        ser: S,
-    ) -> Result<S::Ok, S::Error> {
-        let entries: Vec<(&(AppKind, Tier), &CapacityCurve)> = map.iter().collect();
-        serde::Serialize::serialize(&entries, ser)
-    }
-
-    pub fn deserialize<'de, D: Deserializer<'de>>(
-        de: D,
-    ) -> Result<BTreeMap<(AppKind, Tier), CapacityCurve>, D::Error> {
-        let entries: Vec<((AppKind, Tier), CapacityCurve)> =
-            serde::Deserialize::deserialize(de)?;
-        Ok(entries.into_iter().collect())
-    }
 }
 
 impl ModelMatrix {
@@ -139,8 +117,20 @@ mod tests {
 
     fn curve() -> CapacityCurve {
         CapacityCurve::fit(&[
-            (100.0, PhaseBw { map: 10.0, shuffle_reduce: 5.0 }),
-            (500.0, PhaseBw { map: 40.0, shuffle_reduce: 20.0 }),
+            (
+                100.0,
+                PhaseBw {
+                    map: 10.0,
+                    shuffle_reduce: 5.0,
+                },
+            ),
+            (
+                500.0,
+                PhaseBw {
+                    map: 40.0,
+                    shuffle_reduce: 20.0,
+                },
+            ),
         ])
         .unwrap()
     }
@@ -163,7 +153,9 @@ mod tests {
         assert_eq!(m.len(), 1);
         let bw = m.bandwidths(AppKind::Sort, Tier::PersSsd, 100.0).unwrap();
         assert_eq!(bw.map, 10.0);
-        let err = m.bandwidths(AppKind::Grep, Tier::PersSsd, 100.0).unwrap_err();
+        let err = m
+            .bandwidths(AppKind::Grep, Tier::PersSsd, 100.0)
+            .unwrap_err();
         assert!(matches!(err, EstimatorError::NotProfiled { .. }));
     }
 }

@@ -120,12 +120,8 @@ pub fn estimate_phases(
     } else {
         map_fixed
     };
-    let map_solo = map_split.mb()
-        / profile
-            .map_rate
-            .min(profile.per_task_io_cap)
-            .mb_per_sec()
-        + map_fixed;
+    let map_solo =
+        map_split.mb() / profile.map_rate.min(profile.per_task_io_cap).mb_per_sec() + map_fixed;
     let map_secs = partial_wave_time(m, map_slots, map_wave_time, map_solo);
 
     let inter = job.inter(profile);
@@ -248,8 +244,24 @@ mod tests {
         let one_wave = sort_job(102.4);
         // 204.8 GB = 800 maps = two waves of the same per-task size.
         let two_waves = sort_job(204.8);
-        let e1 = estimate_phases(&one_wave, p, bw, &cluster, &catalog, Tier::PersSsd, Tier::PersSsd);
-        let e2 = estimate_phases(&two_waves, p, bw, &cluster, &catalog, Tier::PersSsd, Tier::PersSsd);
+        let e1 = estimate_phases(
+            &one_wave,
+            p,
+            bw,
+            &cluster,
+            &catalog,
+            Tier::PersSsd,
+            Tier::PersSsd,
+        );
+        let e2 = estimate_phases(
+            &two_waves,
+            p,
+            bw,
+            &cluster,
+            &catalog,
+            Tier::PersSsd,
+            Tier::PersSsd,
+        );
         assert!(
             (e2.map.secs() / e1.map.secs() - 2.0).abs() < 1e-9,
             "two waves = 2x map time"
@@ -268,7 +280,10 @@ mod tests {
         let slow = estimate_phases(
             &job,
             p,
-            PhaseBw { map: 10.0, shuffle_reduce: 10.0 },
+            PhaseBw {
+                map: 10.0,
+                shuffle_reduce: 10.0,
+            },
             &cluster,
             &catalog,
             Tier::PersHdd,
@@ -277,7 +292,10 @@ mod tests {
         let fast = estimate_phases(
             &job,
             p,
-            PhaseBw { map: 100.0, shuffle_reduce: 100.0 },
+            PhaseBw {
+                map: 100.0,
+                shuffle_reduce: 100.0,
+            },
             &cluster,
             &catalog,
             Tier::EphSsd,
@@ -298,10 +316,28 @@ mod tests {
             DatasetId(0),
             DataSize::from_gb(100.0),
         );
-        let bw = PhaseBw { map: 50.0, shuffle_reduce: 20.0 };
-        let on_ssd = estimate_phases(&job, p, bw, &cluster, &catalog, Tier::PersSsd, Tier::PersSsd);
-        let on_obj =
-            estimate_phases(&job, p, bw, &cluster, &catalog, Tier::ObjStore, Tier::ObjStore);
+        let bw = PhaseBw {
+            map: 50.0,
+            shuffle_reduce: 20.0,
+        };
+        let on_ssd = estimate_phases(
+            &job,
+            p,
+            bw,
+            &cluster,
+            &catalog,
+            Tier::PersSsd,
+            Tier::PersSsd,
+        );
+        let on_obj = estimate_phases(
+            &job,
+            p,
+            bw,
+            &cluster,
+            &catalog,
+            Tier::ObjStore,
+            Tier::ObjStore,
+        );
         assert!(
             on_obj.shuffle_reduce.secs() > on_ssd.shuffle_reduce.secs() + 1.0,
             "many small files on objStore must cost setup time"

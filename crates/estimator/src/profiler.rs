@@ -119,12 +119,10 @@ pub fn profile_point(
     let mut agg = PerTier::from_fn(|_| DataSize::ZERO);
     *agg.get_mut(tier) = DataSize::from_gb(per_vm_capacity_gb) * cfg.nvm as f64;
     if tier == Tier::ObjStore {
-        *agg.get_mut(Tier::PersSsd) =
-            DataSize::from_gb(cfg.objstore_scratch_gb) * cfg.nvm as f64;
+        *agg.get_mut(Tier::PersSsd) = DataSize::from_gb(cfg.objstore_scratch_gb) * cfg.nvm as f64;
     }
-    let sim_cfg =
-        SimConfig::with_aggregate_capacity(catalog.clone(), cfg.nvm, &agg)
-            .map_err(|e| EstimatorError::Profiling(e.to_string()))?;
+    let sim_cfg = SimConfig::with_aggregate_capacity(catalog.clone(), cfg.nvm, &agg)
+        .map_err(|e| EstimatorError::Profiling(e.to_string()))?;
     // Profiling runs keep the cluster's natural task-time skew: measured
     // wave times then include straggler effects, exactly as when CAST
     // profiles a real cluster.
@@ -132,8 +130,8 @@ pub fn profile_point(
     let mut spec = spec;
     spec.profiles = profiles.clone();
     let placements = PlacementMap::uniform([JobId(0)], tier);
-    let report =
-        simulate(&spec, &placements, &sim_cfg).map_err(|e| EstimatorError::Profiling(e.to_string()))?;
+    let report = simulate(&spec, &placements, &sim_cfg)
+        .map_err(|e| EstimatorError::Profiling(e.to_string()))?;
     let metrics = report.jobs[0];
 
     let cluster = ClusterSpec {
@@ -152,8 +150,7 @@ pub fn profile_point(
     let map_fixed = sim_cfg.task_startup_secs
         + profile.input_files_per_map as f64 * catalog.service(tier).request_overhead.secs();
     let red_fixed = sim_cfg.task_startup_secs
-        + profile.output_files_per_reduce as f64
-            * catalog.service(tier).request_overhead.secs();
+        + profile.output_files_per_reduce as f64 * catalog.service(tier).request_overhead.secs();
 
     let map_split_mb = job.input.mb() / m as f64;
     let map_wave = (metrics.map.secs() / map_waves - map_fixed).max(1e-6);
@@ -196,8 +193,15 @@ mod tests {
         let cfg = quick_cfg();
         // Grep on 400 GB/VM persSSD (187 MB/s per VM, 16 tasks): per-task
         // share ≈ 11.7 MB/s.
-        let bw = profile_point(&catalog, &profiles, &cfg, AppKind::Grep, Tier::PersSsd, 400.0)
-            .unwrap();
+        let bw = profile_point(
+            &catalog,
+            &profiles,
+            &cfg,
+            AppKind::Grep,
+            Tier::PersSsd,
+            400.0,
+        )
+        .unwrap();
         assert!(
             bw.map > 5.0 && bw.map < 30.0,
             "per-task map bandwidth out of range: {}",
@@ -210,11 +214,30 @@ mod tests {
         let catalog = Catalog::google_cloud();
         let profiles = ProfileSet::defaults();
         let cfg = quick_cfg();
-        let small = profile_point(&catalog, &profiles, &cfg, AppKind::Grep, Tier::PersSsd, 100.0)
-            .unwrap();
-        let large = profile_point(&catalog, &profiles, &cfg, AppKind::Grep, Tier::PersSsd, 400.0)
-            .unwrap();
-        assert!(large.map > 2.0 * small.map, "{} vs {}", small.map, large.map);
+        let small = profile_point(
+            &catalog,
+            &profiles,
+            &cfg,
+            AppKind::Grep,
+            Tier::PersSsd,
+            100.0,
+        )
+        .unwrap();
+        let large = profile_point(
+            &catalog,
+            &profiles,
+            &cfg,
+            AppKind::Grep,
+            Tier::PersSsd,
+            400.0,
+        )
+        .unwrap();
+        assert!(
+            large.map > 2.0 * small.map,
+            "{} vs {}",
+            small.map,
+            large.map
+        );
     }
 
     #[test]
@@ -224,12 +247,24 @@ mod tests {
         let cfg = quick_cfg();
         // 16 KMeans tasks demand only ~80 MB/s per VM; any capacity beyond
         // ~200 GB of persSSD saturates the CPU side (Fig. 1d's regime).
-        let small =
-            profile_point(&catalog, &profiles, &cfg, AppKind::KMeans, Tier::PersSsd, 500.0)
-                .unwrap();
-        let large =
-            profile_point(&catalog, &profiles, &cfg, AppKind::KMeans, Tier::PersSsd, 1600.0)
-                .unwrap();
+        let small = profile_point(
+            &catalog,
+            &profiles,
+            &cfg,
+            AppKind::KMeans,
+            Tier::PersSsd,
+            500.0,
+        )
+        .unwrap();
+        let large = profile_point(
+            &catalog,
+            &profiles,
+            &cfg,
+            AppKind::KMeans,
+            Tier::PersSsd,
+            1600.0,
+        )
+        .unwrap();
         let ratio = large.map / small.map;
         assert!(
             (0.8..1.4).contains(&ratio),

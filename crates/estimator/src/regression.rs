@@ -43,15 +43,7 @@ impl Estimator {
         let profile = self.profiles.get(job.app);
         let per_vm_gb = per_vm_capacity(&self.catalog, tier, tier_total, self.cluster.nvm);
         let bw = self.matrix.bandwidths(job.app, tier, per_vm_gb)?;
-        let mut est = estimate_phases(
-            job,
-            profile,
-            bw,
-            &self.cluster,
-            &self.catalog,
-            tier,
-            tier,
-        );
+        let mut est = estimate_phases(job, profile, bw, &self.cluster, &self.catalog, tier, tier);
         if tier == Tier::EphSsd {
             // Non-persistent placement: input comes down from, and output
             // returns to, the backing object store (Fig. 1 accounting).
@@ -146,10 +138,28 @@ mod tests {
                 // Bandwidth grows with capacity on block tiers.
                 let samples = match tier {
                     Tier::PersSsd | Tier::PersHdd => vec![
-                        (100.0, PhaseBw { map: 3.0, shuffle_reduce: 3.0 }),
-                        (500.0, PhaseBw { map: 15.0, shuffle_reduce: 15.0 }),
+                        (
+                            100.0,
+                            PhaseBw {
+                                map: 3.0,
+                                shuffle_reduce: 3.0,
+                            },
+                        ),
+                        (
+                            500.0,
+                            PhaseBw {
+                                map: 15.0,
+                                shuffle_reduce: 15.0,
+                            },
+                        ),
                     ],
-                    _ => vec![(375.0, PhaseBw { map: 40.0, shuffle_reduce: 40.0 })],
+                    _ => vec![(
+                        375.0,
+                        PhaseBw {
+                            map: 40.0,
+                            shuffle_reduce: 40.0,
+                        },
+                    )],
                 };
                 matrix.insert(app, tier, CapacityCurve::fit(&samples).unwrap());
             }

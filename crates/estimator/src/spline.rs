@@ -139,7 +139,12 @@ mod tests {
 
     #[test]
     fn interpolates_knots_exactly() {
-        let pts = [(100.0, 48.0), (250.0, 118.0), (500.0, 234.0), (1000.0, 400.0)];
+        let pts = [
+            (100.0, 48.0),
+            (250.0, 118.0),
+            (500.0, 234.0),
+            (1000.0, 400.0),
+        ];
         let s = MonotoneSpline::fit(&pts).unwrap();
         for (x, y) in pts {
             assert!((s.eval(x) - y).abs() < 1e-9, "at {x}");

@@ -131,8 +131,8 @@ fn profiled_matrix_orders_tiers_correctly() {
         eph_grid: vec![375.0],
         objstore_scratch_gb: 100.0,
     };
-    let matrix = profile_all(&Catalog::google_cloud(), &ProfileSet::defaults(), &cfg)
-        .expect("profiling");
+    let matrix =
+        profile_all(&Catalog::google_cloud(), &ProfileSet::defaults(), &cfg).expect("profiling");
     let eph = matrix
         .bandwidths(AppKind::Grep, Tier::EphSsd, 375.0)
         .expect("profiled");
@@ -154,8 +154,20 @@ fn matrix_serde_roundtrip() {
         AppKind::Sort,
         Tier::PersSsd,
         CapacityCurve::fit(&[
-            (100.0, PhaseBw { map: 5.0, shuffle_reduce: 4.0 }),
-            (500.0, PhaseBw { map: 20.0, shuffle_reduce: 16.0 }),
+            (
+                100.0,
+                PhaseBw {
+                    map: 5.0,
+                    shuffle_reduce: 4.0,
+                },
+            ),
+            (
+                500.0,
+                PhaseBw {
+                    map: 20.0,
+                    shuffle_reduce: 16.0,
+                },
+            ),
         ])
         .expect("fit"),
     );

@@ -1,0 +1,160 @@
+//! Offline stand-in for `criterion`: runs each benchmark closure a small
+//! fixed number of times and reports the mean wall-clock duration. No
+//! statistics, plots, or baselines — just enough to keep `cargo bench`
+//! targets compiling and producing useful numbers.
+
+use std::fmt;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Identifies one parameterised benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn from_parameter<P: fmt::Display>(parameter: P) -> BenchmarkId {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+
+    pub fn new<S: Into<String>, P: fmt::Display>(function: S, parameter: P) -> BenchmarkId {
+        BenchmarkId {
+            label: format!("{}/{}", function.into(), parameter),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.label)
+    }
+}
+
+/// Runs a single benchmark body.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut body: F) {
+        // One warm-up call, then timed iterations.
+        black_box(body());
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(body());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_one(full_name: &str, sample_size: u64, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        iters: sample_size,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let mean = if b.iters > 0 {
+        b.elapsed / b.iters as u32
+    } else {
+        Duration::ZERO
+    };
+    println!(
+        "bench {full_name:<50} {mean:>12.3?}/iter ({} iters)",
+        b.iters
+    );
+}
+
+/// Top-level driver handed to every `criterion_group!` target.
+pub struct Criterion {
+    sample_size: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(name, self.sample_size, &mut f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: self.sample_size,
+            _parent: self,
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: u64,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n as u64;
+        self
+    }
+
+    pub fn bench_function<L: fmt::Display, F: FnMut(&mut Bencher)>(
+        &mut self,
+        label: L,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(
+            &format!("{}/{}", self.name, label),
+            self.sample_size,
+            &mut f,
+        );
+        self
+    }
+
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id);
+        let mut body = |b: &mut Bencher| f(b, input);
+        run_one(&full, self.sample_size, &mut body);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Entry point running every listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

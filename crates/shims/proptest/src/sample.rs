@@ -1,0 +1,56 @@
+//! Strategies that draw from explicit value sets.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::collection::SizeRange;
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Uniformly pick one of `options` (must be non-empty).
+pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+    assert!(!options.is_empty(), "select: empty option set");
+    Select { options }
+}
+
+pub struct Select<T> {
+    options: Vec<T>,
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        self.options[rng.gen_range(0..self.options.len())].clone()
+    }
+}
+
+/// An order-preserving random subsequence of `items`, with a length drawn
+/// from `size`.
+pub fn subsequence<T: Clone>(items: Vec<T>, size: impl Into<SizeRange>) -> Subsequence<T> {
+    Subsequence {
+        items,
+        size: size.into(),
+    }
+}
+
+pub struct Subsequence<T> {
+    items: Vec<T>,
+    size: SizeRange,
+}
+
+impl<T: Clone> Strategy for Subsequence<T> {
+    type Value = Vec<T>;
+
+    fn sample(&self, rng: &mut TestRng) -> Vec<T> {
+        let max = self.items.len();
+        let lo = self.size.lo().min(max);
+        let hi = self.size.hi().min(max);
+        let k = rng.gen_range(lo..=hi);
+        let mut idx: Vec<usize> = (0..max).collect();
+        idx.shuffle(rng);
+        idx.truncate(k);
+        idx.sort_unstable();
+        idx.into_iter().map(|i| self.items[i].clone()).collect()
+    }
+}

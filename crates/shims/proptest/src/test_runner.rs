@@ -1,0 +1,55 @@
+//! Harness plumbing: config, RNG, and per-case outcome.
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+/// Runner configuration. Only `cases` is honoured by the shim.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of accepted (non-rejected) cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        // Upstream defaults to 256; 64 keeps suite time reasonable while
+        // still exercising the input space.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Deterministic RNG used for sampling strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    /// Fixed-seed RNG: every test run samples the same cases.
+    pub fn deterministic() -> TestRng {
+        TestRng {
+            inner: StdRng::seed_from_u64(0x70726f70_74657374),
+        }
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+}
+
+/// Why a test case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// `prop_assume!` discarded the case.
+    Reject,
+    /// `prop_assert*` failed with this message.
+    Fail(String),
+}

@@ -1,0 +1,34 @@
+//! Offline stand-in for `rayon`: `into_par_iter()` degrades to the plain
+//! sequential iterator, so downstream `.map(...).collect()` chains compile
+//! and run unchanged (single-threaded). Results are identical — only
+//! wall-clock parallelism is lost.
+
+pub mod prelude {
+    /// Sequential drop-in for rayon's `IntoParallelIterator`.
+    pub trait IntoParallelIterator {
+        type Item;
+        type Iter: Iterator<Item = Self::Item>;
+
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<T: IntoIterator> IntoParallelIterator for T {
+        type Item = T::Item;
+        type Iter = T::IntoIter;
+
+        fn into_par_iter(self) -> T::IntoIter {
+            self.into_iter()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_behaves_like_iter() {
+        let doubled: Vec<i32> = vec![1, 2, 3].into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6]);
+    }
+}

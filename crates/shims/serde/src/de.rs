@@ -1,0 +1,69 @@
+//! Deserialization error type and helpers used by derived impls.
+
+use std::fmt;
+
+use crate::value::{Map, Value};
+use crate::Deserialize;
+
+/// A data-model mismatch while rebuilding a type from a [`Value`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError {
+    msg: String,
+}
+
+impl DeError {
+    /// An error with a custom message.
+    pub fn custom(msg: impl fmt::Display) -> DeError {
+        DeError {
+            msg: msg.to_string(),
+        }
+    }
+
+    /// "expected X, found Y" error.
+    pub fn expected(what: &str, found: &Value) -> DeError {
+        DeError::custom(format!("expected {what}, found {}", found.kind()))
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.msg)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// The object inside `v`, or an error naming `ctx`.
+pub fn expect_object<'v>(v: &'v Value, ctx: &str) -> Result<&'v Map, DeError> {
+    match v {
+        Value::Object(m) => Ok(m),
+        _ => Err(DeError::custom(format!(
+            "expected object for {ctx}, found {}",
+            v.kind()
+        ))),
+    }
+}
+
+/// The array inside `v`.
+pub fn expect_array(v: &Value) -> Result<&[Value], DeError> {
+    match v {
+        Value::Array(a) => Ok(a),
+        _ => Err(DeError::expected("array", v)),
+    }
+}
+
+/// Deserialize the field `name` of object `m` (missing field = error).
+pub fn obj_field<T: Deserialize>(m: &Map, name: &str) -> Result<T, DeError> {
+    let v = m
+        .get(name)
+        .ok_or_else(|| DeError::custom(format!("missing field `{name}`")))?;
+    T::from_value(v).map_err(|e| DeError::custom(format!("field `{name}`: {e}")))
+}
+
+/// Deserialize element `idx` of a tuple payload.
+pub fn arr_elem<T: Deserialize>(a: &[Value], idx: usize) -> Result<T, DeError> {
+    let v = a
+        .get(idx)
+        .ok_or_else(|| DeError::custom(format!("missing tuple element {idx}")))?;
+    T::from_value(v)
+}

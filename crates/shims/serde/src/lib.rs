@@ -1,0 +1,386 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment has no registry access, so this crate provides the
+//! subset of serde's API the workspace actually uses: the `Serialize` /
+//! `Deserialize` traits, derive macros re-exported from `serde_derive`, and
+//! `Serializer` / `Deserializer` shells for custom impls. Instead of serde's
+//! visitor-based zero-copy data model, everything funnels through an owned
+//! JSON-like [`value::Value`] tree — dramatically simpler, and exactly what
+//! the `serde_json` shim needs on the other side.
+//!
+//! Collections with non-string keys (e.g. `HashMap<JobId, JobPlacement>`)
+//! serialize as arrays of `[key, value]` pairs, so any derived type
+//! round-trips through JSON without the string-key restriction.
+
+pub mod de;
+pub mod value;
+
+pub use serde_derive::{Deserialize, Serialize};
+pub use value::{Map, Number, Value};
+
+/// A type that can be converted into the [`Value`] data model.
+pub trait Serialize {
+    /// Convert to the owned data-model tree.
+    fn to_value(&self) -> Value;
+
+    /// serde-compatible entry point: feed the value tree to a serializer.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(self.to_value())
+    }
+}
+
+/// A sink consuming a [`Value`] tree (serde-compatible shape).
+pub trait Serializer: Sized {
+    /// Successful output.
+    type Ok;
+    /// Serialization error.
+    type Error;
+    /// Consume the fully-built value tree.
+    fn serialize_value(self, value: Value) -> Result<Self::Ok, Self::Error>;
+}
+
+/// A type reconstructible from the [`Value`] data model.
+pub trait Deserialize: Sized {
+    /// Rebuild from a data-model tree.
+    fn from_value(value: &Value) -> Result<Self, de::DeError>;
+
+    /// serde-compatible entry point: pull a value tree from a deserializer.
+    fn deserialize<D: Deserializer>(deserializer: D) -> Result<Self, D::Error> {
+        let v = deserializer.take_value()?;
+        Self::from_value(&v).map_err(D::convert_error)
+    }
+}
+
+/// A source producing a [`Value`] tree (serde-compatible shape).
+pub trait Deserializer: Sized {
+    /// Deserialization error.
+    type Error;
+    /// Produce the value tree.
+    fn take_value(self) -> Result<Value, Self::Error>;
+    /// Lift a data-model error into this deserializer's error type.
+    fn convert_error(e: de::DeError) -> Self::Error;
+}
+
+// ---------------------------------------------------------------------------
+// Serialize impls for std types
+// ---------------------------------------------------------------------------
+
+macro_rules! ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(Number::from_i64(*self as i64))
+            }
+        }
+    )*};
+}
+ser_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Number::from_f64(*self)
+            .map(Value::Number)
+            .unwrap_or(Value::Null)
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        (*self as f64).to_value()
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(x) => x.to_value(),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        self.as_slice().to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        self.as_slice().to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for std::collections::VecDeque<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for std::collections::HashSet<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for std::collections::BTreeSet<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for std::collections::HashMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Array(
+            self.iter()
+                .map(|(k, v)| Value::Array(vec![k.to_value(), v.to_value()]))
+                .collect(),
+        )
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Array(
+            self.iter()
+                .map(|(k, v)| Value::Array(vec![k.to_value(), v.to_value()]))
+                .collect(),
+        )
+    }
+}
+
+macro_rules! ser_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$n.to_value()),+])
+            }
+        }
+    )*};
+}
+ser_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize impls for std types
+// ---------------------------------------------------------------------------
+
+use de::DeError;
+
+macro_rules! de_int {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let n = v
+                    .as_number()
+                    .ok_or_else(|| DeError::expected("integer", v))?;
+                let i = n.as_integral().ok_or_else(|| {
+                    DeError::custom(format!("non-integral number for {}", stringify!($t)))
+                })?;
+                <$t>::try_from(i)
+                    .map_err(|_| DeError::custom(format!("{i} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+de_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_number()
+            .map(|n| n.as_f64())
+            .ok_or_else(|| DeError::expected("number", v))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        f64::from_value(v).map(|x| x as f32)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(DeError::expected("bool", v)),
+        }
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::String(s) => Ok(s.clone()),
+            _ => Err(DeError::expected("string", v)),
+        }
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let s = String::from_value(v)?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(DeError::custom("expected single-char string")),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        de::expect_array(v)?.iter().map(T::from_value).collect()
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let items = Vec::<T>::from_value(v)?;
+        let len = items.len();
+        <[T; N]>::try_from(items)
+            .map_err(|_| DeError::custom(format!("expected array of {N}, got {len}")))
+    }
+}
+
+impl<T: Deserialize> Deserialize for std::collections::VecDeque<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Vec::<T>::from_value(v).map(Into::into)
+    }
+}
+
+impl<T: Deserialize + std::hash::Hash + Eq> Deserialize for std::collections::HashSet<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        de::expect_array(v)?.iter().map(T::from_value).collect()
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for std::collections::BTreeSet<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        de::expect_array(v)?.iter().map(T::from_value).collect()
+    }
+}
+
+fn de_pairs<K: Deserialize, V: Deserialize>(v: &Value) -> Result<Vec<(K, V)>, DeError> {
+    de::expect_array(v)?
+        .iter()
+        .map(|pair| {
+            let p = de::expect_array(pair)?;
+            if p.len() != 2 {
+                return Err(DeError::custom("expected [key, value] pair"));
+            }
+            Ok((K::from_value(&p[0])?, V::from_value(&p[1])?))
+        })
+        .collect()
+}
+
+impl<K: Deserialize + std::hash::Hash + Eq, V: Deserialize> Deserialize
+    for std::collections::HashMap<K, V>
+{
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        de_pairs(v).map(|pairs| pairs.into_iter().collect())
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for std::collections::BTreeMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        de_pairs(v).map(|pairs| pairs.into_iter().collect())
+    }
+}
+
+macro_rules! de_tuple {
+    ($(($len:expr; $($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let a = de::expect_array(v)?;
+                if a.len() != $len {
+                    return Err(DeError::custom(format!(
+                        "expected {}-tuple, got {} elements", $len, a.len()
+                    )));
+                }
+                Ok(($($t::from_value(&a[$n])?,)+))
+            }
+        }
+    )*};
+}
+de_tuple! {
+    (1; 0 A)
+    (2; 0 A, 1 B)
+    (3; 0 A, 1 B, 2 C)
+    (4; 0 A, 1 B, 2 C, 3 D)
+    (5; 0 A, 1 B, 2 C, 3 D, 4 E)
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}

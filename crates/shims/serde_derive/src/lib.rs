@@ -1,0 +1,424 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` with no
+//! dependency on `syn`/`quote` (unavailable without a registry): the type
+//! definition is parsed directly from the token stream. Supported shapes —
+//! everything this workspace derives on:
+//!
+//! * structs with named fields (including simple `<T>` type parameters),
+//! * tuple structs (newtypes serialize transparently),
+//! * unit structs,
+//! * enums with unit, tuple, and struct variants (externally tagged, like
+//!   serde: `"Variant"`, `{"Variant": payload}`, `{"Variant": {fields}}`).
+//!
+//! `#[serde(...)]` attributes are accepted but ignored — the workspace does
+//! not use any.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Ast {
+    name: String,
+    /// Type-parameter identifiers (e.g. `["T"]` for `PerTier<T>`).
+    generics: Vec<String>,
+    kind: Kind,
+}
+
+enum Kind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+/// Derive `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let ast = parse(input);
+    gen_serialize(&ast)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+/// Derive `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let ast = parse(input);
+    gen_deserialize(&ast)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse(input: TokenStream) -> Ast {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+    let keyword = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        t => panic!("expected `struct` or `enum`, found {t}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        t => panic!("expected type name, found {t}"),
+    };
+    i += 1;
+    let generics = parse_generics(&tokens, &mut i);
+    let kind = match keyword.as_str() {
+        "struct" => match tokens.get(i) {
+            None => Kind::Unit,
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Kind::Unit,
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::Tuple(split_top_level(g.stream()).len())
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Named(parse_named_fields(g.stream()))
+            }
+            // `struct Foo<T> where ...` — unsupported; none in this repo.
+            Some(t) => panic!("unsupported struct body starting at {t}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_variants(g.stream()))
+            }
+            t => panic!("expected enum body, found {t:?}"),
+        },
+        k => panic!("cannot derive for `{k}`"),
+    };
+    Ast {
+        name,
+        generics,
+        kind,
+    }
+}
+
+/// Skip `#[...]` attributes (incl. doc comments) and `pub` / `pub(...)`.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1; // '#'
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+                {
+                    *i += 1;
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => break,
+        }
+    }
+}
+
+/// Parse `<A, B, ...>` after the type name: plain type parameters only.
+fn parse_generics(tokens: &[TokenTree], i: &mut usize) -> Vec<String> {
+    let mut params = Vec::new();
+    let Some(TokenTree::Punct(p)) = tokens.get(*i) else {
+        return params;
+    };
+    if p.as_char() != '<' {
+        return params;
+    }
+    *i += 1;
+    let mut depth = 1usize;
+    let mut at_param_start = true;
+    while depth > 0 {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => depth += 1,
+            Some(TokenTree::Punct(p)) if p.as_char() == '>' => depth -= 1,
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' && depth == 1 => {
+                at_param_start = true;
+                *i += 1;
+                continue;
+            }
+            Some(TokenTree::Ident(id)) if depth == 1 && at_param_start => {
+                params.push(id.to_string());
+                at_param_start = false;
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == '\'' => {
+                panic!("serde shim derive: lifetime parameters are not supported")
+            }
+            None => panic!("unterminated generics"),
+            _ => {}
+        }
+        *i += 1;
+    }
+    params
+}
+
+/// Split a group's tokens on top-level commas (angle-bracket aware).
+fn split_top_level(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut chunks: Vec<Vec<TokenTree>> = Vec::new();
+    let mut current: Vec<TokenTree> = Vec::new();
+    let mut angle_depth = 0i32;
+    for tt in stream {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                chunks.push(std::mem::take(&mut current));
+                continue;
+            }
+            _ => {}
+        }
+        current.push(tt);
+    }
+    if !current.is_empty() {
+        chunks.push(current);
+    }
+    chunks.retain(|c| !c.is_empty());
+    chunks
+}
+
+/// Field names of a named-field body (`{ a: T, b: U }`).
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    split_top_level(stream)
+        .into_iter()
+        .map(|chunk| {
+            let mut i = 0;
+            skip_attrs_and_vis(&chunk, &mut i);
+            match chunk.get(i) {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                t => panic!("expected field name, found {t:?}"),
+            }
+        })
+        .collect()
+}
+
+/// Variants of an enum body.
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    split_top_level(stream)
+        .into_iter()
+        .map(|chunk| {
+            let mut i = 0;
+            skip_attrs_and_vis(&chunk, &mut i);
+            let name = match chunk.get(i) {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                t => panic!("expected variant name, found {t:?}"),
+            };
+            i += 1;
+            let kind = match chunk.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    VariantKind::Tuple(split_top_level(g.stream()).len())
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    VariantKind::Named(parse_named_fields(g.stream()))
+                }
+                _ => VariantKind::Unit,
+            };
+            Variant { name, kind }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Codegen
+// ---------------------------------------------------------------------------
+
+fn impl_header(ast: &Ast, trait_path: &str) -> String {
+    if ast.generics.is_empty() {
+        format!("impl {} for {}", trait_path, ast.name)
+    } else {
+        let bounds: Vec<String> = ast
+            .generics
+            .iter()
+            .map(|g| format!("{g}: {trait_path}"))
+            .collect();
+        format!(
+            "impl<{}> {} for {}<{}>",
+            bounds.join(", "),
+            trait_path,
+            ast.name,
+            ast.generics.join(", ")
+        )
+    }
+}
+
+fn gen_serialize(ast: &Ast) -> String {
+    let body = match &ast.kind {
+        Kind::Unit => "::serde::value::Value::Null".to_string(),
+        Kind::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Kind::Tuple(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::value::Value::Array(vec![{}])", elems.join(", "))
+        }
+        Kind::Named(fields) => gen_named_to_value(fields, "self."),
+        Kind::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let tag = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "{}::{tag} => ::serde::value::Value::String(\"{tag}\".to_string()),",
+                            ast.name
+                        ),
+                        VariantKind::Tuple(1) => format!(
+                            "{}::{tag}(__a0) => {{ let mut __m = ::serde::value::Map::new(); \
+                             __m.insert(\"{tag}\", ::serde::Serialize::to_value(__a0)); \
+                             ::serde::value::Value::Object(__m) }},",
+                            ast.name
+                        ),
+                        VariantKind::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("__a{i}")).collect();
+                            let elems: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!(
+                                "{}::{tag}({}) => {{ let mut __m = ::serde::value::Map::new(); \
+                                 __m.insert(\"{tag}\", ::serde::value::Value::Array(vec![{}])); \
+                                 ::serde::value::Value::Object(__m) }},",
+                                ast.name,
+                                binds.join(", "),
+                                elems.join(", ")
+                            )
+                        }
+                        VariantKind::Named(fields) => {
+                            let binds = fields.join(", ");
+                            let inner = gen_named_to_value(fields, "");
+                            format!(
+                                "{}::{tag} {{ {binds} }} => {{ let mut __m = ::serde::value::Map::new(); \
+                                 __m.insert(\"{tag}\", {inner}); \
+                                 ::serde::value::Value::Object(__m) }},",
+                                ast.name
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "{header} {{ fn to_value(&self) -> ::serde::value::Value {{ {body} }} }}",
+        header = impl_header(ast, "::serde::Serialize")
+    )
+}
+
+/// `{ let mut m = Map::new(); m.insert("f", to_value(<prefix>f)); ... }`
+fn gen_named_to_value(fields: &[String], prefix: &str) -> String {
+    let inserts: Vec<String> = fields
+        .iter()
+        .map(|f| format!("__m.insert(\"{f}\", ::serde::Serialize::to_value(&{prefix}{f}));"))
+        .collect();
+    format!(
+        "{{ let mut __m = ::serde::value::Map::new(); {} ::serde::value::Value::Object(__m) }}",
+        inserts.join(" ")
+    )
+}
+
+fn gen_deserialize(ast: &Ast) -> String {
+    let name = &ast.name;
+    let body = match &ast.kind {
+        Kind::Unit => format!("{{ let _ = __v; Ok({name}) }}"),
+        Kind::Tuple(1) => format!("Ok({name}(::serde::Deserialize::from_value(__v)?))"),
+        Kind::Tuple(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::de::arr_elem(__a, {i})?"))
+                .collect();
+            format!(
+                "{{ let __a = ::serde::de::expect_array(__v)?; Ok({name}({})) }}",
+                elems.join(", ")
+            )
+        }
+        Kind::Named(fields) => {
+            let gets: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::de::obj_field(__m, \"{f}\")?"))
+                .collect();
+            format!(
+                "{{ let __m = ::serde::de::expect_object(__v, \"{name}\")?; Ok({name} {{ {} }}) }}",
+                gets.join(", ")
+            )
+        }
+        Kind::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| format!("\"{tag}\" => Ok({name}::{tag}),", tag = v.name))
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let tag = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => None,
+                        VariantKind::Tuple(1) => Some(format!(
+                            "\"{tag}\" => Ok({name}::{tag}(::serde::Deserialize::from_value(__payload)?)),"
+                        )),
+                        VariantKind::Tuple(n) => {
+                            let elems: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::de::arr_elem(__a, {i})?"))
+                                .collect();
+                            Some(format!(
+                                "\"{tag}\" => {{ let __a = ::serde::de::expect_array(__payload)?; \
+                                 Ok({name}::{tag}({})) }},",
+                                elems.join(", ")
+                            ))
+                        }
+                        VariantKind::Named(fields) => {
+                            let gets: Vec<String> = fields
+                                .iter()
+                                .map(|f| format!("{f}: ::serde::de::obj_field(__pm, \"{f}\")?"))
+                                .collect();
+                            Some(format!(
+                                "\"{tag}\" => {{ let __pm = ::serde::de::expect_object(__payload, \"{tag}\")?; \
+                                 Ok({name}::{tag} {{ {} }}) }},",
+                                gets.join(", ")
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "match __v {{ \
+                   ::serde::value::Value::String(__s) => match __s.as_str() {{ \
+                     {unit_arms} \
+                     __other => Err(::serde::de::DeError::custom(format!(\
+                       \"unknown {name} variant `{{__other}}`\"))), \
+                   }}, \
+                   ::serde::value::Value::Object(__m) => {{ \
+                     let (__tag, __payload) = __m.single_entry().ok_or_else(|| \
+                       ::serde::de::DeError::custom(\"expected single-key enum object\"))?; \
+                     let _ = __payload; \
+                     match __tag {{ \
+                       {data_arms} \
+                       __other => Err(::serde::de::DeError::custom(format!(\
+                         \"unknown {name} variant `{{__other}}`\"))), \
+                     }} \
+                   }}, \
+                   __other => Err(::serde::de::DeError::expected(\"enum {name}\", __other)), \
+                 }}",
+                unit_arms = unit_arms.join(" "),
+                data_arms = data_arms.join(" "),
+            )
+        }
+    };
+    format!(
+        "{header} {{ fn from_value(__v: &::serde::value::Value) \
+         -> ::std::result::Result<Self, ::serde::de::DeError> {{ {body} }} }}",
+        header = impl_header(ast, "::serde::Deserialize")
+    )
+}

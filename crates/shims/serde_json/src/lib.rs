@@ -1,0 +1,147 @@
+//! Offline stand-in for `serde_json`: JSON text ⇄ the `serde` shim's
+//! [`Value`] tree, plus `to_string` / `from_str` over any
+//! `Serialize` / `Deserialize` type and a [`json!`] object macro.
+
+use std::fmt;
+
+pub use serde::value::{Map, Number, Value};
+use serde::{Deserialize, Serialize};
+
+mod parse;
+mod print;
+
+/// JSON serialization/deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    pub(crate) fn new(msg: impl fmt::Display) -> Error {
+        Error {
+            msg: msg.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::de::DeError> for Error {
+    fn from(e: serde::de::DeError) -> Error {
+        Error::new(e)
+    }
+}
+
+/// Serialize `value` to compact JSON text.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(print::compact(&value.to_value()))
+}
+
+/// Serialize `value` to pretty-printed JSON text (2-space indent).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(print::pretty(&value.to_value()))
+}
+
+/// Convert any serializable value into a [`Value`] tree.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Result<Value, Error> {
+    Ok(value.to_value())
+}
+
+/// Parse JSON text into any deserializable type.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let value = parse::parse(s)?;
+    T::from_value(&value).map_err(Error::from)
+}
+
+/// Rebuild a typed value from a [`Value`] tree.
+pub fn from_value<T: Deserialize>(value: Value) -> Result<T, Error> {
+    T::from_value(&value).map_err(Error::from)
+}
+
+/// Build a [`Value`] literal. Supports the object / array / scalar forms
+/// used in this workspace; expression values go through `Serialize`.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($elem:expr),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $( $crate::json!($elem) ),* ])
+    };
+    ({ $($key:literal : $val:expr),* $(,)? }) => {{
+        #[allow(unused_mut)]
+        let mut map = $crate::Map::new();
+        $( map.insert($key, $crate::json!($val)); )*
+        $crate::Value::Object(map)
+    }};
+    ($other:expr) => {
+        $crate::to_value(&$other).expect("infallible value conversion")
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_roundtrip() {
+        assert_eq!(to_string(&1.5f64).unwrap(), "1.5");
+        assert_eq!(to_string(&42u32).unwrap(), "42");
+        assert_eq!(to_string(&true).unwrap(), "true");
+        assert_eq!(
+            to_string("hi \"there\"\n").unwrap(),
+            "\"hi \\\"there\\\"\\n\""
+        );
+        let x: f64 = from_str("2.75").unwrap();
+        assert_eq!(x, 2.75);
+        let s: String = from_str("\"a\\u0041b\"").unwrap();
+        assert_eq!(s, "aAb");
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        let v = vec![(1u32, 2.5f64), (3, 4.25)];
+        let json = to_string(&v).unwrap();
+        let back: Vec<(u32, f64)> = from_str(&json).unwrap();
+        assert_eq!(back, v);
+
+        let mut m = std::collections::BTreeMap::new();
+        m.insert((1u32, 2u32), "x".to_string());
+        let back: std::collections::BTreeMap<(u32, u32), String> =
+            from_str(&to_string(&m).unwrap()).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn nonfinite_serializes_as_null() {
+        assert_eq!(to_string(&f64::NAN).unwrap(), "null");
+        assert!(from_str::<f64>("null").is_err());
+    }
+
+    #[test]
+    fn json_macro_builds_objects() {
+        let v = json!({ "a": 1.0, "b": [1, 2], "c": "x" });
+        let text = to_string(&v).unwrap();
+        assert_eq!(text, "{\"a\":1.0,\"b\":[1,2],\"c\":\"x\"}");
+    }
+
+    #[test]
+    fn pretty_print_indents() {
+        let v = json!({ "a": [true, Value::Null] });
+        assert_eq!(
+            to_string_pretty(&v).unwrap(),
+            "{\n  \"a\": [\n    true,\n    null\n  ]\n}"
+        );
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(from_str::<f64>("{").is_err());
+        assert!(from_str::<f64>("1.5 trailing").is_err());
+        assert!(from_str::<Vec<f64>>("[1,]").is_err());
+    }
+}

@@ -7,6 +7,8 @@ use cast_cloud::tier::{PerTier, Tier};
 use cast_cloud::units::{Bandwidth, DataSize};
 use cast_cloud::{Catalog, VmType};
 
+use crate::fault::FaultPlan;
+
 /// How jobs contend for the cluster.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Concurrency {
@@ -55,6 +57,9 @@ pub struct SimConfig {
     /// Record a per-task [`crate::trace::Trace`] during simulation
     /// (off by default; adds memory proportional to task count).
     pub collect_trace: bool,
+    /// Fault-injection scenario. The default (empty) plan reproduces
+    /// fault-free simulations bit-identically.
+    pub faults: FaultPlan,
 }
 
 impl SimConfig {
@@ -65,6 +70,9 @@ impl SimConfig {
         nvm: usize,
         aggregate: &PerTier<DataSize>,
     ) -> Result<SimConfig, cast_cloud::CloudError> {
+        if nvm == 0 {
+            return Err(cast_cloud::CloudError::EmptyCluster);
+        }
         let vm = catalog.worker_vm.clone();
         let plan = Provisioner::new(&catalog).plan(aggregate, nvm)?;
         Ok(SimConfig {
@@ -79,6 +87,7 @@ impl SimConfig {
             task_startup_secs: 1.5,
             objstore_cluster_mbps: cast_cloud::catalog::OBJSTORE_CLUSTER_MBPS,
             collect_trace: false,
+            faults: FaultPlan::default(),
         })
     }
 
@@ -162,5 +171,18 @@ mod tests {
     fn objstore_bandwidth_exists_without_provisioning() {
         let cfg = SimConfig::paper_cluster(&agg(100.0)).unwrap();
         assert!(cfg.vm_tier_bandwidth(Tier::ObjStore).mb_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn zero_vm_cluster_is_rejected() {
+        let err = SimConfig::with_aggregate_capacity(Catalog::google_cloud(), 0, &agg(100.0))
+            .unwrap_err();
+        assert_eq!(err, cast_cloud::CloudError::EmptyCluster);
+    }
+
+    #[test]
+    fn default_fault_plan_is_empty() {
+        let cfg = SimConfig::paper_cluster(&agg(1000.0)).unwrap();
+        assert!(cfg.faults.is_empty());
     }
 }

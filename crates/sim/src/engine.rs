@@ -8,15 +8,39 @@
 //! drain. Rates are recomputed after every event, so contention effects —
 //! a wave of 400 map tasks splitting volume bandwidth 16-ways per VM —
 //! appear without any closed-form modelling.
+//!
+//! ## Fault injection and recovery
+//!
+//! When [`SimConfig::faults`] carries a non-empty
+//! [`crate::fault::FaultPlan`], the engine layers recovery semantics on
+//! top of the progress loop:
+//!
+//! * every task attempt draws — from an RNG keyed by `(plan seed, task
+//!   uid, attempt)` — whether and where it fails mid-stream;
+//! * failed tasks re-enqueue with exponential backoff, up to the plan's
+//!   attempt budget ([`SimError::JobFailed`] beyond it);
+//! * scheduled VM crashes kill resident tasks (re-enqueued at the *same*
+//!   attempt — the crash was not their fault) and take the VM's slots
+//!   offline until the scheduled recovery, if any;
+//! * degradation windows scale volume capacities for their duration;
+//! * optional Hadoop-style speculation launches a backup copy of any task
+//!   streaming slower than a configured fraction of its wave's median
+//!   rate; whichever copy finishes first kills the other.
+//!
+//! The empty plan takes none of these code paths, so fault-free
+//! simulations are bit-identical with the machinery present.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 use cast_workload::job::JobId;
 
 use crate::config::{Concurrency, SimConfig};
 use crate::error::SimError;
 use crate::jobrun::{JobPhase, JobRun};
-use crate::metrics::{JobMetrics, SimReport};
-use crate::resources::ShareRegistry;
-use crate::task::{RunningTask, SlotKind};
+use crate::metrics::{FaultSummary, JobMetrics, SimReport};
+use crate::resources::{ResKind, ShareRegistry};
+use crate::task::{BoundStage, RunningTask, SlotKind, TaskTemplate};
 use crate::trace::{TaskEvent, TaskEventKind, Trace};
 use cast_cloud::units::Duration;
 
@@ -24,6 +48,88 @@ use cast_cloud::units::Duration;
 const EVENT_BUDGET: u64 = 50_000_000;
 /// Completion tolerance for floating-point progress.
 const EPS: f64 = 1e-9;
+/// High bit marking the uid of a speculative backup copy.
+const BACKUP_BIT: u64 = 1 << 63;
+/// Cap on consecutive simulated object-store request retries per stage.
+const MAX_OBJ_RETRIES: u32 = 16;
+
+/// A scheduled point where the fault plan changes the cluster.
+#[derive(Debug, Clone, Copy)]
+struct FaultEvent {
+    at: f64,
+    kind: FaultEventKind,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum FaultEventKind {
+    Crash(u32),
+    Recover(u32),
+    /// A degradation window opens or closes; capacities are re-derived
+    /// from scratch at every edge.
+    DegradationEdge,
+}
+
+/// A failed or crash-killed task waiting out its retry backoff.
+#[derive(Debug, Clone)]
+struct RetryEntry {
+    ready_at: f64,
+    job: usize,
+    uid: u64,
+    attempt: u32,
+    template: Box<TaskTemplate>,
+}
+
+/// Engine-side fault bookkeeping (cold when the plan is empty).
+struct FaultState {
+    enabled: bool,
+    crashed: Vec<bool>,
+    events: Vec<FaultEvent>,
+    next_event: usize,
+    retries: Vec<RetryEntry>,
+    /// Per-job counter handing out stable task uids.
+    seq: Vec<u32>,
+    vm_crashes: u32,
+}
+
+impl FaultState {
+    fn new(cfg: &SimConfig, njobs: usize) -> FaultState {
+        let plan = &cfg.faults;
+        let enabled = !plan.is_empty();
+        let mut events = Vec::new();
+        if enabled {
+            for c in &plan.vm_crashes {
+                events.push(FaultEvent {
+                    at: c.at_secs,
+                    kind: FaultEventKind::Crash(c.vm),
+                });
+                if let Some(d) = c.down_secs {
+                    events.push(FaultEvent {
+                        at: c.at_secs + d,
+                        kind: FaultEventKind::Recover(c.vm),
+                    });
+                }
+            }
+            for w in &plan.degradations {
+                for at in [w.start_secs, w.end_secs] {
+                    events.push(FaultEvent {
+                        at,
+                        kind: FaultEventKind::DegradationEdge,
+                    });
+                }
+            }
+            events.sort_by(|a, b| a.at.total_cmp(&b.at));
+        }
+        FaultState {
+            enabled,
+            crashed: vec![false; cfg.nvm],
+            events,
+            next_event: 0,
+            retries: Vec::new(),
+            seq: vec![0; njobs],
+            vm_crashes: 0,
+        }
+    }
+}
 
 /// The simulation engine. Construct with [`Engine::new`], run with
 /// [`Engine::run`].
@@ -38,12 +144,14 @@ pub struct Engine<'a> {
     clock: f64,
     dispatch_cursor: usize,
     trace: Option<Trace>,
+    fault: FaultState,
 }
 
 impl<'a> Engine<'a> {
     /// Build an engine over prepared job runs. `jobs` must be ordered so
     /// that every dependency index is smaller than the dependent's index.
     pub fn new(cfg: &'a SimConfig, jobs: Vec<JobRun>) -> Engine<'a> {
+        let fault = FaultState::new(cfg, jobs.len());
         Engine {
             reg: ShareRegistry::new(cfg),
             jobs,
@@ -54,21 +162,38 @@ impl<'a> Engine<'a> {
             clock: 0.0,
             dispatch_cursor: 0,
             trace: cfg.collect_trace.then(Trace::default),
+            fault,
             cfg,
         }
     }
 
     /// Run to completion, producing per-job metrics.
     pub fn run(mut self) -> Result<SimReport, SimError> {
+        if let Err(reason) = self.cfg.faults.validate(self.cfg.nvm) {
+            return Err(SimError::InvalidFaultPlan { reason });
+        }
         let mut events: u64 = 0;
         loop {
+            self.process_fault_events();
             self.activate_ready_jobs();
+            self.dispatch_retries();
             self.dispatch();
+            self.speculate();
             if self.tasks.is_empty() {
                 if self.jobs.iter().all(|j| j.phase == JobPhase::Done) {
                     break;
                 }
-                return Err(SimError::Stalled { at_secs: self.clock });
+                // No runnable work, but a retry backoff or a scheduled
+                // fault event (e.g. a VM recovery) may unblock us.
+                if let Some(wake) = self.next_wake() {
+                    self.clock = wake;
+                    events += 1;
+                    if events > EVENT_BUDGET {
+                        return Err(SimError::EventBudgetExhausted);
+                    }
+                    continue;
+                }
+                return Err(self.stalled_error());
             }
             self.step()?;
             events += 1;
@@ -88,17 +213,24 @@ impl<'a> Engine<'a> {
                 map: Duration::from_secs(j.phase_secs[1]),
                 reduce: Duration::from_secs(j.phase_secs[3]),
                 stage_out: Duration::from_secs(j.phase_secs[4]),
+                failures: j.failures,
+                retries: j.retries,
+                speculations: j.speculations,
+                kills: j.kills,
             })
             .collect();
-        metrics.sort_by(|a, b| {
-            a.finished
-                .secs()
-                .partial_cmp(&b.finished.secs())
-                .expect("finite times")
-        });
+        metrics.sort_by(|a, b| a.finished.secs().total_cmp(&b.finished.secs()));
+        let faults = FaultSummary {
+            task_failures: self.jobs.iter().map(|j| j.failures).sum(),
+            retries: self.jobs.iter().map(|j| j.retries).sum(),
+            speculations: self.jobs.iter().map(|j| j.speculations).sum(),
+            kills: self.jobs.iter().map(|j| j.kills).sum(),
+            vm_crashes: self.fault.vm_crashes,
+        };
         Ok(SimReport {
             jobs: metrics,
             makespan: Duration::from_secs(self.clock),
+            faults,
             trace: self.trace,
         })
     }
@@ -119,9 +251,7 @@ impl<'a> Engine<'a> {
             }
             if self.cfg.concurrency == Concurrency::Sequential {
                 // Only the earliest unfinished job may start.
-                let earlier_unfinished = self.jobs[..i]
-                    .iter()
-                    .any(|j| j.phase != JobPhase::Done);
+                let earlier_unfinished = self.jobs[..i].iter().any(|j| j.phase != JobPhase::Done);
                 if earlier_unfinished {
                     continue;
                 }
@@ -138,16 +268,13 @@ impl<'a> Engine<'a> {
         for off in 0..n {
             let i = (self.dispatch_cursor + off) % n;
             while let Some(tmpl) = self.jobs[i].pending.front() {
-                if matches!(
-                    self.jobs[i].phase,
-                    JobPhase::Waiting | JobPhase::Done
-                ) {
+                if matches!(self.jobs[i].phase, JobPhase::Waiting | JobPhase::Done) {
                     break;
                 }
                 let vm = match tmpl.slot {
-                    SlotKind::Map => pick_vm(&self.free_map),
-                    SlotKind::Reduce => pick_vm(&self.free_red),
-                    SlotKind::Transfer => Some(self.tasks.len() % self.cfg.nvm),
+                    SlotKind::Map => pick_vm(&self.free_map, &self.fault.crashed),
+                    SlotKind::Reduce => pick_vm(&self.free_red, &self.fault.crashed),
+                    SlotKind::Transfer => self.pick_transfer_vm(),
                 };
                 let Some(vm) = vm else { break };
                 let tmpl = self.jobs[i].pending.pop_front().expect("peeked");
@@ -156,23 +283,339 @@ impl<'a> Engine<'a> {
                     SlotKind::Reduce => self.free_red[vm] -= 1,
                     SlotKind::Transfer => {}
                 }
-                if let Some(trace) = self.trace.as_mut() {
-                    trace.events.push(TaskEvent {
-                        time: self.clock,
-                        job: self.jobs[i].job.id,
-                        vm: vm as u32,
-                        slot: tmpl.slot,
-                        kind: TaskEventKind::Started,
-                    });
+                self.push_trace(i, vm as u32, tmpl.slot, TaskEventKind::Started);
+                let mut task = RunningTask::bind(i, vm as u32, &tmpl);
+                if self.fault.enabled {
+                    let seq = self.fault.seq[i];
+                    self.fault.seq[i] += 1;
+                    task.uid = ((i as u64) << 32) | u64::from(seq);
+                    task.template = Some(Box::new(tmpl));
+                    self.arm_task(&mut task);
                 }
-                self.tasks.push(RunningTask::bind(i, vm as u32, &tmpl));
+                self.tasks.push(task);
                 self.jobs[i].active += 1;
             }
         }
         self.dispatch_cursor = (self.dispatch_cursor + 1) % n.max(1);
     }
 
-    /// Advance time to the next stage completion.
+    /// Transfer streams round-robin over VMs; rotate past crashed ones.
+    fn pick_transfer_vm(&self) -> Option<usize> {
+        let n = self.cfg.nvm;
+        let start = self.tasks.len() % n;
+        (0..n)
+            .map(|off| (start + off) % n)
+            .find(|&vm| !self.fault.crashed[vm])
+    }
+
+    /// Re-dispatch retry entries whose backoff has elapsed, slots
+    /// permitting.
+    fn dispatch_retries(&mut self) {
+        if !self.fault.enabled {
+            return;
+        }
+        let mut i = 0;
+        while i < self.fault.retries.len() {
+            if self.fault.retries[i].ready_at > self.clock + EPS {
+                i += 1;
+                continue;
+            }
+            let slot = self.fault.retries[i].template.slot;
+            let vm = match slot {
+                SlotKind::Map => pick_vm(&self.free_map, &self.fault.crashed),
+                SlotKind::Reduce => pick_vm(&self.free_red, &self.fault.crashed),
+                SlotKind::Transfer => self.pick_transfer_vm(),
+            };
+            let Some(vm) = vm else {
+                i += 1;
+                continue;
+            };
+            let entry = self.fault.retries.remove(i);
+            match slot {
+                SlotKind::Map => self.free_map[vm] -= 1,
+                SlotKind::Reduce => self.free_red[vm] -= 1,
+                SlotKind::Transfer => {}
+            }
+            self.push_trace(entry.job, vm as u32, slot, TaskEventKind::Retried);
+            let mut task = RunningTask::bind(entry.job, vm as u32, &entry.template);
+            task.uid = entry.uid;
+            task.attempt = entry.attempt;
+            task.template = Some(entry.template);
+            self.arm_task(&mut task);
+            self.jobs[entry.job].retries_pending -= 1;
+            self.jobs[entry.job].active += 1;
+            self.tasks.push(task);
+        }
+    }
+
+    /// Launch speculative backups for tasks streaming far below their
+    /// wave's median rate (Hadoop-style speculative execution).
+    fn speculate(&mut self) {
+        let thr = self.cfg.faults.speculation_threshold;
+        if !self.fault.enabled || thr <= 0.0 || self.tasks.is_empty() {
+            return;
+        }
+        // Instantaneous streaming rates under current contention.
+        self.reg.clear_counts();
+        for t in &self.tasks {
+            if let Some(s) = t.current() {
+                if !s.is_latent() && s.units_remaining > EPS {
+                    s.register(&mut self.reg);
+                }
+            }
+        }
+        let rates: Vec<f64> = self
+            .tasks
+            .iter()
+            .map(|t| match t.current() {
+                Some(s) if !s.is_latent() && s.units_remaining > EPS => s.rate(&self.reg),
+                _ => 0.0,
+            })
+            .collect();
+        let mut stragglers: Vec<usize> = Vec::new();
+        for (i, t) in self.tasks.iter().enumerate() {
+            if rates[i] <= 0.0
+                || t.speculated
+                || t.backup_of.is_some()
+                || t.slot == SlotKind::Transfer
+                || !self.jobs[t.job].pending.is_empty()
+            {
+                continue;
+            }
+            let mut wave: Vec<f64> = self
+                .tasks
+                .iter()
+                .zip(rates.iter())
+                .filter(|(o, &r)| {
+                    o.job == t.job && o.slot == t.slot && r > 0.0 && o.backup_of.is_none()
+                })
+                .map(|(_, &r)| r)
+                .collect();
+            if wave.len() < 2 {
+                continue;
+            }
+            wave.sort_by(f64::total_cmp);
+            let median = wave[wave.len() / 2];
+            if rates[i] < thr * median {
+                stragglers.push(i);
+            }
+        }
+        for i in stragglers {
+            let orig_vm = self.tasks[i].vm as usize;
+            let slot = self.tasks[i].slot;
+            let free = match slot {
+                SlotKind::Map => &self.free_map,
+                SlotKind::Reduce => &self.free_red,
+                SlotKind::Transfer => continue,
+            };
+            let vm = free
+                .iter()
+                .enumerate()
+                .filter(|&(v, &n)| n > 0 && !self.fault.crashed[v] && v != orig_vm)
+                .max_by_key(|&(_, &n)| n)
+                .map(|(v, _)| v);
+            let Some(vm) = vm else { continue };
+            let Some(tmpl) = self.tasks[i].template.clone() else {
+                continue;
+            };
+            match slot {
+                SlotKind::Map => self.free_map[vm] -= 1,
+                SlotKind::Reduce => self.free_red[vm] -= 1,
+                SlotKind::Transfer => {}
+            }
+            let job = self.tasks[i].job;
+            let orig_uid = self.tasks[i].uid;
+            self.tasks[i].speculated = true;
+            self.push_trace(job, vm as u32, slot, TaskEventKind::Speculated);
+            let mut backup = RunningTask::bind(job, vm as u32, &tmpl);
+            backup.uid = orig_uid | BACKUP_BIT;
+            backup.attempt = self.tasks[i].attempt;
+            backup.backup_of = Some(orig_uid);
+            backup.speculated = true;
+            backup.template = Some(tmpl);
+            self.arm_task(&mut backup);
+            self.jobs[job].speculations += 1;
+            self.jobs[job].active += 1;
+            self.tasks.push(backup);
+        }
+    }
+
+    /// Sample this attempt's fate from its private RNG: whether (and how
+    /// far in) it fails, plus simulated object-store request retries
+    /// inflating fixed latencies. Deterministic in `(seed, uid, attempt)`.
+    fn arm_task(&self, task: &mut RunningTask) {
+        let plan = &self.cfg.faults;
+        let mut rng = attempt_rng(plan.seed, task.uid, task.attempt);
+        if plan.task_failure_prob > 0.0 {
+            // First draw decides failure: at rate p₂ > p₁ the failing set
+            // is a superset, so sweeps over intensity are coupled.
+            let u: f64 = rng.gen();
+            if u < plan.task_failure_prob {
+                let frac: f64 = rng.gen();
+                let total = task
+                    .template
+                    .as_deref()
+                    .map(TaskTemplate::total_units)
+                    .unwrap_or(0.0);
+                if total > 0.0 {
+                    task.doom_units = Some((frac * total).max(EPS));
+                }
+            }
+        }
+        if plan.objstore_request_failure > 0.0 {
+            for s in task.stages.iter_mut() {
+                if s.global.is_some() && s.fixed_remaining > 0.0 {
+                    let mut extra = 0u32;
+                    while extra < MAX_OBJ_RETRIES
+                        && rng.gen::<f64>() < plan.objstore_request_failure
+                    {
+                        extra += 1;
+                    }
+                    // Each failed request repeats the setup latency.
+                    s.fixed_remaining *= 1.0 + f64::from(extra);
+                }
+            }
+        }
+    }
+
+    /// Apply all fault-plan events due at the current clock.
+    fn process_fault_events(&mut self) {
+        while let Some(&ev) = self.fault.events.get(self.fault.next_event) {
+            if ev.at > self.clock + EPS {
+                break;
+            }
+            self.fault.next_event += 1;
+            match ev.kind {
+                FaultEventKind::Crash(vm) => self.crash_vm(vm as usize),
+                FaultEventKind::Recover(vm) => self.fault.crashed[vm as usize] = false,
+                FaultEventKind::DegradationEdge => self.apply_degradations(),
+            }
+        }
+    }
+
+    /// Re-derive degraded capacities from the windows active right now.
+    fn apply_degradations(&mut self) {
+        self.reg.reset_scales();
+        for w in &self.cfg.faults.degradations {
+            if w.start_secs <= self.clock + EPS && self.clock < w.end_secs - EPS {
+                self.reg.scale_tier(w.vm, w.tier, w.multiplier);
+            }
+        }
+    }
+
+    /// Take a VM offline: kill its resident tasks (re-enqueuing any
+    /// without a live speculative twin) and reset its slot pools, which
+    /// stay unreachable until the matching recovery event.
+    fn crash_vm(&mut self, vm: usize) {
+        if self.fault.crashed[vm] {
+            return;
+        }
+        self.fault.crashed[vm] = true;
+        self.fault.vm_crashes += 1;
+        self.free_map[vm] = self.cfg.vm.map_slots;
+        self.free_red[vm] = self.cfg.vm.reduce_slots;
+        let mut idx = 0;
+        while idx < self.tasks.len() {
+            if self.tasks[idx].vm as usize != vm {
+                idx += 1;
+                continue;
+            }
+            let victim = self.tasks.swap_remove(idx);
+            let job = victim.job;
+            self.jobs[job].active -= 1;
+            self.jobs[job].kills += 1;
+            self.push_trace(job, victim.vm, victim.slot, TaskEventKind::Killed);
+            if victim.speculated && self.twin_index(victim.uid, victim.backup_of).is_some() {
+                // The surviving copy carries the work.
+                continue;
+            }
+            let Some(template) = victim.template else {
+                continue;
+            };
+            // Same attempt number: the crash was not the task's fault.
+            self.jobs[job].retries += 1;
+            self.jobs[job].retries_pending += 1;
+            self.fault.retries.push(RetryEntry {
+                ready_at: self.clock,
+                job,
+                uid: victim.uid,
+                attempt: victim.attempt,
+                template,
+            });
+        }
+    }
+
+    /// Index of the live twin (original ↔ backup) of task `uid`.
+    fn twin_index(&self, uid: u64, backup_of: Option<u64>) -> Option<usize> {
+        self.tasks
+            .iter()
+            .position(|o| backup_of == Some(o.uid) || o.backup_of == Some(uid))
+    }
+
+    /// Earliest strictly-future time at which a fault event fires or a
+    /// retry becomes ready.
+    fn next_wake(&self) -> Option<f64> {
+        let mut wake = f64::INFINITY;
+        if let Some(ev) = self.fault.events.get(self.fault.next_event) {
+            if ev.at > self.clock {
+                wake = wake.min(ev.at);
+            }
+        }
+        for r in &self.fault.retries {
+            if r.ready_at > self.clock {
+                wake = wake.min(r.ready_at);
+            }
+        }
+        wake.is_finite().then_some(wake)
+    }
+
+    /// Build a [`SimError::Stalled`] carrying whatever is known about the
+    /// first blocked job.
+    fn stalled_error(&self) -> SimError {
+        let blocked = self.jobs.iter().find(|j| j.phase != JobPhase::Done);
+        let (job, phase, tier) = match blocked {
+            Some(j) => {
+                let tier = j
+                    .pending
+                    .front()
+                    .and_then(|t| t.stages.first())
+                    .and_then(|s| s.read.map(|(t, _)| t).or(s.write.map(|(t, _)| t)))
+                    .map(|t| t.name().to_string());
+                (Some(j.job.id.0), Some(j.phase.name()), tier)
+            }
+            None => (None, None, None),
+        };
+        SimError::Stalled {
+            at_secs: self.clock,
+            job,
+            phase,
+            tier,
+        }
+    }
+
+    fn push_trace(&mut self, job: usize, vm: u32, slot: SlotKind, kind: TaskEventKind) {
+        let id = self.jobs[job].job.id;
+        if let Some(trace) = self.trace.as_mut() {
+            trace.events.push(TaskEvent {
+                time: self.clock,
+                job: id,
+                vm,
+                slot,
+                kind,
+            });
+        }
+    }
+
+    fn release_slot(&mut self, vm: usize, slot: SlotKind) {
+        match slot {
+            SlotKind::Map => self.free_map[vm] += 1,
+            SlotKind::Reduce => self.free_red[vm] += 1,
+            SlotKind::Transfer => {}
+        }
+    }
+
+    /// Advance time to the next stage completion, scheduled fault event,
+    /// or injected task failure.
     fn step(&mut self) -> Result<(), SimError> {
         // Register flows of streaming (non-latent) stages.
         self.reg.clear_counts();
@@ -197,10 +640,25 @@ impl<'a> Engine<'a> {
             } else {
                 let rate = s.rate(&self.reg);
                 if rate <= 0.0 || rate.is_nan() {
-                    return Err(SimError::Stalled { at_secs: self.clock });
+                    return Err(SimError::Stalled {
+                        at_secs: self.clock,
+                        job: Some(self.jobs[t.job].job.id.0),
+                        phase: Some(self.jobs[t.job].phase.name()),
+                        tier: stage_tier(s),
+                    });
                 }
                 self.rates.push(rate);
                 dt = dt.min(s.units_remaining / rate);
+                // A doomed attempt fails partway through its stream.
+                if let Some(doom) = t.doom_units {
+                    dt = dt.min(doom / rate);
+                }
+            }
+        }
+        // Never step past a scheduled fault event or retry wake-up.
+        if let Some(wake) = self.next_wake() {
+            if wake > self.clock {
+                dt = dt.min(wake - self.clock);
             }
         }
         debug_assert!(dt.is_finite(), "no progress possible");
@@ -218,54 +676,122 @@ impl<'a> Engine<'a> {
                 if s.units_remaining < EPS {
                     s.units_remaining = 0.0;
                 }
+                if let Some(doom) = t.doom_units.as_mut() {
+                    *doom -= dt * rate;
+                }
             }
         }
-        // Retire completed stages and tasks.
+        // Retire failed and completed tasks. `winners` collects finished
+        // tasks whose speculative twin must be killed afterwards.
+        let mut winners: Vec<(u64, Option<u64>)> = Vec::new();
         let mut idx = 0;
         while idx < self.tasks.len() {
+            if self.tasks[idx].doom_units.is_some_and(|d| d <= EPS) {
+                self.fail_task(idx)?;
+                continue;
+            }
             let task = &mut self.tasks[idx];
             while task.current().is_some_and(|s| s.is_done()) {
                 task.stages.pop_front();
             }
             if task.is_done() {
-                let vm = task.vm as usize;
-                match task.slot {
-                    SlotKind::Map => self.free_map[vm] += 1,
-                    SlotKind::Reduce => self.free_red[vm] += 1,
-                    SlotKind::Transfer => {}
-                }
+                let task = self.tasks.swap_remove(idx);
+                self.release_slot(task.vm as usize, task.slot);
                 let job = task.job;
-                let (slot, vm_id) = (task.slot, task.vm);
-                self.tasks.swap_remove(idx);
-                if let Some(trace) = self.trace.as_mut() {
-                    trace.events.push(TaskEvent {
-                        time: self.clock,
-                        job: self.jobs[job].job.id,
-                        vm: vm_id,
-                        slot,
-                        kind: TaskEventKind::Finished,
-                    });
-                }
+                self.push_trace(job, task.vm, task.slot, TaskEventKind::Finished);
                 self.jobs[job].active -= 1;
-                if self.jobs[job].phase_drained() && self.jobs[job].phase != JobPhase::Done {
-                    self.jobs[job].advance_phase(self.clock, self.cfg);
+                if task.speculated {
+                    winners.push((task.uid, task.backup_of));
                 }
             } else {
                 idx += 1;
             }
         }
+        // Winners kill their twins.
+        for (uid, backup_of) in winners {
+            if let Some(k) = self.twin_index(uid, backup_of) {
+                let loser = self.tasks.swap_remove(k);
+                self.release_slot(loser.vm as usize, loser.slot);
+                let job = loser.job;
+                self.push_trace(job, loser.vm, loser.slot, TaskEventKind::Killed);
+                self.jobs[job].active -= 1;
+                self.jobs[job].kills += 1;
+            }
+        }
+        // Advance any job whose phase fully drained this step.
+        for job in &mut self.jobs {
+            if job.phase != JobPhase::Waiting && job.phase != JobPhase::Done && job.phase_drained()
+            {
+                job.advance_phase(self.clock, self.cfg);
+            }
+        }
+        Ok(())
+    }
+
+    /// Handle a mid-stream task failure at `idx`: schedule a retry with
+    /// exponential backoff, or give up on the job past the attempt budget.
+    fn fail_task(&mut self, idx: usize) -> Result<(), SimError> {
+        let task = self.tasks.swap_remove(idx);
+        self.release_slot(task.vm as usize, task.slot);
+        let job = task.job;
+        self.jobs[job].active -= 1;
+        self.jobs[job].failures += 1;
+        self.push_trace(job, task.vm, task.slot, TaskEventKind::Failed);
+        if task.speculated && self.twin_index(task.uid, task.backup_of).is_some() {
+            // The surviving copy carries the work; no retry needed.
+            return Ok(());
+        }
+        if task.attempt >= self.cfg.faults.max_task_attempts {
+            return Err(SimError::JobFailed {
+                job: self.jobs[job].job.id.0,
+                attempts: task.attempt,
+            });
+        }
+        let backoff =
+            self.cfg.faults.retry_backoff_secs * f64::powi(2.0, (task.attempt - 1) as i32);
+        let template = task.template.expect("faulted task retains its template");
+        self.jobs[job].retries += 1;
+        self.jobs[job].retries_pending += 1;
+        self.fault.retries.push(RetryEntry {
+            ready_at: self.clock + backoff,
+            job,
+            uid: task.uid,
+            attempt: task.attempt + 1,
+            template,
+        });
         Ok(())
     }
 }
 
-/// VM with the most free slots, or `None` if all are exhausted.
-fn pick_vm(free: &[usize]) -> Option<usize> {
-    let (vm, &n) = free
-        .iter()
+/// Live VM with the most free slots, or `None` if none has capacity.
+fn pick_vm(free: &[usize], crashed: &[bool]) -> Option<usize> {
+    free.iter()
         .enumerate()
+        .filter(|&(vm, &n)| n > 0 && !crashed[vm])
         .max_by_key(|&(_, &n)| n)
-        .expect("cluster has VMs");
-    (n > 0).then_some(vm)
+        .map(|(vm, _)| vm)
+}
+
+/// The storage tier a stage streams against, for diagnostics.
+fn stage_tier(s: &BoundStage) -> Option<String> {
+    [s.read, s.write]
+        .into_iter()
+        .flatten()
+        .find_map(|(key, _)| match key.kind {
+            ResKind::Volume(t) => Some(t.name().to_string()),
+            ResKind::Nic => None,
+        })
+}
+
+/// Private RNG for one task attempt: keyed, not streamed, so runs are
+/// reproducible and failure sets couple across fault intensities.
+fn attempt_rng(seed: u64, uid: u64, attempt: u32) -> StdRng {
+    let mut u = seed ^ 0x9e37_79b9_7f4a_7c15;
+    u = u.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(uid);
+    u = u
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(u64::from(attempt));
+    StdRng::seed_from_u64(u)
 }
 
 fn nan_zero(x: f64) -> f64 {
@@ -284,6 +810,7 @@ pub fn job_ids(jobs: &[JobRun]) -> Vec<JobId> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::{DegradationWindow, FaultPlan, VmCrash};
     use crate::placement::JobPlacement;
     use cast_cloud::tier::{PerTier, Tier};
     use cast_cloud::units::DataSize;
@@ -308,6 +835,13 @@ mod tests {
         let job = Job::with_default_layout(JobId(0), app, DatasetId(0), DataSize::from_gb(gb));
         let jr = JobRun::new(job, JobPlacement::all_on(tier), *profiles.get(app), vec![]);
         Engine::new(c, vec![jr]).run().unwrap()
+    }
+
+    fn try_run(app: AppKind, gb: f64, tier: Tier, c: &SimConfig) -> Result<SimReport, SimError> {
+        let profiles = ProfileSet::defaults();
+        let job = Job::with_default_layout(JobId(0), app, DatasetId(0), DataSize::from_gb(gb));
+        let jr = JobRun::new(job, JobPlacement::all_on(tier), *profiles.get(app), vec![]);
+        Engine::new(c, vec![jr]).run()
     }
 
     #[test]
@@ -490,8 +1024,7 @@ mod tests {
         let mut agg = PerTier::from_fn(|_| DataSize::ZERO);
         *agg.get_mut(Tier::EphSsd) = DataSize::from_gb(375.0);
         *agg.get_mut(Tier::PersHdd) = DataSize::from_gb(100.0);
-        let mut c =
-            SimConfig::with_aggregate_capacity(Catalog::google_cloud(), 1, &agg).unwrap();
+        let mut c = SimConfig::with_aggregate_capacity(Catalog::google_cloud(), 1, &agg).unwrap();
         c.jitter = 0.0;
         let profiles = ProfileSet::defaults();
         let mk = |input: crate::placement::SplitPlacement| {
@@ -507,9 +1040,12 @@ mod tests {
             p.input = input;
             JobRun::new(job, p, *profiles.get(AppKind::Grep), vec![])
         };
-        let all_eph = Engine::new(&c, vec![mk(crate::placement::SplitPlacement::single(Tier::EphSsd))])
-            .run()
-            .unwrap();
+        let all_eph = Engine::new(
+            &c,
+            vec![mk(crate::placement::SplitPlacement::single(Tier::EphSsd))],
+        )
+        .run()
+        .unwrap();
         let split = Engine::new(
             &c,
             vec![mk(crate::placement::SplitPlacement::split(
@@ -550,6 +1086,259 @@ mod tests {
             vec![],
         );
         let err = Engine::new(&c, vec![jr]).run().unwrap_err();
-        assert!(matches!(err, SimError::Stalled { .. }));
+        match err {
+            SimError::Stalled {
+                job, phase, tier, ..
+            } => {
+                assert_eq!(job, Some(0));
+                assert_eq!(phase, Some("map"));
+                assert_eq!(tier.as_deref(), Some("persHDD"));
+            }
+            other => panic!("expected enriched stall, got {other:?}"),
+        }
+    }
+
+    // ---- fault injection & recovery ----
+
+    #[test]
+    fn empty_plan_is_bit_identical_regardless_of_seed() {
+        let c = cfg(1);
+        let baseline = run(AppKind::Grep, 10.0, Tier::PersSsd, &c);
+        let mut reseeded = cfg(1);
+        reseeded.faults = FaultPlan {
+            seed: 0xdead_beef,
+            retry_backoff_secs: 99.0,
+            ..FaultPlan::default()
+        };
+        assert!(reseeded.faults.is_empty());
+        let again = run(AppKind::Grep, 10.0, Tier::PersSsd, &reseeded);
+        assert_eq!(baseline, again);
+        assert!(again.faults.is_quiet());
+    }
+
+    #[test]
+    fn deterministic_under_faults() {
+        let mut c = cfg(2);
+        c.faults = FaultPlan::with_task_failures(0.3);
+        c.collect_trace = true;
+        let a = run(AppKind::Sort, 10.0, Tier::PersSsd, &c);
+        let b = run(AppKind::Sort, 10.0, Tier::PersSsd, &c);
+        assert_eq!(a, b, "same plan + seed must be bit-identical");
+        assert!(a.faults.task_failures > 0, "p=0.3 should hit some tasks");
+    }
+
+    #[test]
+    fn task_failures_are_retried_to_completion() {
+        let mut c = cfg(1);
+        c.collect_trace = true;
+        let baseline = run(AppKind::Grep, 10.0, Tier::PersSsd, &c);
+        c.faults = FaultPlan {
+            // High failure rate with a budget deep enough that no task
+            // plausibly exhausts it (0.5⁸ ≈ 0.4 %).
+            max_task_attempts: 8,
+            ..FaultPlan::with_task_failures(0.5)
+        };
+        let faulted = run(AppKind::Grep, 10.0, Tier::PersSsd, &c);
+        assert!(faulted.faults.task_failures > 0);
+        // Without crashes or speculation every failure schedules a retry.
+        assert_eq!(faulted.faults.retries, faulted.faults.task_failures);
+        assert!(
+            faulted.makespan.secs() > baseline.makespan.secs(),
+            "re-executed work must cost time: {} vs {}",
+            faulted.makespan,
+            baseline.makespan
+        );
+        let trace = faulted.trace.as_ref().unwrap();
+        assert_eq!(
+            trace.count(TaskEventKind::Failed),
+            faulted.faults.task_failures as usize
+        );
+        assert_eq!(
+            trace.count(TaskEventKind::Retried),
+            faulted.faults.retries as usize
+        );
+        // Per-job counters roll up to the summary.
+        let m = &faulted.jobs[0];
+        assert_eq!(m.failures, faulted.faults.task_failures);
+        assert_eq!(m.retries, faulted.faults.retries);
+    }
+
+    #[test]
+    fn failure_sweep_trends_upward() {
+        // Strict monotonicity is not a theorem under bandwidth sharing (a
+        // failed task frees its share mid-wave, and its retry later runs
+        // uncontended), so allow sub-percent dips while requiring the
+        // overall degradation trend.
+        let mut makespans = Vec::new();
+        for p in [0.0, 0.1, 0.3, 0.6] {
+            let mut c = cfg(1);
+            c.faults = FaultPlan {
+                max_task_attempts: 16,
+                ..FaultPlan::with_task_failures(p)
+            };
+            makespans.push(run(AppKind::Grep, 5.0, Tier::PersSsd, &c).makespan.secs());
+        }
+        for w in makespans.windows(2) {
+            assert!(w[1] >= 0.99 * w[0], "big makespan drop: {makespans:?}");
+        }
+        assert!(
+            makespans[3] > 1.1 * makespans[0],
+            "60% failures must cost real time: {makespans:?}"
+        );
+    }
+
+    #[test]
+    fn vm_crash_finishes_via_reexecution() {
+        let mut c = cfg(2);
+        let baseline = run(AppKind::Grep, 10.0, Tier::PersSsd, &c);
+        c.collect_trace = true;
+        c.faults = FaultPlan {
+            vm_crashes: vec![VmCrash {
+                vm: 0,
+                at_secs: 5.0,
+                down_secs: None, // never recovers
+            }],
+            ..FaultPlan::default()
+        };
+        let r = try_run(AppKind::Grep, 10.0, Tier::PersSsd, &c)
+            .expect("crash must be survivable, not a stall");
+        assert_eq!(r.faults.vm_crashes, 1);
+        assert!(r.faults.kills > 0, "resident tasks must be killed");
+        assert!(r.faults.retries > 0, "killed tasks must be re-executed");
+        let trace = r.trace.as_ref().unwrap();
+        assert!(trace.count(TaskEventKind::Killed) > 0);
+        assert!(trace.count(TaskEventKind::Retried) > 0);
+        assert!(
+            r.makespan.secs() > baseline.makespan.secs(),
+            "half the cluster is gone: {} vs {}",
+            r.makespan,
+            baseline.makespan
+        );
+        // Nothing ran on the dead VM after the crash.
+        assert!(trace
+            .events
+            .iter()
+            .filter(|e| e.time > 5.0 + 1e-9 && e.kind.opens())
+            .all(|e| e.vm != 0));
+    }
+
+    #[test]
+    fn crashed_vm_recovery_restores_capacity() {
+        let mut c = cfg(2);
+        c.faults = FaultPlan {
+            vm_crashes: vec![VmCrash {
+                vm: 0,
+                at_secs: 5.0,
+                down_secs: Some(20.0),
+            }],
+            ..FaultPlan::default()
+        };
+        c.collect_trace = true;
+        let r = run(AppKind::Sort, 20.0, Tier::PersSsd, &c);
+        let trace = r.trace.as_ref().unwrap();
+        // Work lands on VM 0 again after recovery at t=25.
+        assert!(
+            trace
+                .events
+                .iter()
+                .any(|e| e.vm == 0 && e.time > 25.0 && e.kind.opens()),
+            "recovered VM must take tasks again"
+        );
+    }
+
+    #[test]
+    fn retry_budget_exhaustion_fails_the_job() {
+        let mut c = cfg(1);
+        c.faults = FaultPlan {
+            task_failure_prob: 1.0,
+            max_task_attempts: 2,
+            retry_backoff_secs: 0.5,
+            ..FaultPlan::default()
+        };
+        let err = try_run(AppKind::Grep, 2.0, Tier::PersSsd, &c).unwrap_err();
+        assert_eq!(
+            err,
+            SimError::JobFailed {
+                job: 0,
+                attempts: 2
+            }
+        );
+    }
+
+    #[test]
+    fn degradation_window_slows_the_job() {
+        let mut c = cfg(1);
+        let baseline = run(AppKind::Grep, 10.0, Tier::PersSsd, &c);
+        c.faults = FaultPlan {
+            degradations: vec![DegradationWindow {
+                vm: None,
+                tier: Tier::PersSsd,
+                start_secs: 0.0,
+                end_secs: 1e9,
+                multiplier: 0.25,
+            }],
+            ..FaultPlan::default()
+        };
+        let degraded = run(AppKind::Grep, 10.0, Tier::PersSsd, &c);
+        assert!(
+            degraded.makespan.secs() > 1.5 * baseline.makespan.secs(),
+            "quartered volume bandwidth must hurt an I/O-bound job: {} vs {}",
+            degraded.makespan,
+            baseline.makespan
+        );
+        // A window that closes before the run ends costs less than the
+        // permanent one.
+        let mut brief = cfg(1);
+        brief.faults = FaultPlan {
+            degradations: vec![DegradationWindow {
+                vm: None,
+                tier: Tier::PersSsd,
+                start_secs: 0.0,
+                end_secs: 10.0,
+                multiplier: 0.25,
+            }],
+            ..FaultPlan::default()
+        };
+        let transient = run(AppKind::Grep, 10.0, Tier::PersSsd, &brief);
+        assert!(transient.makespan.secs() < degraded.makespan.secs());
+        assert!(transient.makespan.secs() > baseline.makespan.secs() - 1e-6);
+    }
+
+    #[test]
+    fn speculation_rescues_degraded_vm_stragglers() {
+        // VM 0's volume crawls at 5% speed; tasks placed there straggle.
+        let slow_vm = FaultPlan {
+            degradations: vec![DegradationWindow {
+                vm: Some(0),
+                tier: Tier::PersSsd,
+                start_secs: 0.0,
+                end_secs: 1e9,
+                multiplier: 0.05,
+            }],
+            ..FaultPlan::default()
+        };
+        let mut without = cfg(2);
+        without.faults = slow_vm.clone();
+        let stuck = run(AppKind::Grep, 2.0, Tier::PersSsd, &without);
+        let mut with = cfg(2);
+        with.collect_trace = true;
+        with.faults = FaultPlan {
+            speculation_threshold: 0.5,
+            ..slow_vm
+        };
+        let rescued = run(AppKind::Grep, 2.0, Tier::PersSsd, &with);
+        assert!(rescued.faults.speculations > 0, "backups must launch");
+        assert!(rescued.faults.kills > 0, "a race must have a loser");
+        assert!(
+            rescued.makespan.secs() < 0.9 * stuck.makespan.secs(),
+            "speculation must beat waiting on the slow VM: {} vs {}",
+            rescued.makespan,
+            stuck.makespan
+        );
+        let trace = rescued.trace.as_ref().unwrap();
+        assert_eq!(
+            trace.count(TaskEventKind::Speculated),
+            rescued.faults.speculations as usize
+        );
     }
 }

@@ -16,10 +16,31 @@ pub enum SimError {
     },
     /// A placement's input split fractions are invalid.
     InvalidSplit(u32),
-    /// The engine made no progress (internal invariant violation).
+    /// The engine made no progress. Carries whatever is known about the
+    /// blocking work so a zero-bandwidth placement (or a cluster that
+    /// never recovers) is diagnosable from the error alone.
     Stalled {
         /// Simulated time at the stall.
         at_secs: f64,
+        /// Id of the blocked job, when one is identifiable.
+        job: Option<u32>,
+        /// Phase the blocked job was in.
+        phase: Option<&'static str>,
+        /// Tier the blocked stage was reading/writing, when known.
+        tier: Option<String>,
+    },
+    /// A task exhausted its retry budget under fault injection; the owning
+    /// job cannot complete.
+    JobFailed {
+        /// Failed job.
+        job: u32,
+        /// Attempts the fatal task made (first run + retries).
+        attempts: u32,
+    },
+    /// The configured [`crate::fault::FaultPlan`] is malformed.
+    InvalidFaultPlan {
+        /// What was wrong.
+        reason: String,
     },
     /// Event budget exhausted — almost certainly a bug or a degenerate
     /// configuration (e.g. zero-bandwidth tier on the critical path).
@@ -38,8 +59,29 @@ impl fmt::Display for SimError {
                 write!(f, "job #{job} placed on {tier} which has no capacity")
             }
             SimError::InvalidSplit(j) => write!(f, "job #{j} has an invalid input split"),
-            SimError::Stalled { at_secs } => {
-                write!(f, "simulation stalled at t={at_secs:.3}s")
+            SimError::Stalled {
+                at_secs,
+                job,
+                phase,
+                tier,
+            } => {
+                write!(f, "simulation stalled at t={at_secs:.3}s")?;
+                if let Some(j) = job {
+                    write!(f, " on job #{j}")?;
+                }
+                if let Some(p) = phase {
+                    write!(f, " in phase {p}")?;
+                }
+                if let Some(t) = tier {
+                    write!(f, " blocked on tier {t}")?;
+                }
+                Ok(())
+            }
+            SimError::JobFailed { job, attempts } => {
+                write!(f, "job #{job} failed: a task exhausted {attempts} attempts")
+            }
+            SimError::InvalidFaultPlan { reason } => {
+                write!(f, "invalid fault plan: {reason}")
             }
             SimError::EventBudgetExhausted => write!(f, "simulation event budget exhausted"),
             SimError::Cloud(e) => write!(f, "cloud model error: {e}"),
@@ -74,6 +116,39 @@ mod tests {
             tier: "persHDD".into(),
         };
         assert!(e.to_string().contains("persHDD"));
+    }
+
+    #[test]
+    fn stalled_display_includes_context() {
+        let e = SimError::Stalled {
+            at_secs: 12.5,
+            job: Some(3),
+            phase: Some("map"),
+            tier: Some("persHDD".into()),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("t=12.500"));
+        assert!(msg.contains("#3"));
+        assert!(msg.contains("map"));
+        assert!(msg.contains("persHDD"));
+        // A context-free stall still renders.
+        let bare = SimError::Stalled {
+            at_secs: 1.0,
+            job: None,
+            phase: None,
+            tier: None,
+        };
+        assert!(bare.to_string().contains("stalled"));
+    }
+
+    #[test]
+    fn job_failed_display() {
+        let e = SimError::JobFailed {
+            job: 7,
+            attempts: 4,
+        };
+        assert!(e.to_string().contains("#7"));
+        assert!(e.to_string().contains('4'));
     }
 
     #[test]

@@ -1,0 +1,273 @@
+//! Fault injection: deterministic, serialisable failure scenarios.
+//!
+//! A [`FaultPlan`] attached to [`crate::config::SimConfig`] describes every
+//! injectable event up front — per-task failure probability, scheduled VM
+//! crashes and recoveries, transient tier-degradation windows, and an
+//! object-store per-request failure rate. The engine turns the plan into
+//! recovery behaviour: failed tasks re-enqueue with bounded retries and
+//! exponential backoff, crashed VMs kill their resident tasks and return
+//! their slots on recovery, and (optionally) Hadoop-style speculative
+//! execution launches backup copies of stragglers.
+//!
+//! Determinism: every random fault decision is drawn from an RNG keyed by
+//! `(plan seed, task uid, attempt)` rather than a shared stream, so a
+//! simulation is bit-reproducible for a fixed plan *and* failure sets are
+//! coupled across intensities — every task that fails at rate `p₁` also
+//! fails at any `p₂ > p₁`, which makes fault sweeps monotone.
+
+use serde::{Deserialize, Serialize};
+
+use cast_cloud::tier::Tier;
+
+/// A scheduled worker-VM crash (and optional recovery).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VmCrash {
+    /// Index of the VM that fails.
+    pub vm: u32,
+    /// Simulated time of the crash, seconds.
+    pub at_secs: f64,
+    /// How long the VM stays down; `None` = never recovers.
+    pub down_secs: Option<f64>,
+}
+
+/// A transient bandwidth-degradation window on one tier's volumes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DegradationWindow {
+    /// VM whose volume degrades; `None` = every VM (and, for
+    /// [`Tier::ObjStore`], the cluster-global ceiling too).
+    pub vm: Option<u32>,
+    /// Affected tier.
+    pub tier: Tier,
+    /// Window start, seconds.
+    pub start_secs: f64,
+    /// Window end (exclusive), seconds.
+    pub end_secs: f64,
+    /// Bandwidth multiplier inside `[start, end)` — `0.25` = quartered.
+    pub multiplier: f64,
+}
+
+/// The full fault scenario for one simulation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Seed for all fault sampling (independent of the workload's own
+    /// task-skew seeds).
+    pub seed: u64,
+    /// Probability that any given task attempt fails partway through its
+    /// streaming work.
+    pub task_failure_prob: f64,
+    /// Probability that one object-store request fails and is retried;
+    /// inflates the fixed request latency of object-store stages.
+    pub objstore_request_failure: f64,
+    /// Attempts (first run + retries) before the owning job is declared
+    /// failed ([`crate::error::SimError::JobFailed`]). Hadoop's
+    /// `mapreduce.map.maxattempts` default is 4.
+    pub max_task_attempts: u32,
+    /// Backoff before the first retry, seconds; doubles on each further
+    /// attempt.
+    pub retry_backoff_secs: f64,
+    /// Speculative-execution threshold: launch a backup copy when a task's
+    /// progress rate falls below this fraction of its wave's median rate.
+    /// `0` disables speculation.
+    pub speculation_threshold: f64,
+    /// Scheduled VM crashes.
+    pub vm_crashes: Vec<VmCrash>,
+    /// Tier degradation windows.
+    pub degradations: Vec<DegradationWindow>,
+}
+
+impl Default for FaultPlan {
+    /// The empty plan: no faults injected, recovery knobs at Hadoop-like
+    /// defaults. Simulations under the default plan are bit-identical to
+    /// fault-free runs.
+    fn default() -> FaultPlan {
+        FaultPlan {
+            seed: 0xfa17_cafe,
+            task_failure_prob: 0.0,
+            objstore_request_failure: 0.0,
+            max_task_attempts: 4,
+            retry_backoff_secs: 5.0,
+            speculation_threshold: 0.0,
+            vm_crashes: Vec::new(),
+            degradations: Vec::new(),
+        }
+    }
+}
+
+impl FaultPlan {
+    /// Whether the plan injects nothing (recovery machinery stays cold).
+    pub fn is_empty(&self) -> bool {
+        self.task_failure_prob <= 0.0
+            && self.objstore_request_failure <= 0.0
+            && self.speculation_threshold <= 0.0
+            && self.vm_crashes.is_empty()
+            && self.degradations.is_empty()
+    }
+
+    /// Convenience: an otherwise-default plan with a per-task failure rate.
+    pub fn with_task_failures(prob: f64) -> FaultPlan {
+        FaultPlan {
+            task_failure_prob: prob,
+            ..FaultPlan::default()
+        }
+    }
+
+    /// Check the plan against a cluster of `nvm` workers. Returns a
+    /// human-readable reason on the first violation.
+    pub fn validate(&self, nvm: usize) -> Result<(), String> {
+        for (name, p) in [
+            ("task_failure_prob", self.task_failure_prob),
+            ("objstore_request_failure", self.objstore_request_failure),
+        ] {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(format!("{name} must be in [0, 1], got {p}"));
+            }
+        }
+        if self.objstore_request_failure >= 1.0 {
+            return Err("objstore_request_failure must be < 1".to_string());
+        }
+        if self.task_failure_prob > 0.0 && self.max_task_attempts == 0 {
+            return Err("max_task_attempts must be >= 1".to_string());
+        }
+        if !self.retry_backoff_secs.is_finite() || self.retry_backoff_secs < 0.0 {
+            return Err(format!(
+                "retry_backoff_secs must be finite and >= 0, got {}",
+                self.retry_backoff_secs
+            ));
+        }
+        if self.speculation_threshold < 0.0 || self.speculation_threshold >= 1.0 {
+            return Err(format!(
+                "speculation_threshold must be in [0, 1), got {}",
+                self.speculation_threshold
+            ));
+        }
+        for c in &self.vm_crashes {
+            if c.vm as usize >= nvm {
+                return Err(format!("vm_crashes references VM {} (nvm = {nvm})", c.vm));
+            }
+            if !c.at_secs.is_finite() || c.at_secs < 0.0 {
+                return Err(format!(
+                    "crash time must be finite and >= 0, got {}",
+                    c.at_secs
+                ));
+            }
+            if let Some(d) = c.down_secs {
+                if !d.is_finite() || d <= 0.0 {
+                    return Err(format!("crash down_secs must be finite and > 0, got {d}"));
+                }
+            }
+        }
+        for w in &self.degradations {
+            if let Some(vm) = w.vm {
+                if vm as usize >= nvm {
+                    return Err(format!("degradation references VM {vm} (nvm = {nvm})"));
+                }
+            }
+            if !(w.start_secs.is_finite() && w.end_secs.is_finite())
+                || w.start_secs < 0.0
+                || w.end_secs <= w.start_secs
+            {
+                return Err(format!(
+                    "degradation window [{}, {}) is invalid",
+                    w.start_secs, w.end_secs
+                ));
+            }
+            if !w.multiplier.is_finite() || w.multiplier < 0.0 {
+                return Err(format!(
+                    "degradation multiplier must be finite and >= 0, got {}",
+                    w.multiplier
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_plan_is_empty_and_valid() {
+        let plan = FaultPlan::default();
+        assert!(plan.is_empty());
+        assert!(plan.validate(4).is_ok());
+    }
+
+    #[test]
+    fn any_knob_makes_the_plan_non_empty() {
+        assert!(!FaultPlan::with_task_failures(0.1).is_empty());
+        let crash = FaultPlan {
+            vm_crashes: vec![VmCrash {
+                vm: 0,
+                at_secs: 1.0,
+                down_secs: None,
+            }],
+            ..FaultPlan::default()
+        };
+        assert!(!crash.is_empty());
+        let degrade = FaultPlan {
+            degradations: vec![DegradationWindow {
+                vm: None,
+                tier: Tier::PersSsd,
+                start_secs: 0.0,
+                end_secs: 10.0,
+                multiplier: 0.5,
+            }],
+            ..FaultPlan::default()
+        };
+        assert!(!degrade.is_empty());
+    }
+
+    #[test]
+    fn validation_rejects_bad_plans() {
+        assert!(FaultPlan::with_task_failures(1.5).validate(4).is_err());
+        let oob = FaultPlan {
+            vm_crashes: vec![VmCrash {
+                vm: 9,
+                at_secs: 1.0,
+                down_secs: None,
+            }],
+            ..FaultPlan::default()
+        };
+        assert!(oob.validate(4).is_err());
+        let backwards = FaultPlan {
+            degradations: vec![DegradationWindow {
+                vm: None,
+                tier: Tier::PersHdd,
+                start_secs: 10.0,
+                end_secs: 5.0,
+                multiplier: 0.5,
+            }],
+            ..FaultPlan::default()
+        };
+        assert!(backwards.validate(4).is_err());
+        let no_attempts = FaultPlan {
+            max_task_attempts: 0,
+            ..FaultPlan::with_task_failures(0.1)
+        };
+        assert!(no_attempts.validate(4).is_err());
+    }
+
+    #[test]
+    fn plan_roundtrips_through_json() {
+        let plan = FaultPlan {
+            task_failure_prob: 0.05,
+            vm_crashes: vec![VmCrash {
+                vm: 1,
+                at_secs: 30.0,
+                down_secs: Some(60.0),
+            }],
+            degradations: vec![DegradationWindow {
+                vm: Some(0),
+                tier: Tier::ObjStore,
+                start_secs: 5.0,
+                end_secs: 25.0,
+                multiplier: 0.1,
+            }],
+            ..FaultPlan::default()
+        };
+        let json = serde_json::to_string(&plan).unwrap();
+        let back: FaultPlan = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, plan);
+    }
+}

@@ -36,6 +36,20 @@ pub enum JobPhase {
     Done,
 }
 
+impl JobPhase {
+    /// Human-readable phase name (used in diagnostics).
+    pub fn name(self) -> &'static str {
+        match self {
+            JobPhase::Waiting => "waiting",
+            JobPhase::StageIn => "stage-in",
+            JobPhase::Map => "map",
+            JobPhase::Reduce => "reduce",
+            JobPhase::StageOut => "stage-out",
+            JobPhase::Done => "done",
+        }
+    }
+}
+
 /// Per-job execution state.
 #[derive(Debug, Clone)]
 pub struct JobRun {
@@ -64,6 +78,17 @@ pub struct JobRun {
     /// Accumulated per-phase wall times, indexed by [`StageLabel`] order
     /// `[StageIn, Map, Shuffle(unused), Reduce, StageOut]`.
     pub phase_secs: [f64; 5],
+    /// Failed/killed tasks of the current phase waiting out their retry
+    /// backoff (the phase cannot drain while any are pending).
+    pub retries_pending: usize,
+    /// Task attempts of this job that failed mid-run.
+    pub failures: u32,
+    /// Retry attempts scheduled for this job.
+    pub retries: u32,
+    /// Speculative backups launched for this job.
+    pub speculations: u32,
+    /// Tasks of this job killed by crashes or lost speculative races.
+    pub kills: u32,
     rng: StdRng,
 }
 
@@ -84,12 +109,18 @@ impl JobRun {
             finished: f64::NAN,
             phase_started: f64::NAN,
             phase_secs: [0.0; 5],
+            retries_pending: 0,
+            failures: 0,
+            retries: 0,
+            speculations: 0,
+            kills: 0,
         }
     }
 
-    /// Whether the current phase has fully drained.
+    /// Whether the current phase has fully drained (no templates waiting,
+    /// no tasks in flight, no retries pending their backoff).
     pub fn phase_drained(&self) -> bool {
-        self.pending.is_empty() && self.active == 0
+        self.pending.is_empty() && self.active == 0 && self.retries_pending == 0
     }
 
     /// Record the current phase's wall time and enter the next phase with
@@ -447,18 +478,18 @@ mod tests {
         on_obj.advance_phase(0.0, &c);
         let obj_ratio = on_obj.pending[0].stages[0].read.unwrap().1;
         assert!(block_ratio < 2.0, "cached re-reads, got {block_ratio}");
-        assert!((obj_ratio - 8.0).abs() < 1e-9, "8 fetch passes, got {obj_ratio}");
+        assert!(
+            (obj_ratio - 8.0).abs() < 1e-9,
+            "8 fetch passes, got {obj_ratio}"
+        );
     }
 
     #[test]
     fn split_placement_partitions_map_tasks() {
         let c = cfg();
         let mut run = run_for(AppKind::Grep, 6.0, Tier::PersHdd);
-        run.placement.input = crate::placement::SplitPlacement::split(
-            Tier::EphSsd,
-            0.5,
-            Tier::PersHdd,
-        );
+        run.placement.input =
+            crate::placement::SplitPlacement::split(Tier::EphSsd, 0.5, Tier::PersHdd);
         run.advance_phase(0.0, &c);
         let on_eph = run
             .pending

@@ -43,6 +43,7 @@
 pub mod config;
 pub mod engine;
 pub mod error;
+pub mod fault;
 pub mod jobrun;
 pub mod metrics;
 pub mod placement;
@@ -53,6 +54,7 @@ pub mod trace;
 
 pub use config::SimConfig;
 pub use error::SimError;
-pub use metrics::{JobMetrics, SimReport};
+pub use fault::{DegradationWindow, FaultPlan, VmCrash};
+pub use metrics::{FaultSummary, JobMetrics, SimReport};
 pub use placement::{JobPlacement, PlacementMap, SplitPlacement};
 pub use runner::simulate;

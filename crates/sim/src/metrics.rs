@@ -1,8 +1,8 @@
 //! Simulation results: per-job phase timings and cluster-level aggregates.
 
-use serde::{Deserialize, Serialize};
 use cast_cloud::units::Duration;
 use cast_workload::job::JobId;
+use serde::{Deserialize, Serialize};
 
 /// Timing record for one simulated job.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -23,6 +23,14 @@ pub struct JobMetrics {
     pub reduce: Duration,
     /// Wall time of the output upload, zero if none.
     pub stage_out: Duration,
+    /// Task attempts of this job that failed mid-run (fault injection).
+    pub failures: u32,
+    /// Retry attempts scheduled for this job's failed or killed tasks.
+    pub retries: u32,
+    /// Speculative backup copies launched for this job's stragglers.
+    pub speculations: u32,
+    /// Tasks of this job killed by VM crashes or lost speculative races.
+    pub kills: u32,
 }
 
 impl JobMetrics {
@@ -38,6 +46,28 @@ impl JobMetrics {
     }
 }
 
+/// Cluster-wide fault and recovery totals for one simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct FaultSummary {
+    /// Task attempts that failed mid-run.
+    pub task_failures: u32,
+    /// Retry attempts scheduled (failed tasks plus crash victims).
+    pub retries: u32,
+    /// Speculative backup copies launched.
+    pub speculations: u32,
+    /// Tasks killed by VM crashes or lost speculative races.
+    pub kills: u32,
+    /// VM crash events that took effect during the run.
+    pub vm_crashes: u32,
+}
+
+impl FaultSummary {
+    /// Whether nothing fault-related happened.
+    pub fn is_quiet(&self) -> bool {
+        *self == FaultSummary::default()
+    }
+}
+
 /// Result of simulating a workload.
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct SimReport {
@@ -45,6 +75,8 @@ pub struct SimReport {
     pub jobs: Vec<JobMetrics>,
     /// Simulated time at which the last job finished.
     pub makespan: Duration,
+    /// Fault-injection totals (all-zero for fault-free runs).
+    pub faults: FaultSummary,
     /// Per-task execution trace, when
     /// [`crate::config::SimConfig::collect_trace`] was set.
     pub trace: Option<crate::trace::Trace>,
@@ -94,6 +126,10 @@ mod tests {
             map: Duration::from_secs((end - start) * 0.6),
             reduce: Duration::from_secs((end - start) * 0.4),
             stage_out: Duration::ZERO,
+            failures: 0,
+            retries: 0,
+            speculations: 0,
+            kills: 0,
         }
     }
 
@@ -109,6 +145,7 @@ mod tests {
         let report = SimReport {
             jobs: vec![metrics(0, 0.0, 50.0), metrics(1, 50.0, 120.0)],
             makespan: Duration::from_secs(120.0),
+            faults: FaultSummary::default(),
             trace: None,
         };
         assert!((report.total_runtime().secs() - 120.0).abs() < 1e-9);
@@ -121,13 +158,11 @@ mod tests {
         let report = SimReport {
             jobs: vec![metrics(0, 0.0, 50.0), metrics(1, 50.0, 120.0)],
             makespan: Duration::from_secs(120.0),
+            faults: FaultSummary::default(),
             trace: None,
         };
-        let wf = report
-            .workflow_completion(&[JobId(0), JobId(1)])
-            .unwrap();
+        let wf = report.workflow_completion(&[JobId(0), JobId(1)]).unwrap();
         assert!((wf.secs() - 120.0).abs() < 1e-9);
         assert!(report.workflow_completion(&[JobId(7)]).is_none());
     }
-
 }

@@ -55,6 +55,9 @@ fn slot(kind: ResKind) -> usize {
 #[derive(Debug, Clone)]
 pub struct ShareRegistry {
     caps: Vec<f64>,
+    /// Undegraded capacities; `caps` is rebuilt from these whenever a
+    /// fault-injection degradation window opens or closes.
+    base: Vec<f64>,
     load: Vec<f64>,
 }
 
@@ -74,7 +77,43 @@ impl ShareRegistry {
         let n = caps.len();
         caps[n - 1] = cfg.objstore_cluster_mbps;
         let load = vec![0.0; caps.len()];
-        ShareRegistry { caps, load }
+        ShareRegistry {
+            base: caps.clone(),
+            caps,
+            load,
+        }
+    }
+
+    /// Number of per-VM resource blocks.
+    fn nvm(&self) -> usize {
+        (self.caps.len() - 1) / SLOTS_PER_VM
+    }
+
+    /// Restore every capacity to its undegraded value.
+    pub fn reset_scales(&mut self) {
+        self.caps.copy_from_slice(&self.base);
+    }
+
+    /// Multiply the capacity of `tier`'s volume by `factor` — on one VM,
+    /// or (with `vm = None`) on every VM plus, for the object store, the
+    /// cluster-global ceiling. Factors compose multiplicatively until the
+    /// next [`ShareRegistry::reset_scales`].
+    pub fn scale_tier(&mut self, vm: Option<u32>, tier: Tier, factor: f64) {
+        match vm {
+            Some(v) => {
+                let i = v as usize * SLOTS_PER_VM + slot(ResKind::Volume(tier));
+                self.caps[i] *= factor;
+            }
+            None => {
+                for v in 0..self.nvm() {
+                    self.caps[v * SLOTS_PER_VM + slot(ResKind::Volume(tier))] *= factor;
+                }
+                if tier == Tier::ObjStore {
+                    let n = self.caps.len();
+                    self.caps[n - 1] *= factor;
+                }
+            }
+        }
     }
 
     #[inline]

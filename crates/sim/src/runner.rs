@@ -31,11 +31,8 @@ pub fn simulate(
 ) -> Result<SimReport, SimError> {
     spec.validate()?;
     let order = execution_order(spec);
-    let index_of: HashMap<JobId, usize> = order
-        .iter()
-        .enumerate()
-        .map(|(i, &id)| (id, i))
-        .collect();
+    let index_of: HashMap<JobId, usize> =
+        order.iter().enumerate().map(|(i, &id)| (id, i)).collect();
 
     let mut runs: Vec<JobRun> = Vec::with_capacity(order.len());
     for &jid in &order {
@@ -83,8 +80,7 @@ pub fn simulate(
             if !parents.is_empty() {
                 if own_in == Tier::EphSsd && fresh > 0.0 {
                     placement.stage_in_from = Some(Tier::ObjStore);
-                    placement.stage_in_bytes =
-                        Some(cast_cloud::units::DataSize::from_bytes(fresh));
+                    placement.stage_in_bytes = Some(cast_cloud::units::DataSize::from_bytes(fresh));
                 } else {
                     placement.stage_in_from = None;
                     placement.stage_in_bytes = None;
@@ -166,8 +162,7 @@ mod tests {
         for t in Tier::ALL {
             *agg.get_mut(t) = DataSize::from_gb(750.0 * nvm as f64);
         }
-        let mut c =
-            SimConfig::with_aggregate_capacity(Catalog::google_cloud(), nvm, &agg).unwrap();
+        let mut c = SimConfig::with_aggregate_capacity(Catalog::google_cloud(), nvm, &agg).unwrap();
         c.jitter = 0.0;
         c
     }

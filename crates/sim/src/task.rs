@@ -69,6 +69,14 @@ pub struct TaskTemplate {
     pub stages: Vec<StageSpec>,
 }
 
+impl TaskTemplate {
+    /// Total streaming units across all stages (the denominator for
+    /// fault-injection "fail after a fraction of the work" draws).
+    pub fn total_units(&self) -> f64 {
+        self.stages.iter().map(|s| s.units).sum()
+    }
+}
+
 /// A stage bound to a VM's resources.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BoundStage {
@@ -145,6 +153,21 @@ pub struct RunningTask {
     pub slot: SlotKind,
     /// Remaining stages (front = current).
     pub stages: VecDeque<BoundStage>,
+    /// Stable identity across attempts (fault injection). Zero when no
+    /// fault plan is active.
+    pub uid: u64,
+    /// Which attempt this is (1 = first run).
+    pub attempt: u32,
+    /// For a speculative backup: the uid of the original it shadows.
+    pub backup_of: Option<u64>,
+    /// Whether a speculative backup of this task is (or was) in flight.
+    pub speculated: bool,
+    /// Fault injection: streaming units left until this attempt fails
+    /// (`None` = the attempt will not fail).
+    pub doom_units: Option<f64>,
+    /// The unbound template, retained when retries may need to re-bind
+    /// this task on another VM.
+    pub template: Option<Box<TaskTemplate>>,
 }
 
 impl RunningTask {
@@ -206,6 +229,12 @@ impl RunningTask {
             vm,
             slot: template.slot,
             stages,
+            uid: 0,
+            attempt: 1,
+            backup_of: None,
+            speculated: false,
+            doom_units: None,
+            template: None,
         }
     }
 

@@ -19,6 +19,33 @@ pub enum TaskEventKind {
     Started,
     /// A task finished and released its slot.
     Finished,
+    /// A task attempt failed mid-run (fault injection).
+    Failed,
+    /// A previously failed or killed task was re-dispatched.
+    Retried,
+    /// A speculative backup copy of a straggler was launched.
+    Speculated,
+    /// A task was killed — its VM crashed, or its twin won the
+    /// speculative race.
+    Killed,
+}
+
+impl TaskEventKind {
+    /// Whether this event puts a task onto a slot.
+    pub fn opens(self) -> bool {
+        matches!(
+            self,
+            TaskEventKind::Started | TaskEventKind::Retried | TaskEventKind::Speculated
+        )
+    }
+
+    /// Whether this event takes a task off its slot.
+    pub fn closes(self) -> bool {
+        matches!(
+            self,
+            TaskEventKind::Finished | TaskEventKind::Failed | TaskEventKind::Killed
+        )
+    }
 }
 
 /// One trace record.
@@ -52,9 +79,11 @@ impl Trace {
             .count()
     }
 
-    /// Total busy slot-seconds for a slot pool: Σ (finish − start) over
-    /// tasks. Events are matched per (job, vm, slot) in FIFO order, which
-    /// is exact because the engine retires tasks in completion order.
+    /// Total busy slot-seconds for a slot pool: Σ (close − open) over task
+    /// occupancies (a retry or speculative launch opens, a finish, failure
+    /// or kill closes). Events are matched per (job, vm, slot) in FIFO
+    /// order, which is exact because the engine retires tasks in
+    /// completion order.
     pub fn busy_slot_seconds(&self, slot: SlotKind) -> f64 {
         let mut open: Vec<(JobId, u32, f64)> = Vec::new();
         let mut busy = 0.0;
@@ -62,16 +91,12 @@ impl Trace {
             if e.slot != slot {
                 continue;
             }
-            match e.kind {
-                TaskEventKind::Started => open.push((e.job, e.vm, e.time)),
-                TaskEventKind::Finished => {
-                    if let Some(i) = open
-                        .iter()
-                        .position(|&(j, vm, _)| j == e.job && vm == e.vm)
-                    {
-                        let (_, _, start) = open.swap_remove(i);
-                        busy += e.time - start;
-                    }
+            if e.kind.opens() {
+                open.push((e.job, e.vm, e.time));
+            } else if e.kind.closes() {
+                if let Some(i) = open.iter().position(|&(j, vm, _)| j == e.job && vm == e.vm) {
+                    let (_, _, start) = open.swap_remove(i);
+                    busy += e.time - start;
                 }
             }
         }
@@ -95,15 +120,19 @@ impl Trace {
             if e.slot != slot {
                 continue;
             }
-            match e.kind {
-                TaskEventKind::Started => {
-                    level += 1;
-                    peak = peak.max(level);
-                }
-                TaskEventKind::Finished => level = level.saturating_sub(1),
+            if e.kind.opens() {
+                level += 1;
+                peak = peak.max(level);
+            } else if e.kind.closes() {
+                level = level.saturating_sub(1);
             }
         }
         peak
+    }
+
+    /// Number of events of one kind (e.g. how many tasks failed).
+    pub fn count(&self, kind: TaskEventKind) -> usize {
+        self.events.iter().filter(|e| e.kind == kind).count()
     }
 }
 
@@ -141,7 +170,10 @@ mod tests {
     #[test]
     fn other_pools_are_untouched() {
         let trace = Trace {
-            events: vec![ev(0.0, 0, TaskEventKind::Started), ev(1.0, 0, TaskEventKind::Finished)],
+            events: vec![
+                ev(0.0, 0, TaskEventKind::Started),
+                ev(1.0, 0, TaskEventKind::Finished),
+            ],
         };
         assert_eq!(trace.task_count(SlotKind::Reduce), 0);
         assert_eq!(trace.busy_slot_seconds(SlotKind::Reduce), 0.0);
@@ -153,5 +185,34 @@ mod tests {
         let trace = Trace::default();
         assert_eq!(trace.utilization(SlotKind::Map, 0, 10.0), 0.0);
         assert_eq!(trace.utilization(SlotKind::Map, 4, 0.0), 0.0);
+    }
+
+    #[test]
+    fn fault_events_open_and_close_occupancy() {
+        // A task starts, fails at t=2, retries at t=5, finishes at t=8:
+        // occupied 2s + 3s = 5s of slot time.
+        let trace = Trace {
+            events: vec![
+                ev(0.0, 0, TaskEventKind::Started),
+                ev(2.0, 0, TaskEventKind::Failed),
+                ev(5.0, 0, TaskEventKind::Retried),
+                ev(8.0, 0, TaskEventKind::Finished),
+            ],
+        };
+        assert!((trace.busy_slot_seconds(SlotKind::Map) - 5.0).abs() < 1e-12);
+        assert_eq!(trace.peak_concurrency(SlotKind::Map), 1);
+        assert_eq!(trace.count(TaskEventKind::Failed), 1);
+        assert_eq!(trace.count(TaskEventKind::Retried), 1);
+        // A speculative twin killed when the original wins.
+        let spec = Trace {
+            events: vec![
+                ev(0.0, 1, TaskEventKind::Started),
+                ev(1.0, 1, TaskEventKind::Speculated),
+                ev(4.0, 1, TaskEventKind::Finished),
+                ev(4.0, 1, TaskEventKind::Killed),
+            ],
+        };
+        assert_eq!(spec.peak_concurrency(SlotKind::Map), 2);
+        assert!((spec.busy_slot_seconds(SlotKind::Map) - 7.0).abs() < 1e-12);
     }
 }

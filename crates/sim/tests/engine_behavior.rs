@@ -31,7 +31,10 @@ fn io_bound_runtime_scales_inversely_with_bandwidth() {
     let run = |per_vm: f64| {
         let cfg = cfg_with(2, per_vm);
         let placements = PlacementMap::uniform([JobId(0)], Tier::PersSsd);
-        simulate(&spec, &placements, &cfg).expect("sim").makespan.secs()
+        simulate(&spec, &placements, &cfg)
+            .expect("sim")
+            .makespan
+            .secs()
     };
     let slow = run(100.0);
     let fast = run(500.0);
@@ -68,8 +71,14 @@ fn jitter_spreads_but_preserves_the_mean() {
     smooth.jitter = 0.0;
     let mut skewed = cfg_with(2, 400.0);
     skewed.jitter = 0.10;
-    let t0 = simulate(&spec, &placements, &smooth).expect("sim").makespan.secs();
-    let t1 = simulate(&spec, &placements, &skewed).expect("sim").makespan.secs();
+    let t0 = simulate(&spec, &placements, &smooth)
+        .expect("sim")
+        .makespan
+        .secs();
+    let t1 = simulate(&spec, &placements, &skewed)
+        .expect("sim")
+        .makespan
+        .secs();
     // Skew redistributes split sizes: the makespan may move either way
     // (a light trailing wave can even finish sooner) but stays close to
     // the smooth run.
@@ -86,10 +95,11 @@ fn parallel_mode_keeps_cluster_busy() {
         j.id = JobId(i);
         // Each on its own dataset.
         let ds = cast_workload::dataset::DatasetId(i);
-        spec.datasets.push(cast_workload::dataset::Dataset::single_use(
-            ds,
-            DataSize::from_gb(8.0),
-        ));
+        spec.datasets
+            .push(cast_workload::dataset::Dataset::single_use(
+                ds,
+                DataSize::from_gb(8.0),
+            ));
         j.dataset = ds;
         spec.jobs.push(j);
     }
@@ -107,8 +117,14 @@ fn parallel_mode_keeps_cluster_busy() {
     seq.concurrency = Concurrency::Sequential;
     let mut par = cfg_with(4, 500.0);
     par.concurrency = Concurrency::Parallel;
-    let t_seq = simulate(&spec, &placements, &seq).expect("sim").makespan.secs();
-    let t_par = simulate(&spec, &placements, &par).expect("sim").makespan.secs();
+    let t_seq = simulate(&spec, &placements, &seq)
+        .expect("sim")
+        .makespan
+        .secs();
+    let t_par = simulate(&spec, &placements, &par)
+        .expect("sim")
+        .makespan
+        .secs();
     assert!(
         t_par < t_seq * 0.75,
         "parallel {t_par}s should beat sequential {t_seq}s"
@@ -127,7 +143,10 @@ fn objstore_cluster_ceiling_binds_at_scale() {
             .expect("provisionable");
         c.jitter = 0.0;
         let placements = PlacementMap::uniform([JobId(0)], Tier::ObjStore);
-        simulate(&spec, &placements, &c).expect("sim").makespan.secs()
+        simulate(&spec, &placements, &c)
+            .expect("sim")
+            .makespan
+            .secs()
     };
     let one = run(1);
     let twentyfive = run(25);
@@ -136,7 +155,10 @@ fn objstore_cluster_ceiling_binds_at_scale() {
         speedup < 16.0,
         "bucket ceiling must prevent 25x scaling: got {speedup:.1}x"
     );
-    assert!(speedup > 6.0, "still substantial parallelism: {speedup:.1}x");
+    assert!(
+        speedup > 6.0,
+        "still substantial parallelism: {speedup:.1}x"
+    );
 }
 
 #[test]
@@ -150,8 +172,8 @@ fn workflow_parallel_mode_runs_branches_concurrently() {
     // overlap.
     let pr = report.job(JobId(1)).expect("simulated");
     let sort = report.job(JobId(2)).expect("simulated");
-    let overlap = pr.started.secs() < sort.finished.secs()
-        && sort.started.secs() < pr.finished.secs();
+    let overlap =
+        pr.started.secs() < sort.finished.secs() && sort.started.secs() < pr.finished.secs();
     assert!(overlap, "sibling branches should overlap in parallel mode");
 }
 

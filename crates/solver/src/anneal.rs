@@ -224,7 +224,9 @@ mod tests {
         let est = toy_estimator(25);
         let ctx = EvalContext::new(&est, &spec);
         let init = TieringPlan::uniform(&spec, Tier::PersHdd);
-        let a = Annealer::new(quick_cfg(7)).solve(&ctx, init.clone()).unwrap();
+        let a = Annealer::new(quick_cfg(7))
+            .solve(&ctx, init.clone())
+            .unwrap();
         let b = Annealer::new(quick_cfg(7)).solve(&ctx, init).unwrap();
         assert_eq!(a.plan, b.plan);
         assert_eq!(a.eval.utility, b.eval.utility);

@@ -156,10 +156,8 @@ impl CastPlusPlus {
                 let mut weval = evaluate_workflow_global(ctx, wf, plan)?;
                 weval.feasible = weval.time <= planning_deadline;
                 let score = workflow_score(&weval, planning_deadline);
-                let caps = provision_round(
-                    ctx.estimator,
-                    &plan.capacities(ctx.spec, ctx.reuse_aware)?,
-                );
+                let caps =
+                    provision_round(ctx.estimator, &plan.capacities(ctx.spec, ctx.reuse_aware)?);
                 let eval = PlanEval {
                     time: weval.time,
                     cost: ctx.cost.breakdown(&caps, weval.time),
@@ -268,10 +266,7 @@ pub fn evaluate_workflow_global(
     wf: &Workflow,
     plan: &TieringPlan,
 ) -> Result<WorkflowEval, SolverError> {
-    let caps = provision_round(
-        ctx.estimator,
-        &plan.capacities(ctx.spec, ctx.reuse_aware)?,
-    );
+    let caps = provision_round(ctx.estimator, &plan.capacities(ctx.spec, ctx.reuse_aware)?);
     let time = workflow_time(ctx, wf, plan, &caps)?;
     let cost = ctx.cost.breakdown(&caps, time).total();
     Ok(WorkflowEval {
@@ -330,7 +325,10 @@ fn workflow_time(
         let pa = plan.require(parent)?;
         let ca = plan.require(child)?;
         if pa.tier != ca.tier {
-            let pjob = ctx.spec.job(parent).ok_or(SolverError::Unassigned(parent.0))?;
+            let pjob = ctx
+                .spec
+                .job(parent)
+                .ok_or(SolverError::Unassigned(parent.0))?;
             let bytes = pjob.output(ctx.spec.profiles.get(pjob.app));
             let scaled = *caps.get(if ca.tier.scales_with_capacity() {
                 ca.tier

@@ -62,7 +62,10 @@ mod tests {
 
     #[test]
     fn linear_floors() {
-        let c = Cooling::Linear { step: 0.3, min: 0.05 };
+        let c = Cooling::Linear {
+            step: 0.3,
+            min: 0.05,
+        };
         assert!((c.step(1.0) - 0.7).abs() < 1e-12);
         assert_eq!(c.step(0.1), 0.05);
         assert_eq!(c.after(1.0, 100), 0.05);

@@ -51,7 +51,10 @@ mod tests {
     #[test]
     fn display() {
         assert!(SolverError::Unassigned(3).to_string().contains("#3"));
-        let e = SolverError::CapacityViolation { job: 1, factor: 0.5 };
+        let e = SolverError::CapacityViolation {
+            job: 1,
+            factor: 0.5,
+        };
         assert!(e.to_string().contains("0.5"));
     }
 }

@@ -91,10 +91,28 @@ mod tests {
             for tier in Tier::ALL {
                 let samples = match tier {
                     Tier::PersSsd | Tier::PersHdd => vec![
-                        (50.0, PhaseBw { map: 1.0, shuffle_reduce: 1.0 }),
-                        (800.0, PhaseBw { map: 25.0, shuffle_reduce: 25.0 }),
+                        (
+                            50.0,
+                            PhaseBw {
+                                map: 1.0,
+                                shuffle_reduce: 1.0,
+                            },
+                        ),
+                        (
+                            800.0,
+                            PhaseBw {
+                                map: 25.0,
+                                shuffle_reduce: 25.0,
+                            },
+                        ),
                     ],
-                    _ => vec![(375.0, PhaseBw { map: 0.5, shuffle_reduce: 0.5 })],
+                    _ => vec![(
+                        375.0,
+                        PhaseBw {
+                            map: 0.5,
+                            shuffle_reduce: 0.5,
+                        },
+                    )],
                 };
                 matrix.insert(app, tier, CapacityCurve::fit(&samples).unwrap());
             }

@@ -75,10 +75,7 @@ pub const MIN_BLOCK_GB_PER_VM: f64 = 10.0;
 /// touch the object store get at least the conventional persSSD scratch —
 /// without it, a map-heavy job's few gigabytes of intermediate data would
 /// be provisioned a near-zero-bandwidth sliver.
-pub fn provision_round(
-    estimator: &Estimator,
-    raw: &PerTier<DataSize>,
-) -> PerTier<DataSize> {
+pub fn provision_round(estimator: &Estimator, raw: &PerTier<DataSize>) -> PerTier<DataSize> {
     let nvm = estimator.cluster.nvm;
     let mut caps = PerTier::from_fn(|tier| {
         let total = *raw.get(tier);
@@ -88,8 +85,7 @@ pub fn provision_round(
         match tier {
             Tier::ObjStore => total,
             _ => {
-                let per_vm = (total / nvm as f64)
-                    .max(DataSize::from_gb(MIN_BLOCK_GB_PER_VM));
+                let per_vm = (total / nvm as f64).max(DataSize::from_gb(MIN_BLOCK_GB_PER_VM));
                 estimator.catalog.service(tier).provisionable(per_vm) * nvm as f64
             }
         }
@@ -148,9 +144,7 @@ pub fn job_utility(
         _ => {}
     }
     let capacities = provision_round(ctx.estimator, &caps);
-    let t = ctx
-        .estimator
-        .reg(job, tier, *capacities.get(tier))?;
+    let t = ctx.estimator.reg(job, tier, *capacities.get(tier))?;
     Ok(ctx.cost.tenant_utility(&capacities, t))
 }
 
@@ -171,17 +165,65 @@ pub(crate) mod tests {
             for tier in Tier::ALL {
                 let samples = match tier {
                     Tier::PersSsd => vec![
-                        (50.0, PhaseBw { map: 1.5, shuffle_reduce: 1.2 }),
-                        (200.0, PhaseBw { map: 6.0, shuffle_reduce: 4.8 }),
-                        (800.0, PhaseBw { map: 20.0, shuffle_reduce: 16.0 }),
+                        (
+                            50.0,
+                            PhaseBw {
+                                map: 1.5,
+                                shuffle_reduce: 1.2,
+                            },
+                        ),
+                        (
+                            200.0,
+                            PhaseBw {
+                                map: 6.0,
+                                shuffle_reduce: 4.8,
+                            },
+                        ),
+                        (
+                            800.0,
+                            PhaseBw {
+                                map: 20.0,
+                                shuffle_reduce: 16.0,
+                            },
+                        ),
                     ],
                     Tier::PersHdd => vec![
-                        (50.0, PhaseBw { map: 0.6, shuffle_reduce: 0.5 }),
-                        (200.0, PhaseBw { map: 2.4, shuffle_reduce: 2.0 }),
-                        (800.0, PhaseBw { map: 9.0, shuffle_reduce: 7.5 }),
+                        (
+                            50.0,
+                            PhaseBw {
+                                map: 0.6,
+                                shuffle_reduce: 0.5,
+                            },
+                        ),
+                        (
+                            200.0,
+                            PhaseBw {
+                                map: 2.4,
+                                shuffle_reduce: 2.0,
+                            },
+                        ),
+                        (
+                            800.0,
+                            PhaseBw {
+                                map: 9.0,
+                                shuffle_reduce: 7.5,
+                            },
+                        ),
                     ],
-                    Tier::EphSsd => vec![(375.0, PhaseBw { map: 45.0, shuffle_reduce: 40.0 })],
-                    Tier::ObjStore => vec![(1.0, PhaseBw { map: 16.0, shuffle_reduce: 12.0 })],
+                    Tier::EphSsd => vec![(
+                        375.0,
+                        PhaseBw {
+                            map: 45.0,
+                            shuffle_reduce: 40.0,
+                        },
+                    )],
+                    Tier::ObjStore => vec![(
+                        1.0,
+                        PhaseBw {
+                            map: 16.0,
+                            shuffle_reduce: 12.0,
+                        },
+                    )],
                 };
                 matrix.insert(app, tier, CapacityCurve::fit(&samples).unwrap());
             }

@@ -178,8 +178,7 @@ impl TieringPlan {
                 }
                 Tier::EphSsd => {
                     // Backing persistence for input and output.
-                    *caps.get_mut(Tier::ObjStore) +=
-                        job.input + job.output(profile);
+                    *caps.get_mut(Tier::ObjStore) += job.input + job.output(profile);
                 }
                 _ => {}
             }

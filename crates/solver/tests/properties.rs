@@ -9,8 +9,7 @@ use cast_estimator::model::{CapacityCurve, ModelMatrix, PhaseBw};
 use cast_estimator::mrcute::ClusterSpec;
 use cast_estimator::Estimator;
 use cast_solver::{
-    evaluate, greedy_plan, AnnealConfig, Annealer, Assignment, EvalContext, GreedyMode,
-    TieringPlan,
+    evaluate, greedy_plan, AnnealConfig, Annealer, Assignment, EvalContext, GreedyMode, TieringPlan,
 };
 use cast_workload::apps::AppKind;
 use cast_workload::dataset::{Dataset, DatasetId};
@@ -36,7 +35,13 @@ fn toy_estimator(nvm: usize) -> Estimator {
                     } else {
                         base
                     };
-                    (cap, PhaseBw { map: bw, shuffle_reduce: bw * 0.8 })
+                    (
+                        cap,
+                        PhaseBw {
+                            map: bw,
+                            shuffle_reduce: bw * 0.8,
+                        },
+                    )
                 })
                 .collect();
             matrix.insert(app, tier, CapacityCurve::fit(&samples).expect("fit"));

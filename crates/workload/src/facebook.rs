@@ -172,7 +172,11 @@ mod tests {
     fn large_jobs_touch_over_99_percent_of_data() {
         // Paper: "More than 99% of the total data in the cluster is touched
         // by the large jobs that belong to bin 5, 6 and 7."
-        assert!(large_job_data_fraction() > 0.94, "got {}", large_job_data_fraction());
+        assert!(
+            large_job_data_fraction() > 0.94,
+            "got {}",
+            large_job_data_fraction()
+        );
     }
 
     #[test]
@@ -201,7 +205,10 @@ mod tests {
     fn render_contains_all_bins() {
         let s = render_table4();
         for b in 1..=7 {
-            assert!(s.contains(&format!("{b}    ")) || s.contains(&format!("\n{b} ")), "bin {b}");
+            assert!(
+                s.contains(&format!("{b}    ")) || s.contains(&format!("\n{b} ")),
+                "bin {b}"
+            );
         }
         assert!(s.contains(">3000"));
     }

@@ -48,7 +48,12 @@ pub fn default_block() -> DataSize {
 impl Job {
     /// Construct a job with the conventional task layout: one map task per
     /// 256 MB block, one reduce task per four map tasks (at least one each).
-    pub fn with_default_layout(id: JobId, app: AppKind, dataset: DatasetId, input: DataSize) -> Job {
+    pub fn with_default_layout(
+        id: JobId,
+        app: AppKind,
+        dataset: DatasetId,
+        input: DataSize,
+    ) -> Job {
         let maps = (input.mb() / default_block().mb()).ceil().max(1.0) as usize;
         let reduces = (maps / 4).max(1);
         Job {

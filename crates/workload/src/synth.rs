@@ -227,11 +227,7 @@ pub fn single_job(app: AppKind, input: DataSize) -> WorkloadSpec {
 }
 
 /// A single-job workload whose dataset carries a reuse pattern (Fig. 3).
-pub fn single_job_with_reuse(
-    app: AppKind,
-    input: DataSize,
-    reuse: ReusePattern,
-) -> WorkloadSpec {
+pub fn single_job_with_reuse(app: AppKind, input: DataSize, reuse: ReusePattern) -> WorkloadSpec {
     let mut spec = WorkloadSpec::empty();
     spec.datasets.push(Dataset {
         id: DatasetId(0),

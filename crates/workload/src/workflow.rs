@@ -236,12 +236,7 @@ impl Workflow {
                 .fold(Duration::ZERO, Duration::max);
             finish.insert(j, start + runtime(j));
         }
-        Some(
-            finish
-                .values()
-                .copied()
-                .fold(Duration::ZERO, Duration::max),
-        )
+        Some(finish.values().copied().fold(Duration::ZERO, Duration::max))
     }
 
     /// Serialised completion time: jobs run back-to-back in topological
@@ -284,8 +279,7 @@ mod tests {
     fn topo_order_respects_edges() {
         let w = diamond();
         let order = w.topo_order().unwrap();
-        let pos: HashMap<JobId, usize> =
-            order.iter().enumerate().map(|(i, &x)| (x, i)).collect();
+        let pos: HashMap<JobId, usize> = order.iter().enumerate().map(|(i, &x)| (x, i)).collect();
         for &(a, b) in &w.edges {
             assert!(pos[&a] < pos[&b], "{a} must precede {b}");
         }

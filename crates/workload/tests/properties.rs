@@ -22,7 +22,10 @@ fn arb_dag() -> impl Strategy<Value = Workflow> {
             move |edges| Workflow {
                 id: WorkflowId(0),
                 jobs: (0..n as u32).map(JobId).collect(),
-                edges: edges.into_iter().map(|(a, b)| (JobId(a), JobId(b))).collect(),
+                edges: edges
+                    .into_iter()
+                    .map(|(a, b)| (JobId(a), JobId(b)))
+                    .collect(),
                 deadline: Duration::from_mins(30.0),
             },
         )

@@ -43,9 +43,7 @@ fn main() {
     let mut best: Option<(f64, f64)> = None;
     for per_vm_gb in [75.0, 150.0, 300.0, 450.0, 600.0, 900.0] {
         let total = DataSize::from_gb(per_vm_gb) * NVM as f64;
-        let predicted = estimator
-            .reg(job, Tier::PersSsd, total)
-            .expect("profiled");
+        let predicted = estimator.reg(job, Tier::PersSsd, total).expect("profiled");
 
         let mut agg = PerTier::from_fn(|_| DataSize::ZERO);
         *agg.get_mut(Tier::PersSsd) = total;

@@ -37,18 +37,18 @@ fn main() {
         let solver = CastPlusPlus::new(CastPlusPlusConfig::default());
         let out = solver.solve(&ctx).expect("solve");
         let wf = &spec.workflows[0];
-        let eval = evaluate_workflow_global(
-            &ctx.clone().with_reuse_awareness(),
-            wf,
-            &out.plan,
-        )
-        .expect("evaluation");
+        let eval = evaluate_workflow_global(&ctx.clone().with_reuse_awareness(), wf, &out.plan)
+            .expect("evaluation");
         println!(
             "deadline {:>6.0}s -> est completion {:>6.0}s, cost {}, {}",
             deadline_secs,
             eval.time.secs(),
             eval.cost,
-            if eval.feasible { "feasible" } else { "INFEASIBLE" }
+            if eval.feasible {
+                "feasible"
+            } else {
+                "INFEASIBLE"
+            }
         );
         for &j in &wf.jobs {
             let a = out.plan.get(j).expect("assigned");

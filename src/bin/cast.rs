@@ -118,9 +118,10 @@ fn cmd_plan(args: &[String]) -> ExitCode {
     let spec: WorkloadSpec = if args.iter().any(|a| a == "--demo") {
         demo_spec()
     } else if let Some(path) = flag_value(args, "--spec") {
-        match fs::read_to_string(path).map_err(|e| e.to_string()).and_then(|s| {
-            serde_json::from_str(&s).map_err(|e| e.to_string())
-        }) {
+        match fs::read_to_string(path)
+            .map_err(|e| e.to_string())
+            .and_then(|s| serde_json::from_str(&s).map_err(|e| e.to_string()))
+        {
             Ok(s) => s,
             Err(e) => {
                 eprintln!("cannot load {path}: {e}");

@@ -54,8 +54,7 @@ fn predictions_track_deployments() {
     ] {
         let planned = framework.plan(&spec, strategy).expect("planning");
         let out = framework.deploy(&spec, &planned.plan).expect("deployment");
-        let err =
-            (planned.eval.time.secs() - out.makespan.secs()).abs() / out.makespan.secs();
+        let err = (planned.eval.time.secs() - out.makespan.secs()).abs() / out.makespan.secs();
         assert!(
             err < 0.35,
             "{}: predicted {} vs observed {} ({:.0}% off)",

@@ -5,8 +5,8 @@ mod common;
 
 use proptest::prelude::*;
 
-use cast::prelude::*;
 use cast::cloud::tier::PerTier;
+use cast::prelude::*;
 use cast::sim::config::SimConfig;
 use cast::sim::placement::PlacementMap;
 use cast::sim::runner::simulate;
@@ -43,8 +43,7 @@ fn arb_spec() -> impl Strategy<Value = WorkloadSpec> {
 /// A cluster with every tier generously provisioned.
 fn sim_config(nvm: usize) -> SimConfig {
     let agg = PerTier::from_fn(|_| DataSize::from_gb(1000.0) * nvm as f64);
-    SimConfig::with_aggregate_capacity(Catalog::google_cloud(), nvm, &agg)
-        .expect("provisionable")
+    SimConfig::with_aggregate_capacity(Catalog::google_cloud(), nvm, &agg).expect("provisionable")
 }
 
 proptest! {

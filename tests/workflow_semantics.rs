@@ -81,8 +81,8 @@ fn tighter_deadlines_never_lower_planned_cost() {
         let planned = framework
             .plan(&spec, PlanStrategy::CastPlusPlus)
             .expect("planning");
-        let eval = evaluate_workflow_global(&ctx, &spec.workflows[0], &planned.plan)
-            .expect("evaluation");
+        let eval =
+            evaluate_workflow_global(&ctx, &spec.workflows[0], &planned.plan).expect("evaluation");
         costs.push(eval.cost.dollars());
     }
     assert!(
