@@ -1342,3 +1342,29 @@ mod tests {
         );
     }
 }
+
+#[cfg(test)]
+mod review_probe {
+    use super::tests::*;
+    use crate::fault::{DegradationWindow, FaultPlan};
+    use cast_cloud::tier::Tier;
+    use cast_workload::apps::AppKind;
+
+    #[test]
+    fn transient_full_outage_window() {
+        let mut c = cfg(1);
+        c.faults = FaultPlan {
+            degradations: vec![DegradationWindow {
+                vm: None,
+                tier: Tier::PersSsd,
+                start_secs: 5.0,
+                end_secs: 10.0,
+                multiplier: 0.0, // full outage for 5s, then recovers
+            }],
+            ..FaultPlan::default()
+        };
+        let r = try_run(AppKind::Grep, 10.0, Tier::PersSsd, &c);
+        eprintln!("RESULT: {:?}", r.as_ref().map(|x| x.makespan).map_err(|e| e.to_string()));
+        assert!(r.is_ok(), "transient outage should be survivable");
+    }
+}
