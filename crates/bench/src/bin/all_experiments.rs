@@ -4,6 +4,14 @@
 //! ```text
 //! cargo run --release -p cast-bench --bin all_experiments
 //! ```
+//!
+//! The experiments are mutually independent, so they run concurrently on
+//! scoped threads. Determinism is preserved by construction: every
+//! experiment is seeded and self-contained, the shared profiling cache is
+//! warmed once before any thread spawns, and the main thread joins, prints
+//! and saves results in the fixed spawn order — so `EXPERIMENTS.md`, the
+//! console markers and every `results/*.json` byte are identical to a
+//! sequential run.
 
 use std::fmt::Write as _;
 use std::fs;
@@ -11,36 +19,44 @@ use std::fs;
 use cast_bench::experiments::*;
 use cast_bench::{expected, results_dir, save_json};
 
-fn main() {
-    let mut md = String::new();
-    let _ = writeln!(
-        md,
-        "# EXPERIMENTS — paper vs measured\n\n\
-         Regenerated by `cargo run --release -p cast-bench --bin all_experiments`.\n\
-         Absolute numbers are not expected to match the paper (our substrate is a\n\
-         calibrated simulator, not the authors' 2015 Google Cloud deployment); the\n\
-         *shapes* — who wins, rough factors, crossovers — are the reproduction\n\
-         targets. Deviations are called out inline.\n"
-    );
+/// One experiment's rendered output: a markdown section and the JSON
+/// payloads to persist under `results/`. Workers only compute; the main
+/// thread does all printing and file writes, in spawn order.
+struct Section {
+    md: String,
+    json: Vec<(&'static str, serde_json::Value)>,
+}
 
-    // Tables -------------------------------------------------------------
-    eprintln!("[table1]");
+type Task = Box<dyn FnOnce() -> Section + Send>;
+
+fn run_table1() -> Section {
     let t1 = table1::run();
+    let mut md = String::new();
     let _ = writeln!(md, "```\n{}```\n", t1.render());
     let _ = writeln!(
         md,
         "Paper: Table 1 verbatim (measured fio/gsutil values). Matches by\n\
          construction; persSSD/persHDD throughput points agree within 3 %.\n"
     );
-    save_json("table1", &t1.to_json());
+    Section {
+        md,
+        json: vec![("table1", t1.to_json())],
+    }
+}
 
-    eprintln!("[table2]");
+fn run_table2() -> Section {
     let t2 = table2::run();
+    let mut md = String::new();
     let _ = writeln!(md, "```\n{}```\n", t2.render());
-    save_json("table2", &t2.to_json());
+    Section {
+        md,
+        json: vec![("table2", t2.to_json())],
+    }
+}
 
-    eprintln!("[table4]");
+fn run_table4() -> Section {
     let t4 = table4::run();
+    let mut md = String::new();
     let _ = writeln!(md, "```\n{}```\n", t4.render());
     let _ = writeln!(
         md,
@@ -48,13 +64,17 @@ fn main() {
          (35/22/16/13/7/4/3 jobs). Reproduced exactly; >94 % of bytes in bins 5–7\n\
          (paper: >99 % with its trace's exact sizes).\n"
     );
-    save_json("table4", &t4.to_json());
+    Section {
+        md,
+        json: vec![("table4", t4.to_json())],
+    }
+}
 
-    // Fig 1 ----------------------------------------------------------------
-    eprintln!("[fig1]");
+fn run_fig1() -> Section {
     let f1 = fig1::run();
-    let _ = writeln!(md, "```\n{}```\n", f1.render());
     let winners = fig1::winners();
+    let mut md = String::new();
+    let _ = writeln!(md, "```\n{}```\n", f1.render());
     let _ = writeln!(
         md,
         "Best-utility tier per application (paper → measured):\n"
@@ -73,12 +93,16 @@ fn main() {
         "\nGrep's objStore-over-persSSD utility margin: paper 34.3 %; measured\n\
          value printed in the table above (same order of magnitude).\n"
     );
-    save_json("fig1", &f1.to_json());
+    Section {
+        md,
+        json: vec![("fig1", f1.to_json())],
+    }
+}
 
-    // Fig 2 ----------------------------------------------------------------
-    eprintln!("[fig2]");
+fn run_fig2() -> Section {
     let f2 = fig2::run();
     let (sort_red, grep_red) = fig2::reduction_100_to_200();
+    let mut md = String::new();
     let _ = writeln!(md, "```\n{}```\n", f2.render());
     let _ = writeln!(
         md,
@@ -91,11 +115,15 @@ fn main() {
         grep_red * 100.0,
         expected::FIG2_GREP_REDUCTION_100_TO_200 * 100.0,
     );
-    save_json("fig2", &f2.to_json());
+    Section {
+        md,
+        json: vec![("fig2", f2.to_json())],
+    }
+}
 
-    // Fig 3 ----------------------------------------------------------------
-    eprintln!("[fig3]");
+fn run_fig3() -> Section {
     let f3 = fig3::run();
+    let mut md = String::new();
     let _ = writeln!(md, "```\n{}```\n", f3.render());
     let _ = writeln!(
         md,
@@ -106,11 +134,15 @@ fn main() {
          the whole fleet for the week (§3.2), which is why every persistent tier\n\
          dwarfs it in that column.\n"
     );
-    save_json("fig3", &f3.to_json());
+    Section {
+        md,
+        json: vec![("fig3", f3.to_json())],
+    }
+}
 
-    // Fig 4 ----------------------------------------------------------------
-    eprintln!("[fig4]");
+fn run_fig4() -> Section {
     let f4 = fig4::run();
+    let mut md = String::new();
     let _ = writeln!(md, "```\n{}```\n", f4.render());
     let _ = writeln!(
         md,
@@ -120,11 +152,15 @@ fn main() {
          `objStore+ephSSD`; in our VM-dominated cost model its extra runtime\n\
          makes it slightly pricier instead.\n"
     );
-    save_json("fig4", &f4.to_json());
+    Section {
+        md,
+        json: vec![("fig4", f4.to_json())],
+    }
+}
 
-    // Fig 5 ----------------------------------------------------------------
-    eprintln!("[fig5]");
+fn run_fig5() -> Section {
     let (f5a, f5b) = fig5::run();
+    let mut md = String::new();
     let _ = writeln!(md, "```\n{}```\n```\n{}```\n", f5a.render(), f5b.render());
     let _ = writeln!(
         md,
@@ -134,17 +170,20 @@ fn main() {
          worse than the paper's ~430 % because the minimally-provisioned 100 GB\n\
          HDD volume (20 MB/s) is slower than whatever volume backed theirs.\n"
     );
-    save_json("fig5a", &f5a.to_json());
-    save_json("fig5b", &f5b.to_json());
+    Section {
+        md,
+        json: vec![("fig5a", f5a.to_json()), ("fig5b", f5b.to_json())],
+    }
+}
 
-    // Fig 7 ----------------------------------------------------------------
-    eprintln!("[fig7] (plans + deploys 8 configurations — takes a minute)");
+fn run_fig7() -> Section {
     let fw = cast_bench::paper_framework();
     let spec7 = cast_workload::synth::facebook_workload(Default::default()).expect("synthesis");
     let results7 = fig7::evaluate_all(&fw, &spec7);
     let f7 = fig7::table(&results7);
-    let _ = writeln!(md, "```\n{}```\n", f7.render());
     let (speedup, cost_red) = fig7::headline(&results7);
+    let mut md = String::new();
+    let _ = writeln!(md, "```\n{}```\n", f7.render());
     let _ = writeln!(
         md,
         "Headline (abstract): CAST++ vs the local-storage (ephSSD)\n\
@@ -170,12 +209,16 @@ fn main() {
          CAST's unconstrained utility optimum by a few percent instead of\n\
          edging past it.\n"
     );
-    save_json("fig7", &f7.to_json());
+    Section {
+        md,
+        json: vec![("fig7", f7.to_json())],
+    }
+}
 
-    // Fig 8 ----------------------------------------------------------------
-    eprintln!("[fig8]");
+fn run_fig8() -> Section {
     let f8 = fig8::run();
     let (_, err) = fig8::sweep();
+    let mut md = String::new();
     let _ = writeln!(md, "```\n{}```\n", f8.render());
     let _ = writeln!(
         md,
@@ -185,11 +228,15 @@ fn main() {
         err.max_pct(),
         err.bias_pct()
     );
-    save_json("fig8", &f8.to_json());
+    Section {
+        md,
+        json: vec![("fig8", f8.to_json())],
+    }
+}
 
-    // Fig 9 ----------------------------------------------------------------
-    eprintln!("[fig9] (plans + deploys 6 configurations)");
+fn run_fig9() -> Section {
     let f9 = fig9::run();
+    let mut md = String::new();
     let _ = writeln!(md, "```\n{}```\n", f9.render());
     let _ = writeln!(
         md,
@@ -202,11 +249,15 @@ fn main() {
          and on this run CAST++'s 0.94 planning margin fails to absorb one\n\
          workflow's jitter, so it misses 20 % where the paper's missed none.\n"
     );
-    save_json("fig9", &f9.to_json());
+    Section {
+        md,
+        json: vec![("fig9", f9.to_json())],
+    }
+}
 
-    // Fault sweep (beyond the paper) ---------------------------------------
-    eprintln!("[fault_sweep]");
+fn run_fault_sweep() -> Section {
     let fs_table = fault_sweep::run();
+    let mut md = String::new();
     let _ = writeln!(md, "```\n{}```\n", fs_table.render());
     let _ = writeln!(
         md,
@@ -216,7 +267,73 @@ fn main() {
          re-execution of the killed tasks, and a degraded-tier scenario shows\n\
          speculative backups rescuing stragglers.\n"
     );
-    save_json("fault_sweep", &fs_table.to_json());
+    Section {
+        md,
+        json: vec![("fault_sweep", fs_table.to_json())],
+    }
+}
+
+fn main() {
+    let mut md = String::new();
+    let _ = writeln!(
+        md,
+        "# EXPERIMENTS — paper vs measured\n\n\
+         Regenerated by `cargo run --release -p cast-bench --bin all_experiments`.\n\
+         Absolute numbers are not expected to match the paper (our substrate is a\n\
+         calibrated simulator, not the authors' 2015 Google Cloud deployment); the\n\
+         *shapes* — who wins, rough factors, crossovers — are the reproduction\n\
+         targets. Deviations are called out inline.\n\n\
+         Solve times: the planning experiments (Fig. 7/9 and the CAST/CAST++\n\
+         rows elsewhere) anneal through the incremental scorer\n\
+         (`cast-solver`'s ledger + `REG` memo — bit-identical to the full\n\
+         oracle, see DESIGN.md \"Solver performance\") and the experiments\n\
+         themselves run concurrently on scoped threads, so a full regeneration\n\
+         takes roughly the wall-clock of its slowest figure instead of the sum\n\
+         of all of them. `cargo bench --bench solver_eval` prints the measured\n\
+         full-vs-incremental solve-loop speedup.\n"
+    );
+
+    // Warm the shared on-disk profiling cache (results/model_matrix.json)
+    // before any worker spawns, so concurrent experiments read the cached
+    // matrix instead of racing to profile and write it.
+    eprintln!("[warming estimator cache]");
+    let _ = cast_bench::paper_estimator();
+
+    let tasks: Vec<(&'static str, Task)> = vec![
+        ("table1", Box::new(run_table1)),
+        ("table2", Box::new(run_table2)),
+        ("table4", Box::new(run_table4)),
+        ("fig1", Box::new(run_fig1)),
+        ("fig2", Box::new(run_fig2)),
+        ("fig3", Box::new(run_fig3)),
+        ("fig4", Box::new(run_fig4)),
+        ("fig5", Box::new(run_fig5)),
+        (
+            "fig7 (plans + deploys 8 configurations — takes a minute)",
+            Box::new(run_fig7),
+        ),
+        ("fig8", Box::new(run_fig8)),
+        (
+            "fig9 (plans + deploys 6 configurations)",
+            Box::new(run_fig9),
+        ),
+        ("fault_sweep", Box::new(run_fault_sweep)),
+    ];
+
+    std::thread::scope(|s| {
+        let handles: Vec<_> = tasks
+            .into_iter()
+            .map(|(label, task)| (label, s.spawn(task)))
+            .collect();
+        for (label, handle) in handles {
+            eprintln!("[{label}]");
+            let section = handle.join().unwrap_or_else(|_| panic!("{label} panicked"));
+            md.push_str(&section.md);
+            for (name, value) in &section.json {
+                save_json(name, value);
+            }
+        }
+    });
 
     let path = "EXPERIMENTS.md";
     fs::write(path, &md).expect("write EXPERIMENTS.md");

@@ -2,6 +2,7 @@
 
 use std::fs;
 use std::path::PathBuf;
+use std::sync::OnceLock;
 
 use cast_cloud::cost::CostModel;
 use cast_cloud::tier::Tier;
@@ -22,12 +23,19 @@ use cast_workload::profile::ProfileSet;
 use cast_workload::reuse::ReusePattern;
 use cast_workload::synth;
 
-/// Directory where experiment outputs are written.
+/// Directory where experiment outputs are written. The env lookup and
+/// `create_dir_all` run once per process; every later call (each table
+/// row saved, each experiment section) is a cached clone.
 pub fn results_dir() -> PathBuf {
-    let dir = std::env::var("CAST_RESULTS_DIR").unwrap_or_else(|_| "results".to_string());
-    let path = PathBuf::from(dir);
-    fs::create_dir_all(&path).expect("create results directory");
-    path
+    static RESULTS_DIR: OnceLock<PathBuf> = OnceLock::new();
+    RESULTS_DIR
+        .get_or_init(|| {
+            let dir = std::env::var("CAST_RESULTS_DIR").unwrap_or_else(|_| "results".to_string());
+            let path = PathBuf::from(dir);
+            fs::create_dir_all(&path).expect("create results directory");
+            path
+        })
+        .clone()
 }
 
 /// Write a JSON value under `results/<name>.json`.

@@ -133,6 +133,17 @@ impl CastBuilder {
         self
     }
 
+    /// Run every annealing solve as `n` parallel restart chains (best of
+    /// N by `(score, seed)`; deterministic for any thread count). Applies
+    /// to CAST's utility solve and both CAST++ phases.
+    pub fn restarts(mut self, n: usize) -> Self {
+        let n = n.max(1);
+        self.anneal.restarts = n;
+        self.castpp.utility_anneal.restarts = n;
+        self.castpp.workflow_anneal.restarts = n;
+        self
+    }
+
     /// Run the offline profiling campaign and produce the framework.
     pub fn build(self) -> Result<Cast, cast_estimator::EstimatorError> {
         let matrix = profile_all(&self.catalog, &self.profiles, &self.profiler)?;
@@ -363,6 +374,36 @@ mod tests {
             .plan_for_goal(&spec, crate::goals::TenantGoal::MaxUtility)
             .unwrap();
         assert!(utility.workflows.is_empty());
+    }
+
+    #[test]
+    fn multi_restart_cast_plans_are_deterministic() {
+        let profiler = ProfilerConfig {
+            nvm: 2,
+            reference_input: DataSize::from_gb(20.0),
+            block_grid: vec![100.0, 400.0, 1600.0],
+            eph_grid: vec![375.0],
+            objstore_scratch_gb: 100.0,
+        };
+        let fw = CastBuilder::default()
+            .nvm(4)
+            .profiler(profiler)
+            .anneal(AnnealConfig {
+                iterations: 300,
+                ..AnnealConfig::default()
+            })
+            .restarts(3)
+            .build()
+            .unwrap();
+        let spec = synth::prediction_workload();
+        let a = fw.plan(&spec, PlanStrategy::Cast).unwrap();
+        let b = fw.plan(&spec, PlanStrategy::Cast).unwrap();
+        assert_eq!(a.plan, b.plan);
+        assert_eq!(a.eval.utility.to_bits(), b.eval.utility.to_bits());
+        // Best-of-3 includes the base chain, so it cannot lose to the
+        // single-restart framework.
+        let single = quick_framework().plan(&spec, PlanStrategy::Cast).unwrap();
+        assert!(a.eval.utility >= single.eval.utility);
     }
 
     #[test]

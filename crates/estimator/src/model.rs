@@ -95,6 +95,11 @@ impl ModelMatrix {
             })
     }
 
+    /// The profiled curve for (app, tier), if any.
+    pub fn curve(&self, app: AppKind, tier: Tier) -> Option<&CapacityCurve> {
+        self.curves.get(&(app, tier))
+    }
+
     /// Whether (app, tier) has been profiled.
     pub fn contains(&self, app: AppKind, tier: Tier) -> bool {
         self.curves.contains_key(&(app, tier))

@@ -40,9 +40,24 @@ impl Estimator {
         tier: Tier,
         tier_total: DataSize,
     ) -> Result<PhaseEstimate, EstimatorError> {
-        let profile = self.profiles.get(job.app);
         let per_vm_gb = per_vm_capacity(&self.catalog, tier, tier_total, self.cluster.nvm);
         let bw = self.matrix.bandwidths(job.app, tier, per_vm_gb)?;
+        Ok(self.phases_with_bw(job, tier, tier_total, bw))
+    }
+
+    /// [`Self::phases`] with the model-matrix bandwidth lookup hoisted
+    /// out. The solver's incremental scorer memoises `bw` per
+    /// `(app, tier, capacity)` — far fewer points than `(job, tier,
+    /// capacity)` — and feeds it back through here; the arithmetic is the
+    /// same, so results stay bit-identical to [`Self::phases`].
+    pub fn phases_with_bw(
+        &self,
+        job: &Job,
+        tier: Tier,
+        tier_total: DataSize,
+        bw: crate::model::PhaseBw,
+    ) -> PhaseEstimate {
+        let profile = self.profiles.get(job.app);
         let mut est = estimate_phases(job, profile, bw, &self.cluster, &self.catalog, tier, tier);
         if tier == Tier::EphSsd {
             // Non-persistent placement: input comes down from, and output
@@ -51,7 +66,7 @@ impl Estimator {
             est.stage_in = self.transfer(job.input, backing, tier, tier_total);
             est.stage_out = self.transfer(job.output(profile), tier, backing, tier_total);
         }
-        Ok(est)
+        est
     }
 
     /// `REG(sᵢ, capacity[sᵢ], R̂, L̂ᵢ)`: total predicted runtime.
@@ -62,6 +77,18 @@ impl Estimator {
         tier_total: DataSize,
     ) -> Result<Duration, EstimatorError> {
         Ok(self.phases(job, tier, tier_total)?.total())
+    }
+
+    /// [`Self::reg`] with a precomputed bandwidth (see
+    /// [`Self::phases_with_bw`]).
+    pub fn reg_with_bw(
+        &self,
+        job: &Job,
+        tier: Tier,
+        tier_total: DataSize,
+        bw: crate::model::PhaseBw,
+    ) -> Duration {
+        self.phases_with_bw(job, tier, tier_total, bw).total()
     }
 
     /// Predicted time to move `bytes` between tiers with one stream per VM
@@ -234,6 +261,58 @@ mod tests {
         assert!((c - 375.0).abs() < 1e-9, "got {c}");
         let s = per_vm_capacity(&catalog, Tier::PersSsd, DataSize::from_gb(1000.0), 5);
         assert!((s - 200.0).abs() < 1e-9);
+    }
+
+    /// The solver's incremental scorer keys its memo on the per-VM
+    /// capacity clamped into the curve's knot domain (widened to the
+    /// volume-count cap on volume-granular tiers), relying on `REG`
+    /// being bit-for-bit constant across that saturated plateau. Pin the
+    /// invariant: every channel from the tier total into `REG` — the
+    /// spline (flat extrapolation), volume rounding, and staging
+    /// throughput (`max_volumes` cap) — has saturated there.
+    #[test]
+    fn reg_is_bitwise_constant_beyond_saturation() {
+        let e = toy_estimator();
+        let j = job(AppKind::Sort, 50.0);
+        // persSSD knots end at 500 GB/VM; nvm = 5.
+        let a = e
+            .reg(&j, Tier::PersSsd, DataSize::from_gb(500.0 * 5.0))
+            .unwrap();
+        let b = e
+            .reg(&j, Tier::PersSsd, DataSize::from_gb(977.3 * 5.0))
+            .unwrap();
+        assert_eq!(a.secs().to_bits(), b.secs().to_bits());
+        // ephSSD: single-knot curve and 4×375 GB volume cap per VM.
+        let a = e
+            .reg(&j, Tier::EphSsd, DataSize::from_gb(4.0 * 375.0 * 5.0))
+            .unwrap();
+        let b = e
+            .reg(&j, Tier::EphSsd, DataSize::from_gb(9.0 * 375.0 * 5.0))
+            .unwrap();
+        assert_eq!(a.secs().to_bits(), b.secs().to_bits());
+        // Same volume count (rounding up) ⇒ same runtime, below the cap.
+        let a = e
+            .reg(&j, Tier::EphSsd, DataSize::from_gb(2.1 * 375.0 * 5.0))
+            .unwrap();
+        let b = e
+            .reg(&j, Tier::EphSsd, DataSize::from_gb(2.9 * 375.0 * 5.0))
+            .unwrap();
+        assert_eq!(a.secs().to_bits(), b.secs().to_bits());
+    }
+
+    #[test]
+    fn phases_with_bw_matches_phases() {
+        let e = toy_estimator();
+        let j = job(AppKind::Join, 80.0);
+        for tier in Tier::ALL {
+            let total = DataSize::from_gb(700.0);
+            let per_vm = per_vm_capacity(&e.catalog, tier, total, e.cluster.nvm);
+            let bw = e.matrix.bandwidths(j.app, tier, per_vm).unwrap();
+            assert_eq!(
+                e.phases_with_bw(&j, tier, total, bw),
+                e.phases(&j, tier, total).unwrap()
+            );
+        }
     }
 
     #[test]

@@ -627,6 +627,7 @@ impl<'a> Engine<'a> {
             }
         }
         // Compute rates and the time of the earliest completion.
+        let wake = self.next_wake();
         self.rates.clear();
         let mut dt = f64::INFINITY;
         for t in &self.tasks {
@@ -640,6 +641,15 @@ impl<'a> Engine<'a> {
             } else {
                 let rate = s.rate(&self.reg);
                 if rate <= 0.0 || rate.is_nan() {
+                    // A fully-degraded tier (e.g. a transient outage
+                    // window with multiplier 0) freezes the task; a
+                    // scheduled fault edge or retry wake-up may restore
+                    // its bandwidth, so only a stall with no such future
+                    // event is an error.
+                    if wake.is_some() {
+                        self.rates.push(0.0);
+                        continue;
+                    }
                     return Err(SimError::Stalled {
                         at_secs: self.clock,
                         job: Some(self.jobs[t.job].job.id.0),
@@ -656,7 +666,7 @@ impl<'a> Engine<'a> {
             }
         }
         // Never step past a scheduled fault event or retry wake-up.
-        if let Some(wake) = self.next_wake() {
+        if let Some(wake) = wake {
             if wake > self.clock {
                 dt = dt.min(wake - self.clock);
             }
@@ -820,7 +830,7 @@ mod tests {
     use cast_workload::job::Job;
     use cast_workload::profile::ProfileSet;
 
-    fn cfg(nvm: usize) -> SimConfig {
+    pub(crate) fn cfg(nvm: usize) -> SimConfig {
         let mut agg = PerTier::from_fn(|_| DataSize::ZERO);
         *agg.get_mut(Tier::PersSsd) = DataSize::from_gb(500.0 * nvm as f64);
         *agg.get_mut(Tier::PersHdd) = DataSize::from_gb(500.0 * nvm as f64);
@@ -837,7 +847,12 @@ mod tests {
         Engine::new(c, vec![jr]).run().unwrap()
     }
 
-    fn try_run(app: AppKind, gb: f64, tier: Tier, c: &SimConfig) -> Result<SimReport, SimError> {
+    pub(crate) fn try_run(
+        app: AppKind,
+        gb: f64,
+        tier: Tier,
+        c: &SimConfig,
+    ) -> Result<SimReport, SimError> {
         let profiles = ProfileSet::defaults();
         let job = Job::with_default_layout(JobId(0), app, DatasetId(0), DataSize::from_gb(gb));
         let jr = JobRun::new(job, JobPlacement::all_on(tier), *profiles.get(app), vec![]);
@@ -1364,7 +1379,10 @@ mod review_probe {
             ..FaultPlan::default()
         };
         let r = try_run(AppKind::Grep, 10.0, Tier::PersSsd, &c);
-        eprintln!("RESULT: {:?}", r.as_ref().map(|x| x.makespan).map_err(|e| e.to_string()));
+        eprintln!(
+            "RESULT: {:?}",
+            r.as_ref().map(|x| x.makespan).map_err(|e| e.to_string())
+        );
         assert!(r.is_ok(), "transient outage should be survivable");
     }
 }

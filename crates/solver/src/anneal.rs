@@ -7,6 +7,18 @@
 //! "making the search narrower as iterations increase" (§4.2.2).
 //! Utility differences are normalised by the initial score so one
 //! temperature scale works across workloads of any size.
+//!
+//! Two performance properties of this implementation matter (see
+//! DESIGN.md "Solver performance"):
+//!
+//! * the inner loop never materialises a neighbour plan — moves are
+//!   applied in place and undone on rejection, and utility-mode solves
+//!   score through [`IncrementalEval`]'s ledger + memo instead of a full
+//!   [`evaluate`] per neighbour (bit-identical scores, same trajectory);
+//! * `restarts > 1` runs N independent annealing chains in parallel with
+//!   `std::thread::scope`, each seeded deterministically from the base
+//!   seed; the winner is chosen by `(score, seed)` so the result is
+//!   machine-independent and identical to running the chains one by one.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -15,21 +27,27 @@ use serde::{Deserialize, Serialize};
 use crate::cooling::Cooling;
 use crate::diagnostics::SolveDiagnostics;
 use crate::error::SolverError;
+use crate::incremental::{plan_from_assignments, IncrementalEval};
 use crate::neighbor::NeighborGen;
 use crate::objective::{evaluate, EvalContext, PlanEval};
-use crate::plan::TieringPlan;
+use crate::plan::{Assignment, TieringPlan};
 
 /// Annealer parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct AnnealConfig {
-    /// Iteration budget (`iter_max` of Algorithm 2).
+    /// Iteration budget (`iter_max` of Algorithm 2) per restart.
     pub iterations: usize,
     /// Initial temperature (in normalised-utility units).
     pub temp_init: f64,
     /// Cooling schedule.
     pub cooling: Cooling,
-    /// RNG seed.
+    /// RNG seed (restart 0 uses it verbatim; restarts `1..N` derive
+    /// theirs via [`restart_seed`]).
     pub seed: u64,
+    /// Independent annealing chains to run; the best result by
+    /// `(score, seed)` wins. `1` reproduces a classic single-chain solve;
+    /// values above 1 run the chains on scoped threads.
+    pub restarts: usize,
 }
 
 impl Default for AnnealConfig {
@@ -39,8 +57,23 @@ impl Default for AnnealConfig {
             temp_init: 0.3,
             cooling: Cooling::default_geometric(),
             seed: 0xCA57,
+            restarts: 1,
         }
     }
+}
+
+/// The seed driving restart `restart` of a multi-restart solve. Restart 0
+/// is the base seed itself, so `restarts = 1` is bit-compatible with a
+/// single-chain run; later restarts decorrelate through SplitMix64's
+/// finaliser.
+pub fn restart_seed(base: u64, restart: usize) -> u64 {
+    if restart == 0 {
+        return base;
+    }
+    let mut z = base ^ (restart as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 /// Result of an annealing run.
@@ -50,8 +83,48 @@ pub struct AnnealOutcome {
     pub plan: TieringPlan,
     /// Its evaluation.
     pub eval: PlanEval,
-    /// Run statistics.
+    /// Run statistics (of the winning restart).
     pub diagnostics: SolveDiagnostics,
+}
+
+/// Result of a generic (score-only) annealing search: the winning plan is
+/// materialised once; callers that need a full evaluation run their
+/// objective one final time.
+#[derive(Debug, Clone)]
+pub struct SearchOutcome {
+    /// Best plan found.
+    pub plan: TieringPlan,
+    /// Its score under the search objective.
+    pub score: f64,
+    /// Run statistics (of the winning restart).
+    pub diagnostics: SolveDiagnostics,
+}
+
+/// One restart's result, before best-of-N selection.
+struct ChainResult<P> {
+    best: P,
+    score: f64,
+    seed: u64,
+    diagnostics: SolveDiagnostics,
+}
+
+/// Best-of-N selection rule: highest score; ties broken by smallest seed
+/// so the outcome is independent of thread scheduling and machine.
+fn better<P>(a: &ChainResult<P>, b: &ChainResult<P>) -> bool {
+    a.score > b.score || (a.score == b.score && a.seed < b.seed)
+}
+
+fn pick_best<P>(
+    chains: Vec<Result<ChainResult<P>, SolverError>>,
+) -> Result<ChainResult<P>, SolverError> {
+    let mut best: Option<ChainResult<P>> = None;
+    for chain in chains {
+        let chain = chain?;
+        if best.as_ref().is_none_or(|b| better(&chain, b)) {
+            best = Some(chain);
+        }
+    }
+    Ok(best.expect("at least one restart"))
 }
 
 /// The CAST simulated-annealing solver.
@@ -70,6 +143,11 @@ impl Annealer {
     ///
     /// When `ctx.reuse_aware` is set, reuse groups move between tiers as a
     /// unit and shared inputs are charged once (CAST++ Enhancement 1).
+    ///
+    /// Scoring goes through [`IncrementalEval`] (bit-identical to
+    /// [`evaluate`], which stays the oracle and produces the final
+    /// [`PlanEval`]); with `cfg.restarts > 1` the independent chains run
+    /// on scoped threads.
     pub fn solve(
         &self,
         ctx: &EvalContext<'_>,
@@ -86,84 +164,239 @@ impl Annealer {
         };
         let jobs = ctx.spec.jobs.iter().map(|j| j.id).collect();
         let gen = NeighborGen::new(jobs, groups);
-        self.solve_with(
-            init,
-            &gen,
-            |plan| evaluate(plan, ctx).map(|e| (e.utility, e)),
-            None,
-        )
+
+        let restarts = self.cfg.restarts.max(1);
+        let run = |seed: u64| self.chain_incremental(ctx, &init, &gen, seed);
+        let chains: Vec<Result<ChainResult<Vec<Assignment>>, SolverError>> = if restarts == 1 {
+            vec![run(self.cfg.seed)]
+        } else {
+            std::thread::scope(|s| {
+                let handles: Vec<_> = (0..restarts)
+                    .map(|r| {
+                        let run = &run;
+                        let seed = restart_seed(self.cfg.seed, r);
+                        s.spawn(move || run(seed))
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("restart chain panicked"))
+                    .collect()
+            })
+        };
+        let winner = pick_best(chains)?;
+        let plan = plan_from_assignments(ctx, &winner.best);
+        let eval = evaluate(&plan, ctx)?;
+        Ok(AnnealOutcome {
+            plan,
+            eval,
+            diagnostics: winner.diagnostics,
+        })
     }
 
-    /// Generic annealing loop over an arbitrary score function. `cursor`
-    /// (when `Some`) supplies a deterministic job-visit order (CAST++'s
-    /// DFS traversal); otherwise neighbours mutate random jobs.
-    pub fn solve_with<F>(
+    /// One annealing chain over [`IncrementalEval`] state. Mirrors
+    /// [`Annealer::chain_plan`] decision for decision; only the scoring
+    /// substrate differs.
+    fn chain_incremental(
         &self,
-        init: TieringPlan,
+        ctx: &EvalContext<'_>,
+        init: &TieringPlan,
         gen: &NeighborGen,
-        mut score: F,
-        cursor_order: Option<&[usize]>,
-    ) -> Result<AnnealOutcome, SolverError>
-    where
-        F: FnMut(&TieringPlan) -> Result<(f64, PlanEval), SolverError>,
-    {
-        let mut rng = StdRng::seed_from_u64(self.cfg.seed);
-        let (init_score, init_eval) = score(&init)?;
+        seed: u64,
+    ) -> Result<ChainResult<Vec<Assignment>>, SolverError> {
+        let mut state = IncrementalEval::new(ctx, init)?;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let init_score = state.score()?;
         let scale = init_score.abs().max(f64::MIN_POSITIVE);
 
-        let mut current = init.clone();
         let mut current_score = init_score;
-        let mut best = init;
+        let mut best = state.assignments().to_vec();
         let mut best_score = init_score;
-        let mut best_eval = init_eval;
 
         let mut diag = SolveDiagnostics {
             initial_score: init_score,
             trace_stride: (self.cfg.iterations / 100).max(1),
+            restarts: self.cfg.restarts.max(1),
             ..SolveDiagnostics::default()
         };
         let mut temp = self.cfg.temp_init;
+        let mut moves: Vec<(cast_workload::JobId, Assignment)> = Vec::new();
+        let mut undo: Vec<(cast_workload::JobId, Assignment)> = Vec::new();
 
         for iter in 0..self.cfg.iterations {
             temp = self.cfg.cooling.step(temp);
-            let cursor = cursor_order.map(|ord| ord[iter % ord.len()]);
-            let neighbor = gen.neighbor(&current, &mut rng, cursor);
-            let (n_score, n_eval) = score(&neighbor)?;
+            gen.propose(|j| state.assignment(j), &mut rng, None, &mut moves);
+            state.apply(&moves, &mut undo);
+            let n_score = state.score()?;
             diag.iterations += 1;
 
             if n_score > best_score {
-                best = neighbor.clone();
+                best.copy_from_slice(state.assignments());
                 best_score = n_score;
-                best_eval = n_eval;
                 diag.improvements += 1;
             }
-            let delta = (n_score - current_score) / scale;
-            let accept = if delta >= 0.0 {
-                true
-            } else {
-                let p = (delta / temp.max(1e-12)).exp();
-                let uphill = rng.gen_bool(p.clamp(0.0, 1.0));
-                if uphill {
-                    diag.uphill_accepted += 1;
-                }
-                uphill
-            };
-            if accept {
-                current = neighbor;
+            if metropolis(n_score, current_score, scale, temp, &mut rng, &mut diag) {
                 current_score = n_score;
                 diag.accepted += 1;
+            } else {
+                state.restore(&undo);
             }
             if iter % diag.trace_stride == 0 {
                 diag.trace.push(best_score);
             }
         }
         diag.best_score = best_score;
-        Ok(AnnealOutcome {
-            plan: best,
-            eval: best_eval,
+        Ok(ChainResult {
+            best,
+            score: best_score,
+            seed,
             diagnostics: diag,
         })
     }
+
+    /// Generic annealing loop over an arbitrary score function. `cursor`
+    /// (when `Some`) supplies a deterministic job-visit order (CAST++'s
+    /// DFS traversal); otherwise neighbours mutate random jobs.
+    ///
+    /// The score closure is called on the candidate plan only — no
+    /// per-iteration evaluation payloads are built; the caller
+    /// materialises whatever it needs from the winning plan once.
+    pub fn solve_with<S>(
+        &self,
+        init: TieringPlan,
+        gen: &NeighborGen,
+        score: S,
+        cursor_order: Option<&[usize]>,
+    ) -> Result<SearchOutcome, SolverError>
+    where
+        S: Fn(&TieringPlan) -> Result<f64, SolverError> + Sync,
+    {
+        let restarts = self.cfg.restarts.max(1);
+        let run = |seed: u64| self.chain_plan(init.clone(), gen, &score, cursor_order, seed);
+        let chains: Vec<Result<ChainResult<TieringPlan>, SolverError>> = if restarts == 1 {
+            vec![run(self.cfg.seed)]
+        } else {
+            std::thread::scope(|s| {
+                let handles: Vec<_> = (0..restarts)
+                    .map(|r| {
+                        let run = &run;
+                        let seed = restart_seed(self.cfg.seed, r);
+                        s.spawn(move || run(seed))
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("restart chain panicked"))
+                    .collect()
+            })
+        };
+        let winner = pick_best(chains)?;
+        Ok(SearchOutcome {
+            plan: winner.best,
+            score: winner.score,
+            diagnostics: winner.diagnostics,
+        })
+    }
+
+    /// One annealing chain mutating a plan in place (the generic-score
+    /// path used by CAST++'s per-workflow cost solves).
+    fn chain_plan<S>(
+        &self,
+        init: TieringPlan,
+        gen: &NeighborGen,
+        score: &S,
+        cursor_order: Option<&[usize]>,
+        seed: u64,
+    ) -> Result<ChainResult<TieringPlan>, SolverError>
+    where
+        S: Fn(&TieringPlan) -> Result<f64, SolverError>,
+    {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let init_score = score(&init)?;
+        let scale = init_score.abs().max(f64::MIN_POSITIVE);
+
+        let mut current = init;
+        let mut current_score = init_score;
+        // The incumbent best as a flat snapshot; the winning plan is
+        // rebuilt from it exactly once after the loop.
+        let mut best_snapshot: Vec<(cast_workload::JobId, Assignment)> = current.iter().collect();
+        let mut best_score = init_score;
+
+        let mut diag = SolveDiagnostics {
+            initial_score: init_score,
+            trace_stride: (self.cfg.iterations / 100).max(1),
+            restarts: self.cfg.restarts.max(1),
+            ..SolveDiagnostics::default()
+        };
+        let mut temp = self.cfg.temp_init;
+        let mut moves: Vec<(cast_workload::JobId, Assignment)> = Vec::new();
+        let mut undo: Vec<(cast_workload::JobId, Assignment)> = Vec::new();
+
+        for iter in 0..self.cfg.iterations {
+            temp = self.cfg.cooling.step(temp);
+            let cursor = cursor_order.map(|ord| ord[iter % ord.len()]);
+            gen.propose(|j| current.get(j), &mut rng, cursor, &mut moves);
+            undo.clear();
+            for &(job, a) in &moves {
+                undo.push((job, current.get(job).expect("proposed over assigned job")));
+                current.assign(job, a);
+            }
+            let n_score = score(&current)?;
+            diag.iterations += 1;
+
+            if n_score > best_score {
+                best_snapshot.clear();
+                best_snapshot.extend(current.iter());
+                best_score = n_score;
+                diag.improvements += 1;
+            }
+            if metropolis(n_score, current_score, scale, temp, &mut rng, &mut diag) {
+                current_score = n_score;
+                diag.accepted += 1;
+            } else {
+                for &(job, a) in undo.iter().rev() {
+                    current.assign(job, a);
+                }
+            }
+            if iter % diag.trace_stride == 0 {
+                diag.trace.push(best_score);
+            }
+        }
+        diag.best_score = best_score;
+        let mut best = TieringPlan::new();
+        for (job, a) in best_snapshot {
+            best.assign(job, a);
+        }
+        Ok(ChainResult {
+            best,
+            score: best_score,
+            seed,
+            diagnostics: diag,
+        })
+    }
+}
+
+/// The Metropolis acceptance rule shared by both chain implementations:
+/// accept improvements outright, worse moves with probability
+/// `exp(Δ/temp)`. Consumes one RNG draw exactly when `Δ < 0`.
+fn metropolis(
+    n_score: f64,
+    current_score: f64,
+    scale: f64,
+    temp: f64,
+    rng: &mut StdRng,
+    diag: &mut SolveDiagnostics,
+) -> bool {
+    let delta = (n_score - current_score) / scale;
+    if delta >= 0.0 {
+        return true;
+    }
+    let p = (delta / temp.max(1e-12)).exp();
+    let uphill = rng.gen_bool(p.clamp(0.0, 1.0));
+    if uphill {
+        diag.uphill_accepted += 1;
+    }
+    uphill
 }
 
 #[cfg(test)]
@@ -233,6 +466,31 @@ mod tests {
     }
 
     #[test]
+    fn incremental_and_plan_paths_share_one_trajectory() {
+        // The generic plan-scoring loop (scoring via the full oracle) and
+        // the incremental loop must make identical decisions: same seed,
+        // same plan, bit-identical score.
+        let spec = synth::prediction_workload();
+        let est = toy_estimator(25);
+        let ctx = EvalContext::new(&est, &spec);
+        let init = TieringPlan::uniform(&spec, Tier::ObjStore);
+        let cfg = quick_cfg(13);
+        let fast = Annealer::new(cfg).solve(&ctx, init.clone()).unwrap();
+        let jobs = ctx.spec.jobs.iter().map(|j| j.id).collect();
+        let gen = NeighborGen::new(jobs, Vec::new());
+        let slow = Annealer::new(cfg)
+            .solve_with(init, &gen, |p| evaluate(p, &ctx).map(|e| e.utility), None)
+            .unwrap();
+        assert_eq!(fast.plan, slow.plan);
+        assert_eq!(fast.eval.utility.to_bits(), slow.score.to_bits());
+        assert_eq!(fast.diagnostics.accepted, slow.diagnostics.accepted);
+        assert_eq!(
+            fast.diagnostics.uphill_accepted,
+            slow.diagnostics.uphill_accepted
+        );
+    }
+
+    #[test]
     fn reuse_mode_keeps_groups_united() {
         // Two Grep jobs sharing a dataset.
         let mut spec = synth::single_job(
@@ -261,5 +519,39 @@ mod tests {
         for w in out.diagnostics.trace.windows(2) {
             assert!(w[1] >= w[0] - 1e-18, "best-score trace must not regress");
         }
+    }
+
+    #[test]
+    fn multi_restart_never_loses_to_its_own_base_chain() {
+        let spec = synth::prediction_workload();
+        let est = toy_estimator(25);
+        let ctx = EvalContext::new(&est, &spec);
+        let init = TieringPlan::uniform(&spec, Tier::PersHdd);
+        let single = Annealer::new(quick_cfg(21))
+            .solve(&ctx, init.clone())
+            .unwrap();
+        let multi = Annealer::new(AnnealConfig {
+            restarts: 4,
+            ..quick_cfg(21)
+        })
+        .solve(&ctx, init)
+        .unwrap();
+        // Restart 0 runs the base seed, so best-of-4 can only match or
+        // beat the single chain.
+        assert!(multi.eval.utility >= single.eval.utility);
+        assert_eq!(multi.diagnostics.restarts, 4);
+    }
+
+    #[test]
+    fn restart_seeds_are_stable_and_distinct() {
+        let base = 0xCA57u64;
+        assert_eq!(restart_seed(base, 0), base);
+        let seeds: Vec<u64> = (0..8).map(|r| restart_seed(base, r)).collect();
+        let mut dedup = seeds.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), seeds.len(), "derived seeds must be distinct");
+        // Stable across calls (pure function of (base, restart)).
+        assert_eq!(restart_seed(base, 3), restart_seed(base, 3));
     }
 }

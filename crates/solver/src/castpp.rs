@@ -149,22 +149,16 @@ impl CastPlusPlus {
         let gen = NeighborGen::new(jobs, Vec::new());
         let annealer = Annealer::new(self.cfg.workflow_anneal);
         let planning_deadline = wf.deadline * self.cfg.deadline_margin;
+        // Score-only closure: the annealer materialises nothing per
+        // neighbour; callers needing a full evaluation run it once on the
+        // winning plan.
         let out = annealer.solve_with(
             init,
             &gen,
             |plan| {
                 let mut weval = evaluate_workflow_global(ctx, wf, plan)?;
                 weval.feasible = weval.time <= planning_deadline;
-                let score = workflow_score(&weval, planning_deadline);
-                let caps =
-                    provision_round(ctx.estimator, &plan.capacities(ctx.spec, ctx.reuse_aware)?);
-                let eval = PlanEval {
-                    time: weval.time,
-                    cost: ctx.cost.breakdown(&caps, weval.time),
-                    utility: score,
-                    capacities: caps,
-                };
-                Ok((score, eval))
+                Ok(workflow_score(&weval, planning_deadline))
             },
             Some(&cursor),
         )?;

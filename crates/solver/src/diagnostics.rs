@@ -21,6 +21,9 @@ pub struct SolveDiagnostics {
     pub trace: Vec<f64>,
     /// Stride of the trace samples.
     pub trace_stride: usize,
+    /// Independent restart chains in the solve this run belonged to
+    /// (1 for a classic single-chain anneal; 0 only in `Default`).
+    pub restarts: usize,
 }
 
 impl SolveDiagnostics {
@@ -58,6 +61,7 @@ mod tests {
             best_score: 1.5,
             trace: vec![],
             trace_stride: 100,
+            restarts: 1,
         };
         assert!((d.acceptance_rate() - 0.4).abs() < 1e-12);
         assert!((d.improvement() - 0.5).abs() < 1e-12);

@@ -30,15 +30,17 @@ pub mod cooling;
 pub mod diagnostics;
 pub mod error;
 pub mod greedy;
+pub mod incremental;
 pub mod neighbor;
 pub mod objective;
 pub mod plan;
 
-pub use anneal::{AnnealConfig, Annealer};
+pub use anneal::{restart_seed, AnnealConfig, Annealer, SearchOutcome};
 pub use castpp::{CastPlusPlus, CastPlusPlusConfig};
 pub use cooling::Cooling;
 pub use diagnostics::SolveDiagnostics;
 pub use error::SolverError;
 pub use greedy::{greedy_plan, GreedyMode};
+pub use incremental::IncrementalEval;
 pub use objective::{evaluate, EvalContext, PlanEval};
 pub use plan::{Assignment, TieringPlan};

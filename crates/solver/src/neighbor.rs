@@ -34,32 +34,39 @@ impl NeighborGen {
         NeighborGen { jobs, groups }
     }
 
-    /// The jobs a mutation of `job` must also touch (its reuse group).
-    fn cohort(&self, job: JobId) -> Vec<JobId> {
+    /// The jobs a mutation of the job at `idx` must also touch (its reuse
+    /// group, or just itself).
+    fn cohort(&self, idx: usize) -> &[JobId] {
+        let job = self.jobs[idx];
         self.groups
             .iter()
             .find(|g| g.contains(&job))
-            .cloned()
-            .unwrap_or_else(|| vec![job])
+            .map(|g| g.as_slice())
+            .unwrap_or(std::slice::from_ref(&self.jobs[idx]))
     }
 
-    /// Produce a random neighbour of `plan`, mutating the job at
-    /// `cursor` (used by CAST++'s DFS traversal) or a random job when
-    /// `cursor` is `None`.
-    pub fn neighbor(
+    /// Propose a random move against the current assignments (queried via
+    /// `lookup`), writing the changed `(job, new assignment)` pairs into
+    /// `out` — the allocation-free core of [`NeighborGen::neighbor`]. The
+    /// job mutated is the one at `cursor` (CAST++'s DFS traversal) or a
+    /// random one when `cursor` is `None`. Consumes exactly the RNG draws
+    /// `neighbor` does, so move-based and plan-based searches share one
+    /// trajectory per seed.
+    pub fn propose(
         &self,
-        plan: &TieringPlan,
+        lookup: impl Fn(JobId) -> Option<Assignment>,
         rng: &mut StdRng,
         cursor: Option<usize>,
-    ) -> TieringPlan {
-        let mut next = plan.clone();
+        out: &mut Vec<(JobId, Assignment)>,
+    ) {
+        out.clear();
         if self.jobs.is_empty() {
-            return next;
+            return;
         }
         let idx = cursor.unwrap_or_else(|| rng.gen_range(0..self.jobs.len())) % self.jobs.len();
         let job = self.jobs[idx];
-        let Some(current) = plan.get(job) else {
-            return next;
+        let Some(current) = lookup(job) else {
+            return;
         };
         // Half the moves flip the tier (jointly drawing a fresh capacity
         // factor — tier and provisioning are coupled decisions: a job
@@ -67,16 +74,17 @@ impl NeighborGen {
         // starved, and the two-step path through that valley is hard for
         // the annealer to cross), half nudge the capacity factor alone.
         if rng.gen_bool(0.5) {
-            let choices: Vec<Tier> = Tier::ALL
+            let n = rng.gen_range(0..Tier::ALL.len() - 1);
+            let tier = Tier::ALL
                 .iter()
                 .copied()
                 .filter(|&t| t != current.tier)
-                .collect();
-            let tier = choices[rng.gen_range(0..choices.len())];
+                .nth(n)
+                .expect("three non-current tiers");
             let overprov = OVERPROV_GRID[rng.gen_range(0..OVERPROV_GRID.len())];
-            for member in self.cohort(job) {
-                if plan.get(member).is_some() {
-                    next.assign(member, Assignment { tier, overprov });
+            for &member in self.cohort(idx) {
+                if lookup(member).is_some() {
+                    out.push((member, Assignment { tier, overprov }));
                 }
             }
         } else {
@@ -89,13 +97,30 @@ impl NeighborGen {
             } else {
                 pos.saturating_sub(1)
             };
-            next.assign(
+            out.push((
                 job,
                 Assignment {
                     tier: current.tier,
                     overprov: OVERPROV_GRID[next_pos],
                 },
-            );
+            ));
+        }
+    }
+
+    /// Produce a random neighbour of `plan`, mutating the job at
+    /// `cursor` (used by CAST++'s DFS traversal) or a random job when
+    /// `cursor` is `None`.
+    pub fn neighbor(
+        &self,
+        plan: &TieringPlan,
+        rng: &mut StdRng,
+        cursor: Option<usize>,
+    ) -> TieringPlan {
+        let mut next = plan.clone();
+        let mut changes = Vec::new();
+        self.propose(|j| plan.get(j), rng, cursor, &mut changes);
+        for (job, a) in changes {
+            next.assign(job, a);
         }
         next
     }

@@ -9,7 +9,8 @@ use cast_estimator::model::{CapacityCurve, ModelMatrix, PhaseBw};
 use cast_estimator::mrcute::ClusterSpec;
 use cast_estimator::Estimator;
 use cast_solver::{
-    evaluate, greedy_plan, AnnealConfig, Annealer, Assignment, EvalContext, GreedyMode, TieringPlan,
+    evaluate, greedy_plan, restart_seed, AnnealConfig, Annealer, Assignment, EvalContext,
+    GreedyMode, IncrementalEval, TieringPlan,
 };
 use cast_workload::apps::AppKind;
 use cast_workload::dataset::{Dataset, DatasetId};
@@ -82,6 +83,52 @@ fn arb_spec() -> impl Strategy<Value = WorkloadSpec> {
     })
 }
 
+/// Like [`arb_spec`] but jobs may share their predecessor's dataset, so
+/// reuse-aware evaluation (Eq. 7 shared-input discount) gets exercised.
+fn arb_reuse_spec() -> impl Strategy<Value = WorkloadSpec> {
+    prop::collection::vec(
+        (
+            prop::sample::select(AppKind::ALL.to_vec()),
+            2.0f64..200.0,
+            0usize..2,
+        ),
+        1..8,
+    )
+    .prop_map(|jobs| {
+        let mut spec = WorkloadSpec::empty();
+        for (i, (app, gb, share)) in jobs.into_iter().enumerate() {
+            let ds = if share == 1 && !spec.datasets.is_empty() {
+                spec.datasets[spec.datasets.len() - 1].id
+            } else {
+                let id = DatasetId(i as u32);
+                spec.datasets
+                    .push(Dataset::single_use(id, DataSize::from_gb(gb)));
+                id
+            };
+            let size = spec
+                .datasets
+                .iter()
+                .find(|d| d.id == ds)
+                .expect("dataset exists")
+                .size;
+            spec.jobs
+                .push(Job::with_default_layout(JobId(i as u32), app, ds, size));
+        }
+        spec
+    })
+}
+
+/// A random move/undo script over a plan: for each step, which job to
+/// touch, which tier and over-provisioning factor to move it to, and
+/// whether to undo the move right after scoring it.
+#[allow(clippy::type_complexity)]
+fn arb_moves() -> impl Strategy<Value = Vec<(usize, usize, f64, usize)>> {
+    prop::collection::vec(
+        (0usize..64, 0usize..Tier::ALL.len(), 1.0f64..8.0, 0usize..2),
+        1..24,
+    )
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
 
@@ -148,6 +195,93 @@ proptest! {
         let t_base = evaluate(&base, &ctx).expect("eval").time;
         let t_boost = evaluate(&boosted, &ctx).expect("eval").time;
         prop_assert!(t_boost.secs() <= t_base.secs() + 1e-9);
+    }
+
+    /// The incremental scorer is bit-identical to the full oracle over any
+    /// random move/undo script, in both plain and reuse-aware evaluation.
+    #[test]
+    fn incremental_matches_oracle_bitwise(
+        spec in arb_reuse_spec(),
+        moves in arb_moves(),
+        tier in prop::sample::select(Tier::ALL.to_vec()),
+        reuse_aware in 0usize..2,
+    ) {
+        let est = toy_estimator(4);
+        let ctx = if reuse_aware == 1 {
+            EvalContext::new(&est, &spec).with_reuse_awareness()
+        } else {
+            EvalContext::new(&est, &spec)
+        };
+        let init = TieringPlan::uniform(&spec, tier);
+        let mut state = IncrementalEval::new(&ctx, &init).expect("state");
+        let mut undo = Vec::new();
+        for (job_idx, tier_idx, overprov, do_undo) in moves {
+            let job = spec.jobs[job_idx % spec.jobs.len()].id;
+            let change = (job, Assignment { tier: Tier::ALL[tier_idx], overprov });
+            state.apply(std::slice::from_ref(&change), &mut undo);
+            let fast = state.score().expect("incremental score");
+            let oracle = evaluate(&state.to_plan(), &ctx).expect("oracle").utility;
+            prop_assert_eq!(fast.to_bits(), oracle.to_bits());
+            if do_undo == 1 {
+                state.restore(&undo);
+                let fast = state.score().expect("incremental score");
+                let oracle = evaluate(&state.to_plan(), &ctx).expect("oracle").utility;
+                prop_assert_eq!(fast.to_bits(), oracle.to_bits());
+            }
+        }
+    }
+}
+
+/// Parallel multi-restart annealing is deterministic: for every restart
+/// count the solve returns the same plan across repeated runs, and the
+/// winner equals a hand-rolled sequential best-of-N over the same derived
+/// seeds — i.e. the outcome is independent of thread scheduling.
+#[test]
+fn multi_restart_is_schedule_independent() {
+    let spec = cast_workload::synth::prediction_workload();
+    let est = toy_estimator(4);
+    let ctx = EvalContext::new(&est, &spec);
+    let init = TieringPlan::uniform(&spec, Tier::PersHdd);
+    let base = 0xCA57u64;
+    for restarts in 1..=4 {
+        let cfg = AnnealConfig {
+            iterations: 400,
+            seed: base,
+            restarts,
+            ..AnnealConfig::default()
+        };
+        let a = Annealer::new(cfg).solve(&ctx, init.clone()).expect("solve");
+        let b = Annealer::new(cfg).solve(&ctx, init.clone()).expect("solve");
+        assert_eq!(a.plan, b.plan, "restarts={restarts}: plan must be stable");
+        assert_eq!(a.eval.utility.to_bits(), b.eval.utility.to_bits());
+
+        // Sequential reference: run each chain alone and pick the best by
+        // (score desc, seed asc) — the solver's published selection rule.
+        let mut ref_best: Option<(f64, u64, TieringPlan)> = None;
+        for r in 0..restarts {
+            let seed = restart_seed(base, r);
+            let single = Annealer::new(AnnealConfig {
+                seed,
+                restarts: 1,
+                ..cfg
+            })
+            .solve(&ctx, init.clone())
+            .expect("chain");
+            let u = single.eval.utility;
+            let wins = match &ref_best {
+                None => true,
+                Some((bu, bs, _)) => u > *bu || (u == *bu && seed < *bs),
+            };
+            if wins {
+                ref_best = Some((u, seed, single.plan));
+            }
+        }
+        let (ref_u, _, ref_plan) = ref_best.expect("at least one chain");
+        assert_eq!(
+            a.plan, ref_plan,
+            "restarts={restarts}: thread-schedule dependent winner"
+        );
+        assert_eq!(a.eval.utility.to_bits(), ref_u.to_bits());
     }
 }
 
