@@ -274,6 +274,9 @@ fn run_fault_sweep() -> Section {
 }
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let trace = cast_bench::trace_out_arg(&args, "all_experiments");
+
     let mut md = String::new();
     let _ = writeln!(
         md,
@@ -290,7 +293,15 @@ fn main() {
          themselves run concurrently on scoped threads, so a full regeneration\n\
          takes roughly the wall-clock of its slowest figure instead of the sum\n\
          of all of them. `cargo bench --bench solver_eval` prints the measured\n\
-         full-vs-incremental solve-loop speedup.\n"
+         full-vs-incremental solve-loop speedup.\n\n\
+         Observability: pass `--trace-out [STEM]` (also understood by the\n\
+         `fault_sweep` binary) to record every solver and simulator run into\n\
+         `results/STEM.trace.ndjson` — one JSON event per line: job / phase /\n\
+         wave / task spans, tier-contention samples and fault edges from the\n\
+         simulator, restart / epoch / move samples from the annealer — plus a\n\
+         counters-and-gauges summary in `results/STEM.metrics.json`. Recording\n\
+         never changes results: every table and JSON above is byte-identical\n\
+         with or without it (see DESIGN.md \"Observability\").\n"
     );
 
     // Warm the shared on-disk profiling cache (results/model_matrix.json)
@@ -338,5 +349,8 @@ fn main() {
     let path = "EXPERIMENTS.md";
     fs::write(path, &md).expect("write EXPERIMENTS.md");
     eprintln!("[wrote {path}; JSON in {}]", results_dir().display());
+    if let Some(stem) = trace {
+        cast_bench::dump_observations(&stem);
+    }
     println!("{md}");
 }

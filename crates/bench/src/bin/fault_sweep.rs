@@ -1,5 +1,10 @@
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let trace = cast_bench::trace_out_arg(&args, "fault_sweep");
     let table = cast_bench::experiments::fault_sweep::run();
     println!("{}", table.render());
     cast_bench::save_json("fault_sweep", &table.to_json());
+    if let Some(stem) = trace {
+        cast_bench::dump_observations(&stem);
+    }
 }

@@ -50,7 +50,7 @@ fn main() {
             let frac = Tier::ALL.map(|x| out.capacities.get(x).gb() / total.max(f64::MIN_POSITIVE));
             t.row(vec![
                 label.into(),
-                strategy.name().into(),
+                strategy.label().to_string().into(),
                 Cell::Prec(planned.eval.time.mins(), 0),
                 Cell::Prec(out.makespan.mins(), 0),
                 Cell::Prec(out.cost.total().dollars(), 2),

@@ -12,7 +12,7 @@ use cast_cloud::tier::{PerTier, Tier};
 use cast_cloud::units::DataSize;
 use cast_cloud::Catalog;
 use cast_sim::{
-    simulate, DegradationWindow, FaultPlan, PlacementMap, SimConfig, SimReport, VmCrash,
+    simulate_observed, DegradationWindow, FaultPlan, PlacementMap, SimConfig, SimReport, VmCrash,
 };
 use cast_workload::spec::WorkloadSpec;
 use cast_workload::synth::{facebook_workload, FacebookConfig};
@@ -99,7 +99,8 @@ fn scenarios(makespan_hint_secs: f64) -> Vec<Scenario> {
 fn run_one(spec: &WorkloadSpec, placements: &PlacementMap, plan: &FaultPlan) -> SimReport {
     let mut cfg = cluster();
     cfg.faults = plan.clone();
-    simulate(spec, placements, &cfg).expect("fault scenario must finish via recovery")
+    simulate_observed(spec, placements, &cfg, &crate::harness::observer())
+        .expect("fault scenario must finish via recovery")
 }
 
 /// Sweep fault intensity over the trimmed Fig. 7 workload.

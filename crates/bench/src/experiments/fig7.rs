@@ -17,7 +17,7 @@ use crate::harness::paper_framework;
 #[derive(Debug, Clone)]
 pub struct ConfigResult {
     /// Figure label.
-    pub label: String,
+    pub label: &'static str,
     /// Observed (simulated) workload completion, minutes.
     pub runtime_min: f64,
     /// Observed deployment cost, dollars.
@@ -43,7 +43,7 @@ pub fn evaluate_all(framework: &Cast, spec: &WorkloadSpec) -> Vec<ConfigResult> 
             let capacity_frac =
                 Tier::ALL.map(|t| out.capacities.get(t).gb() / total.max(f64::MIN_POSITIVE));
             ConfigResult {
-                label: strategy.name(),
+                label: strategy.label(),
                 runtime_min: out.makespan.mins(),
                 cost: out.cost.total().dollars(),
                 utility: out.utility,
@@ -86,7 +86,7 @@ pub fn table(results: &[ConfigResult]) -> TableWriter {
     );
     for r in results {
         t.row(vec![
-            r.label.clone().into(),
+            r.label.to_string().into(),
             Cell::Prec(r.utility / cast_u, 3),
             Cell::Prec(r.runtime_min, 0),
             Cell::Prec(r.est_runtime_min, 0),

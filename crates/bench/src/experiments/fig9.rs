@@ -50,7 +50,7 @@ pub fn suite_with_deadlines(framework: &Cast) -> WorkloadSpec {
 
 /// One configuration's outcome: (label, miss rate, cost dollars,
 /// per-workflow (completion s, deadline s)).
-pub type Fig9Row = (String, f64, f64, Vec<(f64, f64)>);
+pub type Fig9Row = (&'static str, f64, f64, Vec<(f64, f64)>);
 
 /// Evaluate all six configurations.
 pub fn evaluate_all(framework: &Cast, spec: &WorkloadSpec) -> Vec<Fig9Row> {
@@ -72,7 +72,7 @@ pub fn evaluate_all(framework: &Cast, spec: &WorkloadSpec) -> Vec<Fig9Row> {
                 detail.push((t.secs(), wf.deadline.secs()));
             }
             (
-                strategy.name(),
+                strategy.label(),
                 misses as f64 / spec.workflows.len() as f64,
                 out.cost.total().dollars(),
                 detail,
@@ -92,7 +92,7 @@ pub fn run() -> TableWriter {
     );
     for (label, miss, cost, _) in &results {
         t.row(vec![
-            label.clone().into(),
+            label.to_string().into(),
             Cell::Prec(miss * 100.0, 0),
             Cell::Prec(*cost, 2),
         ]);
@@ -113,7 +113,7 @@ mod tests {
         let get = |label: &str| {
             results
                 .iter()
-                .find(|(l, ..)| l == label)
+                .find(|(l, ..)| *l == label)
                 .unwrap_or_else(|| panic!("{label} missing"))
         };
         let castpp = get("CAST++");

@@ -79,9 +79,78 @@ pub fn paper_estimator() -> Estimator {
     }
 }
 
-/// The full framework bound to the paper cluster.
+/// The process-wide observability collector shared by every experiment.
+///
+/// Defaults to the no-op collector (zero overhead); an experiment binary
+/// running with `--trace-out` calls [`install_observer`] with a recording
+/// collector *before* any experiment starts. Everything built through
+/// [`paper_framework`] (and the fault sweep's direct simulations) records
+/// into it.
+pub fn observer() -> cast_obs::Collector {
+    observer_cell()
+        .get_or_init(cast_obs::Collector::noop)
+        .clone()
+}
+
+/// Install `collector` as the process-wide observer. Returns `false` if an
+/// observer (including the lazily-initialised no-op) was already in place,
+/// in which case the call has no effect.
+pub fn install_observer(collector: cast_obs::Collector) -> bool {
+    observer_cell().set(collector).is_ok()
+}
+
+fn observer_cell() -> &'static OnceLock<cast_obs::Collector> {
+    static OBSERVER: OnceLock<cast_obs::Collector> = OnceLock::new();
+    &OBSERVER
+}
+
+/// If the process-wide observer is recording, write its trace as NDJSON to
+/// `results/<stem>.trace.ndjson` and its metrics snapshot to
+/// `results/<stem>.metrics.json`. No-op (and no files) otherwise.
+pub fn dump_observations(stem: &str) {
+    let col = observer();
+    if !col.enabled() {
+        return;
+    }
+    let trace_path = results_dir().join(format!("{stem}.trace.ndjson"));
+    fs::write(&trace_path, cast_obs::to_ndjson(&col.events()))
+        .unwrap_or_else(|e| panic!("write {}: {e}", trace_path.display()));
+    let metrics_path = results_dir().join(format!("{stem}.metrics.json"));
+    let snapshot =
+        serde_json::to_string_pretty(&col.snapshot()).expect("metrics snapshot serializes");
+    fs::write(&metrics_path, snapshot)
+        .unwrap_or_else(|e| panic!("write {}: {e}", metrics_path.display()));
+    eprintln!(
+        "[trace: {} ({} events); metrics: {}]",
+        trace_path.display(),
+        col.event_count(),
+        metrics_path.display()
+    );
+}
+
+/// Parse a `--trace-out [STEM]` flag from `args`; when present, install a
+/// recording observer and return the stem (defaulting to `default_stem`)
+/// for a later [`dump_observations`] call. Must run before any experiment
+/// touches [`observer`].
+pub fn trace_out_arg(args: &[String], default_stem: &str) -> Option<String> {
+    let pos = args.iter().position(|a| a == "--trace-out")?;
+    let stem = match args.get(pos + 1) {
+        Some(v) if !v.starts_with('-') => v.clone(),
+        _ => default_stem.to_string(),
+    };
+    if !install_observer(cast_obs::Collector::recording()) {
+        eprintln!("[--trace-out ignored: observer already initialised]");
+        return None;
+    }
+    Some(stem)
+}
+
+/// The full framework bound to the paper cluster, recording into the
+/// process-wide [`observer`].
 pub fn paper_framework() -> Cast {
-    CastBuilder::default().build_with_estimator(paper_estimator())
+    CastBuilder::default()
+        .observe(observer())
+        .build_with_estimator(paper_estimator())
 }
 
 /// Outcome of one single-application run (the Fig. 1 / Fig. 3 unit).

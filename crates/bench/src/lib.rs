@@ -10,6 +10,9 @@ pub mod format;
 pub mod harness;
 
 pub use format::{Cell, TableWriter};
-pub use harness::{fig1_cluster, paper_estimator, paper_framework, results_dir, save_json};
+pub use harness::{
+    dump_observations, fig1_cluster, install_observer, observer, paper_estimator, paper_framework,
+    results_dir, save_json, trace_out_arg,
+};
 
 pub mod experiments;

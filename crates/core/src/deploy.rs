@@ -87,12 +87,26 @@ pub fn deploy_with_faults(
     plan: &TieringPlan,
     faults: &cast_sim::FaultPlan,
 ) -> Result<DeployOutcome, DeployError> {
+    deploy_observed(estimator, spec, plan, faults, &cast_obs::Collector::noop())
+}
+
+/// [`deploy_with_faults`] with an observability collector: the simulated
+/// run records its job/phase/wave/task spans, tier-contention samples and
+/// fault edges into `collector`. The outcome is bit-identical to the
+/// unobserved call.
+pub fn deploy_observed(
+    estimator: &Estimator,
+    spec: &WorkloadSpec,
+    plan: &TieringPlan,
+    faults: &cast_sim::FaultPlan,
+    collector: &cast_obs::Collector,
+) -> Result<DeployOutcome, DeployError> {
     let raw = plan.capacities(spec, true)?;
     let capacities = provision_round(estimator, &raw);
     let nvm = estimator.cluster.nvm;
     let mut cfg = SimConfig::with_aggregate_capacity(estimator.catalog.clone(), nvm, &capacities)?;
     cfg.faults = faults.clone();
-    let report = cast_sim::runner::simulate(spec, &plan.to_placements(), &cfg)?;
+    let report = cast_sim::runner::simulate_observed(spec, &plan.to_placements(), &cfg, collector)?;
     let makespan = report.makespan;
     let cost_model = CostModel::new(&estimator.catalog, nvm);
     let cost = cost_model.breakdown(&capacities, makespan);

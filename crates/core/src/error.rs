@@ -1,0 +1,118 @@
+//! The framework-wide error type.
+//!
+//! Each layer of the pipeline keeps its own error enum
+//! ([`cast_estimator::EstimatorError`], [`cast_solver::SolverError`],
+//! [`cast_sim::SimError`], [`crate::deploy::DeployError`]) — those stay
+//! the precise, matchable types for callers working inside one layer.
+//! [`CastError`] wraps all of them so the façade's methods share one
+//! `Result` surface and callers can `?` across layers without manual
+//! conversions. [`CastError::kind`] gives a stable, lightweight
+//! classification for logging and retry policies.
+
+use cast_estimator::EstimatorError;
+use cast_sim::SimError;
+use cast_solver::SolverError;
+
+use crate::deploy::DeployError;
+
+/// Any failure the [`crate::framework::Cast`] façade can surface.
+#[derive(Debug)]
+pub enum CastError {
+    /// Offline profiling or model fitting failed.
+    Estimator(EstimatorError),
+    /// Planning failed (malformed plan, infeasible constraint, …).
+    Solver(SolverError),
+    /// The cluster simulation rejected its inputs or failed to run.
+    Sim(SimError),
+    /// Deployment failed (plan validation or simulation at deploy time).
+    Deploy(DeployError),
+}
+
+/// Stable classification of a [`CastError`], independent of the wrapped
+/// error's payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CastErrorKind {
+    /// From the estimator layer.
+    Estimator,
+    /// From the solver layer.
+    Solver,
+    /// From the simulator layer.
+    Sim,
+    /// From the deployment layer.
+    Deploy,
+}
+
+impl CastError {
+    /// Which layer produced the error.
+    pub fn kind(&self) -> CastErrorKind {
+        match self {
+            CastError::Estimator(_) => CastErrorKind::Estimator,
+            CastError::Solver(_) => CastErrorKind::Solver,
+            CastError::Sim(_) => CastErrorKind::Sim,
+            CastError::Deploy(_) => CastErrorKind::Deploy,
+        }
+    }
+}
+
+impl std::fmt::Display for CastError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CastError::Estimator(e) => write!(f, "estimator error: {e}"),
+            CastError::Solver(e) => write!(f, "solver error: {e}"),
+            CastError::Sim(e) => write!(f, "simulation error: {e}"),
+            CastError::Deploy(e) => write!(f, "deployment error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CastError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CastError::Estimator(e) => Some(e),
+            CastError::Solver(e) => Some(e),
+            CastError::Sim(e) => Some(e),
+            CastError::Deploy(e) => Some(e),
+        }
+    }
+}
+
+impl From<EstimatorError> for CastError {
+    fn from(e: EstimatorError) -> Self {
+        CastError::Estimator(e)
+    }
+}
+
+impl From<SolverError> for CastError {
+    fn from(e: SolverError) -> Self {
+        CastError::Solver(e)
+    }
+}
+
+impl From<SimError> for CastError {
+    fn from(e: SimError) -> Self {
+        CastError::Sim(e)
+    }
+}
+
+impl From<DeployError> for CastError {
+    fn from(e: DeployError) -> Self {
+        CastError::Deploy(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_are_stable_and_displayed() {
+        let e: CastError = SolverError::Unassigned(3).into();
+        assert_eq!(e.kind(), CastErrorKind::Solver);
+        assert!(e.to_string().contains("solver error"));
+        let e: CastError = SimError::MissingPlacement(1).into();
+        assert_eq!(e.kind(), CastErrorKind::Sim);
+        let e: CastError = DeployError::Plan(SolverError::Unassigned(0)).into();
+        assert_eq!(e.kind(), CastErrorKind::Deploy);
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -46,15 +46,26 @@ impl PlanStrategy {
         PlanStrategy::CastPlusPlus,
     ];
 
-    /// Display name matching the paper's figure labels.
-    pub fn name(self) -> String {
+    /// Figure label, mirroring [`Tier::name`]: a static string so callers
+    /// can store and compare labels without allocating. `Display` renders
+    /// the same text for formatting contexts.
+    pub fn label(self) -> &'static str {
         match self {
-            PlanStrategy::Uniform(t) => format!("{} 100%", t.name()),
-            PlanStrategy::GreedyExactFit => "Greedy exact-fit".to_string(),
-            PlanStrategy::GreedyOverProvisioned => "Greedy over-prov".to_string(),
-            PlanStrategy::Cast => "CAST".to_string(),
-            PlanStrategy::CastPlusPlus => "CAST++".to_string(),
+            PlanStrategy::Uniform(Tier::EphSsd) => "ephSSD 100%",
+            PlanStrategy::Uniform(Tier::PersSsd) => "persSSD 100%",
+            PlanStrategy::Uniform(Tier::PersHdd) => "persHDD 100%",
+            PlanStrategy::Uniform(Tier::ObjStore) => "objStore 100%",
+            PlanStrategy::GreedyExactFit => "Greedy exact-fit",
+            PlanStrategy::GreedyOverProvisioned => "Greedy over-prov",
+            PlanStrategy::Cast => "CAST",
+            PlanStrategy::CastPlusPlus => "CAST++",
         }
+    }
+}
+
+impl std::fmt::Display for PlanStrategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
     }
 }
 
@@ -75,6 +86,7 @@ pub struct Cast {
     estimator: Estimator,
     anneal: AnnealConfig,
     castpp: CastPlusPlusConfig,
+    obs: cast_obs::Collector,
 }
 
 /// Builder for [`Cast`].
@@ -86,6 +98,7 @@ pub struct CastBuilder {
     profiler: ProfilerConfig,
     anneal: AnnealConfig,
     castpp: CastPlusPlusConfig,
+    obs: cast_obs::Collector,
 }
 
 impl Default for CastBuilder {
@@ -97,6 +110,7 @@ impl Default for CastBuilder {
             profiler: ProfilerConfig::default(),
             anneal: AnnealConfig::default(),
             castpp: CastPlusPlusConfig::default(),
+            obs: cast_obs::Collector::noop(),
         }
     }
 }
@@ -144,8 +158,15 @@ impl CastBuilder {
         self
     }
 
+    /// Attach an observability collector; forwarded to the built
+    /// framework (see [`Cast::observe`]).
+    pub fn observe(mut self, collector: cast_obs::Collector) -> Self {
+        self.obs = collector;
+        self
+    }
+
     /// Run the offline profiling campaign and produce the framework.
-    pub fn build(self) -> Result<Cast, cast_estimator::EstimatorError> {
+    pub fn build(self) -> Result<Cast, crate::error::CastError> {
         let matrix = profile_all(&self.catalog, &self.profiles, &self.profiler)?;
         Ok(Cast {
             estimator: Estimator {
@@ -156,6 +177,7 @@ impl CastBuilder {
             },
             anneal: self.anneal,
             castpp: self.castpp,
+            obs: self.obs,
         })
     }
 
@@ -166,6 +188,7 @@ impl CastBuilder {
             estimator,
             anneal: self.anneal,
             castpp: self.castpp,
+            obs: self.obs,
         }
     }
 }
@@ -181,12 +204,28 @@ impl Cast {
         &self.estimator
     }
 
+    /// Attach an observability collector: subsequent [`Cast::plan`] calls
+    /// record solver spans and counters into it, and deployment calls
+    /// record the simulator's job/phase/wave/task spans. With a recording
+    /// collector the results stay bit-identical; with the default
+    /// [`cast_obs::Collector::noop`] every instrumentation point is a
+    /// no-op.
+    pub fn observe(mut self, collector: cast_obs::Collector) -> Cast {
+        self.obs = collector;
+        self
+    }
+
+    /// The attached collector (no-op unless [`Cast::observe`] was called).
+    pub fn collector(&self) -> &cast_obs::Collector {
+        &self.obs
+    }
+
     /// Produce a tiering plan for `spec` with `strategy`.
     pub fn plan(
         &self,
         spec: &WorkloadSpec,
         strategy: PlanStrategy,
-    ) -> Result<Planned, SolverError> {
+    ) -> Result<Planned, crate::error::CastError> {
         let ctx = EvalContext::new(&self.estimator, spec);
         match strategy {
             PlanStrategy::Uniform(tier) => {
@@ -218,7 +257,9 @@ impl Cast {
             }
             PlanStrategy::Cast => {
                 let init = best_init(&ctx)?;
-                let out = Annealer::new(self.anneal).solve(&ctx, init)?;
+                let out = Annealer::new(self.anneal)
+                    .observe(self.obs.clone())
+                    .solve(&ctx, init)?;
                 Ok(Planned {
                     plan: out.plan,
                     eval: out.eval,
@@ -226,7 +267,9 @@ impl Cast {
                 })
             }
             PlanStrategy::CastPlusPlus => {
-                let out = CastPlusPlus::new(self.castpp).solve(&ctx)?;
+                let out = CastPlusPlus::new(self.castpp)
+                    .observe(self.obs.clone())
+                    .solve(&ctx)?;
                 Ok(Planned {
                     plan: out.plan,
                     eval: out.eval,
@@ -243,7 +286,7 @@ impl Cast {
         &self,
         spec: &WorkloadSpec,
         goal: crate::goals::TenantGoal,
-    ) -> Result<Planned, SolverError> {
+    ) -> Result<Planned, crate::error::CastError> {
         let strategy = if goal.needs_workflow_awareness() {
             PlanStrategy::CastPlusPlus
         } else {
@@ -257,8 +300,8 @@ impl Cast {
         &self,
         spec: &WorkloadSpec,
         plan: &TieringPlan,
-    ) -> Result<DeployOutcome, deploy::DeployError> {
-        deploy::deploy(&self.estimator, spec, plan)
+    ) -> Result<DeployOutcome, crate::error::CastError> {
+        self.deploy_with_faults(spec, plan, &cast_sim::FaultPlan::default())
     }
 
     /// Deploy a plan under a fault-injection scenario.
@@ -267,8 +310,8 @@ impl Cast {
         spec: &WorkloadSpec,
         plan: &TieringPlan,
         faults: &cast_sim::FaultPlan,
-    ) -> Result<DeployOutcome, deploy::DeployError> {
-        deploy::deploy_with_faults(&self.estimator, spec, plan, faults)
+    ) -> Result<DeployOutcome, crate::error::CastError> {
+        deploy::deploy_observed(&self.estimator, spec, plan, faults, &self.obs).map_err(Into::into)
     }
 
     /// Stress-test a solved plan: deploy it fault-free and again under
@@ -279,7 +322,7 @@ impl Cast {
         spec: &WorkloadSpec,
         plan: &TieringPlan,
         faults: &cast_sim::FaultPlan,
-    ) -> Result<crate::report::ResilienceReport, deploy::DeployError> {
+    ) -> Result<crate::report::ResilienceReport, crate::error::CastError> {
         let baseline = self.deploy(spec, plan)?;
         let faulted = self.deploy_with_faults(spec, plan, faults)?;
         Ok(crate::report::ResilienceReport { baseline, faulted })
@@ -346,7 +389,7 @@ mod tests {
         let spec = synth::prediction_workload();
         for strategy in PlanStrategy::ALL {
             let planned = fw.plan(&spec, strategy).unwrap();
-            assert_eq!(planned.plan.len(), spec.jobs.len(), "{}", strategy.name());
+            assert_eq!(planned.plan.len(), spec.jobs.len(), "{strategy}");
             assert!(planned.eval.utility.is_finite());
         }
     }
@@ -407,9 +450,18 @@ mod tests {
     }
 
     #[test]
-    fn strategy_names_match_figures() {
-        assert_eq!(PlanStrategy::Uniform(Tier::EphSsd).name(), "ephSSD 100%");
-        assert_eq!(PlanStrategy::Cast.name(), "CAST");
-        assert_eq!(PlanStrategy::CastPlusPlus.name(), "CAST++");
+    fn strategy_labels_match_figures() {
+        for strategy in PlanStrategy::ALL {
+            // Display and the static label agree, and uniform labels track
+            // the tier names.
+            assert_eq!(strategy.to_string(), strategy.label());
+        }
+        assert_eq!(PlanStrategy::Uniform(Tier::EphSsd).label(), "ephSSD 100%");
+        assert_eq!(
+            PlanStrategy::Uniform(Tier::ObjStore).label(),
+            format!("{} 100%", Tier::ObjStore.name())
+        );
+        assert_eq!(PlanStrategy::Cast.label(), "CAST");
+        assert_eq!(PlanStrategy::CastPlusPlus.label(), "CAST++");
     }
 }

@@ -33,12 +33,14 @@
 //! ```
 
 pub mod deploy;
+pub mod error;
 pub mod framework;
 pub mod goals;
 pub mod prelude;
 pub mod report;
 
-pub use deploy::{deploy_with_faults, DeployError, DeployOutcome};
+pub use deploy::{deploy_observed, deploy_with_faults, DeployError, DeployOutcome};
+pub use error::{CastError, CastErrorKind};
 pub use framework::{Cast, CastBuilder, PlanStrategy, Planned};
 pub use goals::TenantGoal;
 pub use report::{DeploymentReport, ResilienceReport};

@@ -1,16 +1,35 @@
-//! One-stop imports for CAST users.
+//! One-stop imports for CAST users, grouped by layer.
 //!
 //! ```
 //! use cast_core::prelude::*;
 //! ```
 
+// Façade: the framework object, its strategies, goals, reports, and the
+// unified error type every façade method returns.
 pub use crate::deploy::{DeployError, DeployOutcome};
+pub use crate::error::{CastError, CastErrorKind};
 pub use crate::framework::{Cast, CastBuilder, PlanStrategy, Planned};
 pub use crate::goals::TenantGoal;
 pub use crate::report::{DeploymentReport, ResilienceReport};
+
+// Cloud model: provider catalogs, storage tiers, and the unit types that
+// appear throughout the API surface.
 pub use cast_cloud::units::{Bandwidth, DataSize, Duration, Money};
 pub use cast_cloud::{Catalog, Tier};
+
+// Estimator: the profiled performance model consumed by the solvers.
 pub use cast_estimator::{Estimator, ModelMatrix};
+
+// Simulator: fault-injection inputs for deploy-time stress tests.
 pub use cast_sim::{DegradationWindow, FaultPlan, VmCrash};
+
+// Solver: plan representation and annealer tuning knobs.
 pub use cast_solver::{AnnealConfig, Assignment, TieringPlan};
+
+// Workload: job and workload descriptions.
 pub use cast_workload::{AppKind, Job, JobId, WorkloadSpec};
+
+// Observability: attach a recording `Collector` via `Cast::observe` (or
+// any layer's `*_observed` / `.observe(..)` entry point), then drain its
+// trace into a `TraceSink` and snapshot its metrics.
+pub use cast_obs::{Collector, MetricsSnapshot, TraceSink};

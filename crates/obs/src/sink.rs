@@ -1,0 +1,73 @@
+//! Trace drains: where recorded events go when a run finishes.
+//!
+//! The on-disk format is newline-delimited JSON (NDJSON): one
+//! [`TraceEvent`] per line, in emission order. The format round-trips
+//! exactly through the vendored serde shim ([`parse_ndjson`] recovers the
+//! same events that were written).
+
+use std::io::{self, Write};
+
+use crate::event::TraceEvent;
+
+/// A destination for trace events.
+pub trait TraceSink {
+    /// Record one event. Called in emission order.
+    fn record(&mut self, event: &TraceEvent) -> io::Result<()>;
+}
+
+/// A [`TraceSink`] writing one JSON object per line to any [`Write`].
+pub struct NdjsonWriter<W: Write> {
+    out: W,
+}
+
+impl<W: Write> NdjsonWriter<W> {
+    /// Wrap a writer.
+    pub fn new(out: W) -> Self {
+        NdjsonWriter { out }
+    }
+
+    /// Flush and return the inner writer.
+    pub fn into_inner(mut self) -> io::Result<W> {
+        self.out.flush()?;
+        Ok(self.out)
+    }
+}
+
+impl<W: Write> TraceSink for NdjsonWriter<W> {
+    fn record(&mut self, event: &TraceEvent) -> io::Result<()> {
+        let line = serde_json::to_string(event).map_err(io::Error::other)?;
+        writeln!(self.out, "{line}")
+    }
+}
+
+/// An in-memory [`TraceSink`] that keeps owned copies of every event.
+#[derive(Default)]
+pub struct VecSink {
+    /// Events recorded so far, in emission order.
+    pub events: Vec<TraceEvent>,
+}
+
+impl TraceSink for VecSink {
+    fn record(&mut self, event: &TraceEvent) -> io::Result<()> {
+        self.events.push(event.clone());
+        Ok(())
+    }
+}
+
+/// Serialize `events` as NDJSON into a string.
+pub fn to_ndjson(events: &[TraceEvent]) -> String {
+    let mut out = String::new();
+    for event in events {
+        out.push_str(&serde_json::to_string(event).expect("trace events always serialize"));
+        out.push('\n');
+    }
+    out
+}
+
+/// Parse an NDJSON trace back into events. Blank lines are skipped.
+pub fn parse_ndjson(text: &str) -> Result<Vec<TraceEvent>, String> {
+    text.lines()
+        .filter(|line| !line.trim().is_empty())
+        .map(|line| serde_json::from_str::<TraceEvent>(line).map_err(|e| e.to_string()))
+        .collect()
+}

@@ -33,6 +33,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use cast_obs::{Collector, Counter, EventBody, Histogram};
 use cast_workload::job::JobId;
 
 use crate::config::{Concurrency, SimConfig};
@@ -52,6 +53,67 @@ const EPS: f64 = 1e-9;
 const BACKUP_BIT: u64 = 1 << 63;
 /// Cap on consecutive simulated object-store request retries per stage.
 const MAX_OBJ_RETRIES: u32 = 16;
+/// Engine steps between tier-contention samples on a recording collector.
+const CONTENTION_STRIDE: u64 = 32;
+
+/// Observability handles, resolved once at engine construction so the hot
+/// loop never touches the registry. With a no-op collector every operation
+/// is a single branch; none of them feed back into the simulation.
+struct SimObs {
+    col: Collector,
+    started: Counter,
+    finished: Counter,
+    failed: Counter,
+    retried: Counter,
+    speculated: Counter,
+    killed: Counter,
+    steps: Counter,
+    fault_edges: Counter,
+    wave_tasks: Histogram,
+}
+
+impl SimObs {
+    fn new(col: Collector) -> SimObs {
+        SimObs {
+            started: col.counter("sim.tasks.started"),
+            finished: col.counter("sim.tasks.finished"),
+            failed: col.counter("sim.tasks.failed"),
+            retried: col.counter("sim.tasks.retried"),
+            speculated: col.counter("sim.tasks.speculated"),
+            killed: col.counter("sim.tasks.killed"),
+            steps: col.counter("sim.steps"),
+            fault_edges: col.counter("sim.fault.edges"),
+            wave_tasks: col.histogram(
+                "sim.wave_tasks",
+                &[1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0],
+            ),
+            col,
+        }
+    }
+
+    fn task_counter(&self, kind: TaskEventKind) -> &Counter {
+        match kind {
+            TaskEventKind::Started => &self.started,
+            TaskEventKind::Finished => &self.finished,
+            TaskEventKind::Failed => &self.failed,
+            TaskEventKind::Retried => &self.retried,
+            TaskEventKind::Speculated => &self.speculated,
+            TaskEventKind::Killed => &self.killed,
+        }
+    }
+}
+
+/// Span-taxonomy label of a task-lifecycle edge.
+fn task_kind_label(kind: TaskEventKind) -> &'static str {
+    match kind {
+        TaskEventKind::Started => "started",
+        TaskEventKind::Finished => "finished",
+        TaskEventKind::Failed => "failed",
+        TaskEventKind::Retried => "retried",
+        TaskEventKind::Speculated => "speculated",
+        TaskEventKind::Killed => "killed",
+    }
+}
 
 /// A scheduled point where the fault plan changes the cluster.
 #[derive(Debug, Clone, Copy)]
@@ -145,12 +207,21 @@ pub struct Engine<'a> {
     dispatch_cursor: usize,
     trace: Option<Trace>,
     fault: FaultState,
+    obs: SimObs,
+    steps_done: u64,
 }
 
 impl<'a> Engine<'a> {
     /// Build an engine over prepared job runs. `jobs` must be ordered so
     /// that every dependency index is smaller than the dependent's index.
     pub fn new(cfg: &'a SimConfig, jobs: Vec<JobRun>) -> Engine<'a> {
+        Engine::observed(cfg, jobs, Collector::noop())
+    }
+
+    /// [`Engine::new`] with an observability collector attached. The
+    /// collector only records what the engine already computes; results
+    /// are bit-identical to an unobserved run.
+    pub fn observed(cfg: &'a SimConfig, jobs: Vec<JobRun>, collector: Collector) -> Engine<'a> {
         let fault = FaultState::new(cfg, jobs.len());
         Engine {
             reg: ShareRegistry::new(cfg),
@@ -163,6 +234,8 @@ impl<'a> Engine<'a> {
             dispatch_cursor: 0,
             trace: cfg.collect_trace.then(Trace::default),
             fault,
+            obs: SimObs::new(collector),
+            steps_done: 0,
             cfg,
         }
     }
@@ -258,7 +331,44 @@ impl<'a> Engine<'a> {
             }
             let job = &mut self.jobs[i];
             job.submitted = self.clock;
-            job.advance_phase(self.clock, self.cfg);
+            let phase = job.advance_phase(self.clock, self.cfg);
+            if self.obs.col.enabled() {
+                let name = self.jobs[i].job.app.name().to_string();
+                self.obs.col.emit(
+                    self.clock,
+                    EventBody::JobStart {
+                        job: i as u32,
+                        name,
+                    },
+                );
+                self.emit_phase(i, phase);
+            }
+        }
+    }
+
+    /// Emit the trace edge for job `i` entering `phase` (including the
+    /// terminal `Done`, which closes the job span).
+    fn emit_phase(&self, i: usize, phase: JobPhase) {
+        if !self.obs.col.enabled() {
+            return;
+        }
+        if phase == JobPhase::Done {
+            let makespan = self.jobs[i].finished - self.jobs[i].submitted;
+            self.obs.col.emit(
+                self.clock,
+                EventBody::JobEnd {
+                    job: i as u32,
+                    makespan,
+                },
+            );
+        } else {
+            self.obs.col.emit(
+                self.clock,
+                EventBody::Phase {
+                    job: i as u32,
+                    phase: phase.name().to_string(),
+                },
+            );
         }
     }
 
@@ -267,6 +377,7 @@ impl<'a> Engine<'a> {
         let n = self.jobs.len();
         for off in 0..n {
             let i = (self.dispatch_cursor + off) % n;
+            let mut launched: u32 = 0;
             while let Some(tmpl) = self.jobs[i].pending.front() {
                 if matches!(self.jobs[i].phase, JobPhase::Waiting | JobPhase::Done) {
                     break;
@@ -294,6 +405,20 @@ impl<'a> Engine<'a> {
                 }
                 self.tasks.push(task);
                 self.jobs[i].active += 1;
+                launched += 1;
+            }
+            if launched > 0 {
+                self.obs.wave_tasks.record(f64::from(launched));
+                if self.obs.col.enabled() {
+                    self.obs.col.emit(
+                        self.clock,
+                        EventBody::Wave {
+                            job: i as u32,
+                            phase: self.jobs[i].phase.name().to_string(),
+                            tasks: launched,
+                        },
+                    );
+                }
             }
         }
         self.dispatch_cursor = (self.dispatch_cursor + 1) % n.max(1);
@@ -485,6 +610,21 @@ impl<'a> Engine<'a> {
                 break;
             }
             self.fault.next_event += 1;
+            self.obs.fault_edges.inc();
+            if self.obs.col.enabled() {
+                let (kind, vm) = match ev.kind {
+                    FaultEventKind::Crash(vm) => ("crash", vm),
+                    FaultEventKind::Recover(vm) => ("recover", vm),
+                    FaultEventKind::DegradationEdge => ("degradation", u32::MAX),
+                };
+                self.obs.col.emit(
+                    self.clock,
+                    EventBody::Fault {
+                        kind: kind.to_string(),
+                        vm,
+                    },
+                );
+            }
             match ev.kind {
                 FaultEventKind::Crash(vm) => self.crash_vm(vm as usize),
                 FaultEventKind::Recover(vm) => self.fault.crashed[vm as usize] = false,
@@ -604,6 +744,17 @@ impl<'a> Engine<'a> {
                 kind,
             });
         }
+        self.obs.task_counter(kind).inc();
+        if self.obs.col.enabled() {
+            self.obs.col.emit(
+                self.clock,
+                EventBody::Task {
+                    job: job as u32,
+                    vm,
+                    kind: task_kind_label(kind).to_string(),
+                },
+            );
+        }
     }
 
     fn release_slot(&mut self, vm: usize, slot: SlotKind) {
@@ -623,6 +774,23 @@ impl<'a> Engine<'a> {
             if let Some(s) = t.current() {
                 if !s.is_latent() && s.units_remaining > EPS {
                     s.register(&mut self.reg);
+                }
+            }
+        }
+        self.obs.steps.inc();
+        self.steps_done += 1;
+        if self.obs.col.enabled() && self.steps_done % CONTENTION_STRIDE == 1 {
+            for tier in cast_cloud::tier::Tier::ALL {
+                let (demand, capacity) = self.reg.tier_totals(tier);
+                if demand > 0.0 {
+                    self.obs.col.emit(
+                        self.clock,
+                        EventBody::Contention {
+                            tier: tier.name().to_string(),
+                            demand,
+                            capacity,
+                        },
+                    );
                 }
             }
         }
@@ -729,10 +897,12 @@ impl<'a> Engine<'a> {
             }
         }
         // Advance any job whose phase fully drained this step.
-        for job in &mut self.jobs {
+        for i in 0..self.jobs.len() {
+            let job = &mut self.jobs[i];
             if job.phase != JobPhase::Waiting && job.phase != JobPhase::Done && job.phase_drained()
             {
-                job.advance_phase(self.clock, self.cfg);
+                let phase = job.advance_phase(self.clock, self.cfg);
+                self.emit_phase(i, phase);
             }
         }
         Ok(())

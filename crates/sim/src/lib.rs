@@ -57,4 +57,4 @@ pub use error::SimError;
 pub use fault::{DegradationWindow, FaultPlan, VmCrash};
 pub use metrics::{FaultSummary, JobMetrics, SimReport};
 pub use placement::{JobPlacement, PlacementMap, SplitPlacement};
-pub use runner::simulate;
+pub use runner::{simulate, simulate_observed};

@@ -161,6 +161,21 @@ impl ShareRegistry {
     pub fn load(&self, key: ResKey) -> f64 {
         self.load[self.index(key)]
     }
+
+    /// Cluster-wide `(demand, capacity)` for `tier`, summed over every
+    /// VM's volume of that tier (the cluster-global object-store ceiling
+    /// is a separate resource and not included). Used for observability
+    /// contention samples; never consulted by the rate computation.
+    pub fn tier_totals(&self, tier: Tier) -> (f64, f64) {
+        let s = slot(ResKind::Volume(tier));
+        let mut demand = 0.0;
+        let mut cap = 0.0;
+        for vm in 0..self.nvm() {
+            demand += self.load[vm * SLOTS_PER_VM + s];
+            cap += self.caps[vm * SLOTS_PER_VM + s];
+        }
+        (demand, cap)
+    }
 }
 
 #[cfg(test)]

@@ -29,6 +29,18 @@ pub fn simulate(
     placements: &PlacementMap,
     cfg: &SimConfig,
 ) -> Result<SimReport, SimError> {
+    simulate_observed(spec, placements, cfg, &cast_obs::Collector::noop())
+}
+
+/// [`simulate`] with an observability collector attached: the engine
+/// records job/phase/wave/task spans, tier-contention samples and fault
+/// edges into `collector`. The report is bit-identical to [`simulate`]'s.
+pub fn simulate_observed(
+    spec: &WorkloadSpec,
+    placements: &PlacementMap,
+    cfg: &SimConfig,
+    collector: &cast_obs::Collector,
+) -> Result<SimReport, SimError> {
     spec.validate()?;
     let order = execution_order(spec);
     let index_of: HashMap<JobId, usize> =
@@ -90,7 +102,7 @@ pub fn simulate(
         let profile = *spec.profiles.get(job.app);
         runs.push(JobRun::new(job, placement, profile, deps));
     }
-    Engine::new(cfg, runs).run()
+    Engine::observed(cfg, runs, collector.clone()).run()
 }
 
 /// Topological execution order: independent jobs in id order, workflow

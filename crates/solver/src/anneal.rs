@@ -20,6 +20,7 @@
 //!   seed; the winner is chosen by `(score, seed)` so the result is
 //!   machine-independent and identical to running the chains one by one.
 
+use cast_obs::{Collector, EventBody};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -106,6 +107,10 @@ struct ChainResult<P> {
     score: f64,
     seed: u64,
     diagnostics: SolveDiagnostics,
+    /// Trace events buffered chain-locally as `(iteration, body)` pairs,
+    /// flushed into the collector in restart order after the join so the
+    /// recorded stream is independent of thread scheduling.
+    events: Vec<(f64, EventBody)>,
 }
 
 /// Best-of-N selection rule: highest score; ties broken by smallest seed
@@ -131,12 +136,25 @@ fn pick_best<P>(
 #[derive(Debug, Clone)]
 pub struct Annealer {
     cfg: AnnealConfig,
+    obs: Collector,
 }
 
 impl Annealer {
-    /// Create with the given parameters.
+    /// Create with the given parameters (no observability).
     pub fn new(cfg: AnnealConfig) -> Annealer {
-        Annealer { cfg }
+        Annealer {
+            cfg,
+            obs: Collector::noop(),
+        }
+    }
+
+    /// Attach an observability collector: solves record restart / epoch /
+    /// move spans plus acceptance and cache counters into it. Emission
+    /// never touches the RNG stream or the scoring arithmetic, so results
+    /// are bit-identical to an unobserved solve.
+    pub fn observe(mut self, collector: Collector) -> Annealer {
+        self.obs = collector;
+        self
     }
 
     /// Maximise tenant utility starting from `init` (Algorithm 2).
@@ -166,16 +184,17 @@ impl Annealer {
         let gen = NeighborGen::new(jobs, groups);
 
         let restarts = self.cfg.restarts.max(1);
-        let run = |seed: u64| self.chain_incremental(ctx, &init, &gen, seed);
-        let chains: Vec<Result<ChainResult<Vec<Assignment>>, SolverError>> = if restarts == 1 {
-            vec![run(self.cfg.seed)]
+        let t0 = std::time::Instant::now();
+        let run = |r: usize, seed: u64| self.chain_incremental(ctx, &init, &gen, r, seed);
+        let mut chains: Vec<Result<ChainResult<Vec<Assignment>>, SolverError>> = if restarts == 1 {
+            vec![run(0, self.cfg.seed)]
         } else {
             std::thread::scope(|s| {
                 let handles: Vec<_> = (0..restarts)
                     .map(|r| {
                         let run = &run;
                         let seed = restart_seed(self.cfg.seed, r);
-                        s.spawn(move || run(seed))
+                        s.spawn(move || run(r, seed))
                     })
                     .collect();
                 handles
@@ -184,6 +203,7 @@ impl Annealer {
                     .collect()
             })
         };
+        self.observe_chains(&mut chains, t0.elapsed().as_secs_f64());
         let winner = pick_best(chains)?;
         let plan = plan_from_assignments(ctx, &winner.best);
         let eval = evaluate(&plan, ctx)?;
@@ -202,6 +222,7 @@ impl Annealer {
         ctx: &EvalContext<'_>,
         init: &TieringPlan,
         gen: &NeighborGen,
+        restart: usize,
         seed: u64,
     ) -> Result<ChainResult<Vec<Assignment>>, SolverError> {
         let mut state = IncrementalEval::new(ctx, init)?;
@@ -219,6 +240,7 @@ impl Annealer {
             restarts: self.cfg.restarts.max(1),
             ..SolveDiagnostics::default()
         };
+        let mut events = ChainEvents::new(&self.obs, restart, seed);
         let mut temp = self.cfg.temp_init;
         let mut moves: Vec<(cast_workload::JobId, Assignment)> = Vec::new();
         let mut undo: Vec<(cast_workload::JobId, Assignment)> = Vec::new();
@@ -235,7 +257,8 @@ impl Annealer {
                 best_score = n_score;
                 diag.improvements += 1;
             }
-            if metropolis(n_score, current_score, scale, temp, &mut rng, &mut diag) {
+            let accepted = metropolis(n_score, current_score, scale, temp, &mut rng, &mut diag);
+            if accepted {
                 current_score = n_score;
                 diag.accepted += 1;
             } else {
@@ -243,13 +266,24 @@ impl Annealer {
             }
             if iter % diag.trace_stride == 0 {
                 diag.trace.push(best_score);
+                events.sample(iter, n_score, best_score, temp, accepted, &diag);
             }
         }
         diag.best_score = best_score;
+        let cache = state.cache_stats();
+        self.obs
+            .counter("solver.cache.ledger_hits")
+            .add(cache.ledger_hits);
+        self.obs
+            .counter("solver.cache.memo_hits")
+            .add(cache.memo_hits);
+        self.obs.counter("solver.cache.bw_hits").add(cache.bw_hits);
+        self.obs.counter("solver.cache.misses").add(cache.misses);
         Ok(ChainResult {
             best,
             score: best_score,
             seed,
+            events: events.finish(best_score, &diag, &self.obs),
             diagnostics: diag,
         })
     }
@@ -272,16 +306,18 @@ impl Annealer {
         S: Fn(&TieringPlan) -> Result<f64, SolverError> + Sync,
     {
         let restarts = self.cfg.restarts.max(1);
-        let run = |seed: u64| self.chain_plan(init.clone(), gen, &score, cursor_order, seed);
-        let chains: Vec<Result<ChainResult<TieringPlan>, SolverError>> = if restarts == 1 {
-            vec![run(self.cfg.seed)]
+        let t0 = std::time::Instant::now();
+        let run =
+            |r: usize, seed: u64| self.chain_plan(init.clone(), gen, &score, cursor_order, r, seed);
+        let mut chains: Vec<Result<ChainResult<TieringPlan>, SolverError>> = if restarts == 1 {
+            vec![run(0, self.cfg.seed)]
         } else {
             std::thread::scope(|s| {
                 let handles: Vec<_> = (0..restarts)
                     .map(|r| {
                         let run = &run;
                         let seed = restart_seed(self.cfg.seed, r);
-                        s.spawn(move || run(seed))
+                        s.spawn(move || run(r, seed))
                     })
                     .collect();
                 handles
@@ -290,6 +326,7 @@ impl Annealer {
                     .collect()
             })
         };
+        self.observe_chains(&mut chains, t0.elapsed().as_secs_f64());
         let winner = pick_best(chains)?;
         Ok(SearchOutcome {
             plan: winner.best,
@@ -306,6 +343,7 @@ impl Annealer {
         gen: &NeighborGen,
         score: &S,
         cursor_order: Option<&[usize]>,
+        restart: usize,
         seed: u64,
     ) -> Result<ChainResult<TieringPlan>, SolverError>
     where
@@ -328,6 +366,7 @@ impl Annealer {
             restarts: self.cfg.restarts.max(1),
             ..SolveDiagnostics::default()
         };
+        let mut events = ChainEvents::new(&self.obs, restart, seed);
         let mut temp = self.cfg.temp_init;
         let mut moves: Vec<(cast_workload::JobId, Assignment)> = Vec::new();
         let mut undo: Vec<(cast_workload::JobId, Assignment)> = Vec::new();
@@ -350,7 +389,8 @@ impl Annealer {
                 best_score = n_score;
                 diag.improvements += 1;
             }
-            if metropolis(n_score, current_score, scale, temp, &mut rng, &mut diag) {
+            let accepted = metropolis(n_score, current_score, scale, temp, &mut rng, &mut diag);
+            if accepted {
                 current_score = n_score;
                 diag.accepted += 1;
             } else {
@@ -360,6 +400,7 @@ impl Annealer {
             }
             if iter % diag.trace_stride == 0 {
                 diag.trace.push(best_score);
+                events.sample(iter, n_score, best_score, temp, accepted, &diag);
             }
         }
         diag.best_score = best_score;
@@ -371,8 +412,142 @@ impl Annealer {
             best,
             score: best_score,
             seed,
+            events: events.finish(best_score, &diag, &self.obs),
             diagnostics: diag,
         })
+    }
+
+    /// Flush the chains' buffered trace events into the collector in
+    /// restart order (the `chains` vec is indexed by restart), then set
+    /// the run-level gauges. Called once after all chains have joined, so
+    /// the recorded stream — and the metrics snapshot minus `.wall`
+    /// entries — is identical no matter how the scheduler interleaved the
+    /// worker threads.
+    fn observe_chains<P>(&self, chains: &mut [Result<ChainResult<P>, SolverError>], elapsed: f64) {
+        if !self.obs.enabled() {
+            return;
+        }
+        let mut moves_total: u64 = 0;
+        let mut scores: Vec<f64> = Vec::with_capacity(chains.len());
+        for chain in chains.iter_mut().flatten() {
+            self.obs.emit_batch(std::mem::take(&mut chain.events));
+            moves_total += chain.diagnostics.iterations as u64;
+            scores.push(chain.score);
+        }
+        if elapsed > 0.0 {
+            self.obs
+                .gauge("anneal.moves_per_sec.wall")
+                .set(moves_total as f64 / elapsed);
+        }
+        if scores.len() > 1 {
+            scores.sort_by(|a, b| b.total_cmp(a));
+            self.obs
+                .gauge("anneal.restart_win_margin")
+                .set(scores[0] - scores[1]);
+        }
+    }
+}
+
+/// Per-chain trace buffer. Events are appended locally while the chain
+/// runs (possibly on a worker thread) and handed back through
+/// [`ChainResult::events`]; [`Annealer::observe_chains`] flushes them in
+/// restart order. All methods are no-ops when the collector is disabled.
+struct ChainEvents {
+    buf: Vec<(f64, EventBody)>,
+    restart: u32,
+    enabled: bool,
+}
+
+impl ChainEvents {
+    fn new(obs: &Collector, restart: usize, seed: u64) -> ChainEvents {
+        let enabled = obs.enabled();
+        let mut buf = Vec::new();
+        if enabled {
+            buf.push((
+                0.0,
+                EventBody::RestartStart {
+                    restart: restart as u32,
+                    // Stored as the i64 bit pattern: the vendored serde
+                    // shim keeps all JSON integers as i64, so a raw u64
+                    // above i64::MAX would not round-trip.
+                    seed: seed as i64,
+                },
+            ));
+        }
+        ChainEvents {
+            buf,
+            restart: restart as u32,
+            enabled,
+        }
+    }
+
+    /// Record one trace-stride sample: the move that landed on the stride
+    /// boundary plus an epoch summary of the chain so far.
+    fn sample(
+        &mut self,
+        iter: usize,
+        score: f64,
+        best: f64,
+        temp: f64,
+        accepted: bool,
+        diag: &SolveDiagnostics,
+    ) {
+        if !self.enabled {
+            return;
+        }
+        let t = iter as f64;
+        self.buf.push((
+            t,
+            EventBody::Move {
+                restart: self.restart,
+                iter: iter as u64,
+                score,
+                best,
+                temp,
+                accepted,
+            },
+        ));
+        self.buf.push((
+            t,
+            EventBody::Epoch {
+                restart: self.restart,
+                iter: iter as u64,
+                best,
+                temp,
+                accepted: diag.accepted as u64,
+                uphill: diag.uphill_accepted as u64,
+            },
+        ));
+    }
+
+    /// Close the chain: append its `RestartEnd` event and roll the chain's
+    /// acceptance statistics into the shared counters (atomic adds
+    /// commute, so totals are deterministic across thread schedules).
+    fn finish(
+        mut self,
+        best_score: f64,
+        diag: &SolveDiagnostics,
+        obs: &Collector,
+    ) -> Vec<(f64, EventBody)> {
+        if !self.enabled {
+            return self.buf;
+        }
+        self.buf.push((
+            diag.iterations as f64,
+            EventBody::RestartEnd {
+                restart: self.restart,
+                score: best_score,
+                iterations: diag.iterations as u64,
+                accepted: diag.accepted as u64,
+            },
+        ));
+        obs.counter("anneal.moves").add(diag.iterations as u64);
+        obs.counter("anneal.accepted").add(diag.accepted as u64);
+        obs.counter("anneal.uphill_accepted")
+            .add(diag.uphill_accepted as u64);
+        obs.counter("anneal.improvements")
+            .add(diag.improvements as u64);
+        self.buf
     }
 }
 

@@ -83,12 +83,23 @@ pub struct CastPlusPlusOutcome {
 #[derive(Debug, Clone)]
 pub struct CastPlusPlus {
     cfg: CastPlusPlusConfig,
+    obs: cast_obs::Collector,
 }
 
 impl CastPlusPlus {
     /// Create with the given parameters.
     pub fn new(cfg: CastPlusPlusConfig) -> CastPlusPlus {
-        CastPlusPlus { cfg }
+        CastPlusPlus {
+            cfg,
+            obs: cast_obs::Collector::noop(),
+        }
+    }
+
+    /// Attach an observability collector, forwarded to the utility and
+    /// per-workflow annealers. Results stay bit-identical.
+    pub fn observe(mut self, collector: cast_obs::Collector) -> CastPlusPlus {
+        self.obs = collector;
+        self
     }
 
     /// Run the full CAST++ pipeline over `ctx.spec`.
@@ -108,7 +119,9 @@ impl CastPlusPlus {
             }
         }
         let init = init.expect("non-empty candidate set").1;
-        let utility_out = Annealer::new(self.cfg.utility_anneal).solve(&ctx, init)?;
+        let utility_out = Annealer::new(self.cfg.utility_anneal)
+            .observe(self.obs.clone())
+            .solve(&ctx, init)?;
         let mut plan = utility_out.plan;
 
         // Phase 2: re-optimise each workflow for cost-under-deadline,
@@ -147,7 +160,7 @@ impl CastPlusPlus {
         let cursor: Vec<usize> = (0..dfs.len()).collect();
         let jobs: Vec<JobId> = dfs;
         let gen = NeighborGen::new(jobs, Vec::new());
-        let annealer = Annealer::new(self.cfg.workflow_anneal);
+        let annealer = Annealer::new(self.cfg.workflow_anneal).observe(self.obs.clone());
         let planning_deadline = wf.deadline * self.cfg.deadline_margin;
         // Score-only closure: the annealer materialises nothing per
         // neighbour; callers needing a full evaluation run it once on the

@@ -51,6 +51,32 @@ use crate::error::SolverError;
 use crate::objective::{provision_round, EvalContext};
 use crate::plan::{Assignment, TieringPlan};
 
+/// Cache-effectiveness counters for one [`IncrementalEval`] lifetime.
+///
+/// Kept as plain integers (no atomics, no collector indirection) because a
+/// rescore touches one of them per job; the annealer rolls them up into
+/// its observability counters once per chain.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Job rescored at an unchanged `(tier, capacity)` key — no cache
+    /// scan, no estimator work.
+    pub ledger_hits: u64,
+    /// Runtime found in the `(job class, tier)` memo row.
+    pub memo_hits: u64,
+    /// Memo miss whose spline bandwidths were still shared via the
+    /// per-application bandwidth memo (only phase arithmetic re-ran).
+    pub bw_hits: u64,
+    /// Full miss: spline evaluation plus phase arithmetic.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Total lookups observed.
+    pub fn lookups(&self) -> u64 {
+        self.ledger_hits + self.memo_hits + self.bw_hits + self.misses
+    }
+}
+
 /// Ledger key: the inputs that determine one job's `REG` runtime.
 type TimeKey = (u8, u64);
 
@@ -100,6 +126,8 @@ pub struct IncrementalEval<'a> {
     /// capacity point, classes sharing an application still share the
     /// spline evaluation and only re-run the phase arithmetic.
     bw_memo: Vec<[Vec<(u64, PhaseBw)>; 4]>,
+    /// Hit/miss tallies across the three cache levels.
+    stats: CacheStats,
 }
 
 /// Entries kept per `(job class, tier)` memo row. Eviction only costs a
@@ -199,6 +227,7 @@ impl<'a> IncrementalEval<'a> {
             ledger: vec![Duration::ZERO; n],
             memo: vec![Default::default(); class_of.len()],
             bw_memo: vec![Default::default(); apps.len()],
+            stats: CacheStats::default(),
             class,
             class_app,
             clamp,
@@ -308,11 +337,13 @@ impl<'a> IncrementalEval<'a> {
             let bits = per_vm[ti].clamp(lo, hi).to_bits();
             let key: TimeKey = (ti as u8, bits);
             let t = if self.ledger_key[i] == key {
+                self.stats.ledger_hits += 1;
                 self.ledger[i]
             } else {
                 let row = &mut self.memo[cls][ti];
                 let t = match row.iter().position(|&(c, _)| c == bits) {
                     Some(pos) => {
+                        self.stats.memo_hits += 1;
                         // Transpose-to-front: hot capacity points stay at
                         // the head of the scan.
                         row.swap(0, pos);
@@ -322,10 +353,12 @@ impl<'a> IncrementalEval<'a> {
                         let bw_row = &mut self.bw_memo[self.class_app[cls]][ti];
                         let bw = match bw_row.iter().position(|&(c, _)| c == bits) {
                             Some(pos) => {
+                                self.stats.bw_hits += 1;
                                 bw_row.swap(0, pos);
                                 bw_row[0].1
                             }
                             None => {
+                                self.stats.misses += 1;
                                 let bw = est.matrix.bandwidths(job.app, a.tier, per_vm[ti])?;
                                 if bw_row.len() >= MEMO_ROW_CAP {
                                     bw_row.pop();
@@ -360,6 +393,11 @@ impl<'a> IncrementalEval<'a> {
     /// Materialise the current assignments as a [`TieringPlan`].
     pub fn to_plan(&self) -> TieringPlan {
         plan_from_assignments(self.ctx, &self.assignments)
+    }
+
+    /// Hit/miss tallies accumulated across every [`Self::score`] call.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.stats
     }
 
     /// Number of distinct `(job, tier, capacity)` points evaluated so far

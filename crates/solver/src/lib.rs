@@ -41,6 +41,6 @@ pub use cooling::Cooling;
 pub use diagnostics::SolveDiagnostics;
 pub use error::SolverError;
 pub use greedy::{greedy_plan, GreedyMode};
-pub use incremental::IncrementalEval;
+pub use incremental::{CacheStats, IncrementalEval};
 pub use objective::{evaluate, EvalContext, PlanEval};
 pub use plan::{Assignment, TieringPlan};

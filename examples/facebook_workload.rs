@@ -41,12 +41,12 @@ fn main() {
         let out = framework.deploy(&spec, &planned.plan).expect("deployment");
         println!(
             "{:<18}  {:>9}  {:>8}   {:.3e}",
-            strategy.name(),
+            strategy.label(),
             format!("{}", out.makespan),
             format!("{}", out.cost.total()),
             out.utility
         );
-        utilities.push((strategy.name(), out.utility));
+        utilities.push((strategy.label(), out.utility));
     }
 
     let baseline = utilities[0].1;

@@ -59,7 +59,7 @@ fn main() {
         let planned = framework.plan(&spec, strategy).expect("planning");
         println!(
             "{:<18}  {:>10}   {:>9}   {:.3e}",
-            strategy.name(),
+            strategy.label(),
             format!("{}", planned.eval.time),
             format!("{}", planned.eval.cost.total()),
             planned.eval.utility
@@ -83,7 +83,7 @@ fn main() {
     }
     let outcome = framework.deploy(&spec, &planned.plan).expect("deployment");
     let report = cast::core::DeploymentReport {
-        strategy: PlanStrategy::CastPlusPlus.name(),
+        strategy: PlanStrategy::CastPlusPlus.label().to_string(),
         predicted: planned.eval,
         observed: outcome,
     };

@@ -174,7 +174,7 @@ fn cmd_plan(args: &[String]) -> ExitCode {
     };
     eprintln!(
         "[{}] estimated completion {} at {} (utility {:.3e})",
-        strategy.name(),
+        strategy.label(),
         planned.eval.time,
         planned.eval.cost.total(),
         planned.eval.utility

@@ -11,11 +11,11 @@ fn every_strategy_plans_and_deploys() {
     let spec = mixed_spec();
     for strategy in PlanStrategy::ALL {
         let planned = framework.plan(&spec, strategy).expect("planning");
-        assert_eq!(planned.plan.len(), spec.jobs.len(), "{}", strategy.name());
+        assert_eq!(planned.plan.len(), spec.jobs.len(), "{}", strategy.label());
         let out = framework.deploy(&spec, &planned.plan).expect("deployment");
         assert_eq!(out.report.jobs.len(), spec.jobs.len());
         assert!(out.makespan.secs() > 0.0);
-        assert!(out.utility > 0.0, "{}", strategy.name());
+        assert!(out.utility > 0.0, "{}", strategy.label());
     }
 }
 
@@ -37,7 +37,7 @@ fn cast_estimated_utility_dominates_every_baseline() {
             cast.eval.utility >= other.eval.utility - 1e-15,
             "CAST ({:.3e}) must dominate {} ({:.3e}) in its own estimates",
             cast.eval.utility,
-            strategy.name(),
+            strategy.label(),
             other.eval.utility
         );
     }
@@ -58,7 +58,7 @@ fn predictions_track_deployments() {
         assert!(
             err < 0.35,
             "{}: predicted {} vs observed {} ({:.0}% off)",
-            strategy.name(),
+            strategy.label(),
             planned.eval.time,
             out.makespan,
             err * 100.0
