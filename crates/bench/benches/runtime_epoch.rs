@@ -1,0 +1,141 @@
+//! Criterion benchmarks for the online runtime's replan step.
+//!
+//! One epoch of [`cast_runtime::OnlineRuntime`]'s loop boils down to a
+//! single solver call on the new batch: either a cold `solve` from the
+//! ingest fallback or a warm `resume_from` seeded with the incumbent
+//! plan projected through the per-app ingest rule. This bench times
+//! both on the same drifted next-epoch batch, and the setup additionally
+//! pins the acceptance claim behind warm-starting: the warm chain
+//! reaches incumbent-or-better quality in measurably fewer moves than
+//! the cold chain.
+
+use std::collections::HashMap;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use cast_cloud::tier::Tier;
+use cast_cloud::units::Duration;
+use cast_estimator::Estimator;
+use cast_runtime::{ingest_plan, majority_tiers};
+use cast_solver::{AnnealConfig, Annealer, EvalContext, TieringPlan, WarmStart};
+use cast_workload::arrival::{assemble_spec, generate, ArrivalConfig, ArrivalProcess};
+use cast_workload::{AppKind, DriftConfig, WorkloadSpec};
+
+const STREAM_SEED: u64 = 0xCA57_D21F;
+const SOLVER_SEED: u64 = 0xCA57_0711;
+
+struct Epochs {
+    estimator: Estimator,
+    /// The new batch the runtime replans for.
+    spec_b: WorkloadSpec,
+    /// Warm start: the incumbent plan projected onto the new batch.
+    warm_init: TieringPlan,
+    /// Cold start: every job on the ingest fallback tier.
+    cold_init: TieringPlan,
+}
+
+/// Two consecutive half-hour windows of a drifting stream; the first is
+/// solved to convergence to produce the incumbent ingest rule.
+fn setup() -> Epochs {
+    let stream = generate(&ArrivalConfig {
+        seed: STREAM_SEED,
+        horizon: Duration::from_hours(2.0),
+        process: ArrivalProcess::Bursty {
+            jobs_per_hour: 24.0,
+            burst_factor: 2.0,
+            period: Duration::from_mins(60.0),
+            duty: 0.4,
+        },
+        drift: DriftConfig {
+            app_shift: 0.6,
+            size_growth: 0.8,
+        },
+        workflow_fraction: 0.0,
+        max_bin: 3,
+    })
+    .expect("arrival synthesis");
+    let half = Duration::from_mins(30.0);
+    let spec_a = assemble_spec(stream.window(half * 2.0, half * 3.0));
+    let spec_b = assemble_spec(stream.window(half * 3.0, half * 4.0));
+    let estimator = cast_bench::paper_estimator();
+
+    let ctx_a = EvalContext::new(&estimator, &spec_a).with_reuse_awareness();
+    let none: HashMap<AppKind, Tier> = HashMap::new();
+    let incumbent = Annealer::new(anneal_cfg())
+        .solve(&ctx_a, ingest_plan(&spec_a, &none))
+        .expect("incumbent solve")
+        .plan;
+    let rule: HashMap<AppKind, Tier> = majority_tiers(&spec_a, &incumbent).into_iter().collect();
+
+    let warm_init = ingest_plan(&spec_b, &rule);
+    let cold_init = ingest_plan(&spec_b, &none);
+    Epochs {
+        estimator,
+        spec_b,
+        warm_init,
+        cold_init,
+    }
+}
+
+fn anneal_cfg() -> AnnealConfig {
+    AnnealConfig {
+        iterations: 3_000,
+        restarts: 1,
+        seed: SOLVER_SEED,
+        ..AnnealConfig::default()
+    }
+}
+
+fn bench_replan(c: &mut Criterion) {
+    let e = setup();
+    let ctx = EvalContext::new(&e.estimator, &e.spec_b).with_reuse_awareness();
+    let annealer = Annealer::new(anneal_cfg());
+    let warm = WarmStart::default();
+
+    // Pin the warm-start claim once, outside the timing loop. Both
+    // chains score on the same incremental-evaluation scale, so the
+    // cold chain's own converged best is a quality bar both can be
+    // measured against: the warm chain starts at (or above) incumbent
+    // quality and must get there in measurably fewer moves.
+    let warm_out = annealer
+        .resume_from(&ctx, e.warm_init.clone(), warm)
+        .expect("warm replan");
+    let cold_out = annealer
+        .solve(&ctx, e.cold_init.clone())
+        .expect("cold replan");
+    let target = cold_out.diagnostics.best_score;
+    let moves =
+        |d: &cast_solver::SolveDiagnostics| d.moves_to_reach(target).unwrap_or(d.iterations);
+    let (warm_moves, cold_moves) = (moves(&warm_out.diagnostics), moves(&cold_out.diagnostics));
+    eprintln!(
+        "replan to cold-converged quality {target:.4}: warm {warm_moves} moves \
+         (from {:.4}) vs cold {cold_moves} moves (from {:.4})",
+        warm_out.diagnostics.initial_score, cold_out.diagnostics.initial_score
+    );
+    assert!(
+        warm_moves < cold_moves,
+        "warm resume must reach incumbent-or-better in fewer moves \
+         ({warm_moves} vs {cold_moves})"
+    );
+
+    let mut group = c.benchmark_group("runtime/replan_epoch");
+    group.sample_size(10);
+    group.bench_function("cold_solve", |b| {
+        b.iter(|| {
+            annealer
+                .solve(&ctx, black_box(e.cold_init.clone()))
+                .expect("cold replan")
+        })
+    });
+    group.bench_function("warm_resume", |b| {
+        b.iter(|| {
+            annealer
+                .resume_from(&ctx, black_box(e.warm_init.clone()), warm)
+                .expect("warm replan")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_replan);
+criterion_main!(benches);

@@ -1,10 +1,15 @@
+//! Fault-injection sweep over the trimmed Fig. 7 workload.
+//!
+//! ```text
+//! cargo run --release -p cast-bench --bin fault_sweep [--trace-out [STEM]]
+//! ```
+
+use cast_bench::ExperimentIo;
+
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let trace = cast_bench::trace_out_arg(&args, "fault_sweep");
+    let io = ExperimentIo::from_args("fault_sweep");
     let table = cast_bench::experiments::fault_sweep::run();
     println!("{}", table.render());
-    cast_bench::save_json("fault_sweep", &table.to_json());
-    if let Some(stem) = trace {
-        cast_bench::dump_observations(&stem);
-    }
+    io.save_json("fault_sweep", &table.to_json());
+    io.finish();
 }

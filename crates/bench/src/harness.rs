@@ -145,6 +145,62 @@ pub fn trace_out_arg(args: &[String], default_stem: &str) -> Option<String> {
     Some(stem)
 }
 
+/// One experiment binary's I/O surface: flag parsing, the shared results
+/// directory, JSON persistence and the `--trace-out` lifecycle, unified
+/// so every binary (`all_experiments`, `fault_sweep`, `online_drift`, …)
+/// resolves paths and handles observability identically.
+///
+/// Construct it *first* in `main` — [`ExperimentIo::from_args`] installs
+/// the recording observer when `--trace-out` is present, which must
+/// happen before any experiment touches [`observer`]. Call
+/// [`ExperimentIo::finish`] last to flush the recorded trace.
+pub struct ExperimentIo {
+    args: Vec<String>,
+    trace_stem: Option<String>,
+}
+
+impl ExperimentIo {
+    /// Parse the process arguments; `default_stem` names the trace files
+    /// when `--trace-out` is passed without a value.
+    pub fn from_args(default_stem: &str) -> ExperimentIo {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let trace_stem = trace_out_arg(&args, default_stem);
+        ExperimentIo { args, trace_stem }
+    }
+
+    /// Whether a bare flag (e.g. `--smoke`) was passed.
+    pub fn flag(&self, flag: &str) -> bool {
+        self.args.iter().any(|a| a == flag)
+    }
+
+    /// The value following `flag`, when present and not itself a flag.
+    pub fn value_of(&self, flag: &str) -> Option<&str> {
+        let pos = self.args.iter().position(|a| a == flag)?;
+        self.args
+            .get(pos + 1)
+            .filter(|v| !v.starts_with('-'))
+            .map(String::as_str)
+    }
+
+    /// The shared results directory (see [`results_dir`]).
+    pub fn results_dir(&self) -> PathBuf {
+        results_dir()
+    }
+
+    /// Persist a JSON result under `results/<name>.json`.
+    pub fn save_json(&self, name: &str, value: &serde_json::Value) {
+        save_json(name, value);
+    }
+
+    /// Flush the recorded trace and metrics, when `--trace-out` was
+    /// given; no-op otherwise.
+    pub fn finish(&self) {
+        if let Some(stem) = &self.trace_stem {
+            dump_observations(stem);
+        }
+    }
+}
+
 /// The full framework bound to the paper cluster, recording into the
 /// process-wide [`observer`].
 pub fn paper_framework() -> Cast {

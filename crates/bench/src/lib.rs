@@ -12,7 +12,7 @@ pub mod harness;
 pub use format::{Cell, TableWriter};
 pub use harness::{
     dump_observations, fig1_cluster, install_observer, observer, paper_estimator, paper_framework,
-    results_dir, save_json, trace_out_arg,
+    results_dir, save_json, trace_out_arg, ExperimentIo,
 };
 
 pub mod experiments;

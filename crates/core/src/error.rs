@@ -10,6 +10,7 @@
 //! classification for logging and retry policies.
 
 use cast_estimator::EstimatorError;
+use cast_runtime::RuntimeError;
 use cast_sim::SimError;
 use cast_solver::SolverError;
 
@@ -26,6 +27,8 @@ pub enum CastError {
     Sim(SimError),
     /// Deployment failed (plan validation or simulation at deploy time).
     Deploy(DeployError),
+    /// The online tiering runtime failed mid-stream.
+    Runtime(RuntimeError),
 }
 
 /// Stable classification of a [`CastError`], independent of the wrapped
@@ -40,6 +43,8 @@ pub enum CastErrorKind {
     Sim,
     /// From the deployment layer.
     Deploy,
+    /// From the online runtime layer.
+    Runtime,
 }
 
 impl CastError {
@@ -50,6 +55,7 @@ impl CastError {
             CastError::Solver(_) => CastErrorKind::Solver,
             CastError::Sim(_) => CastErrorKind::Sim,
             CastError::Deploy(_) => CastErrorKind::Deploy,
+            CastError::Runtime(_) => CastErrorKind::Runtime,
         }
     }
 }
@@ -61,6 +67,7 @@ impl std::fmt::Display for CastError {
             CastError::Solver(e) => write!(f, "solver error: {e}"),
             CastError::Sim(e) => write!(f, "simulation error: {e}"),
             CastError::Deploy(e) => write!(f, "deployment error: {e}"),
+            CastError::Runtime(e) => write!(f, "runtime error: {e}"),
         }
     }
 }
@@ -72,6 +79,7 @@ impl std::error::Error for CastError {
             CastError::Solver(e) => Some(e),
             CastError::Sim(e) => Some(e),
             CastError::Deploy(e) => Some(e),
+            CastError::Runtime(e) => Some(e),
         }
     }
 }
@@ -97,6 +105,12 @@ impl From<SimError> for CastError {
 impl From<DeployError> for CastError {
     fn from(e: DeployError) -> Self {
         CastError::Deploy(e)
+    }
+}
+
+impl From<RuntimeError> for CastError {
+    fn from(e: RuntimeError) -> Self {
+        CastError::Runtime(e)
     }
 }
 

@@ -181,6 +181,19 @@ impl CastBuilder {
         })
     }
 
+    /// Profile and build an online-serving façade in one step: the
+    /// framework plus an epoch-loop runtime configuration (see
+    /// [`Cast::online`] for the borrowing variant).
+    pub fn online(
+        self,
+        cfg: cast_runtime::RuntimeConfig,
+    ) -> Result<OnlineCast, crate::error::CastError> {
+        Ok(OnlineCast {
+            cast: self.build()?,
+            cfg,
+        })
+    }
+
     /// Build with an already-profiled estimator (skips profiling — used by
     /// tests and by callers that persist the model matrix).
     pub fn build_with_estimator(self, estimator: Estimator) -> Cast {
@@ -327,6 +340,44 @@ impl Cast {
         let faulted = self.deploy_with_faults(spec, plan, faults)?;
         Ok(crate::report::ResilienceReport { baseline, faulted })
     }
+
+    /// Serve an arrival stream online: an epoch loop that replans
+    /// (warm-started from the incumbent) and migrates data as the
+    /// workload drifts. The returned runtime borrows this framework's
+    /// estimator and inherits its annealing parameters and collector;
+    /// call [`cast_runtime::OnlineRuntime::run`] on it.
+    pub fn online(&self, cfg: cast_runtime::RuntimeConfig) -> cast_runtime::OnlineRuntime<'_> {
+        cast_runtime::OnlineRuntime::new(&self.estimator, self.anneal, cfg)
+            .observe(self.obs.clone())
+    }
+}
+
+/// An owned online-serving façade: a profiled [`Cast`] framework bound to
+/// a [`cast_runtime::RuntimeConfig`], built by [`CastBuilder::online`].
+#[derive(Debug, Clone)]
+pub struct OnlineCast {
+    cast: Cast,
+    cfg: cast_runtime::RuntimeConfig,
+}
+
+impl OnlineCast {
+    /// Serve `stream` to completion.
+    pub fn run(
+        &self,
+        stream: &cast_workload::ArrivalStream,
+    ) -> Result<cast_runtime::OnlineReport, crate::error::CastError> {
+        self.cast.online(self.cfg).run(stream).map_err(Into::into)
+    }
+
+    /// The underlying framework (planning and deployment still work).
+    pub fn cast(&self) -> &Cast {
+        &self.cast
+    }
+
+    /// The runtime configuration this façade serves under.
+    pub fn config(&self) -> &cast_runtime::RuntimeConfig {
+        &self.cfg
+    }
 }
 
 /// The annealer's starting point: the best-estimated of the greedy plans
@@ -381,6 +432,36 @@ mod tests {
     fn build_profiles_all_pairs() {
         let fw = quick_framework();
         assert_eq!(fw.estimator().matrix.len(), 20);
+    }
+
+    #[test]
+    fn online_facade_serves_a_stream() {
+        use cast_cloud::units::Duration;
+        let fw = quick_framework();
+        let stream = cast_workload::arrival::generate(&cast_workload::ArrivalConfig {
+            seed: 9,
+            horizon: Duration::from_mins(60.0),
+            process: cast_workload::ArrivalProcess::Poisson { jobs_per_hour: 8.0 },
+            drift: cast_workload::DriftConfig::none(),
+            workflow_fraction: 0.0,
+            max_bin: 3,
+        })
+        .unwrap();
+        let cfg = cast_runtime::RuntimeConfig {
+            policy: cast_runtime::ReplanPolicy::Periodic,
+            ..cast_runtime::RuntimeConfig::default()
+        };
+        // The borrowing and owned façades serve the same stream
+        // identically (same estimator, annealer and config).
+        let report = fw.online(cfg).run(&stream).unwrap();
+        assert_eq!(report.jobs_completed, stream.total_jobs());
+        assert!(report.total_cost > 0.0);
+        let owned = OnlineCast {
+            cast: fw.clone(),
+            cfg,
+        };
+        let again = owned.run(&stream).unwrap();
+        assert_eq!(report, again);
     }
 
     #[test]

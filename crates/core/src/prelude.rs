@@ -8,7 +8,7 @@
 // unified error type every façade method returns.
 pub use crate::deploy::{DeployError, DeployOutcome};
 pub use crate::error::{CastError, CastErrorKind};
-pub use crate::framework::{Cast, CastBuilder, PlanStrategy, Planned};
+pub use crate::framework::{Cast, CastBuilder, OnlineCast, PlanStrategy, Planned};
 pub use crate::goals::TenantGoal;
 pub use crate::report::{DeploymentReport, ResilienceReport};
 
@@ -26,8 +26,14 @@ pub use cast_sim::{DegradationWindow, FaultPlan, VmCrash};
 // Solver: plan representation and annealer tuning knobs.
 pub use cast_solver::{AnnealConfig, Assignment, TieringPlan};
 
-// Workload: job and workload descriptions.
-pub use cast_workload::{AppKind, Job, JobId, WorkloadSpec};
+// Workload: job and workload descriptions, plus the arrival streams the
+// online runtime consumes.
+pub use cast_workload::{
+    AppKind, ArrivalConfig, ArrivalProcess, ArrivalStream, DriftConfig, Job, JobId, WorkloadSpec,
+};
+
+// Online runtime: rolling-horizon replanning over an arrival stream.
+pub use cast_runtime::{AdmissionPolicy, OnlineReport, OnlineRuntime, ReplanPolicy, RuntimeConfig};
 
 // Observability: attach a recording `Collector` via `Cast::observe` (or
 // any layer's `*_observed` / `.observe(..)` entry point), then drain its

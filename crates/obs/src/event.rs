@@ -135,6 +135,35 @@ pub enum EventBody {
         /// Uphill moves accepted since the chain started.
         uphill: u64,
     },
+    /// One online-runtime epoch boundary: the replanning decision and its
+    /// outcome. `t` is the epoch's start in stream seconds.
+    EpochPlan {
+        /// Epoch index within the run.
+        epoch: u32,
+        /// Jobs that arrived during the epoch (this boundary's batch).
+        arrivals: u32,
+        /// Whether the annealer was re-run at this boundary.
+        replanned: bool,
+        /// Whether the candidate plan was adopted (hysteresis may veto).
+        adopted: bool,
+        /// Candidate's relative score gain over the incumbent (0 when no
+        /// replan ran).
+        score_delta: f64,
+        /// Jobs whose tier assignment changed at this boundary.
+        churn: u32,
+    },
+    /// One scheduled data migration (a plan delta turned into movement
+    /// work charged through the simulator).
+    Migration {
+        /// Epoch index the migration was scheduled at.
+        epoch: u32,
+        /// Source tier name.
+        from: String,
+        /// Destination tier name.
+        to: String,
+        /// Bytes moved, in MB.
+        mb: f64,
+    },
 }
 
 impl EventBody {
@@ -152,6 +181,8 @@ impl EventBody {
             EventBody::RestartEnd { .. } => "restart_end",
             EventBody::Move { .. } => "move",
             EventBody::Epoch { .. } => "epoch",
+            EventBody::EpochPlan { .. } => "epoch_plan",
+            EventBody::Migration { .. } => "migration",
         }
     }
 }

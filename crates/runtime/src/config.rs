@@ -1,0 +1,120 @@
+//! Online-runtime configuration: epoch cadence, replanning policy,
+//! hysteresis and admission control.
+
+use serde::{Deserialize, Serialize};
+
+use cast_cloud::units::Duration;
+use cast_solver::WarmStart;
+
+/// When and whether the runtime re-runs the solver at epoch boundaries.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ReplanPolicy {
+    /// Solve once on the first non-empty batch and never again; later
+    /// arrivals are placed by the ingest rule derived from that plan.
+    /// This is offline CAST serving an online stream.
+    Static,
+    /// Re-run the annealer (warm-started from the incumbent) at every
+    /// epoch boundary and always adopt the result, migrating data for
+    /// every assignment that changed.
+    Periodic,
+    /// Like [`ReplanPolicy::Periodic`], but the candidate plan is adopted
+    /// only when its utility on the epoch's real jobs beats the
+    /// incumbent-derived placement by at least `min_gain` (relative).
+    /// Small score deltas therefore cause no migrations at all — the
+    /// thrash guard.
+    Hysteresis {
+        /// Minimum relative utility gain required to adopt, e.g. `0.02`
+        /// for 2 %.
+        min_gain: f64,
+    },
+}
+
+impl ReplanPolicy {
+    /// Short label for tables and result files.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ReplanPolicy::Static => "static",
+            ReplanPolicy::Periodic => "periodic",
+            ReplanPolicy::Hysteresis { .. } => "hysteresis",
+        }
+    }
+}
+
+/// Deadline-aware admission control for workflow arrivals (CAST++).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum AdmissionPolicy {
+    /// Admit everything (deadline misses happen downstream).
+    AcceptAll,
+    /// Reject a workflow at its epoch boundary when the estimated
+    /// completion — queueing delay already incurred plus the Eq. 4
+    /// runtime estimate of each chain job on its ingest tier — exceeds
+    /// `slack × deadline`. Rejected workflows never consume cluster time.
+    Deadline {
+        /// Deadline multiplier: 1.0 rejects exactly at the estimated
+        /// deadline, larger values admit more optimistically.
+        slack: f64,
+    },
+}
+
+/// Parameters of one online-runtime run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RuntimeConfig {
+    /// Epoch length: arrivals are batched and the plan reconsidered at
+    /// each boundary.
+    pub epoch: Duration,
+    /// Replanning policy.
+    pub policy: ReplanPolicy,
+    /// Admission control for deadline workflows.
+    pub admission: AdmissionPolicy,
+    /// Warm-start schedule for replans (ignored by
+    /// [`ReplanPolicy::Static`] after its first solve).
+    pub warm: WarmStart,
+    /// Rolling horizon: when `true`, the planning spec at each boundary
+    /// also contains forecast clones of the previous window's jobs, so
+    /// the plan anticipates the near future instead of overfitting the
+    /// current batch.
+    pub forecast: bool,
+    /// Base seed for per-epoch solver reseeding (decorrelates successive
+    /// replans; the run stays a pure function of seed + config).
+    pub seed: u64,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            epoch: Duration::from_mins(30.0),
+            policy: ReplanPolicy::Hysteresis { min_gain: 0.02 },
+            admission: AdmissionPolicy::AcceptAll,
+            warm: WarmStart::default(),
+            forecast: true,
+            seed: 0xCA57_0711,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_distinguish_policies() {
+        assert_eq!(ReplanPolicy::Static.label(), "static");
+        assert_eq!(ReplanPolicy::Periodic.label(), "periodic");
+        assert_eq!(
+            ReplanPolicy::Hysteresis { min_gain: 0.1 }.label(),
+            "hysteresis"
+        );
+    }
+
+    #[test]
+    fn config_roundtrips_through_json() {
+        let cfg = RuntimeConfig {
+            policy: ReplanPolicy::Hysteresis { min_gain: 0.05 },
+            admission: AdmissionPolicy::Deadline { slack: 1.2 },
+            ..RuntimeConfig::default()
+        };
+        let json = serde_json::to_string(&cfg).unwrap();
+        let back: RuntimeConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(cfg, back);
+    }
+}

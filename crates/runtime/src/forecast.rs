@@ -1,0 +1,111 @@
+//! Rolling-horizon forecasting: what the solver plans over.
+//!
+//! A replan that sees only the current batch overfits it — the epoch after
+//! next may look different under drift. The runtime therefore plans over
+//! *known + forecast* jobs: the batch that actually arrived plus synthetic
+//! clones of the previous window's jobs (a persistence forecast — the
+//! cheapest predictor that still tracks drift, since the recent past is
+//! the best unbiased sample of the near future). Forecast jobs exist only
+//! inside the planning spec; they are stripped before the plan is
+//! evaluated, provisioned or executed.
+
+use cast_workload::{Dataset, DatasetId, Job, JobId, WorkloadSpec};
+
+/// Id namespace for forecast clones: job and dataset ids at or above this
+/// value are planning-only and never execute. (Below
+/// [`cast_sim::MIGRATION_JOB_BASE`], so the three namespaces — real,
+/// forecast, migration — stay disjoint.)
+pub const FORECAST_ID_BASE: u32 = 1 << 29;
+
+/// Whether a job id denotes a forecast clone.
+pub fn is_forecast(id: JobId) -> bool {
+    id.0 >= FORECAST_ID_BASE && id.0 < cast_sim::MIGRATION_JOB_BASE
+}
+
+/// Build the planning spec for one boundary: `real` (this epoch's batch)
+/// plus clones of `previous` re-identified into the forecast namespace.
+/// Forecast clones keep their app, size and task layout but get fresh
+/// single-use datasets, so they influence capacity and tier choice without
+/// aliasing real data. Workflows are not forecast — deadlines on synthetic
+/// jobs would distort admission.
+pub fn planning_spec(real: &WorkloadSpec, previous: &[Job]) -> WorkloadSpec {
+    let mut spec = real.clone();
+    for (i, job) in previous.iter().enumerate() {
+        let id = FORECAST_ID_BASE + i as u32;
+        let mut clone = *job;
+        clone.id = JobId(id);
+        clone.dataset = DatasetId(id);
+        spec.datasets
+            .push(Dataset::single_use(clone.dataset, clone.input));
+        spec.jobs.push(clone);
+    }
+    spec
+}
+
+/// Drop forecast assignments from a solved plan, leaving only the real
+/// batch's jobs (plans are keyed by job id, so this is a filter).
+pub fn strip_forecast(plan: &cast_solver::TieringPlan) -> cast_solver::TieringPlan {
+    let mut real = cast_solver::TieringPlan::new();
+    for (job, a) in plan.iter() {
+        if !is_forecast(job) {
+            real.assign(job, a);
+        }
+    }
+    real
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cast_cloud::tier::Tier;
+    use cast_cloud::units::DataSize;
+    use cast_solver::{Assignment, TieringPlan};
+    use cast_workload::AppKind;
+
+    fn job(id: u32, gb: f64) -> Job {
+        Job::with_default_layout(
+            JobId(id),
+            AppKind::Grep,
+            DatasetId(id),
+            DataSize::from_gb(gb),
+        )
+    }
+
+    fn spec_of(jobs: &[Job]) -> WorkloadSpec {
+        let mut spec = WorkloadSpec::empty();
+        for j in jobs {
+            spec.jobs.push(*j);
+            spec.datasets.push(Dataset::single_use(j.dataset, j.input));
+        }
+        spec
+    }
+
+    #[test]
+    fn planning_spec_appends_forecast_clones() {
+        let real = spec_of(&[job(0, 10.0), job(1, 20.0)]);
+        let prev = [job(100, 30.0)];
+        let plan = planning_spec(&real, &prev);
+        assert_eq!(plan.jobs.len(), 3);
+        assert!(plan.validate().is_ok());
+        let clone = plan.jobs.last().unwrap();
+        assert!(is_forecast(clone.id));
+        assert_eq!(clone.input, DataSize::from_gb(30.0));
+        assert!(!is_forecast(JobId(0)));
+        assert!(!is_forecast(JobId(cast_sim::MIGRATION_JOB_BASE)));
+    }
+
+    #[test]
+    fn strip_forecast_keeps_only_real_jobs() {
+        let mut plan = TieringPlan::new();
+        let a = Assignment {
+            tier: Tier::PersSsd,
+            overprov: 1.0,
+        };
+        plan.assign(JobId(0), a);
+        plan.assign(JobId(FORECAST_ID_BASE), a);
+        plan.assign(JobId(FORECAST_ID_BASE + 7), a);
+        let real = strip_forecast(&plan);
+        assert_eq!(real.len(), 1);
+        assert!(real.get(JobId(0)).is_some());
+    }
+}

@@ -1,0 +1,178 @@
+//! The migration scheduler: turning a plan delta into data movement.
+//!
+//! When a replan changes a job's tier, the job's input data has to
+//! physically relocate before the job can run under the new placement.
+//! [`plan_delta`] diffs two plans over one epoch's spec and emits one
+//! [`MigrationSpec`] per dataset whose *home* changed; the simulator then
+//! charges the movement through the same bandwidth-sharing machinery as
+//! every other flow, and the jobs reading the moved data wait for it
+//! (everything else keeps running against the old layout).
+
+use std::collections::HashMap;
+
+use cast_cloud::tier::Tier;
+use cast_cloud::units::DataSize;
+use cast_sim::MigrationSpec;
+use cast_solver::TieringPlan;
+use cast_workload::{DatasetId, WorkloadSpec};
+
+/// Where a dataset physically lives for a job assigned to `assigned`.
+/// Ephemeral SSD is transient — its data's durable home is the backing
+/// object store, from which each run stages in (§3.1.2's convention), so
+/// reassigning a job between ephemeral SSD and the object store moves no
+/// bytes ahead of time.
+pub fn home_tier(assigned: Tier) -> Tier {
+    match assigned {
+        Tier::EphSsd => Tier::ObjStore,
+        t => t,
+    }
+}
+
+/// The migrations implied by switching an epoch from `from_plan` to
+/// `to_plan`, plus summary statistics.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MigrationSchedule {
+    /// One movement per relocating dataset, in first-reader order.
+    pub moves: Vec<MigrationSpec>,
+    /// Total bytes scheduled to move.
+    pub total: DataSize,
+    /// Jobs whose tier assignment changed (the plan-churn gauge; counts
+    /// assignment flips even when no bytes move, e.g. ephemeral SSD ↔
+    /// object store).
+    pub churn: usize,
+}
+
+/// Diff `from_plan` → `to_plan` over `spec`'s jobs. Jobs missing from
+/// either plan are skipped. A dataset shared by several jobs moves once,
+/// to the home of its first reader's new tier, and every reader of the
+/// moved dataset blocks on the move.
+pub fn plan_delta(
+    spec: &WorkloadSpec,
+    from_plan: &TieringPlan,
+    to_plan: &TieringPlan,
+) -> MigrationSchedule {
+    let mut sched = MigrationSchedule::default();
+    let mut by_dataset: HashMap<DatasetId, usize> = HashMap::new();
+    for job in &spec.jobs {
+        let (Some(a), Some(b)) = (from_plan.get(job.id), to_plan.get(job.id)) else {
+            continue;
+        };
+        if a.tier != b.tier {
+            sched.churn += 1;
+        }
+        let (src, dst) = (home_tier(a.tier), home_tier(b.tier));
+        if let Some(&idx) = by_dataset.get(&job.dataset) {
+            // Dataset already scheduled by an earlier reader: this job
+            // must observe the same move.
+            sched.moves[idx].blocks.push(job.id);
+            continue;
+        }
+        if src == dst {
+            continue;
+        }
+        let bytes = spec
+            .dataset(job.dataset)
+            .map(|d| d.size)
+            .unwrap_or(job.input);
+        if bytes.bytes() <= 0.0 {
+            continue;
+        }
+        by_dataset.insert(job.dataset, sched.moves.len());
+        sched.total += bytes;
+        sched.moves.push(MigrationSpec {
+            id: sched.moves.len() as u32,
+            bytes,
+            from: src,
+            to: dst,
+            blocks: vec![job.id],
+        });
+    }
+    sched
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cast_solver::Assignment;
+    use cast_workload::{AppKind, Dataset, Job, JobId};
+
+    fn assignment(tier: Tier) -> Assignment {
+        Assignment {
+            tier,
+            overprov: 1.0,
+        }
+    }
+
+    fn spec_with(jobs: &[(u32, u32, f64)]) -> WorkloadSpec {
+        // (job id, dataset id, gb)
+        let mut spec = WorkloadSpec::empty();
+        for &(j, d, gb) in jobs {
+            let job = Job::with_default_layout(
+                JobId(j),
+                AppKind::Grep,
+                DatasetId(d),
+                DataSize::from_gb(gb),
+            );
+            if spec.dataset(DatasetId(d)).is_none() {
+                spec.datasets
+                    .push(Dataset::single_use(DatasetId(d), job.input));
+            }
+            spec.jobs.push(job);
+        }
+        spec
+    }
+
+    fn plan_of(assignments: &[(u32, Tier)]) -> TieringPlan {
+        let mut plan = TieringPlan::new();
+        for &(j, t) in assignments {
+            plan.assign(JobId(j), assignment(t));
+        }
+        plan
+    }
+
+    #[test]
+    fn unchanged_plan_schedules_nothing() {
+        let spec = spec_with(&[(0, 0, 10.0), (1, 1, 20.0)]);
+        let p = plan_of(&[(0, Tier::PersSsd), (1, Tier::PersHdd)]);
+        let sched = plan_delta(&spec, &p, &p);
+        assert!(sched.moves.is_empty());
+        assert_eq!(sched.churn, 0);
+        assert!(sched.total.is_zero());
+    }
+
+    #[test]
+    fn tier_change_moves_the_dataset_and_blocks_the_job() {
+        let spec = spec_with(&[(0, 0, 10.0), (1, 1, 20.0)]);
+        let from = plan_of(&[(0, Tier::PersHdd), (1, Tier::PersHdd)]);
+        let to = plan_of(&[(0, Tier::PersSsd), (1, Tier::PersHdd)]);
+        let sched = plan_delta(&spec, &from, &to);
+        assert_eq!(sched.churn, 1);
+        assert_eq!(sched.moves.len(), 1);
+        let m = &sched.moves[0];
+        assert_eq!((m.from, m.to), (Tier::PersHdd, Tier::PersSsd));
+        assert_eq!(m.blocks, vec![JobId(0)]);
+        assert_eq!(sched.total, DataSize::from_gb(10.0));
+    }
+
+    #[test]
+    fn shared_dataset_moves_once_but_blocks_all_readers() {
+        let spec = spec_with(&[(0, 5, 40.0), (1, 5, 40.0)]);
+        let from = plan_of(&[(0, Tier::PersHdd), (1, Tier::PersHdd)]);
+        let to = plan_of(&[(0, Tier::PersSsd), (1, Tier::PersSsd)]);
+        let sched = plan_delta(&spec, &from, &to);
+        assert_eq!(sched.moves.len(), 1);
+        assert_eq!(sched.moves[0].blocks, vec![JobId(0), JobId(1)]);
+        assert_eq!(sched.churn, 2);
+        assert_eq!(sched.total, DataSize::from_gb(40.0));
+    }
+
+    #[test]
+    fn ephemeral_and_objstore_share_a_home() {
+        let spec = spec_with(&[(0, 0, 10.0)]);
+        let from = plan_of(&[(0, Tier::ObjStore)]);
+        let to = plan_of(&[(0, Tier::EphSsd)]);
+        let sched = plan_delta(&spec, &from, &to);
+        assert!(sched.moves.is_empty(), "no bytes move ahead of staging");
+        assert_eq!(sched.churn, 1, "the assignment still counts as churn");
+    }
+}

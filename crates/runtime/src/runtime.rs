@@ -1,0 +1,594 @@
+//! The online tiering runtime: an event-driven epoch loop over an
+//! arrival stream.
+//!
+//! Offline CAST solves once for a known workload; a production analytics
+//! cluster sees jobs *arrive*. [`OnlineRuntime`] bridges the two: it
+//! batches arrivals at epoch boundaries, keeps a live per-app ingest rule
+//! derived from the incumbent plan, re-runs the annealer warm-started
+//! from that incumbent over a rolling horizon of known + forecast jobs,
+//! and — when the new plan is adopted — schedules the implied data
+//! migrations as explicit transfers that contend for tier bandwidth in
+//! the same epoch simulation as the jobs themselves.
+//!
+//! The whole loop is a pure function of `(estimator, AnnealConfig,
+//! RuntimeConfig, ArrivalStream)`: every random choice flows from seeds,
+//! simulated time never reads the wall clock, and the multi-restart
+//! annealer picks winners machine-independently, so a run's
+//! [`OnlineReport`] is byte-identical across repetitions.
+
+use std::collections::HashMap;
+
+use cast_cloud::cost::CostModel;
+use cast_cloud::tier::{PerTier, Tier};
+use cast_cloud::units::Duration;
+use cast_estimator::Estimator;
+use cast_obs::{Collector, EventBody};
+use cast_sim::config::Concurrency;
+use cast_sim::{simulate_with_migrations, SimConfig};
+use cast_solver::objective::provision_round;
+use cast_solver::{
+    evaluate, restart_seed, AnnealConfig, Annealer, Assignment, EvalContext, TieringPlan,
+};
+use cast_workload::arrival::assemble_spec;
+use cast_workload::{AppKind, Arrival, ArrivalStream, Job, WorkloadSpec};
+
+use crate::config::{AdmissionPolicy, ReplanPolicy, RuntimeConfig};
+use crate::error::RuntimeError;
+use crate::forecast::{planning_spec, strip_forecast};
+use crate::migrate::{plan_delta, MigrationSchedule};
+use crate::report::{EpochReport, OnlineReport};
+
+/// Tier newly-arrived data lands on when the incumbent plan has no
+/// opinion about the job's application yet (before the first solve, or
+/// for an app the plan never placed). Persistent SSD is the safe middle:
+/// durable, fast enough for anything, never the paper's worst choice.
+pub const INGEST_FALLBACK: Tier = Tier::PersSsd;
+
+/// Decorrelates per-epoch solver seeds from the annealer's own
+/// per-restart seeds (both walks use [`restart_seed`]; offsetting the
+/// epoch index keeps the two sequences from aliasing).
+const EPOCH_SEED_OFFSET: usize = 0x10_0000;
+
+/// The online tiering service.
+pub struct OnlineRuntime<'a> {
+    estimator: &'a Estimator,
+    anneal: AnnealConfig,
+    cfg: RuntimeConfig,
+    obs: Collector,
+}
+
+impl<'a> OnlineRuntime<'a> {
+    /// Create a runtime. `anneal` is the *cold-start* solver schedule;
+    /// replans after the first run a scaled-down warm schedule
+    /// (`cfg.warm`).
+    pub fn new(estimator: &'a Estimator, anneal: AnnealConfig, cfg: RuntimeConfig) -> Self {
+        OnlineRuntime {
+            estimator,
+            anneal,
+            cfg,
+            obs: Collector::noop(),
+        }
+    }
+
+    /// Attach an observability collector: epoch-plan and migration
+    /// events, runtime counters/gauges plus the solver's and simulator's
+    /// own instrumentation all land in it. Results are bit-identical to
+    /// an unobserved run (replan latency is recorded under a `.wall`
+    /// metric, which determinism checks quarantine).
+    pub fn observe(mut self, collector: Collector) -> Self {
+        self.obs = collector;
+        self
+    }
+
+    /// The runtime's configuration.
+    pub fn config(&self) -> &RuntimeConfig {
+        &self.cfg
+    }
+
+    /// Serve the stream to completion and report what happened.
+    pub fn run(&self, stream: &ArrivalStream) -> Result<OnlineReport, RuntimeError> {
+        let epoch_len = self.cfg.epoch;
+        let n_epochs = (stream.horizon.secs() / epoch_len.secs()).ceil().max(1.0) as u32;
+
+        // Live state: the per-app ingest rule distilled from the last
+        // adopted plan, whether a solve has happened yet (the first one
+        // is cold; replans after it warm-start from the incumbent
+        // placement rule, adopted or not), the previous window's jobs
+        // (the persistence forecast) and the cluster's next free instant.
+        let mut ingest_map: HashMap<AppKind, Tier> = HashMap::new();
+        let mut solved_once = false;
+        let mut prev_jobs: Vec<Job> = Vec::new();
+        let mut clock = Duration::ZERO;
+        let mut epochs: Vec<EpochReport> = Vec::new();
+
+        for k in 0..n_epochs {
+            let t0 = epoch_len * k as f64;
+            let t1 = epoch_len * (k + 1) as f64;
+            let window = stream.window(t0, t1);
+            if window.is_empty() {
+                continue;
+            }
+            // Arrivals in [t0, t1) execute at the boundary t1 — or later,
+            // when the previous batch still holds the cluster.
+            let batch_start = t1.max(clock);
+            let (admitted, rejected) = self.admit(window, batch_start, &ingest_map)?;
+            if admitted.is_empty() {
+                self.obs.counter("runtime.rejected").add(rejected as u64);
+                epochs.push(empty_epoch(k, t1, batch_start, rejected));
+                continue;
+            }
+            let spec = assemble_spec(admitted.iter().copied());
+            spec.validate()?;
+            let ingest = ingest_plan(&spec, &ingest_map);
+
+            // Replan (policy-dependent), adopt (hysteresis-gated), diff.
+            let mut replanned = false;
+            let mut adopted = false;
+            let mut score_delta = 0.0;
+            let mut replan_moves = 0;
+            let mut exec = ingest.clone();
+            let mut sched = MigrationSchedule::default();
+            let must_replan = match self.cfg.policy {
+                ReplanPolicy::Static => !solved_once,
+                ReplanPolicy::Periodic | ReplanPolicy::Hysteresis { .. } => true,
+            };
+            if must_replan {
+                replanned = true;
+                let pspec = if self.cfg.forecast {
+                    planning_spec(&spec, &prev_jobs)
+                } else {
+                    spec.clone()
+                };
+                let pctx = EvalContext::new(self.estimator, &pspec).with_reuse_awareness();
+                let init = ingest_plan(&pspec, &ingest_map);
+                let acfg = AnnealConfig {
+                    seed: restart_seed(self.cfg.seed, k as usize + EPOCH_SEED_OFFSET),
+                    ..self.anneal
+                };
+                let annealer = Annealer::new(acfg).observe(self.obs.clone());
+                let t_wall = std::time::Instant::now();
+                let outcome = if solved_once {
+                    annealer.resume_from(&pctx, init, self.cfg.warm)?
+                } else {
+                    annealer.solve(&pctx, init)?
+                };
+                solved_once = true;
+                self.obs
+                    .gauge("runtime.replan_latency.wall")
+                    .set(t_wall.elapsed().as_secs_f64());
+                let d = &outcome.diagnostics;
+                replan_moves = d.moves_to_reach(d.best_score).unwrap_or(d.iterations);
+                let candidate = strip_forecast(&outcome.plan);
+
+                // Judge the candidate on the *real* batch only — forecast
+                // jobs must not pad its score.
+                let rctx = EvalContext::new(self.estimator, &spec).with_reuse_awareness();
+                let incumbent_utility = evaluate(&ingest, &rctx)?.utility;
+                let candidate_utility = evaluate(&candidate, &rctx)?.utility;
+                score_delta = if incumbent_utility > 0.0 {
+                    (candidate_utility - incumbent_utility) / incumbent_utility
+                } else {
+                    f64::INFINITY
+                };
+                let accept = match self.cfg.policy {
+                    ReplanPolicy::Hysteresis { min_gain } => score_delta >= min_gain,
+                    ReplanPolicy::Static | ReplanPolicy::Periodic => true,
+                };
+                if accept {
+                    adopted = true;
+                    sched = plan_delta(&spec, &ingest, &candidate);
+                    exec = candidate;
+                    for (app, tier) in majority_tiers(&spec, &exec) {
+                        ingest_map.insert(app, tier);
+                    }
+                }
+            }
+
+            // Provision for the epoch. During a migration epoch both the
+            // old (ingest) and new layout hold data simultaneously, so
+            // each tier gets the larger of the two demands.
+            let raw_ingest = ingest.capacities(&spec, true)?;
+            let raw = if adopted {
+                let raw_exec = exec.capacities(&spec, true)?;
+                PerTier::from_fn(|t| (*raw_ingest.get(t)).max(*raw_exec.get(t)))
+            } else {
+                raw_ingest
+            };
+            let capacities = provision_round(self.estimator, &raw);
+            let nvm = self.estimator.cluster.nvm;
+            let mut scfg = SimConfig::with_aggregate_capacity(
+                self.estimator.catalog.clone(),
+                nvm,
+                &capacities,
+            )?;
+            scfg.concurrency = Concurrency::Parallel;
+            let report = simulate_with_migrations(
+                &spec,
+                &exec.to_placements(),
+                &sched.moves,
+                &scfg,
+                &self.obs,
+            )?;
+            let makespan = report.makespan;
+
+            // Deadline accounting: a workflow's budget runs from its
+            // arrival instant, so queueing before batch start counts.
+            let mut misses = 0usize;
+            for a in &admitted {
+                if let Some(wf) = &a.workflow {
+                    let end = wf
+                        .jobs
+                        .iter()
+                        .filter_map(|id| report.job(*id))
+                        .map(|m| m.finished)
+                        .fold(Duration::ZERO, Duration::max);
+                    if (batch_start + end - a.at).secs() > wf.deadline.secs() {
+                        misses += 1;
+                    }
+                }
+            }
+
+            let cost_model = CostModel::new(&self.estimator.catalog, nvm);
+            let cost = cost_model.breakdown(&capacities, makespan);
+
+            self.obs.emit(
+                batch_start.secs(),
+                EventBody::EpochPlan {
+                    epoch: k,
+                    arrivals: admitted.len() as u32,
+                    replanned,
+                    adopted,
+                    score_delta,
+                    churn: sched.churn as u32,
+                },
+            );
+            for m in &sched.moves {
+                self.obs.emit(
+                    batch_start.secs(),
+                    EventBody::Migration {
+                        epoch: k,
+                        from: m.from.name().to_string(),
+                        to: m.to.name().to_string(),
+                        mb: m.bytes.mb(),
+                    },
+                );
+            }
+            self.obs.counter("runtime.epochs").inc();
+            self.obs
+                .counter("runtime.migrations")
+                .add(sched.moves.len() as u64);
+            self.obs
+                .counter("runtime.migrated_mb")
+                .add(sched.total.mb().round() as u64);
+            self.obs.counter("runtime.rejected").add(rejected as u64);
+            self.obs
+                .counter("runtime.deadline_misses")
+                .add(misses as u64);
+            self.obs.gauge("runtime.plan_churn").set(sched.churn as f64);
+            self.obs
+                .histogram(
+                    "runtime.replan_moves",
+                    &[100.0, 300.0, 1_000.0, 3_000.0, 10_000.0],
+                )
+                .record(replan_moves as f64);
+
+            epochs.push(EpochReport {
+                epoch: k,
+                boundary_secs: t1.secs(),
+                start_secs: batch_start.secs(),
+                arrivals: admitted.len(),
+                jobs: spec.jobs.len(),
+                replanned,
+                adopted,
+                score_delta,
+                churn: sched.churn,
+                migrations: sched.moves.len(),
+                migrated_mb: sched.total.mb(),
+                replan_moves,
+                makespan_secs: makespan.secs(),
+                vm_cost: cost.vm.dollars(),
+                storage_cost: cost.storage_total().dollars(),
+                deadline_misses: misses,
+                rejected,
+            });
+            clock = batch_start + makespan;
+            prev_jobs = spec.jobs.clone();
+        }
+        Ok(OnlineReport::from_epochs(self.cfg.policy.label(), epochs))
+    }
+
+    /// Split one boundary's arrivals into admitted arrivals and a
+    /// rejection count. Plain jobs are always admitted; under
+    /// [`AdmissionPolicy::Deadline`] a workflow is turned away when the
+    /// queueing delay it has already absorbed plus the Eq. 4 estimate of
+    /// its chain on the current ingest tiers exceeds `slack × deadline`.
+    fn admit(
+        &self,
+        window: &'a [Arrival],
+        batch_start: Duration,
+        ingest_map: &HashMap<AppKind, Tier>,
+    ) -> Result<(Vec<&'a Arrival>, usize), RuntimeError> {
+        let AdmissionPolicy::Deadline { slack } = self.cfg.admission else {
+            return Ok((window.iter().collect(), 0));
+        };
+        let mut admitted = Vec::with_capacity(window.len());
+        let mut rejected = 0;
+        for a in window {
+            let Some(wf) = &a.workflow else {
+                admitted.push(a);
+                continue;
+            };
+            let mut estimate = batch_start - a.at;
+            for job in &a.jobs {
+                let tier = ingest_tier(job.app, ingest_map);
+                estimate += self.estimator.reg(job, tier, job.input)?;
+            }
+            if estimate.secs() > slack * wf.deadline.secs() {
+                rejected += 1;
+            } else {
+                admitted.push(a);
+            }
+        }
+        Ok((admitted, rejected))
+    }
+}
+
+/// Where `app`'s fresh data lands under the current ingest rule.
+fn ingest_tier(app: AppKind, map: &HashMap<AppKind, Tier>) -> Tier {
+    map.get(&app).copied().unwrap_or(INGEST_FALLBACK)
+}
+
+/// The incumbent-derived placement for a batch: every job on its app's
+/// ingest tier. This is both the no-replan execution plan and the warm
+/// start the annealer resumes from.
+pub fn ingest_plan(spec: &WorkloadSpec, map: &HashMap<AppKind, Tier>) -> TieringPlan {
+    let mut plan = TieringPlan::new();
+    for job in &spec.jobs {
+        plan.assign(
+            job.id,
+            Assignment {
+                tier: ingest_tier(job.app, map),
+                overprov: 1.0,
+            },
+        );
+    }
+    plan
+}
+
+/// Per-app majority tier of `plan` over `spec`'s jobs, in deterministic
+/// (tier-order) tie-breaking. This is what the next epoch's ingest rule
+/// becomes when the plan is adopted.
+pub fn majority_tiers(spec: &WorkloadSpec, plan: &TieringPlan) -> Vec<(AppKind, Tier)> {
+    let mut counts: HashMap<AppKind, PerTier<usize>> = HashMap::new();
+    for job in &spec.jobs {
+        if let Some(a) = plan.get(job.id) {
+            *counts.entry(job.app).or_default().get_mut(a.tier) += 1;
+        }
+    }
+    let mut out: Vec<(AppKind, Tier)> = counts
+        .into_iter()
+        .map(|(app, per)| {
+            let tier = Tier::ALL
+                .into_iter()
+                .max_by_key(|&t| (*per.get(t), std::cmp::Reverse(t)))
+                .expect("four tiers");
+            (app, tier)
+        })
+        .collect();
+    out.sort_by_key(|&(app, _)| app);
+    out
+}
+
+/// Report row for a boundary whose every arrival was rejected: nothing
+/// ran, nothing was provisioned, nothing cost anything.
+fn empty_epoch(k: u32, boundary: Duration, start: Duration, rejected: usize) -> EpochReport {
+    EpochReport {
+        epoch: k,
+        boundary_secs: boundary.secs(),
+        start_secs: start.secs(),
+        arrivals: 0,
+        jobs: 0,
+        replanned: false,
+        adopted: false,
+        score_delta: 0.0,
+        churn: 0,
+        migrations: 0,
+        migrated_mb: 0.0,
+        replan_moves: 0,
+        makespan_secs: 0.0,
+        vm_cost: 0.0,
+        storage_cost: 0.0,
+        deadline_misses: 0,
+        rejected,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cast_cloud::Catalog;
+    use cast_estimator::model::{CapacityCurve, ModelMatrix, PhaseBw};
+    use cast_estimator::mrcute::ClusterSpec;
+    use cast_workload::profile::ProfileSet;
+    use cast_workload::{ArrivalConfig, ArrivalProcess, DriftConfig};
+
+    fn estimator(nvm: usize) -> Estimator {
+        let mut matrix = ModelMatrix::new();
+        for app in AppKind::ALL {
+            for tier in Tier::ALL {
+                matrix.insert(
+                    app,
+                    tier,
+                    CapacityCurve::fit(&[(
+                        375.0,
+                        PhaseBw {
+                            map: 10.0,
+                            shuffle_reduce: 10.0,
+                        },
+                    )])
+                    .unwrap(),
+                );
+            }
+        }
+        Estimator {
+            matrix,
+            catalog: Catalog::google_cloud(),
+            cluster: ClusterSpec {
+                nvm,
+                map_slots: 16,
+                reduce_slots: 8,
+                task_startup_secs: 1.5,
+            },
+            profiles: ProfileSet::defaults(),
+        }
+    }
+
+    fn stream(seed: u64) -> ArrivalStream {
+        cast_workload::arrival::generate(&ArrivalConfig {
+            seed,
+            horizon: Duration::from_mins(90.0),
+            process: ArrivalProcess::Poisson {
+                jobs_per_hour: 10.0,
+            },
+            drift: DriftConfig {
+                app_shift: 0.5,
+                size_growth: 0.5,
+            },
+            workflow_fraction: 0.2,
+            max_bin: 4,
+        })
+        .unwrap()
+    }
+
+    fn quick_anneal(iterations: usize) -> AnnealConfig {
+        AnnealConfig {
+            iterations,
+            restarts: 1,
+            ..AnnealConfig::default()
+        }
+    }
+
+    fn quick_cfg(policy: ReplanPolicy) -> RuntimeConfig {
+        RuntimeConfig {
+            epoch: Duration::from_mins(30.0),
+            policy,
+            ..RuntimeConfig::default()
+        }
+    }
+
+    #[test]
+    fn serves_a_stream_end_to_end() {
+        let est = estimator(4);
+        let rt = OnlineRuntime::new(&est, quick_anneal(600), quick_cfg(ReplanPolicy::Periodic));
+        let report = rt.run(&stream(7)).unwrap();
+        assert!(!report.epochs.is_empty());
+        assert_eq!(report.jobs_completed, stream(7).total_jobs());
+        assert!(report.total_cost > 0.0);
+        for e in &report.epochs {
+            assert!(e.start_secs >= e.boundary_secs, "batches never run early");
+            assert!(e.makespan_secs > 0.0);
+        }
+        // Periodic replans at every non-empty boundary and always adopts.
+        assert!(report.epochs.iter().all(|e| e.replanned && e.adopted));
+    }
+
+    #[test]
+    fn static_policy_solves_once_and_never_migrates_again() {
+        let est = estimator(4);
+        let rt = OnlineRuntime::new(&est, quick_anneal(600), quick_cfg(ReplanPolicy::Static));
+        let report = rt.run(&stream(7)).unwrap();
+        let replans: Vec<bool> = report.epochs.iter().map(|e| e.replanned).collect();
+        assert_eq!(replans.iter().filter(|&&r| r).count(), 1);
+        assert!(replans[0], "the first non-empty batch triggers the solve");
+        // After the one solve, later epochs run pure ingest: no churn.
+        for e in report.epochs.iter().skip(1) {
+            assert_eq!((e.churn, e.migrations), (0, 0));
+        }
+    }
+
+    #[test]
+    fn hysteresis_never_migrates_more_than_periodic() {
+        let est = estimator(4);
+        let periodic =
+            OnlineRuntime::new(&est, quick_anneal(600), quick_cfg(ReplanPolicy::Periodic))
+                .run(&stream(7))
+                .unwrap();
+        let hysteresis = OnlineRuntime::new(
+            &est,
+            quick_anneal(600),
+            quick_cfg(ReplanPolicy::Hysteresis { min_gain: 0.05 }),
+        )
+        .run(&stream(7))
+        .unwrap();
+        assert!(hysteresis.migrated_mb <= periodic.migrated_mb);
+        // Vetoed boundaries must not move data at all.
+        for e in &hysteresis.epochs {
+            if !e.adopted {
+                assert_eq!(e.migrations, 0);
+                assert_eq!(e.migrated_mb, 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn runs_are_bit_deterministic() {
+        let est = estimator(4);
+        let run = || {
+            let cfg = quick_cfg(ReplanPolicy::Hysteresis { min_gain: 0.02 });
+            let rt = OnlineRuntime::new(&est, quick_anneal(600), cfg);
+            serde_json::to_string(&rt.run(&stream(11)).unwrap()).unwrap()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn deadline_admission_rejects_hopeless_workflows() {
+        let est = estimator(2);
+        let mut cfg = quick_cfg(ReplanPolicy::Periodic);
+        cfg.admission = AdmissionPolicy::Deadline { slack: 1e-6 };
+        let rt = OnlineRuntime::new(&est, quick_anneal(400), cfg);
+        let strict = rt.run(&stream(7)).unwrap();
+        // With essentially zero slack every workflow is turned away, and
+        // rejected workflows never execute or miss deadlines.
+        assert!(strict.rejected > 0);
+        assert_eq!(strict.deadline_misses, 0);
+        let mut cfg = quick_cfg(ReplanPolicy::Periodic);
+        cfg.admission = AdmissionPolicy::AcceptAll;
+        let rt = OnlineRuntime::new(&est, quick_anneal(400), cfg);
+        let open = rt.run(&stream(7)).unwrap();
+        assert_eq!(open.rejected, 0);
+        assert!(open.jobs_completed > strict.jobs_completed);
+    }
+
+    #[test]
+    fn overrunning_batches_push_the_next_epoch_start() {
+        let est = estimator(2);
+        // A tiny cluster with a dense stream: batches overrun their
+        // epochs, so later starts must trail the running clock.
+        let s = cast_workload::arrival::generate(&ArrivalConfig {
+            seed: 3,
+            horizon: Duration::from_mins(60.0),
+            process: ArrivalProcess::Poisson {
+                jobs_per_hour: 60.0,
+            },
+            drift: DriftConfig::none(),
+            workflow_fraction: 0.0,
+            max_bin: 5,
+        })
+        .unwrap();
+        let cfg = RuntimeConfig {
+            epoch: Duration::from_mins(10.0),
+            policy: ReplanPolicy::Static,
+            ..RuntimeConfig::default()
+        };
+        let rt = OnlineRuntime::new(&est, quick_anneal(300), cfg);
+        let report = rt.run(&s).unwrap();
+        assert!(
+            report
+                .epochs
+                .iter()
+                .any(|e| e.start_secs > e.boundary_secs + 1e-9),
+            "expected at least one delayed batch on a saturated cluster"
+        );
+    }
+}

@@ -185,4 +185,25 @@ mod tests {
         let cfg = SimConfig::paper_cluster(&agg(1000.0)).unwrap();
         assert!(cfg.faults.is_empty());
     }
+
+    #[test]
+    fn sim_config_roundtrips_through_json() {
+        // Runtime checkpoints serialize the full cluster configuration —
+        // including a populated fault plan — and must get it back intact.
+        let mut cfg = SimConfig::paper_cluster(&agg(1000.0)).unwrap();
+        cfg.concurrency = Concurrency::Parallel;
+        cfg.collect_trace = true;
+        cfg.faults = crate::fault::FaultPlan {
+            task_failure_prob: 0.01,
+            ..crate::fault::FaultPlan::default()
+        };
+        cfg.faults.vm_crashes.push(crate::fault::VmCrash {
+            vm: 3,
+            at_secs: 120.0,
+            down_secs: Some(60.0),
+        });
+        let json = serde_json::to_string(&cfg).expect("serialize");
+        let back: SimConfig = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(cfg, back);
+    }
 }

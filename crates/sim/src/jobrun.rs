@@ -89,6 +89,9 @@ pub struct JobRun {
     pub speculations: u32,
     /// Tasks of this job killed by crashes or lost speculative races.
     pub kills: u32,
+    /// Pure data-movement run (tier migration): only the stage-in
+    /// transfer executes; map/reduce/stage-out phases are empty.
+    pub transfer_only: bool,
     rng: StdRng,
 }
 
@@ -114,7 +117,29 @@ impl JobRun {
             retries: 0,
             speculations: 0,
             kills: 0,
+            transfer_only: false,
         }
+    }
+
+    /// Create a pure data-migration run moving `job.input` bytes from
+    /// `from` to `to`. The run executes exactly one phase — a stage-in
+    /// transfer whose streams contend for tier bandwidth (and the NIC)
+    /// like any other I/O — then completes. Jobs that must observe the
+    /// moved data list the migration's engine index in their `deps`, so
+    /// they keep running against their old placement until the move
+    /// finishes.
+    pub fn migration(job: Job, from: Tier, to: Tier, profile: AppProfile) -> JobRun {
+        let placement = JobPlacement {
+            input: crate::placement::SplitPlacement::single(to),
+            inter: to,
+            output: to,
+            stage_in_from: Some(from),
+            stage_in_bytes: Some(job.input),
+            stage_out_to: None,
+        };
+        let mut run = JobRun::new(job, placement, profile, Vec::new());
+        run.transfer_only = true;
+        run
     }
 
     /// Whether the current phase has fully drained (no templates waiting,
@@ -258,6 +283,9 @@ impl JobRun {
     /// Map tasks, allocated across the input split's tiers proportionally
     /// to their fractions (Fig. 5's fine-grained partitioning).
     fn map_tasks(&mut self, cfg: &SimConfig) -> Vec<TaskTemplate> {
+        if self.transfer_only {
+            return Vec::new();
+        }
         let m = self.job.maps.max(1);
         let split_mb = self.job.input.mb() / m as f64;
         // Spills are written through to the volume: a write-back cache
@@ -320,6 +348,9 @@ impl JobRun {
 
     /// Reduce tasks: a shuffle-fetch stage followed by the reduce stream.
     fn reduce_tasks(&mut self, cfg: &SimConfig) -> Vec<TaskTemplate> {
+        if self.transfer_only {
+            return Vec::new();
+        }
         let r = self.job.reduces.max(1);
         let inter = self.job.inter(&self.profile);
         let output = self.job.output(&self.profile);
@@ -528,6 +559,36 @@ mod tests {
         a.advance_phase(0.0, &c);
         b.advance_phase(0.0, &c);
         assert_eq!(a.pending, b.pending);
+    }
+
+    #[test]
+    fn migration_run_is_a_single_transfer_phase() {
+        let c = cfg();
+        let job = Job::with_default_layout(
+            JobId(9),
+            AppKind::Grep,
+            DatasetId(0),
+            DataSize::from_gb(12.0),
+        );
+        let profiles = ProfileSet::defaults();
+        let mut run = JobRun::migration(
+            job,
+            Tier::PersHdd,
+            Tier::PersSsd,
+            *profiles.get(AppKind::Grep),
+        );
+        assert_eq!(run.advance_phase(0.0, &c), JobPhase::StageIn);
+        assert_eq!(run.pending.len(), c.nvm * c.transfer_streams_per_vm);
+        let total: f64 = run.pending.iter().map(|t| t.stages[0].units).sum();
+        assert!((total - 12_000.0).abs() / 12_000.0 < 0.1, "moves all bytes");
+        let s = &run.pending[0].stages[0];
+        assert_eq!(s.read.unwrap().0, Tier::PersHdd);
+        assert_eq!(s.write.unwrap().0, Tier::PersSsd);
+        assert_eq!(run.pending[0].slot, SlotKind::Transfer);
+        // No compute or stage-out follows the move.
+        run.pending.clear();
+        assert_eq!(run.advance_phase(30.0, &c), JobPhase::Done);
+        assert!((run.phase_secs[0] - 30.0).abs() < 1e-9);
     }
 
     #[test]

@@ -57,4 +57,6 @@ pub use error::SimError;
 pub use fault::{DegradationWindow, FaultPlan, VmCrash};
 pub use metrics::{FaultSummary, JobMetrics, SimReport};
 pub use placement::{JobPlacement, PlacementMap, SplitPlacement};
-pub use runner::{simulate, simulate_observed};
+pub use runner::{
+    simulate, simulate_observed, simulate_with_migrations, MigrationSpec, MIGRATION_JOB_BASE,
+};

@@ -8,7 +8,10 @@
 use std::collections::HashMap;
 
 use cast_cloud::tier::Tier;
-use cast_workload::job::JobId;
+use cast_cloud::units::DataSize;
+use cast_workload::apps::AppKind;
+use cast_workload::dataset::DatasetId;
+use cast_workload::job::{Job, JobId};
 use cast_workload::spec::WorkloadSpec;
 
 use crate::config::SimConfig;
@@ -17,6 +20,30 @@ use crate::error::SimError;
 use crate::jobrun::JobRun;
 use crate::metrics::SimReport;
 use crate::placement::{JobPlacement, PlacementMap};
+
+/// Job-id namespace for synthetic migration runs: ids at or above this
+/// value belong to data movements, not workload jobs (reports keep both,
+/// so consumers can split them apart).
+pub const MIGRATION_JOB_BASE: u32 = 1 << 30;
+
+/// One planned data movement: `bytes` of a dataset relocating between
+/// tiers as part of a plan change. Jobs listed in `blocks` read the moved
+/// data under its *new* placement and therefore wait for the move; all
+/// other jobs are unaffected (in-flight work keeps the old placement).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MigrationSpec {
+    /// Movement id, unique within one simulation (the synthetic job id
+    /// becomes `MIGRATION_JOB_BASE + id`).
+    pub id: u32,
+    /// Bytes to move.
+    pub bytes: DataSize,
+    /// Source tier.
+    pub from: Tier,
+    /// Destination tier.
+    pub to: Tier,
+    /// Workload jobs that must not start before this move completes.
+    pub blocks: Vec<JobId>,
+}
 
 /// Simulate `spec` under `placements` on the cluster `cfg`.
 ///
@@ -41,12 +68,61 @@ pub fn simulate_observed(
     cfg: &SimConfig,
     collector: &cast_obs::Collector,
 ) -> Result<SimReport, SimError> {
+    simulate_with_migrations(spec, placements, &[], cfg, collector)
+}
+
+/// [`simulate_observed`] with mid-run reconfiguration: each
+/// [`MigrationSpec`] becomes an explicit transfer-only run whose streams
+/// contend for tier bandwidth like any other I/O. Migration runs are
+/// dispatchable from `t = 0`; a workload job that reads migrated data
+/// (listed in the migration's `blocks`) waits for the move to finish
+/// before starting, while every other job proceeds immediately — i.e.
+/// in-flight work keeps its old placement until the data has landed.
+pub fn simulate_with_migrations(
+    spec: &WorkloadSpec,
+    placements: &PlacementMap,
+    migrations: &[MigrationSpec],
+    cfg: &SimConfig,
+    collector: &cast_obs::Collector,
+) -> Result<SimReport, SimError> {
     spec.validate()?;
     let order = execution_order(spec);
-    let index_of: HashMap<JobId, usize> =
-        order.iter().enumerate().map(|(i, &id)| (id, i)).collect();
+    let n_mig = migrations.len();
+    let index_of: HashMap<JobId, usize> = order
+        .iter()
+        .enumerate()
+        .map(|(i, &id)| (id, i + n_mig))
+        .collect();
 
-    let mut runs: Vec<JobRun> = Vec::with_capacity(order.len());
+    // Migration runs occupy engine indices `0..n_mig` (the engine requires
+    // dependency indices below the dependent's own index, so movers must
+    // precede the jobs they gate).
+    let mut runs: Vec<JobRun> = Vec::with_capacity(order.len() + n_mig);
+    let mut blocked_by: HashMap<JobId, Vec<usize>> = HashMap::new();
+    for (m_idx, m) in migrations.iter().enumerate() {
+        for t in [m.from, m.to] {
+            if t.is_block() && cfg.vm_tier_bandwidth(t).mb_per_sec() <= 0.0 {
+                return Err(SimError::UnprovisionedTier {
+                    job: MIGRATION_JOB_BASE + m.id,
+                    tier: t.name().to_string(),
+                });
+            }
+        }
+        let job = Job {
+            id: JobId(MIGRATION_JOB_BASE + m.id),
+            app: AppKind::Grep,
+            dataset: DatasetId(MIGRATION_JOB_BASE + m.id),
+            input: m.bytes,
+            maps: 1,
+            reduces: 1,
+        };
+        let profile = *spec.profiles.get(job.app);
+        runs.push(JobRun::migration(job, m.from, m.to, profile));
+        for &jid in &m.blocks {
+            blocked_by.entry(jid).or_default().push(m_idx);
+        }
+    }
+
     for &jid in &order {
         let job = *spec.job(jid).expect("ordered job exists");
         let placement = placements
@@ -56,6 +132,9 @@ pub fn simulate_observed(
         validate_placement(jid, &placement, cfg)?;
         let mut placement = placement;
         let mut deps: Vec<usize> = Vec::new();
+        if let Some(movers) = blocked_by.get(&jid) {
+            deps.extend(movers.iter().copied());
+        }
         if let Some(wf) = spec.workflow_of(jid) {
             let parents = wf.parents(jid);
             for &p in &parents {
@@ -240,6 +319,98 @@ mod tests {
         let placements = PlacementMap::uniform(spec.jobs.iter().map(|j| j.id), Tier::PersHdd);
         let err = simulate(&spec, &placements, &cfg).unwrap_err();
         assert!(matches!(err, SimError::UnprovisionedTier { .. }));
+    }
+
+    #[test]
+    fn migrations_gate_only_their_blocked_jobs() {
+        let mut spec = synth::single_job(AppKind::Grep, DataSize::from_gb(8.0));
+        let mut other = spec.jobs[0];
+        other.id = JobId(1);
+        other.dataset = cast_workload::DatasetId(1);
+        spec.jobs.push(other);
+        spec.datasets.push(cast_workload::Dataset::single_use(
+            other.dataset,
+            other.input,
+        ));
+        let mut cfg = full_cfg(4);
+        cfg.concurrency = crate::config::Concurrency::Parallel;
+        let placements = PlacementMap::uniform(spec.jobs.iter().map(|j| j.id), Tier::PersSsd);
+        let migrations = vec![MigrationSpec {
+            id: 0,
+            bytes: DataSize::from_gb(40.0),
+            from: Tier::PersHdd,
+            to: Tier::PersSsd,
+            blocks: vec![JobId(0)],
+        }];
+        let report = simulate_with_migrations(
+            &spec,
+            &placements,
+            &migrations,
+            &cfg,
+            &cast_obs::Collector::noop(),
+        )
+        .unwrap();
+        assert_eq!(report.jobs.len(), 3, "two jobs plus the migration run");
+        let mover = report.job(JobId(MIGRATION_JOB_BASE)).unwrap();
+        assert!(mover.finished.secs() > 0.0, "migration moves real bytes");
+        let blocked = report.job(JobId(0)).unwrap();
+        let free = report.job(JobId(1)).unwrap();
+        assert!(
+            blocked.started.secs() >= mover.finished.secs() - 1e-6,
+            "blocked job must wait for the move"
+        );
+        assert!(
+            free.started.secs() < mover.finished.secs(),
+            "unblocked job starts while the move is in flight"
+        );
+    }
+
+    #[test]
+    fn migration_contends_for_tier_bandwidth() {
+        // The same job runs slower when a migration hammers its input tier.
+        let spec = synth::single_job(AppKind::Grep, DataSize::from_gb(20.0));
+        let mut cfg = full_cfg(2);
+        cfg.concurrency = crate::config::Concurrency::Parallel;
+        let placements = PlacementMap::uniform(spec.jobs.iter().map(|j| j.id), Tier::PersHdd);
+        let quiet = simulate(&spec, &placements, &cfg).unwrap();
+        let migrations = vec![MigrationSpec {
+            id: 0,
+            bytes: DataSize::from_gb(200.0),
+            from: Tier::PersHdd,
+            to: Tier::PersSsd,
+            blocks: vec![],
+        }];
+        let busy = simulate_with_migrations(
+            &spec,
+            &placements,
+            &migrations,
+            &cfg,
+            &cast_obs::Collector::noop(),
+        )
+        .unwrap();
+        let quiet_job = quiet.job(JobId(0)).unwrap();
+        let busy_job = busy.job(JobId(0)).unwrap();
+        assert!(
+            busy_job.finished.secs() > quiet_job.finished.secs() * 1.05,
+            "migration I/O must slow the co-running job ({} vs {})",
+            busy_job.finished.secs(),
+            quiet_job.finished.secs()
+        );
+    }
+
+    #[test]
+    fn empty_migration_list_matches_plain_simulate() {
+        let spec = synth::single_job(AppKind::Grep, DataSize::from_gb(10.0));
+        let cfg = full_cfg(2);
+        let placements = PlacementMap::uniform(spec.jobs.iter().map(|j| j.id), Tier::PersSsd);
+        let plain = simulate(&spec, &placements, &cfg).unwrap();
+        let with =
+            simulate_with_migrations(&spec, &placements, &[], &cfg, &cast_obs::Collector::noop())
+                .unwrap();
+        assert_eq!(
+            plain.makespan.secs().to_bits(),
+            with.makespan.secs().to_bits()
+        );
     }
 
     #[test]

@@ -63,6 +63,32 @@ impl Default for AnnealConfig {
     }
 }
 
+/// Parameters of a warm-started re-solve (see [`Annealer::resume_from`]).
+///
+/// An online replan starts from a near-optimal incumbent, so it neither
+/// needs nor wants the full cold-start schedule: a high initial
+/// temperature would walk away from the incumbent before re-converging,
+/// and a full iteration budget wastes replan latency. A `WarmStart`
+/// scales both down.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WarmStart {
+    /// Fraction of the base config's `temp_init` to resume at, in
+    /// `(0, 1]`. Low values keep the chain near the incumbent; 1.0
+    /// reproduces a cold start's schedule.
+    pub temp_frac: f64,
+    /// Iteration budget for the resumed solve (per restart).
+    pub iterations: usize,
+}
+
+impl Default for WarmStart {
+    fn default() -> Self {
+        WarmStart {
+            temp_frac: 0.25,
+            iterations: 3_000,
+        }
+    }
+}
+
 /// The seed driving restart `restart` of a multi-restart solve. Restart 0
 /// is the base seed itself, so `restarts = 1` is bit-compatible with a
 /// single-chain run; later restarts decorrelate through SplitMix64's
@@ -212,6 +238,33 @@ impl Annealer {
             eval,
             diagnostics: winner.diagnostics,
         })
+    }
+
+    /// Re-solve warm-started from an incumbent plan (the online runtime's
+    /// replan path).
+    ///
+    /// Identical to [`Annealer::solve`] except the schedule: the chain
+    /// resumes at `temp_init × warm.temp_frac` and runs `warm.iterations`
+    /// moves per restart. Because every chain's best-so-far starts at the
+    /// incumbent, the outcome can never score below it — warm starts are
+    /// monotone. The incumbent must assign every job in `ctx.spec` (jobs
+    /// it does not cover would poison scoring; extend the plan before
+    /// resuming).
+    pub fn resume_from(
+        &self,
+        ctx: &EvalContext<'_>,
+        incumbent: TieringPlan,
+        warm: WarmStart,
+    ) -> Result<AnnealOutcome, SolverError> {
+        let scaled = Annealer {
+            cfg: AnnealConfig {
+                temp_init: self.cfg.temp_init * warm.temp_frac.clamp(f64::MIN_POSITIVE, 1.0),
+                iterations: warm.iterations,
+                ..self.cfg
+            },
+            obs: self.obs.clone(),
+        };
+        scaled.solve(ctx, incumbent)
     }
 
     /// One annealing chain over [`IncrementalEval`] state. Mirrors
@@ -715,6 +768,80 @@ mod tests {
         // beat the single chain.
         assert!(multi.eval.utility >= single.eval.utility);
         assert_eq!(multi.diagnostics.restarts, 4);
+    }
+
+    #[test]
+    fn warm_start_never_regresses_below_incumbent() {
+        let spec = synth::prediction_workload();
+        let est = toy_estimator(25);
+        let ctx = EvalContext::new(&est, &spec);
+        let init = TieringPlan::uniform(&spec, Tier::PersHdd);
+        let cold = Annealer::new(quick_cfg(5)).solve(&ctx, init).unwrap();
+        let warm = Annealer::new(quick_cfg(6))
+            .resume_from(
+                &ctx,
+                cold.plan.clone(),
+                WarmStart {
+                    temp_frac: 0.2,
+                    iterations: 200,
+                },
+            )
+            .unwrap();
+        assert!(
+            warm.eval.utility >= cold.eval.utility - 1e-15,
+            "warm start regressed: {} < {}",
+            warm.eval.utility,
+            cold.eval.utility
+        );
+    }
+
+    #[test]
+    fn warm_start_reaches_incumbent_in_fewer_moves_than_cold() {
+        let spec = synth::prediction_workload();
+        let est = toy_estimator(25);
+        let ctx = EvalContext::new(&est, &spec);
+        let init = TieringPlan::uniform(&spec, Tier::PersHdd);
+        let incumbent = Annealer::new(quick_cfg(11))
+            .solve(&ctx, init.clone())
+            .unwrap();
+        let target = incumbent.eval.utility;
+        let warm = Annealer::new(quick_cfg(12))
+            .resume_from(&ctx, incumbent.plan, WarmStart::default())
+            .unwrap();
+        let cold = Annealer::new(AnnealConfig {
+            iterations: WarmStart::default().iterations,
+            seed: 12,
+            ..AnnealConfig::default()
+        })
+        .solve(&ctx, init)
+        .unwrap();
+        let warm_moves = warm.diagnostics.moves_to_reach(target).unwrap();
+        assert_eq!(warm_moves, 0, "warm chain starts at the incumbent score");
+        let cold_moves = cold
+            .diagnostics
+            .moves_to_reach(target)
+            .unwrap_or(cold.diagnostics.iterations);
+        assert!(
+            cold_moves > warm_moves,
+            "cold start should need moves to climb back ({cold_moves} vs {warm_moves})"
+        );
+    }
+
+    #[test]
+    fn warm_start_is_deterministic() {
+        let spec = synth::prediction_workload();
+        let est = toy_estimator(25);
+        let ctx = EvalContext::new(&est, &spec);
+        let init = TieringPlan::uniform(&spec, Tier::ObjStore);
+        let incumbent = Annealer::new(quick_cfg(17)).solve(&ctx, init).unwrap();
+        let a = Annealer::new(quick_cfg(18))
+            .resume_from(&ctx, incumbent.plan.clone(), WarmStart::default())
+            .unwrap();
+        let b = Annealer::new(quick_cfg(18))
+            .resume_from(&ctx, incumbent.plan, WarmStart::default())
+            .unwrap();
+        assert_eq!(a.plan, b.plan);
+        assert_eq!(a.eval.utility.to_bits(), b.eval.utility.to_bits());
     }
 
     #[test]

@@ -44,6 +44,19 @@ impl SolveDiagnostics {
             (self.best_score - self.initial_score) / self.initial_score.abs()
         }
     }
+
+    /// Number of annealing moves after which the best-so-far score first
+    /// reached `target` (resolution: one trace stride). `None` when the
+    /// run never got there. Used to compare warm-started against
+    /// cold-started replans: the warm chain starts at the incumbent, so
+    /// its `moves_to_reach(incumbent)` is 0 by construction, while a cold
+    /// chain has to climb back first.
+    pub fn moves_to_reach(&self, target: f64) -> Option<usize> {
+        self.trace
+            .iter()
+            .position(|&s| s >= target)
+            .map(|i| i * self.trace_stride)
+    }
 }
 
 #[cfg(test)]
@@ -72,5 +85,18 @@ mod tests {
         let d = SolveDiagnostics::default();
         assert_eq!(d.acceptance_rate(), 0.0);
         assert_eq!(d.improvement(), 0.0);
+    }
+
+    #[test]
+    fn moves_to_reach_scans_the_trace() {
+        let d = SolveDiagnostics {
+            trace: vec![1.0, 1.0, 1.2, 1.5],
+            trace_stride: 50,
+            ..SolveDiagnostics::default()
+        };
+        assert_eq!(d.moves_to_reach(1.0), Some(0));
+        assert_eq!(d.moves_to_reach(1.1), Some(100));
+        assert_eq!(d.moves_to_reach(1.5), Some(150));
+        assert_eq!(d.moves_to_reach(2.0), None);
     }
 }

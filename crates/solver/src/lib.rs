@@ -35,7 +35,7 @@ pub mod neighbor;
 pub mod objective;
 pub mod plan;
 
-pub use anneal::{restart_seed, AnnealConfig, Annealer, SearchOutcome};
+pub use anneal::{restart_seed, AnnealConfig, Annealer, SearchOutcome, WarmStart};
 pub use castpp::{CastPlusPlus, CastPlusPlusConfig};
 pub use cooling::Cooling;
 pub use diagnostics::SolveDiagnostics;

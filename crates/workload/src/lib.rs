@@ -8,6 +8,8 @@
 //!
 //! * [`apps`] — the application kinds of Table 2 (Sort, Join, Grep, KMeans,
 //!   plus PageRank from the Fig. 4 workflow) and their I/O/CPU character,
+//! * [`arrival`] — timestamped job-arrival streams (Poisson/bursty
+//!   processes with workload drift) for the online runtime,
 //! * [`profile`] — quantitative application profiles: phase selectivities,
 //!   per-task processing rates and file-count behaviour that parameterise
 //!   both the simulator and the performance estimator,
@@ -22,6 +24,7 @@
 //!   framework.
 
 pub mod apps;
+pub mod arrival;
 pub mod dataset;
 pub mod error;
 pub mod facebook;
@@ -34,6 +37,7 @@ pub mod synth;
 pub mod workflow;
 
 pub use apps::AppKind;
+pub use arrival::{Arrival, ArrivalConfig, ArrivalProcess, ArrivalStream, DriftConfig};
 pub use dataset::{Dataset, DatasetId};
 pub use error::WorkloadError;
 pub use job::{Job, JobId};

@@ -19,6 +19,7 @@ pub use cast_cloud as cloud;
 pub use cast_core as core;
 pub use cast_estimator as estimator;
 pub use cast_obs as obs;
+pub use cast_runtime as runtime;
 pub use cast_sim as sim;
 pub use cast_solver as solver;
 pub use cast_workload as workload;

@@ -47,3 +47,54 @@ fn different_share_fractions_change_the_workload() {
     assert!(none.reuse_groups().is_empty());
     assert!(!some.reuse_groups().is_empty());
 }
+
+#[test]
+fn online_serving_is_bit_deterministic() {
+    use cast::solver::AnnealConfig;
+    use cast::workload::arrival::generate;
+
+    let stream = generate(&ArrivalConfig {
+        seed: 7,
+        horizon: Duration::from_mins(45.0),
+        process: ArrivalProcess::Poisson {
+            jobs_per_hour: 12.0,
+        },
+        drift: DriftConfig {
+            app_shift: 0.4,
+            size_growth: 0.4,
+        },
+        workflow_fraction: 0.2,
+        max_bin: 3,
+    })
+    .unwrap();
+
+    // The whole pipeline — profiling, per-epoch warm-started solves
+    // (including the parallel multi-restart path), migration scheduling
+    // and simulation — is rebuilt from scratch each time; the serialized
+    // reports must be byte-identical.
+    let serve = |restarts: usize| {
+        let online = Cast::builder()
+            .nvm(2)
+            .profiler(common::quick_profiler())
+            .anneal(AnnealConfig {
+                iterations: 300,
+                restarts,
+                seed: 11,
+                ..AnnealConfig::default()
+            })
+            .online(RuntimeConfig {
+                epoch: Duration::from_mins(15.0),
+                policy: ReplanPolicy::Periodic,
+                ..RuntimeConfig::default()
+            })
+            .expect("online build");
+        let report = online.run(&stream).expect("online run");
+        serde_json::to_string(&report).expect("report serializes")
+    };
+    assert_eq!(serve(1), serve(1), "single-restart replay must be exact");
+    assert_eq!(
+        serve(2),
+        serve(2),
+        "parallel multi-restart replanning must not leak scheduling order"
+    );
+}

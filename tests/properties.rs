@@ -152,3 +152,55 @@ fn evaluated_utility_matches_manual_recomputation() {
     let manual = (1.0 / eval.time.mins()) / eval.cost.total().dollars();
     assert!((eval.utility - manual).abs() / manual < 1e-9);
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Arrival synthesis holds its marginals for arbitrary seeds: the
+    /// job-size distribution stays on the Table 4 bin shares, a Poisson
+    /// stream's mean inter-arrival gap matches the configured rate, and
+    /// the whole stream is a pure function of the seed.
+    #[test]
+    fn arrival_streams_follow_table4_and_the_configured_rate(seed in 0u64..100_000) {
+        use cast::workload::arrival::{generate, ArrivalConfig, ArrivalProcess, DriftConfig};
+        use cast::workload::facebook::table4;
+
+        let cfg = ArrivalConfig {
+            seed,
+            horizon: Duration::from_hours(12.0),
+            process: ArrivalProcess::Poisson { jobs_per_hour: 60.0 },
+            drift: DriftConfig::none(),
+            workflow_fraction: 0.0,
+            max_bin: 4,
+        };
+        let stream = generate(&cfg).unwrap();
+        prop_assert!(generate(&cfg).unwrap() == stream, "stream must replay bit-identically");
+
+        // ~720 exponential gaps with mean 60 s: the sample mean sits
+        // within a generous 6-sigma band.
+        let mean = stream.mean_interarrival_secs().unwrap();
+        prop_assert!((mean - 60.0).abs() < 15.0, "mean inter-arrival {:.1} s, expected ~60 s", mean);
+
+        // With no size drift every job's input is exactly its bin's
+        // synthesized size, so map count identifies the bin.
+        let bins: Vec<_> = table4().into_iter().filter(|b| b.bin <= cfg.max_bin).collect();
+        let weight: f64 = bins.iter().map(|b| b.workload_jobs as f64).sum();
+        let n = stream.total_jobs() as f64;
+        prop_assert!(n > 300.0, "stream unexpectedly sparse ({n} jobs)");
+        for b in &bins {
+            let share = stream
+                .arrivals
+                .iter()
+                .flat_map(|a| &a.jobs)
+                .filter(|j| (j.input.mb() / 256.0).ceil() as usize == b.workload_maps)
+                .count() as f64
+                / n;
+            let want = b.workload_jobs as f64 / weight;
+            prop_assert!(
+                (share - want).abs() < 0.08,
+                "bin {} share {:.3}, Table 4 share {:.3}",
+                b.bin, share, want
+            );
+        }
+    }
+}
