@@ -318,6 +318,17 @@ fn main() {
          takes roughly the wall-clock of its slowest figure instead of the sum\n\
          of all of them. `cargo bench --bench solver_eval` prints the measured\n\
          full-vs-incremental solve-loop speedup.\n\n\
+         Simulator engine: every experiment drives the event-driven\n\
+         `cast_sim::engine::Engine` (incremental share rates + completion heap;\n\
+         see DESIGN.md \"Engine performance\"). The pre-overhaul stepper is kept\n\
+         compiled behind the default-on `reference-engine` feature purely as an\n\
+         equivalence oracle — `cargo test -p cast-sim --test engine_equivalence`\n\
+         checks the two agree within 1e-6 relative across randomized fault\n\
+         scenarios, and `cargo run --release -p cast-bench --bin sim_scale`\n\
+         measures the throughput gap (committed baseline:\n\
+         `results/BENCH_sim.json`; CI gates on a >25 % regression). Disabling\n\
+         the feature (`--no-default-features` on cast-sim) drops the oracle from\n\
+         the build; results are unaffected.\n\n\
          Observability: pass `--trace-out [STEM]` (also understood by the\n\
          `fault_sweep` binary) to record every solver and simulator run into\n\
          `results/STEM.trace.ndjson` — one JSON event per line: job / phase /\n\

@@ -1,0 +1,263 @@
+//! `sim_scale` — engine-throughput scaling benchmark.
+//!
+//! Runs the Facebook-derived workload at several cluster/workload scales
+//! through the event-driven engine (and, where affordable, the reference
+//! stepper) and reports steps-per-second throughput as machine-readable
+//! JSON (`BENCH_sim.json`). Doubles as a CI regression gate: `--check`
+//! compares the measured throughput against a committed baseline and
+//! fails the run on a slowdown beyond `--tolerance`.
+//!
+//! ```text
+//! sim_scale [--smoke] [--out PATH] [--check BASELINE] [--tolerance 0.25]
+//! ```
+//!
+//! * `--smoke` runs only the smallest scenario (CI-friendly, < 1 s).
+//! * `--out` writes the JSON report to a file (default: stdout only).
+//! * `--check` loads a baseline JSON and fails (exit 1) if any scenario's
+//!   `events_per_sec` regressed by more than the tolerance (default 25%).
+//!   Only scenarios present in both reports are compared, so a smoke run
+//!   can be checked against a committed full baseline.
+
+use std::time::Instant;
+
+use cast_cloud::tier::{PerTier, Tier};
+use cast_cloud::units::DataSize;
+use cast_cloud::Catalog;
+use cast_sim::config::SimConfig;
+use cast_sim::engine::Engine;
+use cast_sim::placement::PlacementMap;
+use cast_sim::prepare_runs;
+#[cfg(feature = "reference-engine")]
+use cast_sim::reference::ReferenceEngine;
+use cast_workload::dataset::DatasetId;
+use cast_workload::job::JobId;
+use cast_workload::spec::WorkloadSpec;
+use cast_workload::synth;
+
+/// (nvm, jobs) grid of the full run. The 400-VM scenarios skip the
+/// reference stepper: its O(events × tasks) inner loop makes them take
+/// minutes for no additional information.
+const FULL: &[(usize, usize)] = &[
+    (25, 100),
+    (100, 100),
+    (400, 100),
+    (25, 400),
+    (100, 400),
+    (400, 400),
+];
+const SMOKE: &[(usize, usize)] = &[(25, 100)];
+
+/// Reference stepper is only timed at or below this VM count.
+const REFERENCE_NVM_CAP: usize = 100;
+
+/// Timed repetitions per scenario (fastest wins, after one warm-up).
+const REPS: usize = 3;
+
+#[derive(serde::Serialize, serde::Deserialize)]
+struct Report {
+    bench: String,
+    mode: String,
+    scenarios: Vec<Scenario>,
+}
+
+#[derive(serde::Serialize, serde::Deserialize)]
+struct Scenario {
+    nvm: usize,
+    jobs: usize,
+    steps: u64,
+    wall_secs: f64,
+    events_per_sec: f64,
+    reference_wall_secs: Option<f64>,
+    reference_events_per_sec: Option<f64>,
+    /// reference wall / engine wall, where both were measured.
+    speedup: Option<f64>,
+}
+
+/// The 100-job Facebook workload, or `copies` of it merged with offset
+/// job/dataset id namespaces.
+fn workload(copies: usize) -> WorkloadSpec {
+    let base = synth::facebook_workload(Default::default()).expect("synthesis");
+    if copies == 1 {
+        return base;
+    }
+    let mut spec = WorkloadSpec::empty();
+    spec.profiles = base.profiles;
+    let job_stride = base.jobs.iter().map(|j| j.id.0).max().unwrap_or(0) + 1;
+    let ds_stride = base.datasets.iter().map(|d| d.id.0).max().unwrap_or(0) + 1;
+    for c in 0..copies as u32 {
+        for &j in &base.jobs {
+            let mut j = j;
+            j.id = JobId(j.id.0 + c * job_stride);
+            j.dataset = DatasetId(j.dataset.0 + c * ds_stride);
+            spec.jobs.push(j);
+        }
+        for d in &base.datasets {
+            let mut d = *d;
+            d.id = DatasetId(d.id.0 + c * ds_stride);
+            spec.datasets.push(d);
+        }
+    }
+    spec.validate().expect("merged workload is valid");
+    spec
+}
+
+fn cluster(nvm: usize) -> SimConfig {
+    let agg = PerTier::from_fn(|_| DataSize::from_gb(1000.0) * nvm as f64);
+    SimConfig::with_aggregate_capacity(Catalog::google_cloud(), nvm, &agg).expect("provision")
+}
+
+fn run_scenario(nvm: usize, jobs: usize) -> Scenario {
+    let spec = workload(jobs / 100);
+    assert_eq!(spec.jobs.len(), jobs);
+    let placements = PlacementMap::uniform(spec.jobs.iter().map(|j| j.id), Tier::PersSsd);
+    let cfg = cluster(nvm);
+    let runs = prepare_runs(&spec, &placements, &[], &cfg).expect("prepare");
+
+    let mut best = f64::INFINITY;
+    let mut steps = 0;
+    for rep in 0..=REPS {
+        let t0 = Instant::now();
+        let (_, stats) = Engine::new(&cfg, runs.clone())
+            .run_with_stats()
+            .expect("simulation");
+        let wall = t0.elapsed().as_secs_f64();
+        if rep > 0 {
+            best = best.min(wall);
+            steps = stats.steps;
+        }
+    }
+
+    #[allow(unused_mut)]
+    let (mut ref_wall, mut ref_eps): (Option<f64>, Option<f64>) = (None, None);
+    #[cfg(feature = "reference-engine")]
+    if nvm <= REFERENCE_NVM_CAP {
+        let mut ref_best = f64::INFINITY;
+        let mut ref_steps = 0;
+        for _ in 0..REPS {
+            let t0 = Instant::now();
+            let (_, stats) = ReferenceEngine::new(&cfg, runs.clone())
+                .run_with_stats()
+                .expect("simulation");
+            ref_best = ref_best.min(t0.elapsed().as_secs_f64());
+            ref_steps = stats.steps;
+        }
+        ref_wall = Some(ref_best);
+        ref_eps = Some(ref_steps as f64 / ref_best);
+    }
+
+    Scenario {
+        nvm,
+        jobs,
+        steps,
+        wall_secs: best,
+        events_per_sec: steps as f64 / best,
+        reference_wall_secs: ref_wall,
+        reference_events_per_sec: ref_eps,
+        speedup: ref_wall.map(|r| r / best),
+    }
+}
+
+fn check(current: &Report, baseline_path: &str, tolerance: f64) -> Result<(), String> {
+    let raw = std::fs::read_to_string(baseline_path)
+        .map_err(|e| format!("cannot read baseline {baseline_path}: {e}"))?;
+    let baseline: Report =
+        serde_json::from_str(&raw).map_err(|e| format!("bad baseline JSON: {e}"))?;
+    let mut failures = Vec::new();
+    for cur in &current.scenarios {
+        let Some(base) = baseline
+            .scenarios
+            .iter()
+            .find(|b| b.nvm == cur.nvm && b.jobs == cur.jobs)
+        else {
+            continue;
+        };
+        let floor = base.events_per_sec * (1.0 - tolerance);
+        let verdict = if cur.events_per_sec < floor {
+            "REGRESSED"
+        } else {
+            "ok"
+        };
+        eprintln!(
+            "check nvm={} jobs={}: {:.0} events/s vs baseline {:.0} (floor {:.0}) {}",
+            cur.nvm, cur.jobs, cur.events_per_sec, base.events_per_sec, floor, verdict
+        );
+        if cur.events_per_sec < floor {
+            failures.push(format!(
+                "nvm={} jobs={}: {:.0} events/s < {:.0} ({}% below baseline {:.0})",
+                cur.nvm,
+                cur.jobs,
+                cur.events_per_sec,
+                floor,
+                (100.0 * (1.0 - cur.events_per_sec / base.events_per_sec)).round(),
+                base.events_per_sec,
+            ));
+        }
+    }
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(failures.join("\n"))
+    }
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut out: Option<String> = None;
+    let mut baseline: Option<String> = None;
+    let mut tolerance = 0.25;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => out = Some(args.next().expect("--out PATH")),
+            "--check" => baseline = Some(args.next().expect("--check BASELINE")),
+            "--tolerance" => {
+                tolerance = args
+                    .next()
+                    .expect("--tolerance FRACTION")
+                    .parse()
+                    .expect("tolerance is a fraction")
+            }
+            other => {
+                eprintln!("unknown flag {other}");
+                eprintln!(
+                    "usage: sim_scale [--smoke] [--out PATH] [--check BASELINE] [--tolerance 0.25]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let grid = if smoke { SMOKE } else { FULL };
+    let mut scenarios = Vec::new();
+    for &(nvm, jobs) in grid {
+        let s = run_scenario(nvm, jobs);
+        eprintln!(
+            "sim_scale nvm={nvm} jobs={jobs}: {} steps in {:.3}s = {:.0} events/s{}",
+            s.steps,
+            s.wall_secs,
+            s.events_per_sec,
+            s.speedup
+                .map(|x| format!(" ({x:.1}x over reference)"))
+                .unwrap_or_default(),
+        );
+        scenarios.push(s);
+    }
+    let report = Report {
+        bench: "sim_scale".to_string(),
+        mode: if smoke { "smoke" } else { "full" }.to_string(),
+        scenarios,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("serialize");
+    println!("{json}");
+    if let Some(path) = &out {
+        std::fs::write(path, format!("{json}\n")).expect("write report");
+        eprintln!("wrote {path}");
+    }
+    if let Some(path) = &baseline {
+        if let Err(msg) = check(&report, path, tolerance) {
+            eprintln!("throughput regression:\n{msg}");
+            std::process::exit(1);
+        }
+    }
+}

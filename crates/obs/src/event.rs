@@ -72,6 +72,12 @@ pub enum EventBody {
         kind: String,
     },
     /// Sampled tier-bandwidth contention: aggregate demand vs. capacity.
+    ///
+    /// Sampled every `CONTENTION_STRIDE` engine steps, so sample *timing*
+    /// depends on how the emitting engine discretizes time — the
+    /// event-driven simulator takes far fewer (and differently spaced)
+    /// steps than its reference stepper for the same scenario. Treat the
+    /// series as a load profile, not a step-synchronous signal.
     Contention {
         /// Storage tier name.
         tier: String,

@@ -9,6 +9,9 @@ use cast_cloud::{Catalog, VmType};
 
 use crate::fault::FaultPlan;
 
+/// Default cap on engine steps before a run is declared runaway.
+pub const DEFAULT_EVENT_BUDGET: u64 = 50_000_000;
+
 /// How jobs contend for the cluster.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Concurrency {
@@ -60,6 +63,9 @@ pub struct SimConfig {
     /// Fault-injection scenario. The default (empty) plan reproduces
     /// fault-free simulations bit-identically.
     pub faults: FaultPlan,
+    /// Maximum engine steps before the run aborts with
+    /// [`crate::error::SimError::EventBudgetExhausted`].
+    pub event_budget: u64,
 }
 
 impl SimConfig {
@@ -88,6 +94,7 @@ impl SimConfig {
             objstore_cluster_mbps: cast_cloud::catalog::OBJSTORE_CLUSTER_MBPS,
             collect_trace: false,
             faults: FaultPlan::default(),
+            event_budget: DEFAULT_EVENT_BUDGET,
         })
     }
 

@@ -1,19 +1,37 @@
-//! The progress-based discrete-event engine.
+//! The event-driven discrete-event engine.
 //!
 //! The engine owns the job table, the active task set and the resource
-//! registry. Each iteration it (1) dispatches pending tasks onto free
-//! slots, (2) recomputes every streaming task's rate from current resource
-//! shares, (3) advances simulated time to the earliest stage completion,
-//! and (4) retires finished stages/tasks, advancing job phases as they
-//! drain. Rates are recomputed after every event, so contention effects —
-//! a wave of 400 map tasks splitting volume bandwidth 16-ways per VM —
-//! appear without any closed-form modelling.
+//! registry. Work per event is proportional to the number of *affected*
+//! flows, not the number of active tasks:
+//!
+//! * **Incremental share rates** — every streaming stage registers
+//!   persistent flows in the [`ShareRegistry`]; when a resource's load or
+//!   capacity changes, only the tasks with a flow on that resource are
+//!   recomputed (the registry's dirty-set drives this).
+//! * **Completion heap** — each task's predicted completion (or doom
+//!   point) sits in a lazy-invalidation binary min-heap. Rate changes
+//!   re-push a fresh entry under a new version; stale entries are
+//!   discarded on pop. Scheduled fault events and retry wake-ups are
+//!   sentinel entries in the same heap.
+//! * **Lazy task advancement** — a task records `(anchor clock, rate)`
+//!   and materializes its remaining units only when its rate changes, it
+//!   completes, it fails, or speculation samples it. Between rate changes
+//!   no per-event bookkeeping touches it.
+//!
+//! The pre-overhaul stepper that recomputed every rate and advanced every
+//! task on every event survives as [`crate::reference::ReferenceEngine`]
+//! (behind the `reference-engine` feature) and serves as the equivalence
+//! oracle: both engines agree within 1e-6 relative on makespan and
+//! per-job phase times across randomized workloads, placements and fault
+//! plans (`tests/engine_equivalence.rs`). Decision points — dispatch
+//! order, VM picks, fault arming, speculation policy — are kept in
+//! lockstep between the two implementations; edit them together.
 //!
 //! ## Fault injection and recovery
 //!
 //! When [`SimConfig::faults`] carries a non-empty
 //! [`crate::fault::FaultPlan`], the engine layers recovery semantics on
-//! top of the progress loop:
+//! top of the event loop:
 //!
 //! * every task attempt draws — from an RNG keyed by `(plan seed, task
 //!   uid, attempt)` — whether and where it fails mid-stream;
@@ -30,6 +48,9 @@
 //! The empty plan takes none of these code paths, so fault-free
 //! simulations are bit-identical with the machinery present.
 
+use std::cmp::Ordering;
+use std::collections::{BTreeSet, BinaryHeap};
+
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -38,42 +59,45 @@ use cast_workload::job::JobId;
 
 use crate::config::{Concurrency, SimConfig};
 use crate::error::SimError;
+use crate::fault::FaultPlan;
 use crate::jobrun::{JobPhase, JobRun};
 use crate::metrics::{FaultSummary, JobMetrics, SimReport};
-use crate::resources::{ResKind, ShareRegistry};
+use crate::resources::{FlowHandle, ResKind, ShareRegistry};
 use crate::task::{BoundStage, RunningTask, SlotKind, TaskTemplate};
 use crate::trace::{TaskEvent, TaskEventKind, Trace};
 use cast_cloud::units::Duration;
 
-/// Maximum number of engine iterations before declaring a runaway.
-const EVENT_BUDGET: u64 = 50_000_000;
 /// Completion tolerance for floating-point progress.
-const EPS: f64 = 1e-9;
+pub(crate) const EPS: f64 = 1e-9;
 /// High bit marking the uid of a speculative backup copy.
-const BACKUP_BIT: u64 = 1 << 63;
+pub(crate) const BACKUP_BIT: u64 = 1 << 63;
 /// Cap on consecutive simulated object-store request retries per stage.
-const MAX_OBJ_RETRIES: u32 = 16;
+pub(crate) const MAX_OBJ_RETRIES: u32 = 16;
 /// Engine steps between tier-contention samples on a recording collector.
-const CONTENTION_STRIDE: u64 = 32;
+pub(crate) const CONTENTION_STRIDE: u64 = 32;
+
+/// Sentinel task id for heap entries that only wake the clock (scheduled
+/// fault events, retry backoffs). Always valid; carries no task work.
+const WAKE_TASK: u32 = u32::MAX;
 
 /// Observability handles, resolved once at engine construction so the hot
 /// loop never touches the registry. With a no-op collector every operation
 /// is a single branch; none of them feed back into the simulation.
-struct SimObs {
-    col: Collector,
-    started: Counter,
-    finished: Counter,
-    failed: Counter,
-    retried: Counter,
-    speculated: Counter,
-    killed: Counter,
-    steps: Counter,
-    fault_edges: Counter,
-    wave_tasks: Histogram,
+pub(crate) struct SimObs {
+    pub(crate) col: Collector,
+    pub(crate) started: Counter,
+    pub(crate) finished: Counter,
+    pub(crate) failed: Counter,
+    pub(crate) retried: Counter,
+    pub(crate) speculated: Counter,
+    pub(crate) killed: Counter,
+    pub(crate) steps: Counter,
+    pub(crate) fault_edges: Counter,
+    pub(crate) wave_tasks: Histogram,
 }
 
 impl SimObs {
-    fn new(col: Collector) -> SimObs {
+    pub(crate) fn new(col: Collector) -> SimObs {
         SimObs {
             started: col.counter("sim.tasks.started"),
             finished: col.counter("sim.tasks.finished"),
@@ -91,7 +115,7 @@ impl SimObs {
         }
     }
 
-    fn task_counter(&self, kind: TaskEventKind) -> &Counter {
+    pub(crate) fn task_counter(&self, kind: TaskEventKind) -> &Counter {
         match kind {
             TaskEventKind::Started => &self.started,
             TaskEventKind::Finished => &self.finished,
@@ -104,7 +128,7 @@ impl SimObs {
 }
 
 /// Span-taxonomy label of a task-lifecycle edge.
-fn task_kind_label(kind: TaskEventKind) -> &'static str {
+pub(crate) fn task_kind_label(kind: TaskEventKind) -> &'static str {
     match kind {
         TaskEventKind::Started => "started",
         TaskEventKind::Finished => "finished",
@@ -117,13 +141,13 @@ fn task_kind_label(kind: TaskEventKind) -> &'static str {
 
 /// A scheduled point where the fault plan changes the cluster.
 #[derive(Debug, Clone, Copy)]
-struct FaultEvent {
-    at: f64,
-    kind: FaultEventKind,
+pub(crate) struct FaultEvent {
+    pub(crate) at: f64,
+    pub(crate) kind: FaultEventKind,
 }
 
 #[derive(Debug, Clone, Copy)]
-enum FaultEventKind {
+pub(crate) enum FaultEventKind {
     Crash(u32),
     Recover(u32),
     /// A degradation window opens or closes; capacities are re-derived
@@ -133,28 +157,28 @@ enum FaultEventKind {
 
 /// A failed or crash-killed task waiting out its retry backoff.
 #[derive(Debug, Clone)]
-struct RetryEntry {
-    ready_at: f64,
-    job: usize,
-    uid: u64,
-    attempt: u32,
-    template: Box<TaskTemplate>,
+pub(crate) struct RetryEntry {
+    pub(crate) ready_at: f64,
+    pub(crate) job: usize,
+    pub(crate) uid: u64,
+    pub(crate) attempt: u32,
+    pub(crate) template: Box<TaskTemplate>,
 }
 
 /// Engine-side fault bookkeeping (cold when the plan is empty).
-struct FaultState {
-    enabled: bool,
-    crashed: Vec<bool>,
-    events: Vec<FaultEvent>,
-    next_event: usize,
-    retries: Vec<RetryEntry>,
+pub(crate) struct FaultState {
+    pub(crate) enabled: bool,
+    pub(crate) crashed: Vec<bool>,
+    pub(crate) events: Vec<FaultEvent>,
+    pub(crate) next_event: usize,
+    pub(crate) retries: Vec<RetryEntry>,
     /// Per-job counter handing out stable task uids.
-    seq: Vec<u32>,
-    vm_crashes: u32,
+    pub(crate) seq: Vec<u32>,
+    pub(crate) vm_crashes: u32,
 }
 
 impl FaultState {
-    fn new(cfg: &SimConfig, njobs: usize) -> FaultState {
+    pub(crate) fn new(cfg: &SimConfig, njobs: usize) -> FaultState {
         let plan = &cfg.faults;
         let enabled = !plan.is_empty();
         let mut events = Vec::new();
@@ -193,6 +217,69 @@ impl FaultState {
     }
 }
 
+/// Execution statistics alongside a [`SimReport`]; see
+/// [`Engine::run_with_stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Engine steps (discrete events) processed.
+    pub steps: u64,
+}
+
+/// One completion-heap entry: a predicted task milestone (stage/latency
+/// completion or doom point) or, with `task == WAKE_TASK`, a bare
+/// clock wake-up. Ordered as a min-heap on `(time, task)`.
+#[derive(Debug, Clone, Copy)]
+struct HeapEntry {
+    time: f64,
+    task: u32,
+    version: u64,
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &HeapEntry) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for HeapEntry {}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &HeapEntry) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &HeapEntry) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest time
+        // (ties broken by task index for determinism).
+        other
+            .time
+            .total_cmp(&self.time)
+            .then_with(|| other.task.cmp(&self.task))
+    }
+}
+
+/// Per-task incremental state, kept index-parallel to the engine's task
+/// vector (swap-removed in lockstep).
+#[derive(Debug, Clone)]
+struct TaskAux {
+    /// Streaming rate in units/s the task has progressed at since
+    /// `anchor` (0 while latent, frozen, or awaiting its first refresh).
+    rate: f64,
+    /// Clock at which `units_remaining`/`fixed_remaining` were last
+    /// materialized.
+    anchor: f64,
+    /// Predicted time of the task's next milestone (∞ when frozen).
+    predicted: f64,
+    /// Version stamped into the task's live heap entry; bumping it
+    /// invalidates all previous entries. Globally monotonic, so stale
+    /// entries can never collide with a reused task slot.
+    version: u64,
+    /// Registered flow handles of the current stage, positionally
+    /// matching [`BoundStage::flow_parts`].
+    flows: [Option<FlowHandle>; 4],
+    /// Whether the current stage's flows are registered.
+    registered: bool,
+}
+
 /// The simulation engine. Construct with [`Engine::new`], run with
 /// [`Engine::run`].
 pub struct Engine<'a> {
@@ -200,7 +287,29 @@ pub struct Engine<'a> {
     reg: ShareRegistry,
     jobs: Vec<JobRun>,
     tasks: Vec<RunningTask>,
-    rates: Vec<f64>,
+    aux: Vec<TaskAux>,
+    heap: BinaryHeap<HeapEntry>,
+    next_version: u64,
+    /// Per-task dedup flags for the dirty drain (transient, all false
+    /// outside [`Engine::flush_dirty`]).
+    dirty_flags: Vec<bool>,
+    dirty_tasks: Vec<u32>,
+    /// Scratch: entries due in the current step.
+    due: Vec<HeapEntry>,
+    /// Scratch: finished speculated tasks whose twin must be killed.
+    winners: Vec<(u64, Option<u64>)>,
+    /// Jobs touched by a retire/fail/kill since the last phase check.
+    affected_jobs: Vec<u32>,
+    affected_flags: Vec<bool>,
+    /// Jobs with undispatched templates, in index order.
+    pending_jobs: BTreeSet<usize>,
+    /// Set when a job reaches `Done` (re-runs dependency activation).
+    jobs_changed: bool,
+    dispatch_scratch: Vec<usize>,
+    /// Scratch for speculation sampling.
+    spec_rates: Vec<f64>,
+    stragglers: Vec<usize>,
+    wave_scratch: Vec<f64>,
     free_map: Vec<usize>,
     free_red: Vec<usize>,
     clock: f64,
@@ -223,11 +332,26 @@ impl<'a> Engine<'a> {
     /// are bit-identical to an unobserved run.
     pub fn observed(cfg: &'a SimConfig, jobs: Vec<JobRun>, collector: Collector) -> Engine<'a> {
         let fault = FaultState::new(cfg, jobs.len());
+        let njobs = jobs.len();
         Engine {
             reg: ShareRegistry::new(cfg),
             jobs,
             tasks: Vec::new(),
-            rates: Vec::new(),
+            aux: Vec::new(),
+            heap: BinaryHeap::new(),
+            next_version: 0,
+            dirty_flags: Vec::new(),
+            dirty_tasks: Vec::new(),
+            due: Vec::new(),
+            winners: Vec::new(),
+            affected_jobs: Vec::new(),
+            affected_flags: vec![false; njobs],
+            pending_jobs: BTreeSet::new(),
+            jobs_changed: true,
+            dispatch_scratch: Vec::new(),
+            spec_rates: Vec::new(),
+            stragglers: Vec::new(),
+            wave_scratch: Vec::new(),
             free_map: vec![cfg.vm.map_slots; cfg.nvm],
             free_red: vec![cfg.vm.reduce_slots; cfg.nvm],
             clock: 0.0,
@@ -241,17 +365,32 @@ impl<'a> Engine<'a> {
     }
 
     /// Run to completion, producing per-job metrics.
-    pub fn run(mut self) -> Result<SimReport, SimError> {
+    pub fn run(self) -> Result<SimReport, SimError> {
+        self.run_with_stats().map(|(report, _)| report)
+    }
+
+    /// [`Engine::run`], also returning execution statistics (step count,
+    /// for events/sec benchmarking).
+    pub fn run_with_stats(mut self) -> Result<(SimReport, EngineStats), SimError> {
         if let Err(reason) = self.cfg.faults.validate(self.cfg.nvm) {
             return Err(SimError::InvalidFaultPlan { reason });
         }
+        // Every scheduled fault event is a wake-up the clock must land on.
+        for k in 0..self.fault.events.len() {
+            let at = self.fault.events[k].at;
+            self.push_wake(at);
+        }
+        let budget = self.cfg.event_budget;
         let mut events: u64 = 0;
         loop {
             self.process_fault_events();
-            self.activate_ready_jobs();
+            if self.jobs_changed {
+                self.jobs_changed = false;
+                self.activate_ready_jobs();
+            }
             self.dispatch_retries();
             self.dispatch();
-            self.speculate();
+            self.speculate()?;
             if self.tasks.is_empty() {
                 if self.jobs.iter().all(|j| j.phase == JobPhase::Done) {
                     break;
@@ -261,8 +400,8 @@ impl<'a> Engine<'a> {
                 if let Some(wake) = self.next_wake() {
                     self.clock = wake;
                     events += 1;
-                    if events > EVENT_BUDGET {
-                        return Err(SimError::EventBudgetExhausted);
+                    if events > budget {
+                        return Err(self.budget_error(events));
                     }
                     continue;
                 }
@@ -270,8 +409,8 @@ impl<'a> Engine<'a> {
             }
             self.step()?;
             events += 1;
-            if events > EVENT_BUDGET {
-                return Err(SimError::EventBudgetExhausted);
+            if events > budget {
+                return Err(self.budget_error(events));
             }
         }
         let mut metrics: Vec<JobMetrics> = self
@@ -300,16 +439,319 @@ impl<'a> Engine<'a> {
             kills: self.jobs.iter().map(|j| j.kills).sum(),
             vm_crashes: self.fault.vm_crashes,
         };
-        Ok(SimReport {
+        let report = SimReport {
             jobs: metrics,
             makespan: Duration::from_secs(self.clock),
             faults,
             trace: self.trace,
-        })
+        };
+        Ok((report, EngineStats { steps: events }))
     }
 
+    fn budget_error(&self, steps: u64) -> SimError {
+        SimError::EventBudgetExhausted {
+            at_secs: self.clock,
+            steps,
+            active_tasks: self.tasks.len(),
+            active_jobs: self
+                .jobs
+                .iter()
+                .filter(|j| j.phase != JobPhase::Done)
+                .count(),
+        }
+    }
+
+    // ---- incremental bookkeeping ----
+
+    /// Push a fresh heap entry for task `idx` at `time`, recording `rate`
+    /// as the rate it will stream at until then. Invalidates all previous
+    /// entries for the task.
+    fn schedule(&mut self, idx: usize, time: f64, rate: f64) {
+        self.next_version += 1;
+        let v = self.next_version;
+        let a = &mut self.aux[idx];
+        a.rate = rate;
+        a.predicted = time;
+        a.version = v;
+        self.heap.push(HeapEntry {
+            time,
+            task: idx as u32,
+            version: v,
+        });
+    }
+
+    /// Mark task `idx` as having no scheduled milestone (frozen, or
+    /// awaiting its first rate from the next dirty flush).
+    fn invalidate(&mut self, idx: usize) {
+        self.next_version += 1;
+        let a = &mut self.aux[idx];
+        a.rate = 0.0;
+        a.predicted = f64::INFINITY;
+        a.version = self.next_version;
+    }
+
+    fn push_wake(&mut self, time: f64) {
+        self.heap.push(HeapEntry {
+            time,
+            task: WAKE_TASK,
+            version: 0,
+        });
+    }
+
+    fn entry_valid(&self, e: &HeapEntry) -> bool {
+        e.task == WAKE_TASK
+            || ((e.task as usize) < self.aux.len()
+                && self.aux[e.task as usize].version == e.version)
+    }
+
+    /// Bring task `idx`'s progress up to the current clock using the rate
+    /// it has streamed at since its anchor.
+    fn materialize(&mut self, idx: usize) {
+        let a = &mut self.aux[idx];
+        let dtime = self.clock - a.anchor;
+        a.anchor = self.clock;
+        if dtime <= 0.0 {
+            return;
+        }
+        let rate = a.rate;
+        let t = &mut self.tasks[idx];
+        let Some(s) = t.current_mut() else { return };
+        if s.fixed_remaining > 0.0 {
+            s.fixed_remaining -= dtime;
+            if s.fixed_remaining < EPS {
+                s.fixed_remaining = 0.0;
+            }
+        } else if rate > 0.0 {
+            s.units_remaining -= dtime * rate;
+            if s.units_remaining < EPS {
+                s.units_remaining = 0.0;
+            }
+            if let Some(doom) = t.doom_units.as_mut() {
+                *doom -= dtime * rate;
+            }
+        }
+    }
+
+    /// Register the current stage's flows (positional with
+    /// [`BoundStage::flow_parts`]); marks the touched resources dirty.
+    fn register_stage(&mut self, idx: usize) {
+        let parts = self.tasks[idx]
+            .current()
+            .expect("streaming stage")
+            .flow_parts();
+        for (k, part) in parts.into_iter().enumerate() {
+            if let Some((key, ratio)) = part {
+                if ratio > 0.0 {
+                    self.aux[idx].flows[k] = Some(self.reg.register_flow(key, ratio, idx as u32));
+                }
+            }
+        }
+        self.aux[idx].registered = true;
+    }
+
+    /// Unregister the current stage's flows, applying swap-remove fix-ups
+    /// to whichever task's handle moved.
+    fn unregister_stage(&mut self, idx: usize) {
+        for h in 0..4 {
+            if let Some(handle) = self.aux[idx].flows[h].take() {
+                if let Some(m) = self.reg.unregister_flow(handle) {
+                    let owner = m.task as usize;
+                    for f in self.aux[owner].flows.iter_mut().flatten() {
+                        if f.res == m.res && f.pos == m.from {
+                            f.pos = m.to;
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        self.aux[idx].registered = false;
+    }
+
+    /// Remove task `idx` (swap-remove, aux kept in lockstep), returning
+    /// the task and — when another task was moved into the freed slot —
+    /// that task's former index so callers can fix any reference to it.
+    fn remove_task(&mut self, idx: usize) -> (RunningTask, Option<usize>) {
+        if self.aux[idx].registered {
+            self.unregister_stage(idx);
+        }
+        let task = self.tasks.swap_remove(idx);
+        self.aux.swap_remove(idx);
+        self.dirty_flags.swap_remove(idx);
+        let old_last = self.tasks.len();
+        if idx < old_last {
+            // The task formerly at `old_last` now lives at `idx`: re-point
+            // its registered flows and re-key its heap entry under a fresh
+            // version (its old entries die by index/version mismatch).
+            if self.aux[idx].registered {
+                for h in 0..4 {
+                    if let Some(handle) = self.aux[idx].flows[h] {
+                        self.reg.retarget_flow(handle, idx as u32);
+                    }
+                }
+            }
+            self.next_version += 1;
+            let v = self.next_version;
+            self.aux[idx].version = v;
+            let predicted = self.aux[idx].predicted;
+            if predicted.is_finite() {
+                self.heap.push(HeapEntry {
+                    time: predicted,
+                    task: idx as u32,
+                    version: v,
+                });
+            }
+            (task, Some(old_last))
+        } else {
+            (task, None)
+        }
+    }
+
+    /// Register aux state and the first milestone for the task just
+    /// pushed onto the task vector.
+    fn track_new_task(&mut self) {
+        let idx = self.tasks.len() - 1;
+        self.aux.push(TaskAux {
+            rate: 0.0,
+            anchor: self.clock,
+            predicted: f64::INFINITY,
+            version: 0,
+            flows: [None; 4],
+            registered: false,
+        });
+        self.dirty_flags.push(false);
+        let (latent, fixed, tiny, has_stage) = match self.tasks[idx].current() {
+            Some(s) => (
+                s.is_latent(),
+                s.fixed_remaining,
+                s.units_remaining <= EPS,
+                true,
+            ),
+            None => (false, 0.0, true, false),
+        };
+        if !has_stage || (!latent && tiny) {
+            // Nothing (or nothing measurable) to do: due immediately.
+            self.schedule(idx, self.clock, 0.0);
+        } else if latent {
+            self.schedule(idx, self.clock + fixed, 0.0);
+        } else {
+            // Streaming: rate and milestone arrive at the next dirty
+            // flush, triggered by this very registration.
+            self.register_stage(idx);
+            self.invalidate(idx);
+        }
+    }
+
+    /// Recompute every task whose resources changed since the last flush.
+    /// Returns the stall error when a frozen task has no future wake-up.
+    fn flush_dirty(&mut self) -> Result<(), SimError> {
+        if !self.reg.has_dirty() {
+            return Ok(());
+        }
+        {
+            let Engine {
+                reg,
+                dirty_flags,
+                dirty_tasks,
+                ..
+            } = self;
+            reg.drain_dirty(|t| {
+                let flag = &mut dirty_flags[t as usize];
+                if !*flag {
+                    *flag = true;
+                    dirty_tasks.push(t);
+                }
+            });
+        }
+        let wake_exists = self.next_wake().is_some();
+        let mut k = 0;
+        while k < self.dirty_tasks.len() {
+            let i = self.dirty_tasks[k] as usize;
+            self.dirty_flags[i] = false;
+            self.refresh_task(i, wake_exists)?;
+            k += 1;
+        }
+        self.dirty_tasks.clear();
+        Ok(())
+    }
+
+    /// Materialize task `i` and recompute its rate and predicted
+    /// milestone from current resource shares.
+    fn refresh_task(&mut self, i: usize, wake_exists: bool) -> Result<(), SimError> {
+        self.materialize(i);
+        let (latent, fixed, units, doom) = {
+            let t = &self.tasks[i];
+            let Some(s) = t.current() else {
+                return Ok(()); // stageless; already scheduled due-now
+            };
+            (
+                s.is_latent(),
+                s.fixed_remaining,
+                s.units_remaining,
+                t.doom_units,
+            )
+        };
+        if latent {
+            self.schedule(i, self.clock + fixed, 0.0);
+            return Ok(());
+        }
+        if units <= EPS {
+            self.schedule(i, self.clock, 0.0);
+            return Ok(());
+        }
+        let rate = self.tasks[i].current().expect("streaming").rate(&self.reg);
+        if rate <= 0.0 || rate.is_nan() {
+            // A fully-degraded tier (e.g. a transient outage window with
+            // multiplier 0) freezes the task; a scheduled fault edge or
+            // retry wake-up may restore its bandwidth, so only a stall
+            // with no such future event is an error.
+            if !wake_exists {
+                let t = &self.tasks[i];
+                return Err(SimError::Stalled {
+                    at_secs: self.clock,
+                    job: Some(self.jobs[t.job].job.id.0),
+                    phase: Some(self.jobs[t.job].phase.name()),
+                    tier: stage_tier(t.current().expect("streaming")),
+                });
+            }
+            self.invalidate(i);
+            return Ok(());
+        }
+        let mut dt = units / rate;
+        if let Some(d) = doom {
+            dt = dt.min(d.max(0.0) / rate);
+        }
+        self.schedule(i, self.clock + dt, rate);
+        Ok(())
+    }
+
+    /// Drop invalidated entries when they dominate the heap.
+    fn maybe_compact_heap(&mut self) {
+        let live = self.tasks.len() + self.fault.retries.len() + 8;
+        if self.heap.len() > 64 && self.heap.len() > 4 * live {
+            let mut v = std::mem::take(&mut self.heap).into_vec();
+            v.retain(|e| {
+                e.task == WAKE_TASK
+                    || ((e.task as usize) < self.aux.len()
+                        && self.aux[e.task as usize].version == e.version)
+            });
+            self.heap = BinaryHeap::from(v);
+        }
+    }
+
+    fn push_affected(&mut self, job: usize) {
+        if !self.affected_flags[job] {
+            self.affected_flags[job] = true;
+            self.affected_jobs.push(job as u32);
+        }
+    }
+
+    // ---- job lifecycle ----
+
     /// Move `Waiting` jobs whose dependencies are done into their first
-    /// working phase, respecting the concurrency mode.
+    /// working phase, respecting the concurrency mode. Only called when a
+    /// job reached `Done` since the last check (dependency/sequencing
+    /// conditions cannot change otherwise).
     fn activate_ready_jobs(&mut self) {
         for i in 0..self.jobs.len() {
             if self.jobs[i].phase != JobPhase::Waiting {
@@ -332,6 +774,9 @@ impl<'a> Engine<'a> {
             let job = &mut self.jobs[i];
             job.submitted = self.clock;
             let phase = job.advance_phase(self.clock, self.cfg);
+            if phase != JobPhase::Done && !self.jobs[i].pending.is_empty() {
+                self.pending_jobs.insert(i);
+            }
             if self.obs.col.enabled() {
                 let name = self.jobs[i].job.app.name().to_string();
                 self.obs.col.emit(
@@ -372,11 +817,52 @@ impl<'a> Engine<'a> {
         }
     }
 
-    /// Assign pending task templates to free slots.
+    /// Advance the phase of every job a retire/fail/kill touched this
+    /// step, once its phase fully drained. Runs at the end of [`step`] so
+    /// phase edges are stamped at the advanced clock, exactly like the
+    /// reference stepper's end-of-step drain scan.
+    fn check_affected_jobs(&mut self) {
+        let mut k = 0;
+        while k < self.affected_jobs.len() {
+            let i = self.affected_jobs[k] as usize;
+            k += 1;
+            self.affected_flags[i] = false;
+            let job = &mut self.jobs[i];
+            if job.phase == JobPhase::Waiting || job.phase == JobPhase::Done || !job.phase_drained()
+            {
+                continue;
+            }
+            let phase = job.advance_phase(self.clock, self.cfg);
+            self.emit_phase(i, phase);
+            if phase == JobPhase::Done {
+                self.jobs_changed = true;
+                self.pending_jobs.remove(&i);
+            } else if !self.jobs[i].pending.is_empty() {
+                self.pending_jobs.insert(i);
+            }
+        }
+        self.affected_jobs.clear();
+    }
+
+    // ---- dispatch ----
+
+    /// Assign pending task templates to free slots. Visits only jobs with
+    /// undispatched templates, in the same cursor rotation the reference
+    /// stepper scans with.
     fn dispatch(&mut self) {
         let n = self.jobs.len();
-        for off in 0..n {
-            let i = (self.dispatch_cursor + off) % n;
+        if self.pending_jobs.is_empty() {
+            self.dispatch_cursor = (self.dispatch_cursor + 1) % n.max(1);
+            return;
+        }
+        self.dispatch_scratch.clear();
+        let cursor = self.dispatch_cursor;
+        self.dispatch_scratch
+            .extend(self.pending_jobs.range(cursor..).copied());
+        self.dispatch_scratch
+            .extend(self.pending_jobs.range(..cursor).copied());
+        for k in 0..self.dispatch_scratch.len() {
+            let i = self.dispatch_scratch[k];
             let mut launched: u32 = 0;
             while let Some(tmpl) = self.jobs[i].pending.front() {
                 if matches!(self.jobs[i].phase, JobPhase::Waiting | JobPhase::Done) {
@@ -404,6 +890,7 @@ impl<'a> Engine<'a> {
                     self.arm_task(&mut task);
                 }
                 self.tasks.push(task);
+                self.track_new_task();
                 self.jobs[i].active += 1;
                 launched += 1;
             }
@@ -419,6 +906,9 @@ impl<'a> Engine<'a> {
                         },
                     );
                 }
+            }
+            if self.jobs[i].pending.is_empty() {
+                self.pending_jobs.remove(&i);
             }
         }
         self.dispatch_cursor = (self.dispatch_cursor + 1) % n.max(1);
@@ -436,7 +926,7 @@ impl<'a> Engine<'a> {
     /// Re-dispatch retry entries whose backoff has elapsed, slots
     /// permitting.
     fn dispatch_retries(&mut self) {
-        if !self.fault.enabled {
+        if !self.fault.enabled || self.fault.retries.is_empty() {
             return;
         }
         let mut i = 0;
@@ -470,62 +960,64 @@ impl<'a> Engine<'a> {
             self.jobs[entry.job].retries_pending -= 1;
             self.jobs[entry.job].active += 1;
             self.tasks.push(task);
+            self.track_new_task();
         }
     }
 
     /// Launch speculative backups for tasks streaming far below their
-    /// wave's median rate (Hadoop-style speculative execution).
-    fn speculate(&mut self) {
+    /// wave's median rate (Hadoop-style speculative execution). Uses the
+    /// cached per-task rates (flushed first) instead of re-registering
+    /// the whole active set like the reference stepper.
+    fn speculate(&mut self) -> Result<(), SimError> {
         let thr = self.cfg.faults.speculation_threshold;
         if !self.fault.enabled || thr <= 0.0 || self.tasks.is_empty() {
-            return;
+            return Ok(());
         }
-        // Instantaneous streaming rates under current contention.
-        self.reg.clear_counts();
-        for t in &self.tasks {
-            if let Some(s) = t.current() {
-                if !s.is_latent() && s.units_remaining > EPS {
-                    s.register(&mut self.reg);
-                }
-            }
-        }
-        let rates: Vec<f64> = self
-            .tasks
-            .iter()
-            .map(|t| match t.current() {
-                Some(s) if !s.is_latent() && s.units_remaining > EPS => s.rate(&self.reg),
+        self.flush_dirty()?;
+        self.spec_rates.clear();
+        for i in 0..self.tasks.len() {
+            let r = match self.tasks[i].current() {
+                Some(s) if !s.is_latent() && s.units_remaining > EPS => self.aux[i].rate,
                 _ => 0.0,
-            })
-            .collect();
-        let mut stragglers: Vec<usize> = Vec::new();
-        for (i, t) in self.tasks.iter().enumerate() {
-            if rates[i] <= 0.0
-                || t.speculated
-                || t.backup_of.is_some()
-                || t.slot == SlotKind::Transfer
-                || !self.jobs[t.job].pending.is_empty()
+            };
+            self.spec_rates.push(r);
+        }
+        self.stragglers.clear();
+        for i in 0..self.tasks.len() {
+            let (job, slot, speculated, is_backup) = {
+                let t = &self.tasks[i];
+                (t.job, t.slot, t.speculated, t.backup_of.is_some())
+            };
+            if self.spec_rates[i] <= 0.0
+                || speculated
+                || is_backup
+                || slot == SlotKind::Transfer
+                || !self.jobs[job].pending.is_empty()
             {
                 continue;
             }
-            let mut wave: Vec<f64> = self
-                .tasks
-                .iter()
-                .zip(rates.iter())
-                .filter(|(o, &r)| {
-                    o.job == t.job && o.slot == t.slot && r > 0.0 && o.backup_of.is_none()
-                })
-                .map(|(_, &r)| r)
-                .collect();
-            if wave.len() < 2 {
+            self.wave_scratch.clear();
+            for k in 0..self.tasks.len() {
+                let o = &self.tasks[k];
+                if o.job == job
+                    && o.slot == slot
+                    && self.spec_rates[k] > 0.0
+                    && o.backup_of.is_none()
+                {
+                    self.wave_scratch.push(self.spec_rates[k]);
+                }
+            }
+            if self.wave_scratch.len() < 2 {
                 continue;
             }
-            wave.sort_by(f64::total_cmp);
-            let median = wave[wave.len() / 2];
-            if rates[i] < thr * median {
-                stragglers.push(i);
+            self.wave_scratch.sort_by(f64::total_cmp);
+            let median = self.wave_scratch[self.wave_scratch.len() / 2];
+            if self.spec_rates[i] < thr * median {
+                self.stragglers.push(i);
             }
         }
-        for i in stragglers {
+        for si in 0..self.stragglers.len() {
+            let i = self.stragglers[si];
             let orig_vm = self.tasks[i].vm as usize;
             let slot = self.tasks[i].slot;
             let free = match slot {
@@ -562,46 +1054,20 @@ impl<'a> Engine<'a> {
             self.jobs[job].speculations += 1;
             self.jobs[job].active += 1;
             self.tasks.push(backup);
+            self.track_new_task();
         }
+        Ok(())
     }
 
-    /// Sample this attempt's fate from its private RNG: whether (and how
-    /// far in) it fails, plus simulated object-store request retries
-    /// inflating fixed latencies. Deterministic in `(seed, uid, attempt)`.
+    /// Sample this attempt's fate from its private RNG; see
+    /// [`arm_task_with`] for the policy.
     fn arm_task(&self, task: &mut RunningTask) {
         let plan = &self.cfg.faults;
         let mut rng = attempt_rng(plan.seed, task.uid, task.attempt);
-        if plan.task_failure_prob > 0.0 {
-            // First draw decides failure: at rate p₂ > p₁ the failing set
-            // is a superset, so sweeps over intensity are coupled.
-            let u: f64 = rng.gen();
-            if u < plan.task_failure_prob {
-                let frac: f64 = rng.gen();
-                let total = task
-                    .template
-                    .as_deref()
-                    .map(TaskTemplate::total_units)
-                    .unwrap_or(0.0);
-                if total > 0.0 {
-                    task.doom_units = Some((frac * total).max(EPS));
-                }
-            }
-        }
-        if plan.objstore_request_failure > 0.0 {
-            for s in task.stages.iter_mut() {
-                if s.global.is_some() && s.fixed_remaining > 0.0 {
-                    let mut extra = 0u32;
-                    while extra < MAX_OBJ_RETRIES
-                        && rng.gen::<f64>() < plan.objstore_request_failure
-                    {
-                        extra += 1;
-                    }
-                    // Each failed request repeats the setup latency.
-                    s.fixed_remaining *= 1.0 + f64::from(extra);
-                }
-            }
-        }
+        arm_task_with(plan, &mut rng, task);
     }
+
+    // ---- fault machinery ----
 
     /// Apply all fault-plan events due at the current clock.
     fn process_fault_events(&mut self) {
@@ -634,6 +1100,8 @@ impl<'a> Engine<'a> {
     }
 
     /// Re-derive degraded capacities from the windows active right now.
+    /// The registry marks every resource whose capacity actually changes,
+    /// so affected tasks are refreshed at the next flush.
     fn apply_degradations(&mut self) {
         self.reg.reset_scales();
         for w in &self.cfg.faults.degradations {
@@ -660,11 +1128,12 @@ impl<'a> Engine<'a> {
                 idx += 1;
                 continue;
             }
-            let victim = self.tasks.swap_remove(idx);
+            let (victim, _) = self.remove_task(idx);
             let job = victim.job;
             self.jobs[job].active -= 1;
             self.jobs[job].kills += 1;
             self.push_trace(job, victim.vm, victim.slot, TaskEventKind::Killed);
+            self.push_affected(job);
             if victim.speculated && self.twin_index(victim.uid, victim.backup_of).is_some() {
                 // The surviving copy carries the work.
                 continue;
@@ -733,6 +1202,25 @@ impl<'a> Engine<'a> {
         }
     }
 
+    /// Stall diagnosis when the heap has no milestone left but tasks
+    /// remain: every survivor is frozen with no wake-up; report the first
+    /// (the reference's per-step scan does the same).
+    fn frozen_stall_error(&self) -> SimError {
+        for (t, a) in self.tasks.iter().zip(self.aux.iter()) {
+            if let Some(s) = t.current() {
+                if !s.is_latent() && a.rate <= 0.0 {
+                    return SimError::Stalled {
+                        at_secs: self.clock,
+                        job: Some(self.jobs[t.job].job.id.0),
+                        phase: Some(self.jobs[t.job].phase.name()),
+                        tier: stage_tier(s),
+                    };
+                }
+            }
+        }
+        self.stalled_error()
+    }
+
     fn push_trace(&mut self, job: usize, vm: u32, slot: SlotKind, kind: TaskEventKind) {
         let id = self.jobs[job].job.id;
         if let Some(trace) = self.trace.as_mut() {
@@ -765,18 +1253,23 @@ impl<'a> Engine<'a> {
         }
     }
 
-    /// Advance time to the next stage completion, scheduled fault event,
-    /// or injected task failure.
+    // ---- the event step ----
+
+    /// Advance time to the next predicted milestone and process every
+    /// task due there. O(affected flows), not O(active tasks).
     fn step(&mut self) -> Result<(), SimError> {
-        // Register flows of streaming (non-latent) stages.
-        self.reg.clear_counts();
-        for t in &self.tasks {
-            if let Some(s) = t.current() {
-                if !s.is_latent() && s.units_remaining > EPS {
-                    s.register(&mut self.reg);
+        self.flush_dirty()?;
+        self.maybe_compact_heap();
+        let t_next = loop {
+            match self.heap.peek() {
+                None => return Err(self.frozen_stall_error()),
+                Some(e) if !self.entry_valid(e) => {
+                    self.heap.pop();
                 }
+                Some(e) => break e.time,
             }
-        }
+        };
+        let t_next = t_next.max(self.clock);
         self.obs.steps.inc();
         self.steps_done += 1;
         if self.obs.col.enabled() && self.steps_done % CONTENTION_STRIDE == 1 {
@@ -794,132 +1287,140 @@ impl<'a> Engine<'a> {
                 }
             }
         }
-        // Compute rates and the time of the earliest completion.
-        let wake = self.next_wake();
-        self.rates.clear();
-        let mut dt = f64::INFINITY;
-        for t in &self.tasks {
-            let s = t.current().expect("active task has a stage");
-            if s.is_latent() {
-                self.rates.push(0.0);
-                dt = dt.min(s.fixed_remaining);
-            } else if s.units_remaining <= EPS {
-                self.rates.push(0.0);
-                dt = 0.0;
-            } else {
-                let rate = s.rate(&self.reg);
-                if rate <= 0.0 || rate.is_nan() {
-                    // A fully-degraded tier (e.g. a transient outage
-                    // window with multiplier 0) freezes the task; a
-                    // scheduled fault edge or retry wake-up may restore
-                    // its bandwidth, so only a stall with no such future
-                    // event is an error.
-                    if wake.is_some() {
-                        self.rates.push(0.0);
-                        continue;
-                    }
-                    return Err(SimError::Stalled {
-                        at_secs: self.clock,
-                        job: Some(self.jobs[t.job].job.id.0),
-                        phase: Some(self.jobs[t.job].phase.name()),
-                        tier: stage_tier(s),
-                    });
-                }
-                self.rates.push(rate);
-                dt = dt.min(s.units_remaining / rate);
-                // A doomed attempt fails partway through its stream.
-                if let Some(doom) = t.doom_units {
-                    dt = dt.min(doom / rate);
-                }
+        self.clock = t_next;
+        // Drain every entry due within the completion tolerance. Whether
+        // a drained task actually finished is decided by materializing
+        // it — a candidate with more than EPS units left is re-scheduled,
+        // which reproduces the reference stepper's units-space clamp.
+        self.due.clear();
+        while let Some(&e) = self.heap.peek() {
+            if e.time > t_next + EPS {
+                break;
+            }
+            self.heap.pop();
+            if e.task == WAKE_TASK {
+                continue; // clock has landed on the wake; loop top acts
+            }
+            if self.entry_valid(&e) {
+                self.due.push(e);
             }
         }
-        // Never step past a scheduled fault event or retry wake-up.
-        if let Some(wake) = wake {
-            if wake > self.clock {
-                dt = dt.min(wake - self.clock);
-            }
+        self.process_due()?;
+        self.check_affected_jobs();
+        Ok(())
+    }
+
+    /// Process the due batch in ascending task-index order, mirroring the
+    /// reference stepper's retire scan (including its swap-remove
+    /// revisit: a due task moved into a freed slot is processed next).
+    fn process_due(&mut self) -> Result<(), SimError> {
+        if self.due.is_empty() {
+            return Ok(());
         }
-        debug_assert!(dt.is_finite(), "no progress possible");
-        // Advance all tasks by dt.
-        self.clock += dt;
-        for (t, &rate) in self.tasks.iter_mut().zip(self.rates.iter()) {
-            let s = t.current_mut().expect("active task has a stage");
-            if s.fixed_remaining > 0.0 {
-                s.fixed_remaining -= dt;
-                if s.fixed_remaining < EPS {
-                    s.fixed_remaining = 0.0;
-                }
-            } else {
-                s.units_remaining -= dt * rate;
-                if s.units_remaining < EPS {
-                    s.units_remaining = 0.0;
-                }
-                if let Some(doom) = t.doom_units.as_mut() {
-                    *doom -= dt * rate;
-                }
-            }
-        }
-        // Retire failed and completed tasks. `winners` collects finished
-        // tasks whose speculative twin must be killed afterwards.
-        let mut winners: Vec<(u64, Option<u64>)> = Vec::new();
-        let mut idx = 0;
-        while idx < self.tasks.len() {
-            if self.tasks[idx].doom_units.is_some_and(|d| d <= EPS) {
-                self.fail_task(idx)?;
+        self.due.sort_unstable_by_key(|e| e.task);
+        self.winners.clear();
+        let mut k = 0;
+        while k < self.due.len() {
+            let idx = self.due[k].task as usize;
+            k += 1;
+            if idx >= self.tasks.len() {
                 continue;
             }
-            let task = &mut self.tasks[idx];
-            while task.current().is_some_and(|s| s.is_done()) {
-                task.stages.pop_front();
-            }
-            if task.is_done() {
-                let task = self.tasks.swap_remove(idx);
-                self.release_slot(task.vm as usize, task.slot);
-                let job = task.job;
-                self.push_trace(job, task.vm, task.slot, TaskEventKind::Finished);
-                self.jobs[job].active -= 1;
-                if task.speculated {
-                    winners.push((task.uid, task.backup_of));
+            if let Some(from) = self.process_due_task(idx)? {
+                if let Some(rel) = self.due[k..].iter().position(|e| e.task as usize == from) {
+                    let j = k + rel;
+                    self.due[j].task = idx as u32;
+                    self.due.swap(k, j);
                 }
-            } else {
-                idx += 1;
             }
         }
-        // Winners kill their twins.
-        for (uid, backup_of) in winners {
-            if let Some(k) = self.twin_index(uid, backup_of) {
-                let loser = self.tasks.swap_remove(k);
+        // Winners kill their twins (after the scan, like the reference).
+        for wi in 0..self.winners.len() {
+            let (uid, backup_of) = self.winners[wi];
+            if let Some(t) = self.twin_index(uid, backup_of) {
+                let (loser, _) = self.remove_task(t);
                 self.release_slot(loser.vm as usize, loser.slot);
                 let job = loser.job;
                 self.push_trace(job, loser.vm, loser.slot, TaskEventKind::Killed);
                 self.jobs[job].active -= 1;
                 self.jobs[job].kills += 1;
-            }
-        }
-        // Advance any job whose phase fully drained this step.
-        for i in 0..self.jobs.len() {
-            let job = &mut self.jobs[i];
-            if job.phase != JobPhase::Waiting && job.phase != JobPhase::Done && job.phase_drained()
-            {
-                let phase = job.advance_phase(self.clock, self.cfg);
-                self.emit_phase(i, phase);
+                self.push_affected(job);
             }
         }
         Ok(())
     }
 
+    /// Handle one due task: materialize it, then fail, retire, or
+    /// re-schedule it. Returns the former index of a task that was
+    /// swap-moved into `idx`, if any.
+    fn process_due_task(&mut self, idx: usize) -> Result<Option<usize>, SimError> {
+        self.materialize(idx);
+        if self.tasks[idx].doom_units.is_some_and(|d| d <= EPS) {
+            return self.fail_task(idx);
+        }
+        loop {
+            let done = self.tasks[idx].current().is_some_and(|s| s.is_done());
+            if !done {
+                break;
+            }
+            if self.aux[idx].registered {
+                self.unregister_stage(idx);
+            }
+            self.tasks[idx].stages.pop_front();
+        }
+        if self.tasks[idx].is_done() {
+            let (task, moved) = self.remove_task(idx);
+            self.release_slot(task.vm as usize, task.slot);
+            let job = task.job;
+            self.push_trace(job, task.vm, task.slot, TaskEventKind::Finished);
+            self.jobs[job].active -= 1;
+            if task.speculated {
+                self.winners.push((task.uid, task.backup_of));
+            }
+            self.push_affected(job);
+            return Ok(moved);
+        }
+        // Not finished: schedule the next milestone of the (possibly new)
+        // current stage.
+        let s = *self.tasks[idx].current().expect("not done");
+        if s.is_latent() {
+            self.schedule(idx, self.clock + s.fixed_remaining, 0.0);
+        } else if !self.aux[idx].registered {
+            // A fresh streaming stage: its rate (and milestone) arrive at
+            // the next dirty flush, triggered by this registration.
+            self.register_stage(idx);
+            self.invalidate(idx);
+        } else {
+            // Still mid-stream (the candidate had > EPS units left after
+            // materializing): re-schedule at the current rate.
+            let rate = self.aux[idx].rate;
+            if rate > 0.0 {
+                let mut dt = s.units_remaining / rate;
+                if let Some(d) = self.tasks[idx].doom_units {
+                    dt = dt.min(d.max(0.0) / rate);
+                }
+                self.schedule(idx, self.clock + dt, rate);
+            } else {
+                self.invalidate(idx);
+            }
+        }
+        Ok(None)
+    }
+
     /// Handle a mid-stream task failure at `idx`: schedule a retry with
-    /// exponential backoff, or give up on the job past the attempt budget.
-    fn fail_task(&mut self, idx: usize) -> Result<(), SimError> {
-        let task = self.tasks.swap_remove(idx);
+    /// exponential backoff, or give up on the job past the attempt
+    /// budget. Returns the swap-move fix-up like [`Engine::remove_task`].
+    fn fail_task(&mut self, idx: usize) -> Result<Option<usize>, SimError> {
+        let (task, moved) = self.remove_task(idx);
         self.release_slot(task.vm as usize, task.slot);
         let job = task.job;
         self.jobs[job].active -= 1;
         self.jobs[job].failures += 1;
         self.push_trace(job, task.vm, task.slot, TaskEventKind::Failed);
+        self.push_affected(job);
         if task.speculated && self.twin_index(task.uid, task.backup_of).is_some() {
             // The surviving copy carries the work; no retry needed.
-            return Ok(());
+            return Ok(moved);
         }
         if task.attempt >= self.cfg.faults.max_task_attempts {
             return Err(SimError::JobFailed {
@@ -932,19 +1433,23 @@ impl<'a> Engine<'a> {
         let template = task.template.expect("faulted task retains its template");
         self.jobs[job].retries += 1;
         self.jobs[job].retries_pending += 1;
+        let ready_at = self.clock + backoff;
+        if ready_at > self.clock {
+            self.push_wake(ready_at);
+        }
         self.fault.retries.push(RetryEntry {
-            ready_at: self.clock + backoff,
+            ready_at,
             job,
             uid: task.uid,
             attempt: task.attempt + 1,
             template,
         });
-        Ok(())
+        Ok(moved)
     }
 }
 
 /// Live VM with the most free slots, or `None` if none has capacity.
-fn pick_vm(free: &[usize], crashed: &[bool]) -> Option<usize> {
+pub(crate) fn pick_vm(free: &[usize], crashed: &[bool]) -> Option<usize> {
     free.iter()
         .enumerate()
         .filter(|&(vm, &n)| n > 0 && !crashed[vm])
@@ -953,7 +1458,7 @@ fn pick_vm(free: &[usize], crashed: &[bool]) -> Option<usize> {
 }
 
 /// The storage tier a stage streams against, for diagnostics.
-fn stage_tier(s: &BoundStage) -> Option<String> {
+pub(crate) fn stage_tier(s: &BoundStage) -> Option<String> {
     [s.read, s.write]
         .into_iter()
         .flatten()
@@ -963,9 +1468,44 @@ fn stage_tier(s: &BoundStage) -> Option<String> {
         })
 }
 
+/// Sample one attempt's fate from its private RNG: whether (and how far
+/// in) it fails, plus simulated object-store request retries inflating
+/// fixed latencies. Deterministic in `(seed, uid, attempt)`; shared by
+/// both engines so fault draws stay in lockstep.
+pub(crate) fn arm_task_with(plan: &FaultPlan, rng: &mut StdRng, task: &mut RunningTask) {
+    if plan.task_failure_prob > 0.0 {
+        // First draw decides failure: at rate p₂ > p₁ the failing set
+        // is a superset, so sweeps over intensity are coupled.
+        let u: f64 = rng.gen();
+        if u < plan.task_failure_prob {
+            let frac: f64 = rng.gen();
+            let total = task
+                .template
+                .as_deref()
+                .map(TaskTemplate::total_units)
+                .unwrap_or(0.0);
+            if total > 0.0 {
+                task.doom_units = Some((frac * total).max(EPS));
+            }
+        }
+    }
+    if plan.objstore_request_failure > 0.0 {
+        for s in task.stages.iter_mut() {
+            if s.global.is_some() && s.fixed_remaining > 0.0 {
+                let mut extra = 0u32;
+                while extra < MAX_OBJ_RETRIES && rng.gen::<f64>() < plan.objstore_request_failure {
+                    extra += 1;
+                }
+                // Each failed request repeats the setup latency.
+                s.fixed_remaining *= 1.0 + f64::from(extra);
+            }
+        }
+    }
+}
+
 /// Private RNG for one task attempt: keyed, not streamed, so runs are
 /// reproducible and failure sets couple across fault intensities.
-fn attempt_rng(seed: u64, uid: u64, attempt: u32) -> StdRng {
+pub(crate) fn attempt_rng(seed: u64, uid: u64, attempt: u32) -> StdRng {
     let mut u = seed ^ 0x9e37_79b9_7f4a_7c15;
     u = u.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(uid);
     u = u
@@ -974,7 +1514,7 @@ fn attempt_rng(seed: u64, uid: u64, attempt: u32) -> StdRng {
     StdRng::seed_from_u64(u)
 }
 
-fn nan_zero(x: f64) -> f64 {
+pub(crate) fn nan_zero(x: f64) -> f64 {
     if x.is_nan() {
         0.0
     } else {

@@ -44,7 +44,18 @@ pub enum SimError {
     },
     /// Event budget exhausted — almost certainly a bug or a degenerate
     /// configuration (e.g. zero-bandwidth tier on the critical path).
-    EventBudgetExhausted,
+    /// Carries a snapshot of the run so a runaway is diagnosable without
+    /// re-running under tracing.
+    EventBudgetExhausted {
+        /// Simulated time when the budget ran out.
+        at_secs: f64,
+        /// Engine steps executed (equals the configured budget).
+        steps: u64,
+        /// Tasks in flight at exhaustion.
+        active_tasks: usize,
+        /// Jobs not yet `Done` at exhaustion.
+        active_jobs: usize,
+    },
     /// Cloud-model error during provisioning.
     Cloud(cast_cloud::CloudError),
     /// Workload-model error.
@@ -83,7 +94,17 @@ impl fmt::Display for SimError {
             SimError::InvalidFaultPlan { reason } => {
                 write!(f, "invalid fault plan: {reason}")
             }
-            SimError::EventBudgetExhausted => write!(f, "simulation event budget exhausted"),
+            SimError::EventBudgetExhausted {
+                at_secs,
+                steps,
+                active_tasks,
+                active_jobs,
+            } => write!(
+                f,
+                "simulation event budget exhausted after {steps} steps at \
+                 t={at_secs:.3}s with {active_tasks} active tasks across \
+                 {active_jobs} unfinished jobs"
+            ),
             SimError::Cloud(e) => write!(f, "cloud model error: {e}"),
             SimError::Workload(e) => write!(f, "workload error: {e}"),
         }
@@ -149,6 +170,21 @@ mod tests {
         };
         assert!(e.to_string().contains("#7"));
         assert!(e.to_string().contains('4'));
+    }
+
+    #[test]
+    fn event_budget_display_includes_snapshot() {
+        let e = SimError::EventBudgetExhausted {
+            at_secs: 250.25,
+            steps: 1000,
+            active_tasks: 12,
+            active_jobs: 3,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("1000 steps"));
+        assert!(msg.contains("t=250.250"));
+        assert!(msg.contains("12 active tasks"));
+        assert!(msg.contains("3 unfinished jobs"));
     }
 
     #[test]

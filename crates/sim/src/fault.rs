@@ -14,6 +14,11 @@
 //! simulation is bit-reproducible for a fixed plan *and* failure sets are
 //! coupled across intensities — every task that fails at rate `p₁` also
 //! fails at any `p₂ > p₁`, which makes fault sweeps monotone.
+//!
+//! Scheduling: the event-driven engine seeds every scheduled fault time
+//! (crash, recovery, degradation edge) and retry-backoff expiry into its
+//! completion heap as sentinel *wake* entries, so the clock lands exactly
+//! on each fault edge without per-step scanning of the plan.
 
 use serde::{Deserialize, Serialize};
 

@@ -23,8 +23,11 @@
 //! Tasks are *flows*: every active task registers on the resources it
 //! touches (a storage volume, the VM NIC) and progresses at the minimum of
 //! its fair shares, its per-task client cap, and its application processing
-//! rate. The engine is progress-based: whenever the set of active flows
-//! changes, rates are recomputed and the next completion event scheduled.
+//! rate. The engine is progress-based and event-driven: when a resource's
+//! flow set changes, only the tasks sharing that resource have their rates
+//! recomputed, and predicted completions sit in a lazy-invalidation heap
+//! (see [`engine`] for the hot-path design and [`mod@reference`] for the
+//! equivalence oracle).
 //! This reproduces the second-order effects the paper observes on the real
 //! cluster — waves from slot limits, stragglers under fine-grained
 //! cross-tier placement (Fig. 5), object-store request overheads for
@@ -47,6 +50,8 @@ pub mod fault;
 pub mod jobrun;
 pub mod metrics;
 pub mod placement;
+#[cfg(feature = "reference-engine")]
+pub mod reference;
 pub mod resources;
 pub mod runner;
 pub mod task;
@@ -58,5 +63,6 @@ pub use fault::{DegradationWindow, FaultPlan, VmCrash};
 pub use metrics::{FaultSummary, JobMetrics, SimReport};
 pub use placement::{JobPlacement, PlacementMap, SplitPlacement};
 pub use runner::{
-    simulate, simulate_observed, simulate_with_migrations, MigrationSpec, MIGRATION_JOB_BASE,
+    prepare_runs, simulate, simulate_observed, simulate_with_migrations, MigrationSpec,
+    MIGRATION_JOB_BASE,
 };

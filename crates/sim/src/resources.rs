@@ -11,6 +11,19 @@
 //! rate, per-task client caps) is not redistributed — a deliberate,
 //! conservative simplification that errs in the same direction as real
 //! interference.
+//!
+//! Two registration APIs coexist:
+//!
+//! * the *batch* API ([`ShareRegistry::clear_counts`] +
+//!   [`ShareRegistry::register`]) rebuilds loads from scratch each step —
+//!   used by the feature-gated reference stepper;
+//! * the *incremental* API ([`ShareRegistry::register_flow`] /
+//!   [`ShareRegistry::unregister_flow`]) keeps per-resource flow lists and
+//!   a dirty-set so the event-driven engine can recompute only the tasks
+//!   whose resources actually changed.
+//!
+//! An engine instance must use one API exclusively; mixing them on the
+//! same registry desynchronises loads from flow lists.
 
 use serde::{Deserialize, Serialize};
 
@@ -39,6 +52,9 @@ pub enum ResKind {
 /// Resources per VM: four tier volumes + one NIC.
 const SLOTS_PER_VM: usize = 5;
 
+/// Number of storage tiers (per-VM volume slots `0..NTIERS`).
+const NTIERS: usize = 4;
+
 /// Sentinel VM id addressing cluster-global resources (the object-store
 /// bucket ceiling).
 pub const GLOBAL_VM: u32 = u32::MAX;
@@ -51,6 +67,38 @@ fn slot(kind: ResKind) -> usize {
     }
 }
 
+/// One registered flow on a resource (incremental API).
+#[derive(Debug, Clone, Copy)]
+struct Flow {
+    /// Owning task's index in the engine's task vector.
+    task: u32,
+    /// Bytes-per-unit demand.
+    weight: f64,
+}
+
+/// Opaque position of a registered flow; returned by
+/// [`ShareRegistry::register_flow`] and needed to unregister it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlowHandle {
+    pub(crate) res: u32,
+    pub(crate) pos: u32,
+}
+
+/// Reported when unregistering a flow moved another flow into the freed
+/// position (swap-remove): the owner of the moved flow must update the
+/// handle it holds for resource `res` from position `from` to `to`.
+#[derive(Debug, Clone, Copy)]
+pub struct MovedFlow {
+    /// Task owning the moved flow.
+    pub task: u32,
+    /// Resource index the move happened on.
+    pub res: u32,
+    /// The moved flow's old position (the former last slot).
+    pub from: u32,
+    /// The moved flow's new position.
+    pub to: u32,
+}
+
 /// Tracks capacity and aggregate flow demand for every resource.
 #[derive(Debug, Clone)]
 pub struct ShareRegistry {
@@ -59,6 +107,19 @@ pub struct ShareRegistry {
     /// fault-injection degradation window opens or closes.
     base: Vec<f64>,
     load: Vec<f64>,
+    /// Per-resource flow lists (incremental API only; empty under the
+    /// batch API).
+    flows: Vec<Vec<Flow>>,
+    /// Resources whose load or capacity changed since the last
+    /// [`ShareRegistry::drain_dirty`].
+    dirty: Vec<bool>,
+    dirty_list: Vec<u32>,
+    /// Running per-tier demand across VM volumes (cluster-global slot
+    /// excluded), kept so contention samples are O(1) instead of a
+    /// registry scan.
+    tier_demand: [f64; NTIERS],
+    /// Running per-tier capacity across VM volumes.
+    tier_cap: [f64; NTIERS],
 }
 
 impl ShareRegistry {
@@ -77,11 +138,18 @@ impl ShareRegistry {
         let n = caps.len();
         caps[n - 1] = cfg.objstore_cluster_mbps;
         let load = vec![0.0; caps.len()];
-        ShareRegistry {
+        let mut reg = ShareRegistry {
             base: caps.clone(),
+            flows: vec![Vec::new(); caps.len()],
+            dirty: vec![false; caps.len()],
+            dirty_list: Vec::new(),
             caps,
             load,
-        }
+            tier_demand: [0.0; NTIERS],
+            tier_cap: [0.0; NTIERS],
+        };
+        reg.recompute_tier_caps();
+        reg
     }
 
     /// Number of per-VM resource blocks.
@@ -89,9 +157,44 @@ impl ShareRegistry {
         (self.caps.len() - 1) / SLOTS_PER_VM
     }
 
-    /// Restore every capacity to its undegraded value.
+    /// Tier index of resource `i`, if it is a per-VM volume (the
+    /// cluster-global slot and NICs carry no tier).
+    #[inline]
+    fn tier_of_index(&self, i: usize) -> Option<usize> {
+        if i + 1 == self.caps.len() {
+            return None;
+        }
+        let s = i % SLOTS_PER_VM;
+        (s < NTIERS).then_some(s)
+    }
+
+    fn recompute_tier_caps(&mut self) {
+        self.tier_cap = [0.0; NTIERS];
+        for i in 0..self.caps.len() {
+            if let Some(t) = self.tier_of_index(i) {
+                self.tier_cap[t] += self.caps[i];
+            }
+        }
+    }
+
+    #[inline]
+    fn mark_dirty(&mut self, i: usize) {
+        if !self.dirty[i] {
+            self.dirty[i] = true;
+            self.dirty_list.push(i as u32);
+        }
+    }
+
+    /// Restore every capacity to its undegraded value, marking resources
+    /// whose capacity actually changes as dirty.
     pub fn reset_scales(&mut self) {
-        self.caps.copy_from_slice(&self.base);
+        for i in 0..self.caps.len() {
+            if self.caps[i] != self.base[i] {
+                self.caps[i] = self.base[i];
+                self.mark_dirty(i);
+            }
+        }
+        self.recompute_tier_caps();
     }
 
     /// Multiply the capacity of `tier`'s volume by `factor` — on one VM,
@@ -102,17 +205,28 @@ impl ShareRegistry {
         match vm {
             Some(v) => {
                 let i = v as usize * SLOTS_PER_VM + slot(ResKind::Volume(tier));
-                self.caps[i] *= factor;
+                self.rescale(i, factor);
             }
             None => {
                 for v in 0..self.nvm() {
-                    self.caps[v * SLOTS_PER_VM + slot(ResKind::Volume(tier))] *= factor;
+                    let i = v * SLOTS_PER_VM + slot(ResKind::Volume(tier));
+                    self.rescale(i, factor);
                 }
                 if tier == Tier::ObjStore {
                     let n = self.caps.len();
-                    self.caps[n - 1] *= factor;
+                    self.rescale(n - 1, factor);
                 }
             }
+        }
+        self.recompute_tier_caps();
+    }
+
+    #[inline]
+    fn rescale(&mut self, i: usize, factor: f64) {
+        let new = self.caps[i] * factor;
+        if new != self.caps[i] {
+            self.caps[i] = new;
+            self.mark_dirty(i);
         }
     }
 
@@ -126,15 +240,88 @@ impl ShareRegistry {
     }
 
     /// Reset all loads (called before re-registering the active set).
+    /// Batch API.
     pub fn clear_counts(&mut self) {
         self.load.iter_mut().for_each(|c| *c = 0.0);
+        self.tier_demand = [0.0; NTIERS];
     }
 
     /// Register one flow on `key` demanding `weight` bytes per unit.
+    /// Batch API.
     #[inline]
     pub fn register(&mut self, key: ResKey, weight: f64) {
         let i = self.index(key);
         self.load[i] += weight;
+        if let Some(t) = self.tier_of_index(i) {
+            self.tier_demand[t] += weight;
+        }
+    }
+
+    /// Register a persistent flow for `task` on `key` (incremental API).
+    /// The resource is marked dirty; the returned handle unregisters it.
+    #[inline]
+    pub fn register_flow(&mut self, key: ResKey, weight: f64, task: u32) -> FlowHandle {
+        let i = self.index(key);
+        self.load[i] += weight;
+        if let Some(t) = self.tier_of_index(i) {
+            self.tier_demand[t] += weight;
+        }
+        let pos = self.flows[i].len() as u32;
+        self.flows[i].push(Flow { task, weight });
+        self.mark_dirty(i);
+        FlowHandle { res: i as u32, pos }
+    }
+
+    /// Remove the flow behind `handle` (incremental API). The load is
+    /// re-summed from the remaining flows, so it cannot drift away from
+    /// the true sum over long runs and is exactly zero when the list
+    /// empties. Returns the fix-up the caller must apply when another
+    /// flow was swapped into the freed position.
+    pub fn unregister_flow(&mut self, handle: FlowHandle) -> Option<MovedFlow> {
+        let i = handle.res as usize;
+        let pos = handle.pos as usize;
+        self.flows[i].swap_remove(pos);
+        let new_load: f64 = self.flows[i].iter().map(|f| f.weight).sum();
+        if let Some(t) = self.tier_of_index(i) {
+            self.tier_demand[t] += new_load - self.load[i];
+        }
+        self.load[i] = new_load;
+        self.mark_dirty(i);
+        let from = self.flows[i].len() as u32;
+        (handle.pos < from).then(|| MovedFlow {
+            task: self.flows[i][pos].task,
+            res: handle.res,
+            from,
+            to: handle.pos,
+        })
+    }
+
+    /// Re-point the flow behind `handle` at a new owning task index
+    /// (after the engine swap-removes a task). Load is unchanged.
+    #[inline]
+    pub fn retarget_flow(&mut self, handle: FlowHandle, task: u32) {
+        self.flows[handle.res as usize][handle.pos as usize].task = task;
+    }
+
+    /// Whether any resource changed since the last drain.
+    #[inline]
+    pub fn has_dirty(&self) -> bool {
+        !self.dirty_list.is_empty()
+    }
+
+    /// Visit the owning task of every flow on every dirty resource (a
+    /// task may be visited more than once), then clear the dirty set.
+    /// Visit order is deterministic: dirty resources in marking order,
+    /// flows in list order.
+    pub fn drain_dirty(&mut self, mut f: impl FnMut(u32)) {
+        for k in 0..self.dirty_list.len() {
+            let i = self.dirty_list[k] as usize;
+            self.dirty[i] = false;
+            for flow in &self.flows[i] {
+                f(flow.task);
+            }
+        }
+        self.dirty_list.clear();
     }
 
     /// Raw capacity of `key` in MB/s.
@@ -164,17 +351,13 @@ impl ShareRegistry {
 
     /// Cluster-wide `(demand, capacity)` for `tier`, summed over every
     /// VM's volume of that tier (the cluster-global object-store ceiling
-    /// is a separate resource and not included). Used for observability
-    /// contention samples; never consulted by the rate computation.
+    /// is a separate resource and not included). O(1): read from running
+    /// totals maintained at register/unregister/rescale time. Used for
+    /// observability contention samples; never consulted by the rate
+    /// computation.
     pub fn tier_totals(&self, tier: Tier) -> (f64, f64) {
-        let s = slot(ResKind::Volume(tier));
-        let mut demand = 0.0;
-        let mut cap = 0.0;
-        for vm in 0..self.nvm() {
-            demand += self.load[vm * SLOTS_PER_VM + s];
-            cap += self.caps[vm * SLOTS_PER_VM + s];
-        }
-        (demand, cap)
+        let t = tier.index();
+        (self.tier_demand[t], self.tier_cap[t])
     }
 }
 
@@ -258,5 +441,114 @@ mod tests {
         }
         let cap = reg.capacity(key);
         assert!((reg.unit_rate(key) - cap / 4.0).abs() < 1e-9);
+    }
+
+    // ---- incremental API ----
+
+    #[test]
+    fn flow_register_unregister_roundtrips_exactly() {
+        let c = cfg();
+        let mut reg = ShareRegistry::new(&c);
+        let key = ResKey {
+            vm: 0,
+            kind: ResKind::Volume(Tier::PersSsd),
+        };
+        let a = reg.register_flow(key, 0.1, 7);
+        let b = reg.register_flow(key, 0.2, 8);
+        let c2 = reg.register_flow(key, 0.3, 9);
+        assert!((reg.load(key) - 0.6).abs() < 1e-12);
+        // Removing the first flow swaps the last into its slot.
+        let moved = reg.unregister_flow(a).expect("swap moved a flow");
+        assert_eq!(moved.task, 9);
+        assert_eq!(moved.to, 0);
+        assert_eq!(moved.from, 2);
+        let c2 = FlowHandle {
+            res: c2.res,
+            pos: moved.to,
+        };
+        assert!((reg.load(key) - 0.5).abs() < 1e-12);
+        assert!(reg.unregister_flow(b).is_none());
+        assert!(reg.unregister_flow(c2).is_none());
+        // Re-summing on unregister guarantees an exactly idle resource.
+        assert_eq!(reg.load(key), 0.0);
+        assert_eq!(reg.unit_rate(key), f64::INFINITY);
+    }
+
+    #[test]
+    fn dirty_set_reports_affected_tasks_once_per_flow() {
+        let c = cfg();
+        let mut reg = ShareRegistry::new(&c);
+        let key = ResKey {
+            vm: 1,
+            kind: ResKind::Nic,
+        };
+        reg.register_flow(key, 1.0, 3);
+        reg.register_flow(key, 1.0, 4);
+        assert!(reg.has_dirty());
+        let mut seen = Vec::new();
+        reg.drain_dirty(|t| seen.push(t));
+        assert_eq!(seen, vec![3, 4]);
+        assert!(!reg.has_dirty());
+        // Capacity changes re-dirty the resource's flows.
+        reg.scale_tier(Some(1), Tier::PersSsd, 0.5);
+        let mut seen = Vec::new();
+        reg.drain_dirty(|t| seen.push(t));
+        assert!(seen.is_empty(), "no flows on the scaled volume");
+        reg.reset_scales();
+        assert!(
+            !reg.has_dirty() || {
+                let mut any = false;
+                reg.drain_dirty(|_| any = true);
+                !any
+            }
+        );
+    }
+
+    #[test]
+    fn scale_of_one_does_not_dirty() {
+        let c = cfg();
+        let mut reg = ShareRegistry::new(&c);
+        reg.scale_tier(None, Tier::PersSsd, 1.0);
+        assert!(!reg.has_dirty());
+        reg.reset_scales();
+        assert!(!reg.has_dirty());
+    }
+
+    #[test]
+    fn tier_totals_track_running_sums() {
+        let c = cfg();
+        let mut reg = ShareRegistry::new(&c);
+        let (d0, cap0) = reg.tier_totals(Tier::PersSsd);
+        assert_eq!(d0, 0.0);
+        let per_vm = reg.capacity(ResKey {
+            vm: 0,
+            kind: ResKind::Volume(Tier::PersSsd),
+        });
+        assert!((cap0 - 2.0 * per_vm).abs() < 1e-9);
+        let key = ResKey {
+            vm: 0,
+            kind: ResKind::Volume(Tier::PersSsd),
+        };
+        let h = reg.register_flow(key, 1.5, 0);
+        // The cluster-global object-store slot must stay excluded.
+        let g = reg.register_flow(
+            ResKey {
+                vm: GLOBAL_VM,
+                kind: ResKind::Volume(Tier::ObjStore),
+            },
+            9.0,
+            0,
+        );
+        assert!((reg.tier_totals(Tier::PersSsd).0 - 1.5).abs() < 1e-12);
+        assert_eq!(reg.tier_totals(Tier::ObjStore).0, 0.0);
+        reg.unregister_flow(h);
+        reg.unregister_flow(g);
+        assert_eq!(reg.tier_totals(Tier::PersSsd).0, 0.0);
+        // Degradation scaling is reflected in the running capacity.
+        reg.scale_tier(None, Tier::PersSsd, 0.25);
+        let (_, cap) = reg.tier_totals(Tier::PersSsd);
+        assert!((cap - 0.5 * per_vm).abs() < 1e-9);
+        reg.reset_scales();
+        assert!((reg.tier_totals(Tier::PersSsd).1 - cap0).abs() < 1e-9);
     }
 }

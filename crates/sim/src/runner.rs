@@ -85,6 +85,20 @@ pub fn simulate_with_migrations(
     cfg: &SimConfig,
     collector: &cast_obs::Collector,
 ) -> Result<SimReport, SimError> {
+    let runs = prepare_runs(spec, placements, migrations, cfg)?;
+    Engine::observed(cfg, runs, collector.clone()).run()
+}
+
+/// Validate and lower a workload + placement (+ migrations) into the
+/// dependency-ordered [`JobRun`] table an engine executes. Exposed so
+/// benches and equivalence tests can run both engines over the *same*
+/// prepared runs ([`JobRun`] is `Clone`).
+pub fn prepare_runs(
+    spec: &WorkloadSpec,
+    placements: &PlacementMap,
+    migrations: &[MigrationSpec],
+    cfg: &SimConfig,
+) -> Result<Vec<JobRun>, SimError> {
     spec.validate()?;
     let order = execution_order(spec);
     let n_mig = migrations.len();
@@ -181,7 +195,7 @@ pub fn simulate_with_migrations(
         let profile = *spec.profiles.get(job.app);
         runs.push(JobRun::new(job, placement, profile, deps));
     }
-    Engine::observed(cfg, runs, collector.clone()).run()
+    Ok(runs)
 }
 
 /// Topological execution order: independent jobs in id order, workflow

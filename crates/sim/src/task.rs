@@ -112,13 +112,19 @@ impl BoundStage {
         self.fixed_remaining <= 0.0 && self.units_remaining <= 1e-9
     }
 
+    /// The stage's potential flow slots in canonical order (read, write,
+    /// net, global). Slots with zero demand are `None`-equivalent for
+    /// registration purposes but kept positional so engines can pair each
+    /// slot with a persistent flow handle.
+    #[inline]
+    pub fn flow_parts(&self) -> [Option<(ResKey, f64)>; 4] {
+        [self.read, self.write, self.net, self.global]
+    }
+
     /// Register this stage's streaming flows, weighted by their
     /// bytes-per-unit demand.
     pub fn register(&self, reg: &mut ShareRegistry) {
-        for (key, ratio) in [self.read, self.write, self.net, self.global]
-            .into_iter()
-            .flatten()
-        {
+        for (key, ratio) in self.flow_parts().into_iter().flatten() {
             if ratio > 0.0 {
                 reg.register(key, ratio);
             }
@@ -130,10 +136,7 @@ impl BoundStage {
     /// units rate.
     pub fn rate(&self, reg: &ShareRegistry) -> f64 {
         let mut rate = self.rate_cap;
-        for (key, ratio) in [self.read, self.write, self.net, self.global]
-            .into_iter()
-            .flatten()
-        {
+        for (key, ratio) in self.flow_parts().into_iter().flatten() {
             if ratio > 0.0 {
                 rate = rate.min(reg.unit_rate(key));
             }
