@@ -48,6 +48,7 @@ const FULL: &[(usize, usize)] = &[
 const SMOKE: &[(usize, usize)] = &[(25, 100)];
 
 /// Reference stepper is only timed at or below this VM count.
+#[cfg(feature = "reference-engine")]
 const REFERENCE_NVM_CAP: usize = 100;
 
 /// Timed repetitions per scenario (fastest wins, after one warm-up).

@@ -5,6 +5,7 @@
 //! prints them and saves JSON under `results/`. `all_experiments` runs the
 //! full set and regenerates `EXPERIMENTS.md`.
 
+pub mod durability_sweep;
 pub mod fault_sweep;
 pub mod fig1;
 pub mod fig2;

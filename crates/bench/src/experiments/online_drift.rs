@@ -133,6 +133,8 @@ pub fn serve(
         warm: WarmStart::default(),
         forecast: true,
         seed: SOLVER_SEED,
+        protocol: cast_runtime::MigrationProtocol::Unsafe,
+        migration_fault_prob: 0.0,
     };
     OnlineRuntime::new(&estimator, anneal, rt_cfg)
         .observe(crate::observer())

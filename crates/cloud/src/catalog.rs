@@ -2,6 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::redundancy::RedundancyScheme;
 use crate::scaling::ScalingModel;
 use crate::service::StorageService;
 use crate::tier::{PerTier, Tier};
@@ -66,6 +67,7 @@ impl Catalog {
                 request_overhead: Duration::ZERO,
                 max_volume: Some(DataSize::from_gb(375.0)),
                 max_volumes_per_vm: Some(4),
+                redundancy: RedundancyScheme::NONE,
             },
             Tier::PersSsd => StorageService {
                 tier,
@@ -81,6 +83,7 @@ impl Catalog {
                 request_overhead: Duration::ZERO,
                 max_volume: Some(DataSize::from_gb(10_240.0)),
                 max_volumes_per_vm: Some(8),
+                redundancy: RedundancyScheme::NONE,
             },
             Tier::PersHdd => StorageService {
                 tier,
@@ -94,6 +97,7 @@ impl Catalog {
                 request_overhead: Duration::ZERO,
                 max_volume: Some(DataSize::from_gb(10_240.0)),
                 max_volumes_per_vm: Some(8),
+                redundancy: RedundancyScheme::NONE,
             },
             Tier::ObjStore => StorageService {
                 tier,
@@ -105,6 +109,7 @@ impl Catalog {
                 request_overhead: Duration::from_secs(0.5),
                 max_volume: None,
                 max_volumes_per_vm: None,
+                redundancy: RedundancyScheme::NONE,
             },
         });
         Catalog {
@@ -138,6 +143,7 @@ impl Catalog {
             request_overhead: Duration::ZERO,
             max_volume: Some(DataSize::from_gb(800.0)),
             max_volumes_per_vm: Some(8),
+            redundancy: RedundancyScheme::NONE,
         };
         *c.service_mut(Tier::PersSsd) = StorageService {
             tier: Tier::PersSsd,
@@ -151,6 +157,7 @@ impl Catalog {
             request_overhead: Duration::ZERO,
             max_volume: Some(DataSize::from_gb(16_384.0)),
             max_volumes_per_vm: Some(8),
+            redundancy: RedundancyScheme::NONE,
         };
         *c.service_mut(Tier::PersHdd) = StorageService {
             tier: Tier::PersHdd,
@@ -164,6 +171,7 @@ impl Catalog {
             request_overhead: Duration::ZERO,
             max_volume: Some(DataSize::from_gb(1_024.0)),
             max_volumes_per_vm: Some(8),
+            redundancy: RedundancyScheme::NONE,
         };
         *c.service_mut(Tier::ObjStore) = StorageService {
             tier: Tier::ObjStore,
@@ -175,7 +183,21 @@ impl Catalog {
             request_overhead: Duration::from_secs(0.6),
             max_volume: None,
             max_volumes_per_vm: None,
+            redundancy: RedundancyScheme::NONE,
         };
+        c
+    }
+
+    /// The durability-aware catalog: Table 1 with persistent HDD recast
+    /// as an erasure-coded cold tier (4+2 Reed–Solomon, 50 % raw-capacity
+    /// overhead, tolerates two simultaneous shard losses) and persistent
+    /// SSD kept at provider-internal durability. This is the deployment
+    /// shape of the `durability_sweep` experiment; swap
+    /// [`RedundancyScheme::TRIPLE`] onto the cold tier to price the 3×
+    /// replication alternative at equal fault tolerance.
+    pub fn with_ec_cold_tier() -> Catalog {
+        let mut c = Catalog::google_cloud();
+        c.service_mut(Tier::PersHdd).redundancy = RedundancyScheme::RS_4_2;
         c
     }
 

@@ -29,6 +29,8 @@ pub enum CloudError {
     },
     /// A cluster was configured with zero worker VMs.
     EmptyCluster,
+    /// A redundancy scheme is degenerate (zero copies / zero data shards).
+    InvalidRedundancy(String),
 }
 
 impl fmt::Display for CloudError {
@@ -54,6 +56,9 @@ impl fmt::Display for CloudError {
             ),
             CloudError::EmptyCluster => {
                 write!(f, "cluster must have at least one worker VM")
+            }
+            CloudError::InvalidRedundancy(reason) => {
+                write!(f, "invalid redundancy scheme: {reason}")
             }
         }
     }

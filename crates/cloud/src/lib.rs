@@ -25,6 +25,7 @@ pub mod cost;
 pub mod error;
 pub mod pricing;
 pub mod provision;
+pub mod redundancy;
 pub mod scaling;
 pub mod service;
 pub mod tier;
@@ -36,6 +37,7 @@ pub use cost::{CostBreakdown, CostModel};
 pub use error::CloudError;
 pub use pricing::PriceSheet;
 pub use provision::{ProvisionPlan, Provisioner, VolumeSpec};
+pub use redundancy::RedundancyScheme;
 pub use service::StorageService;
 pub use tier::Tier;
 pub use units::{Bandwidth, DataSize, Duration, Money};

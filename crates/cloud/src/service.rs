@@ -3,6 +3,7 @@
 use serde::{Deserialize, Serialize};
 
 use crate::error::CloudError;
+use crate::redundancy::RedundancyScheme;
 use crate::scaling::ScalingModel;
 use crate::tier::Tier;
 use crate::units::{Bandwidth, DataSize, Duration, Money};
@@ -26,6 +27,11 @@ pub struct StorageService {
     pub max_volume: Option<DataSize>,
     /// Maximum number of volumes attachable to one VM, if bounded.
     pub max_volumes_per_vm: Option<usize>,
+    /// How the service keeps data alive. The default,
+    /// [`RedundancyScheme::NONE`], models provider-internal durability
+    /// already folded into the list price; explicit schemes make the
+    /// raw-capacity overhead billable and shard loss simulatable.
+    pub redundancy: RedundancyScheme,
 }
 
 impl StorageService {
@@ -98,6 +104,7 @@ mod tests {
             request_overhead: Duration::from_secs(0.08),
             max_volume: None,
             max_volumes_per_vm: None,
+            redundancy: RedundancyScheme::NONE,
         }
     }
 

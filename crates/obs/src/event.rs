@@ -170,6 +170,41 @@ pub enum EventBody {
         /// Bytes moved, in MB.
         mb: f64,
     },
+    /// A copy→verify→retire migration crossed a protocol phase boundary.
+    MigrationPhase {
+        /// Epoch index the migration was scheduled at.
+        epoch: u32,
+        /// Dataset being moved.
+        dataset: u32,
+        /// Protocol phase: `"copy"`, `"verify"`, `"retire"` or
+        /// `"rollback"`.
+        phase: String,
+        /// Attempt number (first try = 1); 0 where no retry applies.
+        attempt: u32,
+        /// Bytes the phase streams, in MB.
+        mb: f64,
+    },
+    /// A dataset lost redundancy shards (disk/node failure or an unsafe
+    /// migration destroying the only copy).
+    ShardLost {
+        /// Affected dataset.
+        dataset: u32,
+        /// Shards lost at this edge.
+        lost: u32,
+        /// Live shards remaining after the edge.
+        remaining: u32,
+        /// Whether the loss exceeds the scheme's tolerance (data gone).
+        fatal: bool,
+    },
+    /// Background reconstruction rebuilt a dataset's lost shards.
+    Reconstructed {
+        /// Repaired dataset.
+        dataset: u32,
+        /// Shards rebuilt.
+        shards: u32,
+        /// Repair traffic charged through the engine, in MB.
+        mb: f64,
+    },
 }
 
 impl EventBody {
@@ -189,6 +224,9 @@ impl EventBody {
             EventBody::Epoch { .. } => "epoch",
             EventBody::EpochPlan { .. } => "epoch_plan",
             EventBody::Migration { .. } => "migration",
+            EventBody::MigrationPhase { .. } => "migration_phase",
+            EventBody::ShardLost { .. } => "shard_lost",
+            EventBody::Reconstructed { .. } => "reconstructed",
         }
     }
 }

@@ -56,6 +56,45 @@ pub enum AdmissionPolicy {
     },
 }
 
+/// How scheduled data migrations physically move bytes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub enum MigrationProtocol {
+    /// Destructive move: source blocks are retired while the destination
+    /// streams in. Cheapest — one pass over the data — but a fault
+    /// mid-move destroys the only copy.
+    #[default]
+    Unsafe,
+    /// Copy→verify→retire: the source is retained until a verification
+    /// read of the destination passes; failed copies are retried with
+    /// exponential backoff, and on exhaustion the move rolls back to the
+    /// intact source. No fault schedule can lose data under this
+    /// protocol — it can only waste bandwidth and time.
+    CopyVerifyRetire {
+        /// Copy attempts (first try + retries) before rolling back.
+        max_attempts: u32,
+        /// Backoff before the first retry, seconds; doubles per retry.
+        backoff_secs: f64,
+    },
+}
+
+impl MigrationProtocol {
+    /// The safe protocol at its default knobs (3 attempts, 5 s backoff).
+    pub fn safe() -> MigrationProtocol {
+        MigrationProtocol::CopyVerifyRetire {
+            max_attempts: 3,
+            backoff_secs: 5.0,
+        }
+    }
+
+    /// Short label for tables and result files.
+    pub fn label(&self) -> &'static str {
+        match self {
+            MigrationProtocol::Unsafe => "unsafe",
+            MigrationProtocol::CopyVerifyRetire { .. } => "copy-verify-retire",
+        }
+    }
+}
+
 /// Parameters of one online-runtime run.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct RuntimeConfig {
@@ -77,6 +116,15 @@ pub struct RuntimeConfig {
     /// Base seed for per-epoch solver reseeding (decorrelates successive
     /// replans; the run stays a pure function of seed + config).
     pub seed: u64,
+    /// How scheduled migrations move bytes. The default,
+    /// [`MigrationProtocol::Unsafe`], is the fire-and-forget behaviour
+    /// the runtime always had; [`MigrationProtocol::safe`] buys
+    /// loss-freedom for extra verify traffic.
+    pub protocol: MigrationProtocol,
+    /// Probability that one migration copy attempt fails mid-stream
+    /// (sampled per attempt from a keyed RNG, so sweeps are monotone).
+    /// `0.0` = faultless migrations.
+    pub migration_fault_prob: f64,
 }
 
 impl Default for RuntimeConfig {
@@ -88,6 +136,8 @@ impl Default for RuntimeConfig {
             warm: WarmStart::default(),
             forecast: true,
             seed: 0xCA57_0711,
+            protocol: MigrationProtocol::default(),
+            migration_fault_prob: 0.0,
         }
     }
 }
@@ -107,10 +157,19 @@ mod tests {
     }
 
     #[test]
+    fn protocol_labels_and_default() {
+        assert_eq!(MigrationProtocol::default(), MigrationProtocol::Unsafe);
+        assert_eq!(MigrationProtocol::Unsafe.label(), "unsafe");
+        assert_eq!(MigrationProtocol::safe().label(), "copy-verify-retire");
+    }
+
+    #[test]
     fn config_roundtrips_through_json() {
         let cfg = RuntimeConfig {
             policy: ReplanPolicy::Hysteresis { min_gain: 0.05 },
             admission: AdmissionPolicy::Deadline { slack: 1.2 },
+            protocol: MigrationProtocol::safe(),
+            migration_fault_prob: 0.25,
             ..RuntimeConfig::default()
         };
         let json = serde_json::to_string(&cfg).unwrap();

@@ -35,9 +35,9 @@ pub mod migrate;
 pub mod report;
 pub mod runtime;
 
-pub use config::{AdmissionPolicy, ReplanPolicy, RuntimeConfig};
+pub use config::{AdmissionPolicy, MigrationProtocol, ReplanPolicy, RuntimeConfig};
 pub use error::RuntimeError;
 pub use forecast::{is_forecast, planning_spec, strip_forecast, FORECAST_ID_BASE};
-pub use migrate::{home_tier, plan_delta, MigrationSchedule};
+pub use migrate::{execute_schedule, home_tier, plan_delta, MigrationSchedule, ProtocolOutcome};
 pub use report::{EpochReport, OnlineReport};
 pub use runtime::{ingest_plan, majority_tiers, OnlineRuntime, INGEST_FALLBACK};

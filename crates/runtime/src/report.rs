@@ -30,6 +30,19 @@ pub struct EpochReport {
     pub migrations: usize,
     /// Bytes moved by those migrations, in MB.
     pub migrated_mb: f64,
+    /// Copy attempts that failed and were retried (copy→verify→retire).
+    pub migration_retries: usize,
+    /// Moves abandoned after exhausting their attempt budget; their
+    /// readers kept the old placement.
+    pub migration_rollbacks: usize,
+    /// Datasets destroyed by faulted unsafe moves this epoch.
+    pub datasets_lost: usize,
+    /// Verification read traffic, MB (0 under the unsafe protocol).
+    pub verify_mb: f64,
+    /// Bandwidth burned by aborted partial copies, MB.
+    pub wasted_mb: f64,
+    /// Retry backoff serialized into the epoch, seconds.
+    pub backoff_secs: f64,
     /// Annealing moves spent replanning (0 when no replan ran).
     pub replan_moves: usize,
     /// Simulated makespan of the batch (migrations included), seconds.
@@ -62,8 +75,18 @@ pub struct OnlineReport {
     pub jobs_completed: usize,
     /// Total tenancy cost, dollars.
     pub total_cost: f64,
+    /// Total data movements scheduled across the run. Kept alongside
+    /// `migrated_mb`: a run that moves one huge dataset and a run that
+    /// moves fifty small ones look identical in MB but not in moves.
+    pub migrations: usize,
     /// Total bytes migrated, MB.
     pub migrated_mb: f64,
+    /// Total failed-and-retried copy attempts.
+    pub migration_retries: usize,
+    /// Total moves rolled back after exhausting their attempt budget.
+    pub migration_rollbacks: usize,
+    /// Total datasets destroyed by faulted unsafe moves.
+    pub datasets_lost: usize,
     /// Total deadline misses.
     pub deadline_misses: usize,
     /// Total workflows rejected by admission control.
@@ -79,7 +102,11 @@ impl OnlineReport {
             policy: policy.to_string(),
             jobs_completed: epochs.iter().map(|e| e.jobs).sum(),
             total_cost: epochs.iter().map(|e| e.cost()).sum(),
+            migrations: epochs.iter().map(|e| e.migrations).sum(),
             migrated_mb: epochs.iter().map(|e| e.migrated_mb).sum(),
+            migration_retries: epochs.iter().map(|e| e.migration_retries).sum(),
+            migration_rollbacks: epochs.iter().map(|e| e.migration_rollbacks).sum(),
+            datasets_lost: epochs.iter().map(|e| e.datasets_lost).sum(),
             deadline_misses: epochs.iter().map(|e| e.deadline_misses).sum(),
             rejected: epochs.iter().map(|e| e.rejected).sum(),
             replan_moves: epochs.iter().map(|e| e.replan_moves).sum(),
@@ -98,7 +125,7 @@ impl OnlineReport {
 mod tests {
     use super::*;
 
-    fn epoch(i: u32, cost: f64, mb: f64) -> EpochReport {
+    fn epoch(i: u32, cost: f64, moves: usize, mb: f64) -> EpochReport {
         EpochReport {
             epoch: i,
             boundary_secs: i as f64 * 100.0,
@@ -106,11 +133,17 @@ mod tests {
             arrivals: 2,
             jobs: 3,
             replanned: true,
-            adopted: mb > 0.0,
+            adopted: moves > 0,
             score_delta: 0.1,
             churn: 1,
-            migrations: usize::from(mb > 0.0),
+            migrations: moves,
             migrated_mb: mb,
+            migration_retries: moves,
+            migration_rollbacks: usize::from(moves > 2),
+            datasets_lost: 0,
+            verify_mb: mb,
+            wasted_mb: 0.0,
+            backoff_secs: 0.0,
             replan_moves: 500,
             makespan_secs: 80.0,
             vm_cost: cost,
@@ -122,8 +155,10 @@ mod tests {
 
     #[test]
     fn totals_roll_up() {
-        let report =
-            OnlineReport::from_epochs("periodic", vec![epoch(0, 2.0, 100.0), epoch(1, 4.0, 0.0)]);
+        let report = OnlineReport::from_epochs(
+            "periodic",
+            vec![epoch(0, 2.0, 4, 100.0), epoch(1, 4.0, 0, 0.0)],
+        );
         assert_eq!(report.jobs_completed, 6);
         assert!((report.total_cost - 9.0).abs() < 1e-12);
         assert!((report.migrated_mb - 100.0).abs() < 1e-12);
@@ -133,8 +168,27 @@ mod tests {
     }
 
     #[test]
+    fn move_counts_survive_aggregation_independently_of_bytes() {
+        // Many small moves vs one huge move: byte totals tie, move
+        // totals must not collapse to an adopted-epoch count.
+        let many = OnlineReport::from_epochs(
+            "periodic",
+            vec![epoch(0, 1.0, 50, 500.0), epoch(1, 1.0, 3, 12.5)],
+        );
+        assert_eq!(many.migrations, 53);
+        assert!((many.migrated_mb - 512.5).abs() < 1e-12);
+        let one = OnlineReport::from_epochs("periodic", vec![epoch(0, 1.0, 1, 512.5)]);
+        assert_eq!(one.migrations, 1);
+        assert!((one.migrated_mb - many.migrated_mb).abs() < 1e-12);
+        // Protocol accounting rolls up too.
+        assert_eq!(many.migration_retries, 53);
+        assert_eq!(many.migration_rollbacks, 2);
+        assert_eq!(many.datasets_lost, 0);
+    }
+
+    #[test]
     fn report_roundtrips_through_json() {
-        let report = OnlineReport::from_epochs("hysteresis", vec![epoch(0, 1.0, 50.0)]);
+        let report = OnlineReport::from_epochs("hysteresis", vec![epoch(0, 1.0, 2, 50.0)]);
         let json = serde_json::to_string(&report).unwrap();
         let back: OnlineReport = serde_json::from_str(&json).unwrap();
         assert_eq!(report, back);

@@ -35,7 +35,7 @@ use cast_workload::{AppKind, Arrival, ArrivalStream, Job, WorkloadSpec};
 use crate::config::{AdmissionPolicy, ReplanPolicy, RuntimeConfig};
 use crate::error::RuntimeError;
 use crate::forecast::{planning_spec, strip_forecast};
-use crate::migrate::{plan_delta, MigrationSchedule};
+use crate::migrate::{execute_schedule, plan_delta, MigrationSchedule};
 use crate::report::{EpochReport, OnlineReport};
 
 /// Tier newly-arrived data lands on when the incumbent plan has no
@@ -202,14 +202,34 @@ impl<'a> OnlineRuntime<'a> {
                 &capacities,
             )?;
             scfg.concurrency = Concurrency::Parallel;
+
+            // Lower the schedule through the migration protocol: retries,
+            // verify passes and rollbacks become explicit flows; moves
+            // that rolled back revert their readers to the incumbent
+            // placement before the epoch simulates.
+            let protocol = execute_schedule(
+                &sched,
+                self.cfg.protocol,
+                self.cfg.migration_fault_prob,
+                self.cfg.seed,
+                k,
+                &self.obs,
+            );
+            for &jid in &protocol.rolled_back_jobs {
+                if let Some(a) = ingest.get(jid) {
+                    exec.assign(jid, a);
+                }
+            }
             let report = simulate_with_migrations(
                 &spec,
                 &exec.to_placements(),
-                &sched.moves,
+                &protocol.flows,
                 &scfg,
                 &self.obs,
             )?;
-            let makespan = report.makespan;
+            // Retry backoff is wall time the protocol serialized into the
+            // epoch on top of the simulated flows.
+            let makespan = report.makespan + Duration::from_secs(protocol.backoff_secs);
 
             // Deadline accounting: a workflow's budget runs from its
             // arrival instant, so queueing before batch start counts.
@@ -260,6 +280,24 @@ impl<'a> OnlineRuntime<'a> {
             self.obs
                 .counter("runtime.migrated_mb")
                 .add(sched.total.mb().round() as u64);
+            // Protocol counters only materialize when the protocol did
+            // something — default (faultless unsafe) snapshots stay
+            // byte-identical to pre-protocol runs.
+            if protocol.retries > 0 {
+                self.obs
+                    .counter("runtime.migration_retries")
+                    .add(protocol.retries as u64);
+            }
+            if protocol.rollbacks > 0 {
+                self.obs
+                    .counter("runtime.migration_rollbacks")
+                    .add(protocol.rollbacks as u64);
+            }
+            if !protocol.lost.is_empty() {
+                self.obs
+                    .counter("runtime.datasets_lost")
+                    .add(protocol.lost.len() as u64);
+            }
             self.obs.counter("runtime.rejected").add(rejected as u64);
             self.obs
                 .counter("runtime.deadline_misses")
@@ -284,6 +322,12 @@ impl<'a> OnlineRuntime<'a> {
                 churn: sched.churn,
                 migrations: sched.moves.len(),
                 migrated_mb: sched.total.mb(),
+                migration_retries: protocol.retries,
+                migration_rollbacks: protocol.rollbacks,
+                datasets_lost: protocol.lost.len(),
+                verify_mb: protocol.verify_mb,
+                wasted_mb: protocol.wasted_mb,
+                backoff_secs: protocol.backoff_secs,
                 replan_moves,
                 makespan_secs: makespan.secs(),
                 vm_cost: cost.vm.dollars(),
@@ -394,6 +438,12 @@ fn empty_epoch(k: u32, boundary: Duration, start: Duration, rejected: usize) -> 
         churn: 0,
         migrations: 0,
         migrated_mb: 0.0,
+        migration_retries: 0,
+        migration_rollbacks: 0,
+        datasets_lost: 0,
+        verify_mb: 0.0,
+        wasted_mb: 0.0,
+        backoff_secs: 0.0,
         replan_moves: 0,
         makespan_secs: 0.0,
         vm_cost: 0.0,
@@ -539,6 +589,56 @@ mod tests {
             serde_json::to_string(&rt.run(&stream(11)).unwrap()).unwrap()
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn default_protocol_matches_pre_protocol_behaviour() {
+        // Faultless unsafe is the identity lowering: a run configured
+        // explicitly is bit-identical to the default.
+        let est = estimator(4);
+        let run = |cfg: RuntimeConfig| {
+            let rt = OnlineRuntime::new(&est, quick_anneal(600), cfg);
+            serde_json::to_string(&rt.run(&stream(11)).unwrap()).unwrap()
+        };
+        let default = run(quick_cfg(ReplanPolicy::Periodic));
+        let explicit = run(RuntimeConfig {
+            protocol: crate::config::MigrationProtocol::Unsafe,
+            migration_fault_prob: 0.0,
+            ..quick_cfg(ReplanPolicy::Periodic)
+        });
+        assert_eq!(default, explicit);
+    }
+
+    #[test]
+    fn safe_protocol_never_loses_data_where_unsafe_does() {
+        let est = estimator(4);
+        let run = |protocol: crate::config::MigrationProtocol, prob: f64| {
+            let cfg = RuntimeConfig {
+                protocol,
+                migration_fault_prob: prob,
+                ..quick_cfg(ReplanPolicy::Periodic)
+            };
+            OnlineRuntime::new(&est, quick_anneal(600), cfg)
+                .run(&stream(7))
+                .unwrap()
+        };
+        let unsafe_run = run(crate::config::MigrationProtocol::Unsafe, 0.9);
+        let safe_run = run(crate::config::MigrationProtocol::safe(), 0.9);
+        assert!(
+            unsafe_run.datasets_lost > 0,
+            "a 90% fault rate must destroy data under fire-and-forget"
+        );
+        assert_eq!(safe_run.datasets_lost, 0, "CVR must never lose data");
+        assert!(
+            safe_run.migration_retries > 0,
+            "survival is paid for in retries"
+        );
+        // The protocol's costs are visible: verify traffic and backoff.
+        let verify: f64 = safe_run.epochs.iter().map(|e| e.verify_mb).sum();
+        assert!(verify > 0.0);
+        let faultless = run(crate::config::MigrationProtocol::safe(), 0.0);
+        assert_eq!(faultless.datasets_lost, 0);
+        assert_eq!(faultless.migration_retries, 0);
     }
 
     #[test]

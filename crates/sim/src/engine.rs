@@ -2066,6 +2066,96 @@ mod tests {
             rescued.faults.speculations as usize
         );
     }
+
+    #[test]
+    fn vm_crash_at_time_zero_runs_entirely_on_survivors() {
+        // The crash edge fires before any task is placed: nothing to
+        // kill, but the dead VM must never take work and the job must
+        // still finish on the survivor.
+        let mut c = cfg(2);
+        c.collect_trace = true;
+        c.faults = FaultPlan {
+            vm_crashes: vec![VmCrash {
+                vm: 0,
+                at_secs: 0.0,
+                down_secs: None,
+            }],
+            ..FaultPlan::default()
+        };
+        let r = try_run(AppKind::Grep, 10.0, Tier::PersSsd, &c)
+            .expect("a boot-time crash must be survivable");
+        assert_eq!(r.faults.vm_crashes, 1);
+        assert_eq!(r.faults.kills, 0, "no resident tasks to kill at t=0");
+        let trace = r.trace.as_ref().unwrap();
+        assert!(
+            trace
+                .events
+                .iter()
+                .filter(|e| e.kind.opens())
+                .all(|e| e.vm != 0),
+            "dead-from-boot VM must never open a task"
+        );
+        // One VM doing all the work is slower than two.
+        let baseline = run(AppKind::Grep, 10.0, Tier::PersSsd, &cfg(2));
+        assert!(r.makespan.secs() > baseline.makespan.secs());
+    }
+
+    #[test]
+    fn zero_duration_degradation_window_is_inert() {
+        // start == end validates (the plan may be machine-generated) but
+        // is never active: both edges fire at the same instant and the
+        // active-window predicate is empty between them.
+        let baseline = run(AppKind::Grep, 10.0, Tier::PersSsd, &cfg(1));
+        let mut c = cfg(1);
+        c.faults = FaultPlan {
+            degradations: vec![DegradationWindow {
+                vm: None,
+                tier: Tier::PersSsd,
+                start_secs: 5.0,
+                end_secs: 5.0,
+                multiplier: 0.0,
+            }],
+            ..FaultPlan::default()
+        };
+        let r = run(AppKind::Grep, 10.0, Tier::PersSsd, &c);
+        assert_eq!(
+            r.makespan.secs(),
+            baseline.makespan.secs(),
+            "a zero-duration window must not perturb the schedule"
+        );
+    }
+
+    #[test]
+    fn overlapping_same_tier_windows_compose_multiplicatively() {
+        let mk = |windows: Vec<DegradationWindow>| {
+            let mut c = cfg(1);
+            c.faults = FaultPlan {
+                degradations: windows,
+                ..FaultPlan::default()
+            };
+            run(AppKind::Grep, 10.0, Tier::PersSsd, &c).makespan.secs()
+        };
+        let half = |mult: f64| DegradationWindow {
+            vm: None,
+            tier: Tier::PersSsd,
+            start_secs: 0.0,
+            end_secs: 1e9,
+            multiplier: mult,
+        };
+        let single = mk(vec![half(0.5)]);
+        let overlapped = mk(vec![half(0.5), half(0.5)]);
+        let quartered = mk(vec![half(0.25)]);
+        assert!(
+            overlapped > single,
+            "two overlapping windows must hurt more than one: {overlapped} vs {single}"
+        );
+        // Overlap composes multiplicatively: 0.5 × 0.5 ≡ one 0.25 window.
+        assert!(
+            (overlapped - quartered).abs() <= 1e-9 * quartered,
+            "0.5 x 0.5 overlap must equal a single 0.25 window: \
+             {overlapped} vs {quartered}"
+        );
+    }
 }
 
 #[cfg(test)]

@@ -37,6 +37,24 @@ pub enum SimError {
         /// Attempts the fatal task made (first run + retries).
         attempts: u32,
     },
+    /// A dataset lost more redundancy shards than its scheme tolerates;
+    /// the data is unrecoverable and dependent work cannot run.
+    DataLoss {
+        /// Dataset that fell below its read threshold.
+        dataset: u32,
+        /// Shards lost.
+        lost: u32,
+        /// Losses the scheme could have survived.
+        tolerance: u32,
+    },
+    /// A migration's `after` chain references an id that does not appear
+    /// earlier in the migration list.
+    InvalidMigrationChain {
+        /// Migration with the dangling dependency.
+        id: u32,
+        /// The referenced id that was not found before it.
+        missing: u32,
+    },
     /// The configured [`crate::fault::FaultPlan`] is malformed.
     InvalidFaultPlan {
         /// What was wrong.
@@ -91,6 +109,20 @@ impl fmt::Display for SimError {
             SimError::JobFailed { job, attempts } => {
                 write!(f, "job #{job} failed: a task exhausted {attempts} attempts")
             }
+            SimError::DataLoss {
+                dataset,
+                lost,
+                tolerance,
+            } => write!(
+                f,
+                "dataset #{dataset} lost {lost} shards (scheme tolerates {tolerance}): \
+                 data is unrecoverable"
+            ),
+            SimError::InvalidMigrationChain { id, missing } => write!(
+                f,
+                "migration #{id} waits on migration #{missing}, which does not \
+                 precede it"
+            ),
             SimError::InvalidFaultPlan { reason } => {
                 write!(f, "invalid fault plan: {reason}")
             }
@@ -185,6 +217,19 @@ mod tests {
         assert!(msg.contains("t=250.250"));
         assert!(msg.contains("12 active tasks"));
         assert!(msg.contains("3 unfinished jobs"));
+    }
+
+    #[test]
+    fn data_loss_display() {
+        let e = SimError::DataLoss {
+            dataset: 3,
+            lost: 3,
+            tolerance: 2,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("#3"));
+        assert!(msg.contains("3 shards"));
+        assert!(msg.contains("tolerates 2"));
     }
 
     #[test]

@@ -51,6 +51,20 @@ pub struct DegradationWindow {
     pub multiplier: f64,
 }
 
+/// A scheduled loss of redundancy shards from one dataset's home tier —
+/// the disk/node failures that erasure coding and replication exist to
+/// survive. Losses accumulate: two kills of one shard each at different
+/// times leave the dataset two shards down.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ShardKill {
+    /// Index of the dataset (job input) whose shards are lost.
+    pub dataset: u32,
+    /// Simulated time of the loss, seconds.
+    pub at_secs: f64,
+    /// How many shards (or replicas) are lost at once.
+    pub shards: u32,
+}
+
 /// The full fault scenario for one simulation.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FaultPlan {
@@ -78,6 +92,9 @@ pub struct FaultPlan {
     pub vm_crashes: Vec<VmCrash>,
     /// Tier degradation windows.
     pub degradations: Vec<DegradationWindow>,
+    /// Scheduled redundancy-shard losses (consumed by the durability
+    /// layer, [`crate::durability`]; ignored by plain `simulate`).
+    pub shard_kills: Vec<ShardKill>,
 }
 
 impl Default for FaultPlan {
@@ -94,6 +111,7 @@ impl Default for FaultPlan {
             speculation_threshold: 0.0,
             vm_crashes: Vec::new(),
             degradations: Vec::new(),
+            shard_kills: Vec::new(),
         }
     }
 }
@@ -106,6 +124,7 @@ impl FaultPlan {
             && self.speculation_threshold <= 0.0
             && self.vm_crashes.is_empty()
             && self.degradations.is_empty()
+            && self.shard_kills.is_empty()
     }
 
     /// Convenience: an otherwise-default plan with a per-task failure rate.
@@ -167,9 +186,13 @@ impl FaultPlan {
                     return Err(format!("degradation references VM {vm} (nvm = {nvm})"));
                 }
             }
+            // `end == start` is a zero-duration window: valid, never
+            // active (the activity test is half-open), useful as a
+            // degenerate sweep endpoint. Only backwards windows are
+            // rejected.
             if !(w.start_secs.is_finite() && w.end_secs.is_finite())
                 || w.start_secs < 0.0
-                || w.end_secs <= w.start_secs
+                || w.end_secs < w.start_secs
             {
                 return Err(format!(
                     "degradation window [{}, {}) is invalid",
@@ -181,6 +204,17 @@ impl FaultPlan {
                     "degradation multiplier must be finite and >= 0, got {}",
                     w.multiplier
                 ));
+            }
+        }
+        for k in &self.shard_kills {
+            if !k.at_secs.is_finite() || k.at_secs < 0.0 {
+                return Err(format!(
+                    "shard kill time must be finite and >= 0, got {}",
+                    k.at_secs
+                ));
+            }
+            if k.shards == 0 {
+                return Err("shard kill must remove at least one shard".to_string());
             }
         }
         Ok(())
@@ -251,6 +285,53 @@ mod tests {
             ..FaultPlan::with_task_failures(0.1)
         };
         assert!(no_attempts.validate(4).is_err());
+    }
+
+    #[test]
+    fn zero_duration_window_is_valid() {
+        let degenerate = FaultPlan {
+            degradations: vec![DegradationWindow {
+                vm: None,
+                tier: Tier::PersHdd,
+                start_secs: 10.0,
+                end_secs: 10.0,
+                multiplier: 0.5,
+            }],
+            ..FaultPlan::default()
+        };
+        assert!(degenerate.validate(4).is_ok());
+    }
+
+    #[test]
+    fn shard_kills_validated_and_counted() {
+        let plan = FaultPlan {
+            shard_kills: vec![ShardKill {
+                dataset: 0,
+                at_secs: 5.0,
+                shards: 2,
+            }],
+            ..FaultPlan::default()
+        };
+        assert!(!plan.is_empty());
+        assert!(plan.validate(4).is_ok());
+        let zero = FaultPlan {
+            shard_kills: vec![ShardKill {
+                dataset: 0,
+                at_secs: 5.0,
+                shards: 0,
+            }],
+            ..FaultPlan::default()
+        };
+        assert!(zero.validate(4).is_err());
+        let negative = FaultPlan {
+            shard_kills: vec![ShardKill {
+                dataset: 0,
+                at_secs: -1.0,
+                shards: 1,
+            }],
+            ..FaultPlan::default()
+        };
+        assert!(negative.validate(4).is_err());
     }
 
     #[test]

@@ -210,10 +210,10 @@ impl JobRun {
         let Some(src) = self.placement.stage_in_from else {
             return Vec::new();
         };
+        // `src == dst` is intentional work, not a no-op: the durability
+        // layer models erasure-reconstruction and repair traffic as a
+        // read+write stream over the same tier's volumes.
         let dst = self.placement.input.primary();
-        if src == dst {
-            return Vec::new();
-        }
         let bytes = self
             .placement
             .stage_in_bytes

@@ -44,6 +44,7 @@
 //! [`metrics::SimReport`] with per-job phase timings and the makespan.
 
 pub mod config;
+pub mod durability;
 pub mod engine;
 pub mod error;
 pub mod fault;
@@ -58,8 +59,9 @@ pub mod task;
 pub mod trace;
 
 pub use config::SimConfig;
+pub use durability::{simulate_durable, DurabilityReport, ShardState};
 pub use error::SimError;
-pub use fault::{DegradationWindow, FaultPlan, VmCrash};
+pub use fault::{DegradationWindow, FaultPlan, ShardKill, VmCrash};
 pub use metrics::{FaultSummary, JobMetrics, SimReport};
 pub use placement::{JobPlacement, PlacementMap, SplitPlacement};
 pub use runner::{

@@ -43,6 +43,11 @@ pub struct MigrationSpec {
     pub to: Tier,
     /// Workload jobs that must not start before this move completes.
     pub blocks: Vec<JobId>,
+    /// Ids of *earlier* migrations in the same batch that must complete
+    /// before this one starts — the copy→verify→retire protocol chains its
+    /// verify pass after the copy this way. Each referenced id must appear
+    /// before this spec in the migration list.
+    pub after: Vec<u32>,
 }
 
 /// Simulate `spec` under `placements` on the cluster `cfg`.
@@ -113,6 +118,7 @@ pub fn prepare_runs(
     // precede the jobs they gate).
     let mut runs: Vec<JobRun> = Vec::with_capacity(order.len() + n_mig);
     let mut blocked_by: HashMap<JobId, Vec<usize>> = HashMap::new();
+    let mut mover_index: HashMap<u32, usize> = HashMap::with_capacity(n_mig);
     for (m_idx, m) in migrations.iter().enumerate() {
         for t in [m.from, m.to] {
             if t.is_block() && cfg.vm_tier_bandwidth(t).mb_per_sec() <= 0.0 {
@@ -120,6 +126,18 @@ pub fn prepare_runs(
                     job: MIGRATION_JOB_BASE + m.id,
                     tier: t.name().to_string(),
                 });
+            }
+        }
+        let mut deps: Vec<usize> = Vec::with_capacity(m.after.len());
+        for &pred in &m.after {
+            match mover_index.get(&pred) {
+                Some(&i) => deps.push(i),
+                None => {
+                    return Err(SimError::InvalidMigrationChain {
+                        id: m.id,
+                        missing: pred,
+                    })
+                }
             }
         }
         let job = Job {
@@ -131,7 +149,10 @@ pub fn prepare_runs(
             reduces: 1,
         };
         let profile = *spec.profiles.get(job.app);
-        runs.push(JobRun::migration(job, m.from, m.to, profile));
+        let mut run = JobRun::migration(job, m.from, m.to, profile);
+        run.deps = deps;
+        runs.push(run);
+        mover_index.insert(m.id, m_idx);
         for &jid in &m.blocks {
             blocked_by.entry(jid).or_default().push(m_idx);
         }
@@ -355,6 +376,7 @@ mod tests {
             from: Tier::PersHdd,
             to: Tier::PersSsd,
             blocks: vec![JobId(0)],
+            after: vec![],
         }];
         let report = simulate_with_migrations(
             &spec,
@@ -393,6 +415,7 @@ mod tests {
             from: Tier::PersHdd,
             to: Tier::PersSsd,
             blocks: vec![],
+            after: vec![],
         }];
         let busy = simulate_with_migrations(
             &spec,

@@ -72,6 +72,46 @@ fn recorded_pipeline_trace_round_trips_ndjson() {
 }
 
 #[test]
+fn durability_events_round_trip_ndjson() {
+    let col = Collector::recording();
+    col.emit(
+        10.0,
+        EventBody::MigrationPhase {
+            epoch: 1,
+            dataset: 4,
+            phase: "verify".into(),
+            attempt: 2,
+            mb: 512.0,
+        },
+    );
+    col.emit(
+        11.0,
+        EventBody::ShardLost {
+            dataset: 4,
+            lost: 2,
+            remaining: 4,
+            fatal: false,
+        },
+    );
+    col.emit(
+        12.0,
+        EventBody::Reconstructed {
+            dataset: 4,
+            shards: 2,
+            mb: 2048.0,
+        },
+    );
+    let events = col.events();
+    let labels: Vec<&'static str> = events.iter().map(|e| e.body.label()).collect();
+    assert_eq!(
+        labels,
+        vec!["migration_phase", "shard_lost", "reconstructed"]
+    );
+    let parsed = parse_ndjson(&to_ndjson(&events)).expect("parseable NDJSON");
+    assert_eq!(events, parsed);
+}
+
+#[test]
 fn parallel_restart_metrics_and_trace_are_deterministic() {
     let fw = shared_framework();
     let spec = mixed_spec();
