@@ -329,6 +329,73 @@ fn run_durability_sweep() -> Section {
     }
 }
 
+/// Render the engine scale grid from the committed `sim_scale` baseline.
+/// The grid itself is regenerated by `cargo run --release -p cast-bench
+/// --bin sim_scale -- --out results/BENCH_sim.json` (minutes of reference
+/// runs), so this section reads the committed JSON instead of re-running.
+fn run_sim_scale_section() -> Section {
+    let mut md = String::from("## Engine scale grid (`sim_scale`)\n\n");
+    match fs::read_to_string("results/BENCH_sim.json")
+        .ok()
+        .and_then(|s| serde_json::from_str::<serde_json::Value>(&s).ok())
+    {
+        Some(report) => {
+            let _ = writeln!(
+                md,
+                "```\n{:<7}{:<7}{:<10}{:<11}vs reference",
+                "nvm", "jobs", "steps", "events/s"
+            );
+            let empty = Vec::new();
+            for sc in report["scenarios"].as_array().unwrap_or(&empty) {
+                let ev = sc["events_per_sec"].as_f64().unwrap_or(0.0);
+                let speedup = sc["speedup"]
+                    .as_f64()
+                    .map_or("-".to_string(), |s| format!("{s:.1}x"));
+                let _ = writeln!(
+                    md,
+                    "{:<7}{:<7}{:<10}{:<11}{speedup}",
+                    format!("{}", sc["nvm"].as_f64().unwrap_or(0.0) as u64),
+                    format!("{}", sc["jobs"].as_f64().unwrap_or(0.0) as u64),
+                    format!("{}", sc["steps"].as_f64().unwrap_or(0.0) as u64),
+                    format!("{:.2}M", ev / 1e6),
+                );
+            }
+            let par = &report["parallel"];
+            if let Some(ev) = par["events_per_sec"].as_f64() {
+                let _ = writeln!(
+                    md,
+                    "parallel: {} runs x ({} VM, {} jobs) = {:.2}M events/s aggregate",
+                    par["runs"].as_f64().unwrap_or(0.0) as u64,
+                    par["nvm"].as_f64().unwrap_or(0.0) as u64,
+                    par["jobs"].as_f64().unwrap_or(0.0) as u64,
+                    ev / 1e6,
+                );
+            }
+            md.push_str("```\n\n");
+        }
+        None => md.push_str("(no committed `results/BENCH_sim.json` baseline)\n\n"),
+    }
+    let _ = writeln!(
+        md,
+        "Beyond the paper: throughput of the engine itself across cluster\n\
+         size and backlog depth (committed baseline `results/BENCH_sim.json`,\n\
+         regenerated by `sim_scale --out`; numbers above are re-rendered from\n\
+         that file, not re-measured). Per-event cost is flat from 25 to\n\
+         10 000 VMs and from 100 to 4 000 jobs — the dirty-set/indexed-heap\n\
+         design keeps per-event work bounded by *affected* flows, not by\n\
+         cluster or backlog size. The reference stepper is only timed up to\n\
+         100 VMs / 400 jobs (above that a single comparison run takes\n\
+         minutes); its column widens with scale exactly as O(E·N) predicts.\n\
+         The parallel row is the aggregate over concurrent independent runs\n\
+         on the worker pool: on one core it matches single-run throughput,\n\
+         on an 8-core machine it is the 10 M events/s headline path.\n\
+         `--smoke` runs the 25-VM and 4 000-job scenarios plus a small\n\
+         parallel batch; CI gates events/s against the committed baseline\n\
+         with 25 % tolerance.\n"
+    );
+    Section { md, json: vec![] }
+}
+
 fn main() {
     let io = ExperimentIo::from_args("all_experiments");
 
@@ -402,6 +469,10 @@ fn main() {
         (
             "durability_sweep (serves the stream per protocol x rate)",
             Box::new(run_durability_sweep),
+        ),
+        (
+            "sim_scale (re-rendered from baseline)",
+            Box::new(run_sim_scale_section),
         ),
     ];
 

@@ -3,19 +3,28 @@
 //! Runs the Facebook-derived workload at several cluster/workload scales
 //! through the event-driven engine (and, where affordable, the reference
 //! stepper) and reports steps-per-second throughput as machine-readable
-//! JSON (`BENCH_sim.json`). Doubles as a CI regression gate: `--check`
-//! compares the measured throughput against a committed baseline and
-//! fails the run on a slowdown beyond `--tolerance`.
+//! JSON (`BENCH_sim.json`), including the engine's health counters
+//! ([`cast_sim::EngineStats`]). A final section executes independent
+//! repetitions of the largest scenario concurrently on the
+//! [`cast_sim::par`] worker pool and reports the aggregate event rate —
+//! the multi-core figure of merit for fleet-scale sweeps.
+//!
+//! Doubles as a CI regression gate: `--check` compares the measured
+//! throughput against a committed baseline and fails the run on a
+//! slowdown beyond `--tolerance`.
 //!
 //! ```text
 //! sim_scale [--smoke] [--out PATH] [--check BASELINE] [--tolerance 0.25]
 //! ```
 //!
-//! * `--smoke` runs only the smallest scenario (CI-friendly, < 1 s).
+//! * `--smoke` runs a reduced grid (CI-friendly: the reference-checked
+//!   small scenario plus one 4000-job stress scenario).
 //! * `--out` writes the JSON report to a file (default: stdout only).
 //! * `--check` loads a baseline JSON and fails (exit 1) if any scenario's
 //!   `events_per_sec` regressed by more than the tolerance (default 25%).
-//!   Only scenarios present in both reports are compared, so a smoke run
+//!   The baseline is parsed generically, so older baselines lacking
+//!   newer fields (and newer baselines carrying extra ones) still check;
+//!   only scenarios present in both reports are compared, so a smoke run
 //!   can be checked against a committed full baseline.
 
 use std::time::Instant;
@@ -24,7 +33,8 @@ use cast_cloud::tier::{PerTier, Tier};
 use cast_cloud::units::DataSize;
 use cast_cloud::Catalog;
 use cast_sim::config::SimConfig;
-use cast_sim::engine::Engine;
+use cast_sim::engine::{Engine, EngineScratch};
+use cast_sim::par;
 use cast_sim::placement::PlacementMap;
 use cast_sim::prepare_runs;
 #[cfg(feature = "reference-engine")]
@@ -34,9 +44,12 @@ use cast_workload::job::JobId;
 use cast_workload::spec::WorkloadSpec;
 use cast_workload::synth;
 
-/// (nvm, jobs) grid of the full run. The 400-VM scenarios skip the
-/// reference stepper: its O(events × tasks) inner loop makes them take
-/// minutes for no additional information.
+/// (nvm, jobs) grid of the full run. The 400-VM-and-up scenarios skip
+/// the reference stepper: its O(events × tasks) inner loop makes them
+/// take minutes for no additional information. The 2000/10000-VM rows
+/// size the scratch (slot heaps, share registry) at fleet scale; the
+/// 4000-job row stresses the dispatch and completion-heap paths with a
+/// deep backlog.
 const FULL: &[(usize, usize)] = &[
     (25, 100),
     (100, 100),
@@ -44,8 +57,13 @@ const FULL: &[(usize, usize)] = &[
     (25, 400),
     (100, 400),
     (400, 400),
+    (2000, 100),
+    (10000, 100),
+    (400, 4000),
 ];
-const SMOKE: &[(usize, usize)] = &[(25, 100)];
+/// CI grid: the reference-checked small scenario plus the 4000-job
+/// stress scenario.
+const SMOKE: &[(usize, usize)] = &[(25, 100), (400, 4000)];
 
 /// Reference stepper is only timed at or below this VM count.
 #[cfg(feature = "reference-engine")]
@@ -54,14 +72,22 @@ const REFERENCE_NVM_CAP: usize = 100;
 /// Timed repetitions per scenario (fastest wins, after one warm-up).
 const REPS: usize = 3;
 
-#[derive(serde::Serialize, serde::Deserialize)]
+/// Worker count and run count for the parallel-aggregate section. Eight
+/// workers matches the fleet-sweep target configuration; on machines
+/// with fewer cores the pool still claims all runs and the reported
+/// aggregate reflects the hardware honestly.
+const PAR_WORKERS: usize = 8;
+const PAR_RUNS: usize = 8;
+
+#[derive(serde::Serialize)]
 struct Report {
     bench: String,
     mode: String,
     scenarios: Vec<Scenario>,
+    parallel: Parallel,
 }
 
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(serde::Serialize)]
 struct Scenario {
     nvm: usize,
     jobs: usize,
@@ -72,6 +98,24 @@ struct Scenario {
     reference_events_per_sec: Option<f64>,
     /// reference wall / engine wall, where both were measured.
     speedup: Option<f64>,
+    // ---- engine health counters (EngineStats of the last rep) ----
+    heap_stale_popped: u64,
+    wake_entries_allocated: u64,
+    dirty_drain_batches: u64,
+    scratch_reallocs: u64,
+}
+
+/// Aggregate throughput of independent concurrent runs of the largest
+/// grid scenario on the [`par`] worker pool.
+#[derive(serde::Serialize)]
+struct Parallel {
+    nvm: usize,
+    jobs: usize,
+    workers: usize,
+    runs: usize,
+    steps_total: u64,
+    wall_secs: f64,
+    events_per_sec: f64,
 }
 
 /// The 100-job Facebook workload, or `copies` of it merged with offset
@@ -116,22 +160,31 @@ fn run_scenario(nvm: usize, jobs: usize) -> Scenario {
 
     let mut best = f64::INFINITY;
     let mut steps = 0;
+    let mut last_stats = cast_sim::EngineStats::default();
+    let mut scratch = EngineScratch::new();
     for rep in 0..=REPS {
         let t0 = Instant::now();
-        let (_, stats) = Engine::new(&cfg, runs.clone())
+        let (_, stats) = Engine::with_scratch(&cfg, runs.clone(), &mut scratch)
             .run_with_stats()
             .expect("simulation");
         let wall = t0.elapsed().as_secs_f64();
         if rep > 0 {
+            // The warm-up rep sized every buffer; timed reps must reuse
+            // them without growing anything.
+            assert_eq!(
+                stats.scratch_reallocs, 0,
+                "scratch reuse must not re-allocate on repeated runs"
+            );
             best = best.min(wall);
             steps = stats.steps;
+            last_stats = stats;
         }
     }
 
     #[allow(unused_mut)]
     let (mut ref_wall, mut ref_eps): (Option<f64>, Option<f64>) = (None, None);
     #[cfg(feature = "reference-engine")]
-    if nvm <= REFERENCE_NVM_CAP {
+    if nvm <= REFERENCE_NVM_CAP && jobs <= 400 {
         let mut ref_best = f64::INFINITY;
         let mut ref_steps = 0;
         for _ in 0..REPS {
@@ -155,24 +208,76 @@ fn run_scenario(nvm: usize, jobs: usize) -> Scenario {
         reference_wall_secs: ref_wall,
         reference_events_per_sec: ref_eps,
         speedup: ref_wall.map(|r| r / best),
+        heap_stale_popped: last_stats.heap_stale_popped,
+        wake_entries_allocated: last_stats.wake_entries_allocated,
+        dirty_drain_batches: last_stats.dirty_drain_batches,
+        scratch_reallocs: last_stats.scratch_reallocs,
     }
 }
 
+/// Execute `PAR_RUNS` independent repetitions of the `(nvm, jobs)`
+/// scenario concurrently and report the aggregate event rate. Every run
+/// simulates the identical prepared workload (the pool's determinism
+/// contract: a run's output depends only on its index), so per-run step
+/// counts are equal and the aggregate is purely a wall-clock figure.
+fn run_parallel(nvm: usize, jobs: usize) -> Parallel {
+    let spec = workload(jobs / 100);
+    let placements = PlacementMap::uniform(spec.jobs.iter().map(|j| j.id), Tier::PersSsd);
+    let cfg = cluster(nvm);
+    let runs = prepare_runs(&spec, &placements, &[], &cfg).expect("prepare");
+
+    // One warm-up run so first-touch page faults and lazy synthesis are
+    // off the clock.
+    Engine::new(&cfg, runs.clone())
+        .run_with_stats()
+        .expect("simulation");
+
+    let t0 = Instant::now();
+    let step_counts: Vec<u64> = par::run_indexed(PAR_WORKERS, PAR_RUNS, |_| {
+        let (_, stats) = Engine::new(&cfg, runs.clone())
+            .run_with_stats()
+            .expect("simulation");
+        stats.steps
+    });
+    let wall = t0.elapsed().as_secs_f64();
+    let steps_total: u64 = step_counts.iter().sum();
+    Parallel {
+        nvm,
+        jobs,
+        workers: PAR_WORKERS,
+        runs: PAR_RUNS,
+        steps_total,
+        wall_secs: wall,
+        events_per_sec: steps_total as f64 / wall,
+    }
+}
+
+/// Compare `current` against a committed baseline on `events_per_sec`.
+///
+/// The baseline is parsed as generic JSON rather than deserialized into
+/// [`Report`]: the vendored serde shim hard-errors on missing fields, so
+/// a typed parse would reject every baseline written by an older (or
+/// newer) sim_scale. Scenario entries lacking a numeric `events_per_sec`
+/// (absent or null) are skipped explicitly.
 fn check(current: &Report, baseline_path: &str, tolerance: f64) -> Result<(), String> {
     let raw = std::fs::read_to_string(baseline_path)
         .map_err(|e| format!("cannot read baseline {baseline_path}: {e}"))?;
-    let baseline: Report =
+    let baseline: serde_json::Value =
         serde_json::from_str(&raw).map_err(|e| format!("bad baseline JSON: {e}"))?;
+    let empty = Vec::new();
+    let base_scenarios = baseline["scenarios"].as_array().unwrap_or(&empty);
     let mut failures = Vec::new();
     for cur in &current.scenarios {
-        let Some(base) = baseline
-            .scenarios
-            .iter()
-            .find(|b| b.nvm == cur.nvm && b.jobs == cur.jobs)
-        else {
+        let Some(base_eps) = base_scenarios.iter().find_map(|b| {
+            (b["nvm"] == cur.nvm && b["jobs"] == cur.jobs)
+                .then(|| b["events_per_sec"].as_f64())
+                .flatten()
+        }) else {
+            // Scenario absent from the baseline (or recorded without a
+            // numeric rate): nothing to regress against.
             continue;
         };
-        let floor = base.events_per_sec * (1.0 - tolerance);
+        let floor = base_eps * (1.0 - tolerance);
         let verdict = if cur.events_per_sec < floor {
             "REGRESSED"
         } else {
@@ -180,7 +285,7 @@ fn check(current: &Report, baseline_path: &str, tolerance: f64) -> Result<(), St
         };
         eprintln!(
             "check nvm={} jobs={}: {:.0} events/s vs baseline {:.0} (floor {:.0}) {}",
-            cur.nvm, cur.jobs, cur.events_per_sec, base.events_per_sec, floor, verdict
+            cur.nvm, cur.jobs, cur.events_per_sec, base_eps, floor, verdict
         );
         if cur.events_per_sec < floor {
             failures.push(format!(
@@ -189,8 +294,8 @@ fn check(current: &Report, baseline_path: &str, tolerance: f64) -> Result<(), St
                 cur.jobs,
                 cur.events_per_sec,
                 floor,
-                (100.0 * (1.0 - cur.events_per_sec / base.events_per_sec)).round(),
-                base.events_per_sec,
+                (100.0 * (1.0 - cur.events_per_sec / base_eps)).round(),
+                base_eps,
             ));
         }
     }
@@ -244,10 +349,25 @@ fn main() {
         );
         scenarios.push(s);
     }
+    // Parallel aggregate: the fleet-scale scenario in full mode, the
+    // small scenario in smoke mode (exercises the pool without the 10k-VM
+    // scratch footprint).
+    let (par_nvm, par_jobs) = if smoke { (25, 100) } else { (10000, 100) };
+    let parallel = run_parallel(par_nvm, par_jobs);
+    eprintln!(
+        "sim_scale parallel nvm={} jobs={} workers={}: {} total steps in {:.3}s = {:.0} events/s aggregate",
+        parallel.nvm,
+        parallel.jobs,
+        parallel.workers,
+        parallel.steps_total,
+        parallel.wall_secs,
+        parallel.events_per_sec,
+    );
     let report = Report {
         bench: "sim_scale".to_string(),
         mode: if smoke { "smoke" } else { "full" }.to_string(),
         scenarios,
+        parallel,
     };
     let json = serde_json::to_string_pretty(&report).expect("serialize");
     println!("{json}");

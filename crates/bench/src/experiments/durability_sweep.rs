@@ -151,24 +151,36 @@ pub fn run(cfg: &DurabilitySweepConfig) -> (TableWriter, TableWriter, serde_json
             "cost $",
         ],
     );
+    // The (fault rate × protocol) cells are independent runs: execute
+    // them on the worker pool and emit rows in grid order, which is
+    // identical to the sequential sweep (par's determinism contract).
+    let grid: Vec<(&'static str, MigrationProtocol, f64)> = cfg
+        .fault_rates
+        .iter()
+        .flat_map(|&rate| {
+            protocols()
+                .into_iter()
+                .map(move |(label, protocol)| (label, protocol, rate))
+        })
+        .collect();
+    let reports = cast_sim::par::run_indexed(cast_sim::par::default_workers(), grid.len(), |i| {
+        serve(cfg, grid[i].1, grid[i].2)
+    });
     let mut cells = Vec::new();
-    for &rate in &cfg.fault_rates {
-        for (label, protocol) in protocols() {
-            let report = serve(cfg, protocol, rate);
-            sweep.row(vec![
-                Cell::Text(label.to_string()),
-                Cell::Prec(rate, 2),
-                Cell::Prec(report.migrations as f64, 0),
-                Cell::Num(report.migrated_mb),
-                Cell::Prec(report.datasets_lost as f64, 0),
-                Cell::Prec(report.migration_retries as f64, 0),
-                Cell::Prec(report.migration_rollbacks as f64, 0),
-                Cell::Num(report.epochs.iter().map(|e| e.verify_mb).sum::<f64>()),
-                Cell::Num(report.epochs.iter().map(|e| e.wasted_mb).sum::<f64>()),
-                Cell::Prec(report.total_cost, 2),
-            ]);
-            cells.push((label, rate, report));
-        }
+    for ((label, _, rate), report) in grid.into_iter().zip(reports) {
+        sweep.row(vec![
+            Cell::Text(label.to_string()),
+            Cell::Prec(rate, 2),
+            Cell::Prec(report.migrations as f64, 0),
+            Cell::Num(report.migrated_mb),
+            Cell::Prec(report.datasets_lost as f64, 0),
+            Cell::Prec(report.migration_retries as f64, 0),
+            Cell::Prec(report.migration_rollbacks as f64, 0),
+            Cell::Num(report.epochs.iter().map(|e| e.verify_mb).sum::<f64>()),
+            Cell::Num(report.epochs.iter().map(|e| e.wasted_mb).sum::<f64>()),
+            Cell::Prec(report.total_cost, 2),
+        ]);
+        cells.push((label, rate, report));
     }
 
     // Acceptance: copy→verify→retire never loses a dataset at any fault

@@ -127,15 +127,23 @@ pub fn run() -> TableWriter {
         ],
     );
 
+    // Scenarios are independent runs over the same spec/placements:
+    // execute them on the worker pool; results come back in scenario
+    // order, so rows and the monotonicity check match a sequential sweep.
+    let scenarios = scenarios(base_secs);
+    let reports =
+        cast_sim::par::run_indexed(cast_sim::par::default_workers(), scenarios.len(), |i| {
+            run_one(&spec, &placements, &scenarios[i].plan)
+        });
+
     let mut sweep_makespans: Vec<f64> = Vec::new();
-    for sc in scenarios(base_secs) {
-        let report = run_one(&spec, &placements, &sc.plan);
+    for (sc, report) in scenarios.iter().zip(reports) {
         let f = &report.faults;
         if sc.label.starts_with("task failures") {
             sweep_makespans.push(report.makespan.secs());
         }
         t.row(vec![
-            sc.label.into(),
+            sc.label.clone().into(),
             Cell::Prec(report.makespan.mins(), 2),
             Cell::Prec(report.makespan.secs() / base_secs, 3),
             Cell::Prec(f.task_failures as f64, 0),

@@ -7,16 +7,36 @@
 //! * **Incremental share rates** — every streaming stage registers
 //!   persistent flows in the [`ShareRegistry`]; when a resource's load or
 //!   capacity changes, only the tasks with a flow on that resource are
-//!   recomputed (the registry's dirty-set drives this).
+//!   recomputed (the registry's dirty-set drives this). A task whose
+//!   recomputed rate is bit-equal to its current rate keeps its heap
+//!   entry untouched.
 //! * **Completion heap** — each task's predicted completion (or doom
-//!   point) sits in a lazy-invalidation binary min-heap. Rate changes
-//!   re-push a fresh entry under a new version; stale entries are
-//!   discarded on pop. Scheduled fault events and retry wake-ups are
-//!   sentinel entries in the same heap.
+//!   point) sits in an *indexed* binary min-heap ([`TaskHeap`]): the
+//!   task table stores each entry's heap position, so a rate change
+//!   re-keys the existing entry in place (one sift) and task removal
+//!   deletes it outright. The heap holds exactly one entry per
+//!   scheduled task — no stale entries, no validity checks on pop, no
+//!   compaction passes. Scheduled fault events and retry wake-ups live
+//!   in a small separate wake heap of bare timestamps.
 //! * **Lazy task advancement** — a task records `(anchor clock, rate)`
 //!   and materializes its remaining units only when its rate changes, it
 //!   completes, it fails, or speculation samples it. Between rate changes
 //!   no per-event bookkeeping touches it.
+//!
+//! ## Data-oriented hot state
+//!
+//! Per-task state is struct-of-arrays ([`crate::soa::TaskTable`]): flat
+//! index-parallel columns addressed by dense indices, with the current
+//! stage's remaining work and pre-resolved resource indices mirrored into
+//! hot columns so a rate refresh reads four contiguous arrays instead of
+//! chasing per-task pointers. Task templates are interned in a
+//! reference-counted arena ([`crate::soa::TemplateArena`]) — dispatch
+//! moves them out of the job queue once; retries and speculative backups
+//! share by id instead of cloning boxes. Stage buffers, retry slots and
+//! every per-run scratch vector live in an [`EngineScratch`] that can be
+//! reused across runs ([`Engine::with_scratch`]), so repeated simulation
+//! of the same catalog allocates nothing in steady state
+//! ([`EngineStats::scratch_reallocs`] proves it).
 //!
 //! The pre-overhaul stepper that recomputed every rate and advanced every
 //! task on every event survives as [`crate::reference::ReferenceEngine`]
@@ -49,7 +69,7 @@
 //! simulations are bit-identical with the machinery present.
 
 use std::cmp::Ordering;
-use std::collections::{BTreeSet, BinaryHeap};
+use std::collections::BinaryHeap;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -62,8 +82,13 @@ use crate::error::SimError;
 use crate::fault::FaultPlan;
 use crate::jobrun::{JobPhase, JobRun};
 use crate::metrics::{FaultSummary, JobMetrics, SimReport};
-use crate::resources::{FlowHandle, ResKind, ShareRegistry};
-use crate::task::{BoundStage, RunningTask, SlotKind, TaskTemplate};
+use crate::resources::{ResKind, ShareRegistry};
+use crate::soa::{
+    TaskTable, TemplateArena, NO_DOOM, NO_HEAP, NO_POS, NO_RES, NO_TEMPLATE, NO_TWIN,
+};
+#[cfg(feature = "reference-engine")]
+use crate::task::RunningTask;
+use crate::task::{bind_spec, BoundStage, SlotKind, TaskTemplate};
 use crate::trace::{TaskEvent, TaskEventKind, Trace};
 use cast_cloud::units::Duration;
 
@@ -75,10 +100,6 @@ pub(crate) const BACKUP_BIT: u64 = 1 << 63;
 pub(crate) const MAX_OBJ_RETRIES: u32 = 16;
 /// Engine steps between tier-contention samples on a recording collector.
 pub(crate) const CONTENTION_STRIDE: u64 = 32;
-
-/// Sentinel task id for heap entries that only wake the clock (scheduled
-/// fault events, retry backoffs). Always valid; carries no task work.
-const WAKE_TASK: u32 = u32::MAX;
 
 /// Observability handles, resolved once at engine construction so the hot
 /// loop never touches the registry. With a no-op collector every operation
@@ -156,6 +177,20 @@ pub(crate) enum FaultEventKind {
 }
 
 /// A failed or crash-killed task waiting out its retry backoff.
+/// Arena-backed: `tid` holds one reference on the shared template, so a
+/// retry allocates nothing.
+#[derive(Debug, Clone, Copy)]
+struct RetrySlot {
+    ready_at: f64,
+    job: u32,
+    uid: u64,
+    attempt: u32,
+    tid: u32,
+}
+
+/// A failed or crash-killed task waiting out its retry backoff
+/// (reference stepper's boxed form).
+#[cfg(feature = "reference-engine")]
 #[derive(Debug, Clone)]
 pub(crate) struct RetryEntry {
     pub(crate) ready_at: f64,
@@ -165,7 +200,9 @@ pub(crate) struct RetryEntry {
     pub(crate) template: Box<TaskTemplate>,
 }
 
-/// Engine-side fault bookkeeping (cold when the plan is empty).
+/// Engine-side fault bookkeeping for the reference stepper (the
+/// event-driven engine keeps the same state inside [`EngineScratch`]).
+#[cfg(feature = "reference-engine")]
 pub(crate) struct FaultState {
     pub(crate) enabled: bool,
     pub(crate) crashed: Vec<bool>,
@@ -177,33 +214,13 @@ pub(crate) struct FaultState {
     pub(crate) vm_crashes: u32,
 }
 
+#[cfg(feature = "reference-engine")]
 impl FaultState {
     pub(crate) fn new(cfg: &SimConfig, njobs: usize) -> FaultState {
-        let plan = &cfg.faults;
-        let enabled = !plan.is_empty();
         let mut events = Vec::new();
+        let enabled = !cfg.faults.is_empty();
         if enabled {
-            for c in &plan.vm_crashes {
-                events.push(FaultEvent {
-                    at: c.at_secs,
-                    kind: FaultEventKind::Crash(c.vm),
-                });
-                if let Some(d) = c.down_secs {
-                    events.push(FaultEvent {
-                        at: c.at_secs + d,
-                        kind: FaultEventKind::Recover(c.vm),
-                    });
-                }
-            }
-            for w in &plan.degradations {
-                for at in [w.start_secs, w.end_secs] {
-                    events.push(FaultEvent {
-                        at,
-                        kind: FaultEventKind::DegradationEdge,
-                    });
-                }
-            }
-            events.sort_by(|a, b| a.at.total_cmp(&b.at));
+            build_fault_events(&cfg.faults, &mut events);
         }
         FaultState {
             enabled,
@@ -217,107 +234,421 @@ impl FaultState {
     }
 }
 
+/// Fill `events` with the plan's scheduled edges, sorted by time.
+pub(crate) fn build_fault_events(plan: &FaultPlan, events: &mut Vec<FaultEvent>) {
+    for c in &plan.vm_crashes {
+        events.push(FaultEvent {
+            at: c.at_secs,
+            kind: FaultEventKind::Crash(c.vm),
+        });
+        if let Some(d) = c.down_secs {
+            events.push(FaultEvent {
+                at: c.at_secs + d,
+                kind: FaultEventKind::Recover(c.vm),
+            });
+        }
+    }
+    for w in &plan.degradations {
+        for at in [w.start_secs, w.end_secs] {
+            events.push(FaultEvent {
+                at,
+                kind: FaultEventKind::DegradationEdge,
+            });
+        }
+    }
+    events.sort_by(|a, b| a.at.total_cmp(&b.at));
+}
+
 /// Execution statistics alongside a [`SimReport`]; see
 /// [`Engine::run_with_stats`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct EngineStats {
     /// Engine steps (discrete events) processed.
     pub steps: u64,
+    /// Stale heap entries discarded. Structurally zero since the
+    /// completion heap became indexed (entries are re-keyed or removed in
+    /// place, never invalidated); kept so benchmark JSON stays comparable
+    /// across engine generations and as a regression tripwire should lazy
+    /// invalidation ever return.
+    pub heap_stale_popped: u64,
+    /// Wake sentinel entries pushed (fault edges at start-of-run, retry
+    /// backoffs as they are scheduled).
+    pub wake_entries_allocated: u64,
+    /// Dirty-set drains that actually recomputed at least one flow
+    /// (batched: one drain per clock advance covers every resource that
+    /// changed in that event).
+    pub dirty_drain_batches: u64,
+    /// Internal buffers that had to grow during this run's scratch
+    /// preparation. Zero when the engine reused a scratch last sized for
+    /// an equal-or-larger catalog ([`Engine::with_scratch`]).
+    pub scratch_reallocs: u64,
 }
 
-/// One completion-heap entry: a predicted task milestone (stage/latency
-/// completion or doom point) or, with `task == WAKE_TASK`, a bare
-/// clock wake-up. Ordered as a min-heap on `(time, task)`.
-#[derive(Debug, Clone, Copy)]
-struct HeapEntry {
-    time: f64,
-    task: u32,
-    version: u64,
+/// Indexed binary min-heap of predicted task milestones, keyed
+/// `(time, task)` — earliest time first, ties broken by the smaller
+/// task index for determinism. The task table's `heap_pos` column names
+/// the slot each task's entry occupies (maintained by every sift), so
+/// [`TaskHeap::set`] is an in-place re-key and [`TaskHeap::remove`] a
+/// positional delete: at most one entry per task ever exists, and every
+/// entry in the heap is live. The position column is passed in by the
+/// caller (`&mut table.heap_pos`) to keep the borrows disjoint.
+#[derive(Default)]
+struct TaskHeap {
+    v: Vec<(f64, u32)>,
 }
 
-impl PartialEq for HeapEntry {
-    fn eq(&self, other: &HeapEntry) -> bool {
-        self.cmp(other) == Ordering::Equal
+impl TaskHeap {
+    #[inline]
+    fn less(a: (f64, u32), b: (f64, u32)) -> bool {
+        match a.0.total_cmp(&b.0) {
+            Ordering::Less => true,
+            Ordering::Greater => false,
+            Ordering::Equal => a.1 < b.1,
+        }
+    }
+
+    fn clear(&mut self) {
+        self.v.clear();
+    }
+
+    #[inline]
+    fn peek(&self) -> Option<(f64, u32)> {
+        self.v.first().copied()
+    }
+
+    /// Insert task `t` at key `time`, or re-key its existing entry.
+    fn set(&mut self, pos: &mut [u32], t: u32, time: f64) {
+        let p = pos[t as usize];
+        let i = if p == NO_HEAP {
+            let i = self.v.len();
+            self.v.push((time, t));
+            pos[t as usize] = i as u32;
+            i
+        } else {
+            self.v[p as usize].0 = time;
+            p as usize
+        };
+        let i = self.sift_up(pos, i);
+        self.sift_down(pos, i);
+    }
+
+    /// Delete task `t`'s entry, if it has one.
+    fn remove(&mut self, pos: &mut [u32], t: u32) {
+        let p = pos[t as usize];
+        if p == NO_HEAP {
+            return;
+        }
+        pos[t as usize] = NO_HEAP;
+        let i = p as usize;
+        let last = self.v.len() - 1;
+        if i == last {
+            self.v.pop();
+            return;
+        }
+        self.v.swap(i, last);
+        self.v.pop();
+        pos[self.v[i].1 as usize] = i as u32;
+        let i = self.sift_up(pos, i);
+        self.sift_down(pos, i);
+    }
+
+    /// Pop the earliest entry.
+    fn pop(&mut self, pos: &mut [u32]) -> Option<(f64, u32)> {
+        let top = self.peek()?;
+        self.remove(pos, top.1);
+        Some(top)
+    }
+
+    /// Rename the task an entry refers to (after a table swap-remove
+    /// moved the task to a new index). The key is unchanged but the
+    /// tie-break component is, so re-sift to keep the invariant exact.
+    fn retag(&mut self, pos: &mut [u32], p: u32, t: u32) {
+        let i = p as usize;
+        self.v[i].1 = t;
+        pos[t as usize] = p;
+        let i = self.sift_up(pos, i);
+        self.sift_down(pos, i);
+    }
+
+    fn sift_up(&mut self, pos: &mut [u32], mut i: usize) -> usize {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if !Self::less(self.v[i], self.v[parent]) {
+                break;
+            }
+            self.v.swap(i, parent);
+            pos[self.v[i].1 as usize] = i as u32;
+            i = parent;
+        }
+        pos[self.v[i].1 as usize] = i as u32;
+        i
+    }
+
+    fn sift_down(&mut self, pos: &mut [u32], mut i: usize) {
+        let n = self.v.len();
+        loop {
+            let l = 2 * i + 1;
+            if l >= n {
+                break;
+            }
+            let r = l + 1;
+            let c = if r < n && Self::less(self.v[r], self.v[l]) {
+                r
+            } else {
+                l
+            };
+            if !Self::less(self.v[c], self.v[i]) {
+                break;
+            }
+            self.v.swap(i, c);
+            pos[self.v[i].1 as usize] = i as u32;
+            i = c;
+        }
+        pos[self.v[i].1 as usize] = i as u32;
     }
 }
-impl Eq for HeapEntry {}
-impl PartialOrd for HeapEntry {
-    fn partial_cmp(&self, other: &HeapEntry) -> Option<Ordering> {
+
+/// Bare clock wake-up (scheduled fault event, retry backoff) in the
+/// wake heap. Ordering reversed so `BinaryHeap` pops the earliest.
+#[derive(PartialEq)]
+struct Wake(f64);
+
+impl Eq for Wake {}
+impl PartialOrd for Wake {
+    fn partial_cmp(&self, other: &Wake) -> Option<Ordering> {
         Some(self.cmp(other))
     }
 }
-impl Ord for HeapEntry {
-    fn cmp(&self, other: &HeapEntry) -> Ordering {
-        // Reversed: BinaryHeap is a max-heap, we want the earliest time
-        // (ties broken by task index for determinism).
-        other
-            .time
-            .total_cmp(&self.time)
-            .then_with(|| other.task.cmp(&self.task))
+impl Ord for Wake {
+    fn cmp(&self, other: &Wake) -> Ordering {
+        other.0.total_cmp(&self.0)
     }
 }
 
-/// Per-task incremental state, kept index-parallel to the engine's task
-/// vector (swap-removed in lockstep).
-#[derive(Debug, Clone)]
-struct TaskAux {
-    /// Streaming rate in units/s the task has progressed at since
-    /// `anchor` (0 while latent, frozen, or awaiting its first refresh).
-    rate: f64,
-    /// Clock at which `units_remaining`/`fixed_remaining` were last
-    /// materialized.
-    anchor: f64,
-    /// Predicted time of the task's next milestone (∞ when frozen).
-    predicted: f64,
-    /// Version stamped into the task's live heap entry; bumping it
-    /// invalidates all previous entries. Globally monotonic, so stale
-    /// entries can never collide with a reused task slot.
-    version: u64,
-    /// Registered flow handles of the current stage, positionally
-    /// matching [`BoundStage::flow_parts`].
-    flows: [Option<FlowHandle>; 4],
-    /// Whether the current stage's flows are registered.
-    registered: bool,
+/// Everything the engine allocates that can outlive a run: the resource
+/// registry, the SoA task table, the template arena, pooled stage
+/// buffers, the completion heap and every scratch vector. Owned by the
+/// engine by default; pass one explicitly via [`Engine::with_scratch`]
+/// to amortize allocation across repeated runs (annealer scoring loops,
+/// benchmark reps). Preparation is in-place: buffers are cleared, not
+/// dropped, and [`EngineStats::scratch_reallocs`] counts the ones that
+/// had to grow.
+pub struct EngineScratch {
+    reg: ShareRegistry,
+    table: TaskTable,
+    arena: TemplateArena,
+    buf_pool: Vec<Vec<BoundStage>>,
+    heap: TaskHeap,
+    /// Pending bare clock wake-ups, separate from task milestones.
+    wakes: BinaryHeap<Wake>,
+    dirty_tasks: Vec<u32>,
+    /// Task ids drained as due at the current step.
+    due: Vec<u32>,
+    /// Finished speculated tasks whose twin must be killed:
+    /// `(uid, backup_of)` with [`NO_TWIN`] sentinels.
+    winners: Vec<(u64, u64)>,
+    affected_jobs: Vec<u32>,
+    affected_flags: Vec<bool>,
+    /// Sorted indices of jobs with undispatched templates. A sorted vec
+    /// beats a `BTreeSet` here: dispatch snapshots it every event, and two
+    /// `memcpy`s of a small `u32` slice cost less than one B-tree walk.
+    pending_jobs: Vec<u32>,
+    /// Slot kind of each job's front pending template — a dense mirror so
+    /// saturated dispatch can skip a job without touching its (cold)
+    /// `JobRun` and template deque. Maintained at the two places the
+    /// front can change: `advance_phase` refills and dispatch pops.
+    front_slot: Vec<SlotKind>,
+    dispatch_scratch: Vec<u32>,
+    spec_rates: Vec<f64>,
+    stragglers: Vec<usize>,
+    wave_scratch: Vec<f64>,
+    free_map: Vec<usize>,
+    free_red: Vec<usize>,
+    /// Total free map/reduce slots on non-crashed VMs — the O(1)
+    /// saturation check that lets dispatch skip slot-pool lookups when
+    /// no slot can possibly be granted.
+    avail_map: usize,
+    avail_red: usize,
+    /// Lazy max-heaps of `(free slots, vm)` — O(log n) replacements for
+    /// the O(n) most-free-VM scan [`pick_vm`] does on every launch. An
+    /// entry is stale once the VM's count changed or the VM crashed;
+    /// stale tops are discarded on pop, exactly like the completion
+    /// heap. Tuple order ties on the higher VM index, matching
+    /// `max_by_key`'s last-max-wins.
+    slot_heap_map: BinaryHeap<(u32, u32)>,
+    slot_heap_red: BinaryHeap<(u32, u32)>,
+    crashed: Vec<bool>,
+    /// Per-job counter handing out stable task uids.
+    seq: Vec<u32>,
+    retries: Vec<RetrySlot>,
+    fault_events: Vec<FaultEvent>,
+    reallocs: u64,
+}
+
+fn fit<T: Copy>(v: &mut Vec<T>, n: usize, x: T, grown: &mut u64) {
+    if v.capacity() < n {
+        *grown += 1;
+    }
+    v.clear();
+    v.resize(n, x);
+}
+
+impl EngineScratch {
+    /// An empty scratch; the engine provisions it per run.
+    pub fn new() -> EngineScratch {
+        EngineScratch {
+            reg: ShareRegistry::empty(),
+            table: TaskTable::default(),
+            arena: TemplateArena::default(),
+            buf_pool: Vec::new(),
+            heap: TaskHeap::default(),
+            wakes: BinaryHeap::new(),
+            dirty_tasks: Vec::new(),
+            due: Vec::new(),
+            winners: Vec::new(),
+            affected_jobs: Vec::new(),
+            affected_flags: Vec::new(),
+            pending_jobs: Vec::new(),
+            front_slot: Vec::new(),
+            dispatch_scratch: Vec::new(),
+            spec_rates: Vec::new(),
+            stragglers: Vec::new(),
+            wave_scratch: Vec::new(),
+            free_map: Vec::new(),
+            free_red: Vec::new(),
+            avail_map: 0,
+            avail_red: 0,
+            slot_heap_map: BinaryHeap::new(),
+            slot_heap_red: BinaryHeap::new(),
+            crashed: Vec::new(),
+            seq: Vec::new(),
+            retries: Vec::new(),
+            fault_events: Vec::new(),
+            reallocs: 0,
+        }
+    }
+
+    /// Size and clear everything for a run over `cfg` with `njobs` jobs,
+    /// reusing existing allocations wherever possible.
+    fn prepare(&mut self, cfg: &SimConfig, njobs: usize) {
+        let mut grown = self.reg.reset_for(cfg);
+        self.table.clear_into(&mut self.buf_pool);
+        self.arena.clear();
+        self.heap.clear();
+        self.wakes.clear();
+        self.dirty_tasks.clear();
+        self.due.clear();
+        self.winners.clear();
+        self.affected_jobs.clear();
+        fit(&mut self.affected_flags, njobs, false, &mut grown);
+        self.pending_jobs.clear();
+        fit(&mut self.front_slot, njobs, SlotKind::Map, &mut grown);
+        self.dispatch_scratch.clear();
+        self.spec_rates.clear();
+        self.stragglers.clear();
+        self.wave_scratch.clear();
+        fit(&mut self.free_map, cfg.nvm, cfg.vm.map_slots, &mut grown);
+        fit(&mut self.free_red, cfg.nvm, cfg.vm.reduce_slots, &mut grown);
+        self.avail_map = cfg.nvm * cfg.vm.map_slots;
+        self.avail_red = cfg.nvm * cfg.vm.reduce_slots;
+        for (heap, slots) in [
+            (&mut self.slot_heap_map, cfg.vm.map_slots),
+            (&mut self.slot_heap_red, cfg.vm.reduce_slots),
+        ] {
+            if heap.capacity() < cfg.nvm {
+                grown += 1;
+            }
+            heap.clear();
+            if slots > 0 {
+                heap.extend((0..cfg.nvm).map(|vm| (slots as u32, vm as u32)));
+            }
+        }
+        fit(&mut self.crashed, cfg.nvm, false, &mut grown);
+        fit(&mut self.seq, njobs, 0, &mut grown);
+        self.retries.clear();
+        self.fault_events.clear();
+        if !cfg.faults.is_empty() {
+            build_fault_events(&cfg.faults, &mut self.fault_events);
+        }
+        self.reallocs = grown;
+    }
+}
+
+impl Default for EngineScratch {
+    fn default() -> EngineScratch {
+        EngineScratch::new()
+    }
+}
+
+/// Owned-or-borrowed scratch; both deref to [`EngineScratch`] so the hot
+/// path is identical.
+enum ScratchRef<'a> {
+    Owned(Box<EngineScratch>),
+    Borrowed(&'a mut EngineScratch),
+}
+
+impl std::ops::Deref for ScratchRef<'_> {
+    type Target = EngineScratch;
+    #[inline]
+    fn deref(&self) -> &EngineScratch {
+        match self {
+            ScratchRef::Owned(b) => b,
+            ScratchRef::Borrowed(r) => r,
+        }
+    }
+}
+
+impl std::ops::DerefMut for ScratchRef<'_> {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut EngineScratch {
+        match self {
+            ScratchRef::Owned(b) => b,
+            ScratchRef::Borrowed(r) => r,
+        }
+    }
+}
+
+/// What [`Engine::remove_task`] hands back about the removed task.
+struct Removed {
+    job: usize,
+    vm: u32,
+    slot: SlotKind,
+    uid: u64,
+    attempt: u32,
+    backup_of: u64,
+    speculated: bool,
+    /// Arena template id; the removed task's reference transfers to the
+    /// caller, who must release it or hand it to a retry slot.
+    tid: u32,
+    /// Former index of a task swap-moved into the freed slot, if any.
+    moved: Option<usize>,
 }
 
 /// The simulation engine. Construct with [`Engine::new`], run with
 /// [`Engine::run`].
 pub struct Engine<'a> {
     cfg: &'a SimConfig,
-    reg: ShareRegistry,
+    st: ScratchRef<'a>,
     jobs: Vec<JobRun>,
-    tasks: Vec<RunningTask>,
-    aux: Vec<TaskAux>,
-    heap: BinaryHeap<HeapEntry>,
-    next_version: u64,
-    /// Per-task dedup flags for the dirty drain (transient, all false
-    /// outside [`Engine::flush_dirty`]).
-    dirty_flags: Vec<bool>,
-    dirty_tasks: Vec<u32>,
-    /// Scratch: entries due in the current step.
-    due: Vec<HeapEntry>,
-    /// Scratch: finished speculated tasks whose twin must be killed.
-    winners: Vec<(u64, Option<u64>)>,
-    /// Jobs touched by a retire/fail/kill since the last phase check.
-    affected_jobs: Vec<u32>,
-    affected_flags: Vec<bool>,
-    /// Jobs with undispatched templates, in index order.
-    pending_jobs: BTreeSet<usize>,
     /// Set when a job reaches `Done` (re-runs dependency activation).
     jobs_changed: bool,
-    dispatch_scratch: Vec<usize>,
-    /// Scratch for speculation sampling.
-    spec_rates: Vec<f64>,
-    stragglers: Vec<usize>,
-    wave_scratch: Vec<f64>,
-    free_map: Vec<usize>,
-    free_red: Vec<usize>,
     clock: f64,
     dispatch_cursor: usize,
+    /// Length of the prefix of `jobs` that is entirely `Done`. Jobs only
+    /// move monotonically into `Done`, so this never retreats; it turns
+    /// sequential-mode activation's "any earlier job unfinished?" scan
+    /// into an O(1) comparison (the scan is O(done-prefix) per waiting
+    /// job, which goes quadratic-in-jobs on long sequential backlogs).
+    done_prefix: usize,
     trace: Option<Trace>,
-    fault: FaultState,
+    fault_enabled: bool,
+    next_fault_event: usize,
+    vm_crashes: u32,
     obs: SimObs,
     steps_done: u64,
+    heap_stale_popped: u64,
+    wake_entries_allocated: u64,
+    dirty_drain_batches: u64,
 }
 
 impl<'a> Engine<'a> {
@@ -331,35 +662,56 @@ impl<'a> Engine<'a> {
     /// collector only records what the engine already computes; results
     /// are bit-identical to an unobserved run.
     pub fn observed(cfg: &'a SimConfig, jobs: Vec<JobRun>, collector: Collector) -> Engine<'a> {
-        let fault = FaultState::new(cfg, jobs.len());
-        let njobs = jobs.len();
+        let mut st = Box::new(EngineScratch::new());
+        st.prepare(cfg, jobs.len());
+        Engine::build(cfg, jobs, collector, ScratchRef::Owned(st))
+    }
+
+    /// [`Engine::new`] reusing caller-owned scratch state. Results are
+    /// bit-identical to a fresh engine; repeated runs over the same (or a
+    /// smaller) catalog do zero re-allocation
+    /// ([`EngineStats::scratch_reallocs`]).
+    pub fn with_scratch(
+        cfg: &'a SimConfig,
+        jobs: Vec<JobRun>,
+        scratch: &'a mut EngineScratch,
+    ) -> Engine<'a> {
+        Engine::observed_with_scratch(cfg, jobs, Collector::noop(), scratch)
+    }
+
+    /// [`Engine::observed`] reusing caller-owned scratch state.
+    pub fn observed_with_scratch(
+        cfg: &'a SimConfig,
+        jobs: Vec<JobRun>,
+        collector: Collector,
+        scratch: &'a mut EngineScratch,
+    ) -> Engine<'a> {
+        scratch.prepare(cfg, jobs.len());
+        Engine::build(cfg, jobs, collector, ScratchRef::Borrowed(scratch))
+    }
+
+    fn build(
+        cfg: &'a SimConfig,
+        jobs: Vec<JobRun>,
+        collector: Collector,
+        st: ScratchRef<'a>,
+    ) -> Engine<'a> {
         Engine {
-            reg: ShareRegistry::new(cfg),
+            st,
             jobs,
-            tasks: Vec::new(),
-            aux: Vec::new(),
-            heap: BinaryHeap::new(),
-            next_version: 0,
-            dirty_flags: Vec::new(),
-            dirty_tasks: Vec::new(),
-            due: Vec::new(),
-            winners: Vec::new(),
-            affected_jobs: Vec::new(),
-            affected_flags: vec![false; njobs],
-            pending_jobs: BTreeSet::new(),
             jobs_changed: true,
-            dispatch_scratch: Vec::new(),
-            spec_rates: Vec::new(),
-            stragglers: Vec::new(),
-            wave_scratch: Vec::new(),
-            free_map: vec![cfg.vm.map_slots; cfg.nvm],
-            free_red: vec![cfg.vm.reduce_slots; cfg.nvm],
             clock: 0.0,
             dispatch_cursor: 0,
+            done_prefix: 0,
             trace: cfg.collect_trace.then(Trace::default),
-            fault,
+            fault_enabled: !cfg.faults.is_empty(),
+            next_fault_event: 0,
+            vm_crashes: 0,
             obs: SimObs::new(collector),
             steps_done: 0,
+            heap_stale_popped: 0,
+            wake_entries_allocated: 0,
+            dirty_drain_batches: 0,
             cfg,
         }
     }
@@ -370,14 +722,15 @@ impl<'a> Engine<'a> {
     }
 
     /// [`Engine::run`], also returning execution statistics (step count,
-    /// for events/sec benchmarking).
+    /// for events/sec benchmarking, plus heap/allocation health
+    /// counters).
     pub fn run_with_stats(mut self) -> Result<(SimReport, EngineStats), SimError> {
         if let Err(reason) = self.cfg.faults.validate(self.cfg.nvm) {
             return Err(SimError::InvalidFaultPlan { reason });
         }
         // Every scheduled fault event is a wake-up the clock must land on.
-        for k in 0..self.fault.events.len() {
-            let at = self.fault.events[k].at;
+        for k in 0..self.st.fault_events.len() {
+            let at = self.st.fault_events[k].at;
             self.push_wake(at);
         }
         let budget = self.cfg.event_budget;
@@ -391,7 +744,7 @@ impl<'a> Engine<'a> {
             self.dispatch_retries();
             self.dispatch();
             self.speculate()?;
-            if self.tasks.is_empty() {
+            if self.st.table.is_empty() {
                 if self.jobs.iter().all(|j| j.phase == JobPhase::Done) {
                     break;
                 }
@@ -437,7 +790,7 @@ impl<'a> Engine<'a> {
             retries: self.jobs.iter().map(|j| j.retries).sum(),
             speculations: self.jobs.iter().map(|j| j.speculations).sum(),
             kills: self.jobs.iter().map(|j| j.kills).sum(),
-            vm_crashes: self.fault.vm_crashes,
+            vm_crashes: self.vm_crashes,
         };
         let report = SimReport {
             jobs: metrics,
@@ -445,14 +798,21 @@ impl<'a> Engine<'a> {
             faults,
             trace: self.trace,
         };
-        Ok((report, EngineStats { steps: events }))
+        let stats = EngineStats {
+            steps: events,
+            heap_stale_popped: self.heap_stale_popped,
+            wake_entries_allocated: self.wake_entries_allocated,
+            dirty_drain_batches: self.dirty_drain_batches,
+            scratch_reallocs: self.st.reallocs,
+        };
+        Ok((report, stats))
     }
 
     fn budget_error(&self, steps: u64) -> SimError {
         SimError::EventBudgetExhausted {
             at_secs: self.clock,
             steps,
-            active_tasks: self.tasks.len(),
+            active_tasks: self.st.table.len(),
             active_jobs: self
                 .jobs
                 .iter()
@@ -463,71 +823,54 @@ impl<'a> Engine<'a> {
 
     // ---- incremental bookkeeping ----
 
-    /// Push a fresh heap entry for task `idx` at `time`, recording `rate`
-    /// as the rate it will stream at until then. Invalidates all previous
-    /// entries for the task.
+    /// Set (or re-key) task `idx`'s milestone to `time`, recording `rate`
+    /// as the rate it will stream at until then.
     fn schedule(&mut self, idx: usize, time: f64, rate: f64) {
-        self.next_version += 1;
-        let v = self.next_version;
-        let a = &mut self.aux[idx];
-        a.rate = rate;
-        a.predicted = time;
-        a.version = v;
-        self.heap.push(HeapEntry {
-            time,
-            task: idx as u32,
-            version: v,
-        });
+        let st = &mut *self.st;
+        st.table.rate[idx] = rate;
+        st.table.predicted[idx] = time;
+        st.heap.set(&mut st.table.heap_pos, idx as u32, time);
     }
 
     /// Mark task `idx` as having no scheduled milestone (frozen, or
     /// awaiting its first rate from the next dirty flush).
     fn invalidate(&mut self, idx: usize) {
-        self.next_version += 1;
-        let a = &mut self.aux[idx];
-        a.rate = 0.0;
-        a.predicted = f64::INFINITY;
-        a.version = self.next_version;
+        let st = &mut *self.st;
+        st.table.rate[idx] = 0.0;
+        st.table.predicted[idx] = f64::INFINITY;
+        st.heap.remove(&mut st.table.heap_pos, idx as u32);
     }
 
     fn push_wake(&mut self, time: f64) {
-        self.heap.push(HeapEntry {
-            time,
-            task: WAKE_TASK,
-            version: 0,
-        });
-    }
-
-    fn entry_valid(&self, e: &HeapEntry) -> bool {
-        e.task == WAKE_TASK
-            || ((e.task as usize) < self.aux.len()
-                && self.aux[e.task as usize].version == e.version)
+        self.wake_entries_allocated += 1;
+        self.st.wakes.push(Wake(time));
     }
 
     /// Bring task `idx`'s progress up to the current clock using the rate
     /// it has streamed at since its anchor.
     fn materialize(&mut self, idx: usize) {
-        let a = &mut self.aux[idx];
-        let dtime = self.clock - a.anchor;
-        a.anchor = self.clock;
-        if dtime <= 0.0 {
+        let clock = self.clock;
+        let t = &mut self.st.table;
+        let dtime = clock - t.anchor[idx];
+        t.anchor[idx] = clock;
+        if dtime <= 0.0 || !t.has_stage(idx) {
             return;
         }
-        let rate = a.rate;
-        let t = &mut self.tasks[idx];
-        let Some(s) = t.current_mut() else { return };
-        if s.fixed_remaining > 0.0 {
-            s.fixed_remaining -= dtime;
-            if s.fixed_remaining < EPS {
-                s.fixed_remaining = 0.0;
+        if t.fixed[idx] > 0.0 {
+            t.fixed[idx] -= dtime;
+            if t.fixed[idx] < EPS {
+                t.fixed[idx] = 0.0;
             }
-        } else if rate > 0.0 {
-            s.units_remaining -= dtime * rate;
-            if s.units_remaining < EPS {
-                s.units_remaining = 0.0;
-            }
-            if let Some(doom) = t.doom_units.as_mut() {
-                *doom -= dtime * rate;
+        } else {
+            let rate = t.rate[idx];
+            if rate > 0.0 {
+                t.units[idx] -= dtime * rate;
+                if t.units[idx] < EPS {
+                    t.units[idx] = 0.0;
+                }
+                // NO_DOOM (+∞) stays +∞ under subtraction: the sentinel
+                // needs no branch.
+                t.doom[idx] -= dtime * rate;
             }
         }
     }
@@ -535,105 +878,138 @@ impl<'a> Engine<'a> {
     /// Register the current stage's flows (positional with
     /// [`BoundStage::flow_parts`]); marks the touched resources dirty.
     fn register_stage(&mut self, idx: usize) {
-        let parts = self.tasks[idx]
-            .current()
-            .expect("streaming stage")
-            .flow_parts();
-        for (k, part) in parts.into_iter().enumerate() {
-            if let Some((key, ratio)) = part {
-                if ratio > 0.0 {
-                    self.aux[idx].flows[k] = Some(self.reg.register_flow(key, ratio, idx as u32));
-                }
+        let st = &mut *self.st;
+        let res = st.table.part_res[idx];
+        let w = st.table.part_w[idx];
+        let mut pos = [NO_POS; 4];
+        for (k, p) in pos.iter_mut().enumerate() {
+            if res[k] != NO_RES {
+                *p = st.reg.register_flow_at(res[k], w[k], idx as u32);
             }
         }
-        self.aux[idx].registered = true;
+        st.table.flow_pos[idx] = pos;
+        st.table.registered[idx] = true;
     }
 
     /// Unregister the current stage's flows, applying swap-remove fix-ups
-    /// to whichever task's handle moved.
+    /// to whichever task's flow position moved.
     fn unregister_stage(&mut self, idx: usize) {
+        let st = &mut *self.st;
         for h in 0..4 {
-            if let Some(handle) = self.aux[idx].flows[h].take() {
-                if let Some(m) = self.reg.unregister_flow(handle) {
-                    let owner = m.task as usize;
-                    for f in self.aux[owner].flows.iter_mut().flatten() {
-                        if f.res == m.res && f.pos == m.from {
-                            f.pos = m.to;
-                            break;
-                        }
+            let pos = st.table.flow_pos[idx][h];
+            if pos == NO_POS {
+                continue;
+            }
+            st.table.flow_pos[idx][h] = NO_POS;
+            let res = st.table.part_res[idx][h];
+            if let Some(m) = st.reg.unregister_flow_at(res, pos) {
+                let owner = m.task as usize;
+                let ores = &st.table.part_res[owner];
+                let opos = &mut st.table.flow_pos[owner];
+                for f in 0..4 {
+                    if ores[f] == m.res && opos[f] == m.from {
+                        opos[f] = m.to;
+                        break;
                     }
                 }
             }
         }
-        self.aux[idx].registered = false;
+        st.table.registered[idx] = false;
     }
 
-    /// Remove task `idx` (swap-remove, aux kept in lockstep), returning
-    /// the task and — when another task was moved into the freed slot —
-    /// that task's former index so callers can fix any reference to it.
-    fn remove_task(&mut self, idx: usize) -> (RunningTask, Option<usize>) {
-        if self.aux[idx].registered {
+    /// Remove task `idx` (swap-remove, all columns in lockstep),
+    /// returning its identity and — when another task was moved into the
+    /// freed slot — that task's former index so callers can fix any
+    /// reference to it. The removed task's template reference transfers
+    /// to the caller.
+    fn remove_task(&mut self, idx: usize) -> Removed {
+        if self.st.table.registered[idx] {
             self.unregister_stage(idx);
         }
-        let task = self.tasks.swap_remove(idx);
-        self.aux.swap_remove(idx);
-        self.dirty_flags.swap_remove(idx);
-        let old_last = self.tasks.len();
+        let st = &mut *self.st;
+        let t = &st.table;
+        let mut r = Removed {
+            job: t.job[idx] as usize,
+            vm: t.vm[idx],
+            slot: t.slot[idx],
+            uid: t.uid[idx],
+            attempt: t.attempt[idx],
+            backup_of: t.backup_of[idx],
+            speculated: t.speculated[idx],
+            tid: t.template[idx],
+            moved: None,
+        };
+        st.heap.remove(&mut st.table.heap_pos, idx as u32);
+        let mut buf = st.table.swap_remove(idx);
+        buf.clear();
+        st.buf_pool.push(buf);
+        let old_last = st.table.len();
         if idx < old_last {
             // The task formerly at `old_last` now lives at `idx`: re-point
-            // its registered flows and re-key its heap entry under a fresh
-            // version (its old entries die by index/version mismatch).
-            if self.aux[idx].registered {
+            // its registered flows and rename its heap entry (the swap
+            // moved its `heap_pos` along with the other columns).
+            if st.table.registered[idx] {
                 for h in 0..4 {
-                    if let Some(handle) = self.aux[idx].flows[h] {
-                        self.reg.retarget_flow(handle, idx as u32);
+                    let pos = st.table.flow_pos[idx][h];
+                    if pos != NO_POS {
+                        st.reg
+                            .retarget_flow_at(st.table.part_res[idx][h], pos, idx as u32);
                     }
                 }
             }
-            self.next_version += 1;
-            let v = self.next_version;
-            self.aux[idx].version = v;
-            let predicted = self.aux[idx].predicted;
-            if predicted.is_finite() {
-                self.heap.push(HeapEntry {
-                    time: predicted,
-                    task: idx as u32,
-                    version: v,
-                });
+            let p = st.table.heap_pos[idx];
+            if p != NO_HEAP {
+                st.heap.retag(&mut st.table.heap_pos, p, idx as u32);
             }
-            (task, Some(old_last))
-        } else {
-            (task, None)
+            r.moved = Some(old_last);
+        }
+        r
+    }
+
+    /// Drop one template-arena reference (no-op for templateless tasks).
+    fn release_tid(&mut self, tid: u32) {
+        if tid != NO_TEMPLATE {
+            self.st.arena.release(tid);
         }
     }
 
-    /// Register aux state and the first milestone for the task just
-    /// pushed onto the task vector.
-    fn track_new_task(&mut self) {
-        let idx = self.tasks.len() - 1;
-        self.aux.push(TaskAux {
-            rate: 0.0,
-            anchor: self.clock,
-            predicted: f64::INFINITY,
-            version: 0,
-            flows: [None; 4],
-            registered: false,
-        });
-        self.dirty_flags.push(false);
-        let (latent, fixed, tiny, has_stage) = match self.tasks[idx].current() {
-            Some(s) => (
-                s.is_latent(),
-                s.fixed_remaining,
-                s.units_remaining <= EPS,
+    /// Push a new task into the table and schedule its first milestone.
+    #[allow(clippy::too_many_arguments)]
+    fn spawn_task(
+        &mut self,
+        job: usize,
+        vm: u32,
+        slot: SlotKind,
+        uid: u64,
+        attempt: u32,
+        backup_of: u64,
+        speculated: bool,
+        tid: u32,
+        buf: Vec<BoundStage>,
+        doom: f64,
+    ) {
+        let clock = self.clock;
+        let st = &mut *self.st;
+        let idx = st.table.push(
+            job, vm, slot, uid, attempt, backup_of, speculated, doom, tid, buf, clock,
+        );
+        let (has_stage, latent, fixed, tiny) = if st.table.nstages[idx] > 0 {
+            let reg = &st.reg;
+            st.table.load_stage(idx, |key| reg.res_index(key));
+            (
                 true,
-            ),
-            None => (false, 0.0, true, false),
+                st.table.fixed[idx] > 0.0,
+                st.table.fixed[idx],
+                st.table.units[idx] <= EPS,
+            )
+        } else {
+            (false, false, 0.0, true)
         };
         if !has_stage || (!latent && tiny) {
             // Nothing (or nothing measurable) to do: due immediately.
-            self.schedule(idx, self.clock, 0.0);
+            self.schedule(idx, clock, 0.0);
         } else if latent {
-            self.schedule(idx, self.clock + fixed, 0.0);
+            self.schedule(idx, clock + fixed, 0.0);
         } else {
             // Streaming: rate and milestone arrive at the next dirty
             // flush, triggered by this very registration.
@@ -643,20 +1019,23 @@ impl<'a> Engine<'a> {
     }
 
     /// Recompute every task whose resources changed since the last flush.
-    /// Returns the stall error when a frozen task has no future wake-up.
+    /// One drain covers all resources dirtied in the current clock
+    /// advance. Returns the stall error when a frozen task has no future
+    /// wake-up.
     fn flush_dirty(&mut self) -> Result<(), SimError> {
-        if !self.reg.has_dirty() {
+        if !self.st.reg.has_dirty() {
             return Ok(());
         }
+        self.dirty_drain_batches += 1;
         {
-            let Engine {
+            let EngineScratch {
                 reg,
-                dirty_flags,
+                table,
                 dirty_tasks,
                 ..
-            } = self;
+            } = &mut *self.st;
             reg.drain_dirty(|t| {
-                let flag = &mut dirty_flags[t as usize];
+                let flag = &mut table.dirty[t as usize];
                 if !*flag {
                     *flag = true;
                     dirty_tasks.push(t);
@@ -665,33 +1044,53 @@ impl<'a> Engine<'a> {
         }
         let wake_exists = self.next_wake().is_some();
         let mut k = 0;
-        while k < self.dirty_tasks.len() {
-            let i = self.dirty_tasks[k] as usize;
-            self.dirty_flags[i] = false;
+        while k < self.st.dirty_tasks.len() {
+            let i = self.st.dirty_tasks[k] as usize;
+            self.st.table.dirty[i] = false;
             self.refresh_task(i, wake_exists)?;
             k += 1;
         }
-        self.dirty_tasks.clear();
+        self.st.dirty_tasks.clear();
         Ok(())
     }
 
-    /// Materialize task `i` and recompute its rate and predicted
-    /// milestone from current resource shares.
+    /// Recompute task `i`'s rate from the precomputed resource-index
+    /// mirror; if unchanged, its heap entry is already exact and nothing
+    /// further happens. Otherwise materialize and re-schedule.
     fn refresh_task(&mut self, i: usize, wake_exists: bool) -> Result<(), SimError> {
-        self.materialize(i);
-        let (latent, fixed, units, doom) = {
-            let t = &self.tasks[i];
-            let Some(s) = t.current() else {
-                return Ok(()); // stageless; already scheduled due-now
-            };
-            (
-                s.is_latent(),
-                s.fixed_remaining,
-                s.units_remaining,
-                t.doom_units,
-            )
+        // Same f64::min sequence as BoundStage::rate (cap, then read,
+        // write, net, global) — bit-identical by construction.
+        let rate = {
+            let st = &*self.st;
+            let res = &st.table.part_res[i];
+            let mut rate = st.table.cap[i];
+            for &r in res.iter() {
+                if r != NO_RES {
+                    rate = rate.min(st.reg.unit_rate_at(r));
+                }
+            }
+            // Fast path: a registered mid-stream task whose rate did not
+            // change keeps its milestone — skipping the re-materialize
+            // avoids both the float churn and a redundant heap push.
+            if rate > 0.0
+                && rate == st.table.rate[i]
+                && st.table.registered[i]
+                && st.table.predicted[i].is_finite()
+            {
+                return Ok(());
+            }
+            rate
         };
-        if latent {
+        self.materialize(i);
+        let (has_stage, fixed, units, doom) = {
+            let t = &self.st.table;
+            if !t.has_stage(i) {
+                return Ok(()); // stageless; already scheduled due-now
+            }
+            (true, t.fixed[i], t.units[i], t.doom[i])
+        };
+        debug_assert!(has_stage);
+        if fixed > 0.0 {
             self.schedule(i, self.clock + fixed, 0.0);
             return Ok(());
         }
@@ -699,50 +1098,36 @@ impl<'a> Engine<'a> {
             self.schedule(i, self.clock, 0.0);
             return Ok(());
         }
-        let rate = self.tasks[i].current().expect("streaming").rate(&self.reg);
         if rate <= 0.0 || rate.is_nan() {
             // A fully-degraded tier (e.g. a transient outage window with
             // multiplier 0) freezes the task; a scheduled fault edge or
             // retry wake-up may restore its bandwidth, so only a stall
             // with no such future event is an error.
             if !wake_exists {
-                let t = &self.tasks[i];
+                let t = &self.st.table;
+                let job = t.job[i] as usize;
                 return Err(SimError::Stalled {
                     at_secs: self.clock,
-                    job: Some(self.jobs[t.job].job.id.0),
-                    phase: Some(self.jobs[t.job].phase.name()),
-                    tier: stage_tier(t.current().expect("streaming")),
+                    job: Some(self.jobs[job].job.id.0),
+                    phase: Some(self.jobs[job].phase.name()),
+                    tier: t.bound_stage(i).and_then(stage_tier),
                 });
             }
             self.invalidate(i);
             return Ok(());
         }
         let mut dt = units / rate;
-        if let Some(d) = doom {
-            dt = dt.min(d.max(0.0) / rate);
-        }
+        // NO_DOOM (+∞) makes the clamp a no-op without a branch.
+        dt = dt.min(doom.max(0.0) / rate);
         self.schedule(i, self.clock + dt, rate);
         Ok(())
     }
 
-    /// Drop invalidated entries when they dominate the heap.
-    fn maybe_compact_heap(&mut self) {
-        let live = self.tasks.len() + self.fault.retries.len() + 8;
-        if self.heap.len() > 64 && self.heap.len() > 4 * live {
-            let mut v = std::mem::take(&mut self.heap).into_vec();
-            v.retain(|e| {
-                e.task == WAKE_TASK
-                    || ((e.task as usize) < self.aux.len()
-                        && self.aux[e.task as usize].version == e.version)
-            });
-            self.heap = BinaryHeap::from(v);
-        }
-    }
-
     fn push_affected(&mut self, job: usize) {
-        if !self.affected_flags[job] {
-            self.affected_flags[job] = true;
-            self.affected_jobs.push(job as u32);
+        let st = &mut *self.st;
+        if !st.affected_flags[job] {
+            st.affected_flags[job] = true;
+            st.affected_jobs.push(job as u32);
         }
     }
 
@@ -765,9 +1150,15 @@ impl<'a> Engine<'a> {
                 continue;
             }
             if self.cfg.concurrency == Concurrency::Sequential {
-                // Only the earliest unfinished job may start.
-                let earlier_unfinished = self.jobs[..i].iter().any(|j| j.phase != JobPhase::Done);
-                if earlier_unfinished {
+                // Only the earliest unfinished job may start: advance the
+                // watermark over the done prefix (covers jobs that went
+                // straight to `Done` earlier in this same pass), then the
+                // original "any earlier job unfinished?" scan collapses
+                // to one comparison.
+                while self.done_prefix < i && self.jobs[self.done_prefix].phase == JobPhase::Done {
+                    self.done_prefix += 1;
+                }
+                if self.done_prefix < i {
                     continue;
                 }
             }
@@ -775,7 +1166,8 @@ impl<'a> Engine<'a> {
             job.submitted = self.clock;
             let phase = job.advance_phase(self.clock, self.cfg);
             if phase != JobPhase::Done && !self.jobs[i].pending.is_empty() {
-                self.pending_jobs.insert(i);
+                self.st.front_slot[i] = self.jobs[i].pending.front().expect("nonempty").slot;
+                pending_insert(&mut self.st.pending_jobs, i);
             }
             if self.obs.col.enabled() {
                 let name = self.jobs[i].job.app.name().to_string();
@@ -823,10 +1215,10 @@ impl<'a> Engine<'a> {
     /// reference stepper's end-of-step drain scan.
     fn check_affected_jobs(&mut self) {
         let mut k = 0;
-        while k < self.affected_jobs.len() {
-            let i = self.affected_jobs[k] as usize;
+        while k < self.st.affected_jobs.len() {
+            let i = self.st.affected_jobs[k] as usize;
             k += 1;
-            self.affected_flags[i] = false;
+            self.st.affected_flags[i] = false;
             let job = &mut self.jobs[i];
             if job.phase == JobPhase::Waiting || job.phase == JobPhase::Done || !job.phase_drained()
             {
@@ -836,12 +1228,13 @@ impl<'a> Engine<'a> {
             self.emit_phase(i, phase);
             if phase == JobPhase::Done {
                 self.jobs_changed = true;
-                self.pending_jobs.remove(&i);
+                pending_remove(&mut self.st.pending_jobs, i);
             } else if !self.jobs[i].pending.is_empty() {
-                self.pending_jobs.insert(i);
+                self.st.front_slot[i] = self.jobs[i].pending.front().expect("nonempty").slot;
+                pending_insert(&mut self.st.pending_jobs, i);
             }
         }
-        self.affected_jobs.clear();
+        self.st.affected_jobs.clear();
     }
 
     // ---- dispatch ----
@@ -851,46 +1244,91 @@ impl<'a> Engine<'a> {
     /// stepper scans with.
     fn dispatch(&mut self) {
         let n = self.jobs.len();
-        if self.pending_jobs.is_empty() {
+        if self.st.pending_jobs.is_empty() {
             self.dispatch_cursor = (self.dispatch_cursor + 1) % n.max(1);
             return;
         }
-        self.dispatch_scratch.clear();
-        let cursor = self.dispatch_cursor;
-        self.dispatch_scratch
-            .extend(self.pending_jobs.range(cursor..).copied());
-        self.dispatch_scratch
-            .extend(self.pending_jobs.range(..cursor).copied());
-        for k in 0..self.dispatch_scratch.len() {
-            let i = self.dispatch_scratch[k];
+        {
+            let st = &mut *self.st;
+            st.dispatch_scratch.clear();
+            let cursor = self.dispatch_cursor as u32;
+            let start = st.pending_jobs.partition_point(|&j| j < cursor);
+            st.dispatch_scratch
+                .extend_from_slice(&st.pending_jobs[start..]);
+            st.dispatch_scratch
+                .extend_from_slice(&st.pending_jobs[..start]);
+        }
+        for k in 0..self.st.dispatch_scratch.len() {
+            let i = self.st.dispatch_scratch[k] as usize;
+            // Cheap pre-check on the mirror: a job whose next template
+            // needs a slot kind with nothing available would launch
+            // nothing — identical outcome to visiting it.
+            match self.st.front_slot[i] {
+                SlotKind::Map if self.st.avail_map == 0 => {
+                    continue;
+                }
+                SlotKind::Reduce if self.st.avail_red == 0 => {
+                    continue;
+                }
+                _ => {}
+            }
             let mut launched: u32 = 0;
             while let Some(tmpl) = self.jobs[i].pending.front() {
                 if matches!(self.jobs[i].phase, JobPhase::Waiting | JobPhase::Done) {
                     break;
                 }
+                // `avail_*` is exactly "a pick would succeed": both count
+                // free slots on non-crashed VMs. The O(1) check keeps a
+                // slot-saturated dispatch from touching the heaps per
+                // pending job per event.
                 let vm = match tmpl.slot {
-                    SlotKind::Map => pick_vm(&self.free_map, &self.fault.crashed),
-                    SlotKind::Reduce => pick_vm(&self.free_red, &self.fault.crashed),
+                    SlotKind::Map if self.st.avail_map == 0 => None,
+                    SlotKind::Reduce if self.st.avail_red == 0 => None,
+                    SlotKind::Map => {
+                        let st = &mut *self.st;
+                        pick_slot(&mut st.slot_heap_map, &st.free_map, &st.crashed)
+                    }
+                    SlotKind::Reduce => {
+                        let st = &mut *self.st;
+                        pick_slot(&mut st.slot_heap_red, &st.free_red, &st.crashed)
+                    }
                     SlotKind::Transfer => self.pick_transfer_vm(),
                 };
                 let Some(vm) = vm else { break };
                 let tmpl = self.jobs[i].pending.pop_front().expect("peeked");
-                match tmpl.slot {
-                    SlotKind::Map => self.free_map[vm] -= 1,
-                    SlotKind::Reduce => self.free_red[vm] -= 1,
-                    SlotKind::Transfer => {}
+                if let Some(next) = self.jobs[i].pending.front() {
+                    self.st.front_slot[i] = next.slot;
                 }
-                self.push_trace(i, vm as u32, tmpl.slot, TaskEventKind::Started);
-                let mut task = RunningTask::bind(i, vm as u32, &tmpl);
-                if self.fault.enabled {
-                    let seq = self.fault.seq[i];
-                    self.fault.seq[i] += 1;
-                    task.uid = ((i as u64) << 32) | u64::from(seq);
-                    task.template = Some(Box::new(tmpl));
-                    self.arm_task(&mut task);
+                {
+                    let st = &mut *self.st;
+                    match tmpl.slot {
+                        SlotKind::Map => {
+                            st.free_map[vm] -= 1;
+                            st.avail_map -= 1;
+                            bump_slot_heap(&mut st.slot_heap_map, &st.free_map, vm);
+                        }
+                        SlotKind::Reduce => {
+                            st.free_red[vm] -= 1;
+                            st.avail_red -= 1;
+                            bump_slot_heap(&mut st.slot_heap_red, &st.free_red, vm);
+                        }
+                        SlotKind::Transfer => {}
+                    }
                 }
-                self.tasks.push(task);
-                self.track_new_task();
+                let slot = tmpl.slot;
+                self.push_trace(i, vm as u32, slot, TaskEventKind::Started);
+                let mut buf = bind_template(&mut self.st.buf_pool, vm as u32, &tmpl);
+                let (mut uid, mut tid, mut doom) = (0u64, NO_TEMPLATE, NO_DOOM);
+                if self.fault_enabled {
+                    let seq = self.st.seq[i];
+                    self.st.seq[i] += 1;
+                    uid = ((i as u64) << 32) | u64::from(seq);
+                    let plan = &self.cfg.faults;
+                    let mut rng = attempt_rng(plan.seed, uid, 1);
+                    doom = arm_stages_with(plan, &mut rng, tmpl.total_units(), &mut buf);
+                    tid = self.st.arena.insert(tmpl);
+                }
+                self.spawn_task(i, vm as u32, slot, uid, 1, NO_TWIN, false, tid, buf, doom);
                 self.jobs[i].active += 1;
                 launched += 1;
             }
@@ -908,7 +1346,7 @@ impl<'a> Engine<'a> {
                 }
             }
             if self.jobs[i].pending.is_empty() {
-                self.pending_jobs.remove(&i);
+                pending_remove(&mut self.st.pending_jobs, i);
             }
         }
         self.dispatch_cursor = (self.dispatch_cursor + 1) % n.max(1);
@@ -917,50 +1355,84 @@ impl<'a> Engine<'a> {
     /// Transfer streams round-robin over VMs; rotate past crashed ones.
     fn pick_transfer_vm(&self) -> Option<usize> {
         let n = self.cfg.nvm;
-        let start = self.tasks.len() % n;
+        let start = self.st.table.len() % n;
         (0..n)
             .map(|off| (start + off) % n)
-            .find(|&vm| !self.fault.crashed[vm])
+            .find(|&vm| !self.st.crashed[vm])
     }
 
     /// Re-dispatch retry entries whose backoff has elapsed, slots
     /// permitting.
     fn dispatch_retries(&mut self) {
-        if !self.fault.enabled || self.fault.retries.is_empty() {
+        if !self.fault_enabled || self.st.retries.is_empty() {
             return;
         }
         let mut i = 0;
-        while i < self.fault.retries.len() {
-            if self.fault.retries[i].ready_at > self.clock + EPS {
+        while i < self.st.retries.len() {
+            if self.st.retries[i].ready_at > self.clock + EPS {
                 i += 1;
                 continue;
             }
-            let slot = self.fault.retries[i].template.slot;
+            let slot = self.st.arena.get(self.st.retries[i].tid).slot;
             let vm = match slot {
-                SlotKind::Map => pick_vm(&self.free_map, &self.fault.crashed),
-                SlotKind::Reduce => pick_vm(&self.free_red, &self.fault.crashed),
+                SlotKind::Map if self.st.avail_map == 0 => None,
+                SlotKind::Reduce if self.st.avail_red == 0 => None,
+                SlotKind::Map => {
+                    let st = &mut *self.st;
+                    pick_slot(&mut st.slot_heap_map, &st.free_map, &st.crashed)
+                }
+                SlotKind::Reduce => {
+                    let st = &mut *self.st;
+                    pick_slot(&mut st.slot_heap_red, &st.free_red, &st.crashed)
+                }
                 SlotKind::Transfer => self.pick_transfer_vm(),
             };
             let Some(vm) = vm else {
                 i += 1;
                 continue;
             };
-            let entry = self.fault.retries.remove(i);
-            match slot {
-                SlotKind::Map => self.free_map[vm] -= 1,
-                SlotKind::Reduce => self.free_red[vm] -= 1,
-                SlotKind::Transfer => {}
+            let entry = self.st.retries.remove(i);
+            {
+                let st = &mut *self.st;
+                match slot {
+                    SlotKind::Map => {
+                        st.free_map[vm] -= 1;
+                        st.avail_map -= 1;
+                        bump_slot_heap(&mut st.slot_heap_map, &st.free_map, vm);
+                    }
+                    SlotKind::Reduce => {
+                        st.free_red[vm] -= 1;
+                        st.avail_red -= 1;
+                        bump_slot_heap(&mut st.slot_heap_red, &st.free_red, vm);
+                    }
+                    SlotKind::Transfer => {}
+                }
             }
-            self.push_trace(entry.job, vm as u32, slot, TaskEventKind::Retried);
-            let mut task = RunningTask::bind(entry.job, vm as u32, &entry.template);
-            task.uid = entry.uid;
-            task.attempt = entry.attempt;
-            task.template = Some(entry.template);
-            self.arm_task(&mut task);
-            self.jobs[entry.job].retries_pending -= 1;
-            self.jobs[entry.job].active += 1;
-            self.tasks.push(task);
-            self.track_new_task();
+            let job = entry.job as usize;
+            self.push_trace(job, vm as u32, slot, TaskEventKind::Retried);
+            let mut buf = {
+                let st = &mut *self.st;
+                bind_template(&mut st.buf_pool, vm as u32, st.arena.get(entry.tid))
+            };
+            let plan = &self.cfg.faults;
+            let mut rng = attempt_rng(plan.seed, entry.uid, entry.attempt);
+            let total = self.st.arena.get(entry.tid).total_units();
+            let doom = arm_stages_with(plan, &mut rng, total, &mut buf);
+            self.jobs[job].retries_pending -= 1;
+            self.jobs[job].active += 1;
+            // The retry slot's template reference transfers to the task.
+            self.spawn_task(
+                job,
+                vm as u32,
+                slot,
+                entry.uid,
+                entry.attempt,
+                NO_TWIN,
+                false,
+                entry.tid,
+                buf,
+                doom,
+            );
         }
     }
 
@@ -970,112 +1442,125 @@ impl<'a> Engine<'a> {
     /// the whole active set like the reference stepper.
     fn speculate(&mut self) -> Result<(), SimError> {
         let thr = self.cfg.faults.speculation_threshold;
-        if !self.fault.enabled || thr <= 0.0 || self.tasks.is_empty() {
+        if !self.fault_enabled || thr <= 0.0 || self.st.table.is_empty() {
             return Ok(());
         }
         self.flush_dirty()?;
-        self.spec_rates.clear();
-        for i in 0..self.tasks.len() {
-            let r = match self.tasks[i].current() {
-                Some(s) if !s.is_latent() && s.units_remaining > EPS => self.aux[i].rate,
-                _ => 0.0,
-            };
-            self.spec_rates.push(r);
-        }
-        self.stragglers.clear();
-        for i in 0..self.tasks.len() {
-            let (job, slot, speculated, is_backup) = {
-                let t = &self.tasks[i];
-                (t.job, t.slot, t.speculated, t.backup_of.is_some())
-            };
-            if self.spec_rates[i] <= 0.0
-                || speculated
-                || is_backup
-                || slot == SlotKind::Transfer
-                || !self.jobs[job].pending.is_empty()
-            {
-                continue;
+        {
+            let st = &mut *self.st;
+            let t = &st.table;
+            st.spec_rates.clear();
+            for i in 0..t.len() {
+                let streaming = t.has_stage(i) && t.fixed[i] <= 0.0 && t.units[i] > EPS;
+                st.spec_rates.push(if streaming { t.rate[i] } else { 0.0 });
             }
-            self.wave_scratch.clear();
-            for k in 0..self.tasks.len() {
-                let o = &self.tasks[k];
-                if o.job == job
-                    && o.slot == slot
-                    && self.spec_rates[k] > 0.0
-                    && o.backup_of.is_none()
+            st.stragglers.clear();
+            for i in 0..t.len() {
+                let job = t.job[i] as usize;
+                if st.spec_rates[i] <= 0.0
+                    || t.speculated[i]
+                    || t.backup_of[i] != NO_TWIN
+                    || t.slot[i] == SlotKind::Transfer
+                    || !self.jobs[job].pending.is_empty()
                 {
-                    self.wave_scratch.push(self.spec_rates[k]);
+                    continue;
+                }
+                st.wave_scratch.clear();
+                for k in 0..t.len() {
+                    if t.job[k] as usize == job
+                        && t.slot[k] == t.slot[i]
+                        && st.spec_rates[k] > 0.0
+                        && t.backup_of[k] == NO_TWIN
+                    {
+                        st.wave_scratch.push(st.spec_rates[k]);
+                    }
+                }
+                if st.wave_scratch.len() < 2 {
+                    continue;
+                }
+                st.wave_scratch.sort_by(f64::total_cmp);
+                let median = st.wave_scratch[st.wave_scratch.len() / 2];
+                if st.spec_rates[i] < thr * median {
+                    st.stragglers.push(i);
                 }
             }
-            if self.wave_scratch.len() < 2 {
-                continue;
-            }
-            self.wave_scratch.sort_by(f64::total_cmp);
-            let median = self.wave_scratch[self.wave_scratch.len() / 2];
-            if self.spec_rates[i] < thr * median {
-                self.stragglers.push(i);
-            }
         }
-        for si in 0..self.stragglers.len() {
-            let i = self.stragglers[si];
-            let orig_vm = self.tasks[i].vm as usize;
-            let slot = self.tasks[i].slot;
-            let free = match slot {
-                SlotKind::Map => &self.free_map,
-                SlotKind::Reduce => &self.free_red,
-                SlotKind::Transfer => continue,
+        for si in 0..self.st.stragglers.len() {
+            let i = self.st.stragglers[si];
+            let orig_vm = self.st.table.vm[i] as usize;
+            let slot = self.st.table.slot[i];
+            let vm = {
+                let st = &mut *self.st;
+                match slot {
+                    SlotKind::Map => pick_slot_excluding(
+                        &mut st.slot_heap_map,
+                        &st.free_map,
+                        &st.crashed,
+                        orig_vm,
+                    ),
+                    SlotKind::Reduce => pick_slot_excluding(
+                        &mut st.slot_heap_red,
+                        &st.free_red,
+                        &st.crashed,
+                        orig_vm,
+                    ),
+                    SlotKind::Transfer => continue,
+                }
             };
-            let vm = free
-                .iter()
-                .enumerate()
-                .filter(|&(v, &n)| n > 0 && !self.fault.crashed[v] && v != orig_vm)
-                .max_by_key(|&(_, &n)| n)
-                .map(|(v, _)| v);
             let Some(vm) = vm else { continue };
-            let Some(tmpl) = self.tasks[i].template.clone() else {
+            let tid = self.st.table.template[i];
+            if tid == NO_TEMPLATE {
                 continue;
-            };
-            match slot {
-                SlotKind::Map => self.free_map[vm] -= 1,
-                SlotKind::Reduce => self.free_red[vm] -= 1,
-                SlotKind::Transfer => {}
             }
-            let job = self.tasks[i].job;
-            let orig_uid = self.tasks[i].uid;
-            self.tasks[i].speculated = true;
+            {
+                let st = &mut *self.st;
+                match slot {
+                    SlotKind::Map => {
+                        st.free_map[vm] -= 1;
+                        st.avail_map -= 1;
+                        bump_slot_heap(&mut st.slot_heap_map, &st.free_map, vm);
+                    }
+                    SlotKind::Reduce => {
+                        st.free_red[vm] -= 1;
+                        st.avail_red -= 1;
+                        bump_slot_heap(&mut st.slot_heap_red, &st.free_red, vm);
+                    }
+                    SlotKind::Transfer => {}
+                }
+            }
+            let job = self.st.table.job[i] as usize;
+            let orig_uid = self.st.table.uid[i];
+            let attempt = self.st.table.attempt[i];
+            self.st.table.speculated[i] = true;
             self.push_trace(job, vm as u32, slot, TaskEventKind::Speculated);
-            let mut backup = RunningTask::bind(job, vm as u32, &tmpl);
-            backup.uid = orig_uid | BACKUP_BIT;
-            backup.attempt = self.tasks[i].attempt;
-            backup.backup_of = Some(orig_uid);
-            backup.speculated = true;
-            backup.template = Some(tmpl);
-            self.arm_task(&mut backup);
+            let mut buf = {
+                let st = &mut *self.st;
+                st.arena.retain(tid);
+                bind_template(&mut st.buf_pool, vm as u32, st.arena.get(tid))
+            };
+            let plan = &self.cfg.faults;
+            let uid = orig_uid | BACKUP_BIT;
+            let mut rng = attempt_rng(plan.seed, uid, attempt);
+            let total = self.st.arena.get(tid).total_units();
+            let doom = arm_stages_with(plan, &mut rng, total, &mut buf);
             self.jobs[job].speculations += 1;
             self.jobs[job].active += 1;
-            self.tasks.push(backup);
-            self.track_new_task();
+            self.spawn_task(
+                job, vm as u32, slot, uid, attempt, orig_uid, true, tid, buf, doom,
+            );
         }
         Ok(())
-    }
-
-    /// Sample this attempt's fate from its private RNG; see
-    /// [`arm_task_with`] for the policy.
-    fn arm_task(&self, task: &mut RunningTask) {
-        let plan = &self.cfg.faults;
-        let mut rng = attempt_rng(plan.seed, task.uid, task.attempt);
-        arm_task_with(plan, &mut rng, task);
     }
 
     // ---- fault machinery ----
 
     /// Apply all fault-plan events due at the current clock.
     fn process_fault_events(&mut self) {
-        while let Some(&ev) = self.fault.events.get(self.fault.next_event) {
+        while let Some(&ev) = self.st.fault_events.get(self.next_fault_event) {
             if ev.at > self.clock + EPS {
                 break;
             }
-            self.fault.next_event += 1;
+            self.next_fault_event += 1;
             self.obs.fault_edges.inc();
             if self.obs.col.enabled() {
                 let (kind, vm) = match ev.kind {
@@ -1093,7 +1578,17 @@ impl<'a> Engine<'a> {
             }
             match ev.kind {
                 FaultEventKind::Crash(vm) => self.crash_vm(vm as usize),
-                FaultEventKind::Recover(vm) => self.fault.crashed[vm as usize] = false,
+                FaultEventKind::Recover(vm) => {
+                    let st = &mut *self.st;
+                    let vm = vm as usize;
+                    st.crashed[vm] = false;
+                    st.avail_map += st.free_map[vm];
+                    st.avail_red += st.free_red[vm];
+                    // The VM's pre-crash heap entries were consumed as
+                    // stale (or mask-invalidated); restore its presence.
+                    bump_slot_heap(&mut st.slot_heap_map, &st.free_map, vm);
+                    bump_slot_heap(&mut st.slot_heap_red, &st.free_red, vm);
+                }
                 FaultEventKind::DegradationEdge => self.apply_degradations(),
             }
         }
@@ -1103,10 +1598,10 @@ impl<'a> Engine<'a> {
     /// The registry marks every resource whose capacity actually changes,
     /// so affected tasks are refreshed at the next flush.
     fn apply_degradations(&mut self) {
-        self.reg.reset_scales();
+        self.st.reg.reset_scales();
         for w in &self.cfg.faults.degradations {
             if w.start_secs <= self.clock + EPS && self.clock < w.end_secs - EPS {
-                self.reg.scale_tier(w.vm, w.tier, w.multiplier);
+                self.st.reg.scale_tier(w.vm, w.tier, w.multiplier);
             }
         }
     }
@@ -1115,20 +1610,24 @@ impl<'a> Engine<'a> {
     /// without a live speculative twin) and reset its slot pools, which
     /// stay unreachable until the matching recovery event.
     fn crash_vm(&mut self, vm: usize) {
-        if self.fault.crashed[vm] {
+        if self.st.crashed[vm] {
             return;
         }
-        self.fault.crashed[vm] = true;
-        self.fault.vm_crashes += 1;
-        self.free_map[vm] = self.cfg.vm.map_slots;
-        self.free_red[vm] = self.cfg.vm.reduce_slots;
+        self.st.crashed[vm] = true;
+        self.vm_crashes += 1;
+        // The VM's remaining free slots leave the available pool; its
+        // pools reset to full but stay unreachable while crashed.
+        self.st.avail_map -= self.st.free_map[vm];
+        self.st.avail_red -= self.st.free_red[vm];
+        self.st.free_map[vm] = self.cfg.vm.map_slots;
+        self.st.free_red[vm] = self.cfg.vm.reduce_slots;
         let mut idx = 0;
-        while idx < self.tasks.len() {
-            if self.tasks[idx].vm as usize != vm {
+        while idx < self.st.table.len() {
+            if self.st.table.vm[idx] as usize != vm {
                 idx += 1;
                 continue;
             }
-            let (victim, _) = self.remove_task(idx);
+            let victim = self.remove_task(idx);
             let job = victim.job;
             self.jobs[job].active -= 1;
             self.jobs[job].kills += 1;
@@ -1136,41 +1635,41 @@ impl<'a> Engine<'a> {
             self.push_affected(job);
             if victim.speculated && self.twin_index(victim.uid, victim.backup_of).is_some() {
                 // The surviving copy carries the work.
+                self.release_tid(victim.tid);
                 continue;
             }
-            let Some(template) = victim.template else {
+            if victim.tid == NO_TEMPLATE {
                 continue;
-            };
+            }
             // Same attempt number: the crash was not the task's fault.
             self.jobs[job].retries += 1;
             self.jobs[job].retries_pending += 1;
-            self.fault.retries.push(RetryEntry {
+            self.st.retries.push(RetrySlot {
                 ready_at: self.clock,
-                job,
+                job: job as u32,
                 uid: victim.uid,
                 attempt: victim.attempt,
-                template,
+                tid: victim.tid,
             });
         }
     }
 
     /// Index of the live twin (original ↔ backup) of task `uid`.
-    fn twin_index(&self, uid: u64, backup_of: Option<u64>) -> Option<usize> {
-        self.tasks
-            .iter()
-            .position(|o| backup_of == Some(o.uid) || o.backup_of == Some(uid))
+    fn twin_index(&self, uid: u64, backup_of: u64) -> Option<usize> {
+        let t = &self.st.table;
+        (0..t.len()).find(|&k| backup_of == t.uid[k] || t.backup_of[k] == uid)
     }
 
     /// Earliest strictly-future time at which a fault event fires or a
     /// retry becomes ready.
     fn next_wake(&self) -> Option<f64> {
         let mut wake = f64::INFINITY;
-        if let Some(ev) = self.fault.events.get(self.fault.next_event) {
+        if let Some(ev) = self.st.fault_events.get(self.next_fault_event) {
             if ev.at > self.clock {
                 wake = wake.min(ev.at);
             }
         }
-        for r in &self.fault.retries {
+        for r in &self.st.retries {
             if r.ready_at > self.clock {
                 wake = wake.min(r.ready_at);
             }
@@ -1206,16 +1705,16 @@ impl<'a> Engine<'a> {
     /// remain: every survivor is frozen with no wake-up; report the first
     /// (the reference's per-step scan does the same).
     fn frozen_stall_error(&self) -> SimError {
-        for (t, a) in self.tasks.iter().zip(self.aux.iter()) {
-            if let Some(s) = t.current() {
-                if !s.is_latent() && a.rate <= 0.0 {
-                    return SimError::Stalled {
-                        at_secs: self.clock,
-                        job: Some(self.jobs[t.job].job.id.0),
-                        phase: Some(self.jobs[t.job].phase.name()),
-                        tier: stage_tier(s),
-                    };
-                }
+        let t = &self.st.table;
+        for i in 0..t.len() {
+            if t.has_stage(i) && t.fixed[i] <= 0.0 && t.rate[i] <= 0.0 {
+                let job = t.job[i] as usize;
+                return SimError::Stalled {
+                    at_secs: self.clock,
+                    job: Some(self.jobs[job].job.id.0),
+                    phase: Some(self.jobs[job].phase.name()),
+                    tier: t.bound_stage(i).and_then(stage_tier),
+                };
             }
         }
         self.stalled_error()
@@ -1246,9 +1745,23 @@ impl<'a> Engine<'a> {
     }
 
     fn release_slot(&mut self, vm: usize, slot: SlotKind) {
+        let st = &mut *self.st;
+        let live = !st.crashed[vm];
         match slot {
-            SlotKind::Map => self.free_map[vm] += 1,
-            SlotKind::Reduce => self.free_red[vm] += 1,
+            SlotKind::Map => {
+                st.free_map[vm] += 1;
+                st.avail_map += usize::from(live);
+                if live {
+                    bump_slot_heap(&mut st.slot_heap_map, &st.free_map, vm);
+                }
+            }
+            SlotKind::Reduce => {
+                st.free_red[vm] += 1;
+                st.avail_red += usize::from(live);
+                if live {
+                    bump_slot_heap(&mut st.slot_heap_red, &st.free_red, vm);
+                }
+            }
             SlotKind::Transfer => {}
         }
     }
@@ -1259,22 +1772,20 @@ impl<'a> Engine<'a> {
     /// task due there. O(affected flows), not O(active tasks).
     fn step(&mut self) -> Result<(), SimError> {
         self.flush_dirty()?;
-        self.maybe_compact_heap();
-        let t_next = loop {
-            match self.heap.peek() {
-                None => return Err(self.frozen_stall_error()),
-                Some(e) if !self.entry_valid(e) => {
-                    self.heap.pop();
-                }
-                Some(e) => break e.time,
-            }
+        let task_top = self.st.heap.peek().map(|(t, _)| t);
+        let wake_top = self.st.wakes.peek().map(|w| w.0);
+        let t_next = match (task_top, wake_top) {
+            (Some(a), Some(b)) => a.min(b),
+            (Some(a), None) => a,
+            (None, Some(b)) => b,
+            (None, None) => return Err(self.frozen_stall_error()),
         };
         let t_next = t_next.max(self.clock);
         self.obs.steps.inc();
         self.steps_done += 1;
         if self.obs.col.enabled() && self.steps_done % CONTENTION_STRIDE == 1 {
             for tier in cast_cloud::tier::Tier::ALL {
-                let (demand, capacity) = self.reg.tier_totals(tier);
+                let (demand, capacity) = self.st.reg.tier_totals(tier);
                 if demand > 0.0 {
                     self.obs.col.emit(
                         self.clock,
@@ -1292,17 +1803,26 @@ impl<'a> Engine<'a> {
         // a drained task actually finished is decided by materializing
         // it — a candidate with more than EPS units left is re-scheduled,
         // which reproduces the reference stepper's units-space clamp.
-        self.due.clear();
-        while let Some(&e) = self.heap.peek() {
-            if e.time > t_next + EPS {
-                break;
+        {
+            let EngineScratch {
+                heap,
+                wakes,
+                due,
+                table,
+                ..
+            } = &mut *self.st;
+            due.clear();
+            while let Some((time, task)) = heap.peek() {
+                if time > t_next + EPS {
+                    break;
+                }
+                heap.pop(&mut table.heap_pos);
+                due.push(task);
             }
-            self.heap.pop();
-            if e.task == WAKE_TASK {
-                continue; // clock has landed on the wake; loop top acts
-            }
-            if self.entry_valid(&e) {
-                self.due.push(e);
+            // Wake-ups the clock has landed on are consumed; the run
+            // loop's fault/retry dispatch acts on them.
+            while wakes.peek().is_some_and(|w| w.0 <= t_next + EPS) {
+                wakes.pop();
             }
         }
         self.process_due()?;
@@ -1314,31 +1834,33 @@ impl<'a> Engine<'a> {
     /// reference stepper's retire scan (including its swap-remove
     /// revisit: a due task moved into a freed slot is processed next).
     fn process_due(&mut self) -> Result<(), SimError> {
-        if self.due.is_empty() {
+        if self.st.due.is_empty() {
             return Ok(());
         }
-        self.due.sort_unstable_by_key(|e| e.task);
-        self.winners.clear();
+        self.st.due.sort_unstable();
+        self.st.winners.clear();
         let mut k = 0;
-        while k < self.due.len() {
-            let idx = self.due[k].task as usize;
+        while k < self.st.due.len() {
+            let idx = self.st.due[k] as usize;
             k += 1;
-            if idx >= self.tasks.len() {
+            if idx >= self.st.table.len() {
                 continue;
             }
             if let Some(from) = self.process_due_task(idx)? {
-                if let Some(rel) = self.due[k..].iter().position(|e| e.task as usize == from) {
+                let st = &mut *self.st;
+                if let Some(rel) = st.due[k..].iter().position(|&t| t as usize == from) {
                     let j = k + rel;
-                    self.due[j].task = idx as u32;
-                    self.due.swap(k, j);
+                    st.due[j] = idx as u32;
+                    st.due.swap(k, j);
                 }
             }
         }
         // Winners kill their twins (after the scan, like the reference).
-        for wi in 0..self.winners.len() {
-            let (uid, backup_of) = self.winners[wi];
+        for wi in 0..self.st.winners.len() {
+            let (uid, backup_of) = self.st.winners[wi];
             if let Some(t) = self.twin_index(uid, backup_of) {
-                let (loser, _) = self.remove_task(t);
+                let loser = self.remove_task(t);
+                self.release_tid(loser.tid);
                 self.release_slot(loser.vm as usize, loser.slot);
                 let job = loser.job;
                 self.push_trace(job, loser.vm, loser.slot, TaskEventKind::Killed);
@@ -1355,37 +1877,67 @@ impl<'a> Engine<'a> {
     /// swap-moved into `idx`, if any.
     fn process_due_task(&mut self, idx: usize) -> Result<Option<usize>, SimError> {
         self.materialize(idx);
-        if self.tasks[idx].doom_units.is_some_and(|d| d <= EPS) {
+        if self.st.table.doom[idx] <= EPS {
             return self.fail_task(idx);
         }
         loop {
-            let done = self.tasks[idx].current().is_some_and(|s| s.is_done());
+            let done = {
+                let t = &self.st.table;
+                t.has_stage(idx) && t.stage_done(idx)
+            };
             if !done {
                 break;
             }
-            if self.aux[idx].registered {
+            if self.st.table.registered[idx] {
                 self.unregister_stage(idx);
             }
-            self.tasks[idx].stages.pop_front();
+            let st = &mut *self.st;
+            st.table.stage[idx] += 1;
+            if st.table.has_stage(idx) {
+                let reg = &st.reg;
+                st.table.load_stage(idx, |key| reg.res_index(key));
+            }
         }
-        if self.tasks[idx].is_done() {
-            let (task, moved) = self.remove_task(idx);
+        if !self.st.table.has_stage(idx) {
+            let task = self.remove_task(idx);
+            self.release_tid(task.tid);
             self.release_slot(task.vm as usize, task.slot);
             let job = task.job;
             self.push_trace(job, task.vm, task.slot, TaskEventKind::Finished);
             self.jobs[job].active -= 1;
             if task.speculated {
-                self.winners.push((task.uid, task.backup_of));
+                self.st.winners.push((task.uid, task.backup_of));
             }
             self.push_affected(job);
-            return Ok(moved);
+            return Ok(task.moved);
         }
         // Not finished: schedule the next milestone of the (possibly new)
         // current stage.
-        let s = *self.tasks[idx].current().expect("not done");
-        if s.is_latent() {
-            self.schedule(idx, self.clock + s.fixed_remaining, 0.0);
-        } else if !self.aux[idx].registered {
+        let (fixed, units, registered, rate, doom) = {
+            let t = &self.st.table;
+            (
+                t.fixed[idx],
+                t.units[idx],
+                t.registered[idx],
+                t.rate[idx],
+                t.doom[idx],
+            )
+        };
+        if fixed > 0.0 {
+            let at = self.clock + fixed;
+            if at > self.clock {
+                self.schedule(idx, at, 0.0);
+            } else {
+                // The latency residue is below the clock's ulp: `clock +
+                // fixed` rounds back to `clock`, so a milestone there
+                // would re-pop forever with `materialize` accruing
+                // `dtime == 0`. The reference stepper subtracts the exact
+                // `dt` before the (rounded) clock advance and clamps to
+                // zero — do the same and re-process.
+                self.st.table.fixed[idx] = 0.0;
+                return self.process_due_task(idx);
+            }
+        } else if !registered {
             // A fresh streaming stage: its rate (and milestone) arrive at
             // the next dirty flush, triggered by this registration.
             self.register_stage(idx);
@@ -1393,13 +1945,31 @@ impl<'a> Engine<'a> {
         } else {
             // Still mid-stream (the candidate had > EPS units left after
             // materializing): re-schedule at the current rate.
-            let rate = self.aux[idx].rate;
             if rate > 0.0 {
-                let mut dt = s.units_remaining / rate;
-                if let Some(d) = self.tasks[idx].doom_units {
-                    dt = dt.min(d.max(0.0) / rate);
+                let mut dt = units / rate;
+                dt = dt.min(doom.max(0.0) / rate);
+                let at = self.clock + dt;
+                if at > self.clock {
+                    self.schedule(idx, at, rate);
+                } else {
+                    // The streaming residue is too small to advance the
+                    // f64 clock (`units / rate` is below the clock's
+                    // half-ulp — reachable once makespans grow past ~2^16
+                    // seconds): a milestone at `at == clock` would re-pop
+                    // forever with `materialize` accruing `dtime == 0`.
+                    // Pay the residue down with the unrounded `dt`,
+                    // exactly as the reference stepper does before its
+                    // (rounded) clock advance, then re-process: the stage
+                    // completes — or, when `doom` bound `dt`, the attempt
+                    // fails — at the current instant.
+                    let t = &mut self.st.table;
+                    t.units[idx] -= dt * rate;
+                    if t.units[idx] < EPS {
+                        t.units[idx] = 0.0;
+                    }
+                    t.doom[idx] -= dt * rate;
+                    return self.process_due_task(idx);
                 }
-                self.schedule(idx, self.clock + dt, rate);
             } else {
                 self.invalidate(idx);
             }
@@ -1411,7 +1981,7 @@ impl<'a> Engine<'a> {
     /// exponential backoff, or give up on the job past the attempt
     /// budget. Returns the swap-move fix-up like [`Engine::remove_task`].
     fn fail_task(&mut self, idx: usize) -> Result<Option<usize>, SimError> {
-        let (task, moved) = self.remove_task(idx);
+        let task = self.remove_task(idx);
         self.release_slot(task.vm as usize, task.slot);
         let job = task.job;
         self.jobs[job].active -= 1;
@@ -1420,7 +1990,8 @@ impl<'a> Engine<'a> {
         self.push_affected(job);
         if task.speculated && self.twin_index(task.uid, task.backup_of).is_some() {
             // The surviving copy carries the work; no retry needed.
-            return Ok(moved);
+            self.release_tid(task.tid);
+            return Ok(task.moved);
         }
         if task.attempt >= self.cfg.faults.max_task_attempts {
             return Err(SimError::JobFailed {
@@ -1430,31 +2001,120 @@ impl<'a> Engine<'a> {
         }
         let backoff =
             self.cfg.faults.retry_backoff_secs * f64::powi(2.0, (task.attempt - 1) as i32);
-        let template = task.template.expect("faulted task retains its template");
+        debug_assert_ne!(task.tid, NO_TEMPLATE, "faulted task retains its template");
         self.jobs[job].retries += 1;
         self.jobs[job].retries_pending += 1;
         let ready_at = self.clock + backoff;
         if ready_at > self.clock {
             self.push_wake(ready_at);
         }
-        self.fault.retries.push(RetryEntry {
+        self.st.retries.push(RetrySlot {
             ready_at,
-            job,
+            job: job as u32,
             uid: task.uid,
             attempt: task.attempt + 1,
-            template,
+            tid: task.tid,
         });
-        Ok(moved)
+        Ok(task.moved)
+    }
+}
+
+/// Bind a template's stages into a pooled buffer.
+fn bind_template(
+    buf_pool: &mut Vec<Vec<BoundStage>>,
+    vm: u32,
+    tmpl: &TaskTemplate,
+) -> Vec<BoundStage> {
+    let mut buf = buf_pool.pop().unwrap_or_default();
+    buf.clear();
+    buf.extend(tmpl.stages.iter().map(|s| bind_spec(vm, s)));
+    buf
+}
+
+/// Insert job `i` into the sorted pending set (no-op if present).
+#[inline]
+fn pending_insert(v: &mut Vec<u32>, i: usize) {
+    let i = i as u32;
+    if let Err(pos) = v.binary_search(&i) {
+        v.insert(pos, i);
+    }
+}
+
+/// Remove job `i` from the sorted pending set (no-op if absent).
+#[inline]
+fn pending_remove(v: &mut Vec<u32>, i: usize) {
+    if let Ok(pos) = v.binary_search(&(i as u32)) {
+        v.remove(pos);
     }
 }
 
 /// Live VM with the most free slots, or `None` if none has capacity.
+/// The event engine answers this from a lazy heap ([`pick_slot`]); this
+/// scan remains the reference implementation and the transfer fallback.
 pub(crate) fn pick_vm(free: &[usize], crashed: &[bool]) -> Option<usize> {
     free.iter()
         .enumerate()
         .filter(|&(vm, &n)| n > 0 && !crashed[vm])
         .max_by_key(|&(_, &n)| n)
         .map(|(vm, _)| vm)
+}
+
+/// Record a live VM's new free-slot count in its lazy heap. Called after
+/// every count change on a non-crashed VM; the superseded entry is left
+/// behind to be discarded as stale on a later pop.
+#[inline]
+fn bump_slot_heap(heap: &mut BinaryHeap<(u32, u32)>, free: &[usize], vm: usize) {
+    let c = free[vm] as u32;
+    if c > 0 {
+        heap.push((c, vm as u32));
+    }
+}
+
+/// Heap-backed [`pick_vm`]: discard stale tops (count out of date, or VM
+/// crashed) until one matches the live state. Every live VM with free
+/// slots has a current entry — [`bump_slot_heap`] maintains that — so the
+/// surviving top is the true maximum, and the `(count, vm)` tuple order
+/// reproduces the scan's last-max tie-break (ties go to the higher VM).
+#[inline]
+fn pick_slot(heap: &mut BinaryHeap<(u32, u32)>, free: &[usize], crashed: &[bool]) -> Option<usize> {
+    while let Some(&(c, vm)) = heap.peek() {
+        let vm = vm as usize;
+        if !crashed[vm] && free[vm] as u32 == c {
+            return Some(vm);
+        }
+        heap.pop();
+    }
+    None
+}
+
+/// [`pick_slot`], excluding one VM (a straggler's own host when placing
+/// its speculative backup). Valid entries for the excluded VM are popped
+/// past — they are duplicates of one `(count, vm)` value, so keeping a
+/// single representative to push back preserves the heap invariant.
+fn pick_slot_excluding(
+    heap: &mut BinaryHeap<(u32, u32)>,
+    free: &[usize],
+    crashed: &[bool],
+    orig: usize,
+) -> Option<usize> {
+    let mut stash = None;
+    let found = loop {
+        let Some(&(c, vm)) = heap.peek() else {
+            break None;
+        };
+        let vm = vm as usize;
+        if crashed[vm] || free[vm] as u32 != c {
+            heap.pop();
+        } else if vm == orig {
+            stash = heap.pop();
+        } else {
+            break Some(vm);
+        }
+    };
+    if let Some(e) = stash {
+        heap.push(e);
+    }
+    found
 }
 
 /// The storage tier a stage streams against, for diagnostics.
@@ -1469,28 +2129,30 @@ pub(crate) fn stage_tier(s: &BoundStage) -> Option<String> {
 }
 
 /// Sample one attempt's fate from its private RNG: whether (and how far
-/// in) it fails, plus simulated object-store request retries inflating
-/// fixed latencies. Deterministic in `(seed, uid, attempt)`; shared by
-/// both engines so fault draws stay in lockstep.
-pub(crate) fn arm_task_with(plan: &FaultPlan, rng: &mut StdRng, task: &mut RunningTask) {
+/// in) it fails — returned as doom units, [`NO_DOOM`] for "will not
+/// fail" — plus simulated object-store request retries inflating fixed
+/// latencies in place. Deterministic in the RNG; shared by both engines
+/// so fault draws stay in lockstep.
+pub(crate) fn arm_stages_with(
+    plan: &FaultPlan,
+    rng: &mut StdRng,
+    total_units: f64,
+    stages: &mut [BoundStage],
+) -> f64 {
+    let mut doom = NO_DOOM;
     if plan.task_failure_prob > 0.0 {
         // First draw decides failure: at rate p₂ > p₁ the failing set
         // is a superset, so sweeps over intensity are coupled.
         let u: f64 = rng.gen();
         if u < plan.task_failure_prob {
             let frac: f64 = rng.gen();
-            let total = task
-                .template
-                .as_deref()
-                .map(TaskTemplate::total_units)
-                .unwrap_or(0.0);
-            if total > 0.0 {
-                task.doom_units = Some((frac * total).max(EPS));
+            if total_units > 0.0 {
+                doom = (frac * total_units).max(EPS);
             }
         }
     }
     if plan.objstore_request_failure > 0.0 {
-        for s in task.stages.iter_mut() {
+        for s in stages.iter_mut() {
             if s.global.is_some() && s.fixed_remaining > 0.0 {
                 let mut extra = 0u32;
                 while extra < MAX_OBJ_RETRIES && rng.gen::<f64>() < plan.objstore_request_failure {
@@ -1500,6 +2162,21 @@ pub(crate) fn arm_task_with(plan: &FaultPlan, rng: &mut StdRng, task: &mut Runni
                 s.fixed_remaining *= 1.0 + f64::from(extra);
             }
         }
+    }
+    doom
+}
+
+/// [`arm_stages_with`] on a boxed [`RunningTask`] (reference stepper).
+#[cfg(feature = "reference-engine")]
+pub(crate) fn arm_task_with(plan: &FaultPlan, rng: &mut StdRng, task: &mut RunningTask) {
+    let total = task
+        .template
+        .as_deref()
+        .map(TaskTemplate::total_units)
+        .unwrap_or(0.0);
+    let doom = arm_stages_with(plan, rng, total, task.stages.make_contiguous());
+    if doom.is_finite() {
+        task.doom_units = Some(doom);
     }
 }
 
@@ -2184,5 +2861,129 @@ mod review_probe {
             r.as_ref().map(|x| x.makespan).map_err(|e| e.to_string())
         );
         assert!(r.is_ok(), "transient outage should be survivable");
+    }
+}
+
+#[cfg(test)]
+mod scratch_tests {
+    use super::tests::cfg;
+    use super::*;
+    use crate::fault::{FaultPlan, VmCrash};
+    use crate::placement::JobPlacement;
+    use cast_cloud::tier::Tier;
+    use cast_cloud::units::DataSize;
+    use cast_workload::apps::AppKind;
+    use cast_workload::dataset::DatasetId;
+    use cast_workload::job::Job;
+    use cast_workload::profile::ProfileSet;
+
+    fn jobs(n: usize) -> Vec<JobRun> {
+        let profiles = ProfileSet::defaults();
+        (0..n)
+            .map(|i| {
+                let app = if i % 2 == 0 {
+                    AppKind::Grep
+                } else {
+                    AppKind::Sort
+                };
+                let job = Job::with_default_layout(
+                    JobId(i as u32),
+                    app,
+                    DatasetId(i as u32),
+                    DataSize::from_gb(5.0 + i as f64),
+                );
+                JobRun::new(
+                    job,
+                    JobPlacement::all_on(Tier::PersSsd),
+                    *profiles.get(app),
+                    vec![],
+                )
+            })
+            .collect()
+    }
+
+    fn faulty_cfg(nvm: usize) -> SimConfig {
+        let mut c = cfg(nvm);
+        c.faults = FaultPlan {
+            seed: 7,
+            task_failure_prob: 0.08,
+            vm_crashes: vec![VmCrash {
+                vm: 1,
+                at_secs: 40.0,
+                down_secs: Some(60.0),
+            }],
+            ..FaultPlan::default()
+        };
+        c
+    }
+
+    #[test]
+    fn scratch_reuse_does_zero_reallocation() {
+        let c = cfg(4);
+        let mut scratch = EngineScratch::new();
+        let (first, s1) = Engine::with_scratch(&c, jobs(6), &mut scratch)
+            .run_with_stats()
+            .unwrap();
+        assert!(s1.scratch_reallocs > 0, "first run must size the scratch");
+        for _ in 0..3 {
+            let (again, s2) = Engine::with_scratch(&c, jobs(6), &mut scratch)
+                .run_with_stats()
+                .unwrap();
+            assert_eq!(
+                s2.scratch_reallocs, 0,
+                "reused scratch over the same catalog must not re-allocate"
+            );
+            assert_eq!(first.makespan, again.makespan);
+            assert_eq!(s1.steps, s2.steps);
+        }
+    }
+
+    #[test]
+    fn scratch_runs_are_bit_identical_to_owned() {
+        for c in [cfg(4), faulty_cfg(4)] {
+            let (owned, so) = Engine::new(&c, jobs(5)).run_with_stats().unwrap();
+            let mut scratch = EngineScratch::new();
+            // Prime the scratch with a different-shaped run first.
+            let _ = Engine::with_scratch(&cfg(2), jobs(2), &mut scratch)
+                .run_with_stats()
+                .unwrap();
+            let (reused, sr) = Engine::with_scratch(&c, jobs(5), &mut scratch)
+                .run_with_stats()
+                .unwrap();
+            assert_eq!(
+                owned.makespan.secs().to_bits(),
+                reused.makespan.secs().to_bits()
+            );
+            assert_eq!(owned.jobs.len(), reused.jobs.len());
+            for (a, b) in owned.jobs.iter().zip(reused.jobs.iter()) {
+                assert_eq!(a.finished.secs().to_bits(), b.finished.secs().to_bits());
+                assert_eq!(a.failures, b.failures);
+                assert_eq!(a.retries, b.retries);
+            }
+            assert_eq!(so.steps, sr.steps);
+            assert_eq!(so.heap_stale_popped, sr.heap_stale_popped);
+            assert_eq!(so.dirty_drain_batches, sr.dirty_drain_batches);
+        }
+    }
+
+    #[test]
+    fn engine_stats_counters_are_populated() {
+        let c = faulty_cfg(4);
+        let (_, stats) = Engine::new(&c, jobs(6)).run_with_stats().unwrap();
+        assert!(stats.steps > 0);
+        assert!(
+            stats.dirty_drain_batches > 0,
+            "streaming stages must trigger dirty drains"
+        );
+        assert!(
+            stats.dirty_drain_batches <= stats.steps + 1,
+            "drains are batched per clock advance: {} vs {} steps",
+            stats.dirty_drain_batches,
+            stats.steps
+        );
+        assert!(
+            stats.wake_entries_allocated > 0,
+            "fault plan events must allocate wake entries"
+        );
     }
 }

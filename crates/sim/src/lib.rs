@@ -50,16 +50,19 @@ pub mod error;
 pub mod fault;
 pub mod jobrun;
 pub mod metrics;
+pub mod par;
 pub mod placement;
 #[cfg(feature = "reference-engine")]
 pub mod reference;
 pub mod resources;
 pub mod runner;
+mod soa;
 pub mod task;
 pub mod trace;
 
 pub use config::SimConfig;
 pub use durability::{simulate_durable, DurabilityReport, ShardState};
+pub use engine::{Engine, EngineScratch, EngineStats};
 pub use error::SimError;
 pub use fault::{DegradationWindow, FaultPlan, ShardKill, VmCrash};
 pub use metrics::{FaultSummary, JobMetrics, SimReport};

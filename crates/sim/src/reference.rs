@@ -152,7 +152,13 @@ impl<'a> ReferenceEngine<'a> {
             faults,
             trace: self.trace,
         };
-        Ok((report, crate::engine::EngineStats { steps: events }))
+        Ok((
+            report,
+            crate::engine::EngineStats {
+                steps: events,
+                ..Default::default()
+            },
+        ))
     }
 
     fn budget_error(&self, steps: u64) -> SimError {

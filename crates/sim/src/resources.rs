@@ -103,6 +103,13 @@ pub struct MovedFlow {
 #[derive(Debug, Clone)]
 pub struct ShareRegistry {
     caps: Vec<f64>,
+    /// Memoized `caps / load` per resource (`+inf` when unloaded),
+    /// refreshed whenever either input changes. Rate queries outnumber
+    /// load changes several-fold on the hot path, so paying the division
+    /// once per change instead of once per query is a net win — and the
+    /// cached value is the *same* division, so it is bit-identical to
+    /// computing fresh.
+    unit_cache: Vec<f64>,
     /// Undegraded capacities; `caps` is rebuilt from these whenever a
     /// fault-injection degradation window opens or closes.
     base: Vec<f64>,
@@ -123,33 +130,84 @@ pub struct ShareRegistry {
 }
 
 impl ShareRegistry {
-    /// Build the registry for a configured cluster.
-    pub fn new(cfg: &SimConfig) -> ShareRegistry {
-        // One extra slot at the end for the cluster-global object-store
-        // ceiling.
-        let mut caps = vec![0.0; cfg.nvm * SLOTS_PER_VM + 1];
-        for vm in 0..cfg.nvm {
-            for tier in Tier::ALL {
-                caps[vm * SLOTS_PER_VM + slot(ResKind::Volume(tier))] =
-                    cfg.vm_tier_bandwidth(tier).mb_per_sec();
-            }
-            caps[vm * SLOTS_PER_VM + slot(ResKind::Nic)] = cfg.vm.nic.mb_per_sec();
-        }
-        let n = caps.len();
-        caps[n - 1] = cfg.objstore_cluster_mbps;
-        let load = vec![0.0; caps.len()];
-        let mut reg = ShareRegistry {
-            base: caps.clone(),
-            flows: vec![Vec::new(); caps.len()],
-            dirty: vec![false; caps.len()],
+    /// An unprovisioned registry (no resources). Provision it with
+    /// [`ShareRegistry::reset_for`]; useful for scratch state that is
+    /// built once and re-pointed at a cluster per run.
+    pub fn empty() -> ShareRegistry {
+        ShareRegistry {
+            caps: Vec::new(),
+            unit_cache: Vec::new(),
+            base: Vec::new(),
+            load: Vec::new(),
+            flows: Vec::new(),
+            dirty: Vec::new(),
             dirty_list: Vec::new(),
-            caps,
-            load,
             tier_demand: [0.0; NTIERS],
             tier_cap: [0.0; NTIERS],
-        };
-        reg.recompute_tier_caps();
+        }
+    }
+
+    /// Build the registry for a configured cluster.
+    pub fn new(cfg: &SimConfig) -> ShareRegistry {
+        let mut reg = ShareRegistry::empty();
+        reg.reset_for(cfg);
         reg
+    }
+
+    /// Re-provision for `cfg` in place, reusing every allocation and
+    /// clearing all flows, loads, and degradation scales. The per-VM
+    /// capacity pattern is computed once and stamped across VMs (the
+    /// provisioner is deterministic per tier, so per-VM recomputation is
+    /// pure waste at 10k-VM scale). Returns how many internal buffers had
+    /// to grow — zero when the registry was last provisioned for an
+    /// equal-or-larger cluster.
+    pub fn reset_for(&mut self, cfg: &SimConfig) -> u64 {
+        // One extra slot at the end for the cluster-global object-store
+        // ceiling.
+        let n = cfg.nvm * SLOTS_PER_VM + 1;
+        let mut grown = 0u64;
+        let mut fit = |v: &mut Vec<f64>| {
+            if v.capacity() < n {
+                grown += 1;
+            }
+            v.clear();
+            v.resize(n, 0.0);
+        };
+        fit(&mut self.caps);
+        fit(&mut self.base);
+        fit(&mut self.load);
+        fit(&mut self.unit_cache);
+        self.unit_cache.iter_mut().for_each(|c| *c = f64::INFINITY);
+        if self.dirty.capacity() < n {
+            grown += 1;
+        }
+        self.dirty.clear();
+        self.dirty.resize(n, false);
+        self.dirty_list.clear();
+        if self.flows.capacity() < n {
+            grown += 1;
+        }
+        for f in &mut self.flows {
+            f.clear();
+        }
+        self.flows.truncate(n);
+        while self.flows.len() < n {
+            self.flows.push(Vec::new());
+        }
+
+        let mut vm_caps = [0.0; SLOTS_PER_VM];
+        for tier in Tier::ALL {
+            vm_caps[slot(ResKind::Volume(tier))] = cfg.vm_tier_bandwidth(tier).mb_per_sec();
+        }
+        vm_caps[slot(ResKind::Nic)] = cfg.vm.nic.mb_per_sec();
+        for vm in 0..cfg.nvm {
+            self.base[vm * SLOTS_PER_VM..(vm + 1) * SLOTS_PER_VM].copy_from_slice(&vm_caps);
+        }
+        self.base[n - 1] = cfg.objstore_cluster_mbps;
+        self.caps.copy_from_slice(&self.base);
+        self.tier_demand = [0.0; NTIERS];
+        self.recompute_tier_caps();
+        grown
     }
 
     /// Number of per-VM resource blocks.
@@ -191,10 +249,21 @@ impl ShareRegistry {
         for i in 0..self.caps.len() {
             if self.caps[i] != self.base[i] {
                 self.caps[i] = self.base[i];
+                self.refresh_cache(i);
                 self.mark_dirty(i);
             }
         }
         self.recompute_tier_caps();
+    }
+
+    /// Re-derive the memoized unit rate after a load or capacity change.
+    #[inline]
+    fn refresh_cache(&mut self, i: usize) {
+        self.unit_cache[i] = if self.load[i] <= 0.0 {
+            f64::INFINITY
+        } else {
+            self.caps[i] / self.load[i]
+        };
     }
 
     /// Multiply the capacity of `tier`'s volume by `factor` — on one VM,
@@ -226,6 +295,7 @@ impl ShareRegistry {
         let new = self.caps[i] * factor;
         if new != self.caps[i] {
             self.caps[i] = new;
+            self.refresh_cache(i);
             self.mark_dirty(i);
         }
     }
@@ -243,6 +313,7 @@ impl ShareRegistry {
     /// Batch API.
     pub fn clear_counts(&mut self) {
         self.load.iter_mut().for_each(|c| *c = 0.0);
+        self.unit_cache.iter_mut().for_each(|c| *c = f64::INFINITY);
         self.tier_demand = [0.0; NTIERS];
     }
 
@@ -252,24 +323,61 @@ impl ShareRegistry {
     pub fn register(&mut self, key: ResKey, weight: f64) {
         let i = self.index(key);
         self.load[i] += weight;
+        self.refresh_cache(i);
         if let Some(t) = self.tier_of_index(i) {
             self.tier_demand[t] += weight;
         }
     }
 
-    /// Register a persistent flow for `task` on `key` (incremental API).
-    /// The resource is marked dirty; the returned handle unregisters it.
+    /// Resolve `key` to its dense resource index, for engines that cache
+    /// indices instead of re-deriving them per rate query.
     #[inline]
-    pub fn register_flow(&mut self, key: ResKey, weight: f64, task: u32) -> FlowHandle {
-        let i = self.index(key);
+    pub(crate) fn res_index(&self, key: ResKey) -> u32 {
+        self.index(key) as u32
+    }
+
+    /// Units-rate of the resource at dense index `i` (see
+    /// [`ShareRegistry::unit_rate`]).
+    #[inline]
+    pub(crate) fn unit_rate_at(&self, i: u32) -> f64 {
+        self.unit_cache[i as usize]
+    }
+
+    /// Register a persistent flow for `task` on the resource at dense
+    /// index `i` (incremental API), returning the flow's position.
+    #[inline]
+    pub(crate) fn register_flow_at(&mut self, i: u32, weight: f64, task: u32) -> u32 {
+        let i = i as usize;
         self.load[i] += weight;
+        self.refresh_cache(i);
         if let Some(t) = self.tier_of_index(i) {
             self.tier_demand[t] += weight;
         }
         let pos = self.flows[i].len() as u32;
         self.flows[i].push(Flow { task, weight });
         self.mark_dirty(i);
-        FlowHandle { res: i as u32, pos }
+        pos
+    }
+
+    /// Index-addressed form of [`ShareRegistry::unregister_flow`].
+    #[inline]
+    pub(crate) fn unregister_flow_at(&mut self, res: u32, pos: u32) -> Option<MovedFlow> {
+        self.unregister_flow(FlowHandle { res, pos })
+    }
+
+    /// Index-addressed form of [`ShareRegistry::retarget_flow`].
+    #[inline]
+    pub(crate) fn retarget_flow_at(&mut self, res: u32, pos: u32, task: u32) {
+        self.flows[res as usize][pos as usize].task = task;
+    }
+
+    /// Register a persistent flow for `task` on `key` (incremental API).
+    /// The resource is marked dirty; the returned handle unregisters it.
+    #[inline]
+    pub fn register_flow(&mut self, key: ResKey, weight: f64, task: u32) -> FlowHandle {
+        let res = self.res_index(key);
+        let pos = self.register_flow_at(res, weight, task);
+        FlowHandle { res, pos }
     }
 
     /// Remove the flow behind `handle` (incremental API). The load is
@@ -286,6 +394,7 @@ impl ShareRegistry {
             self.tier_demand[t] += new_load - self.load[i];
         }
         self.load[i] = new_load;
+        self.refresh_cache(i);
         self.mark_dirty(i);
         let from = self.flows[i].len() as u32;
         (handle.pos < from).then(|| MovedFlow {

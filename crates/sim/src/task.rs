@@ -173,60 +173,62 @@ pub struct RunningTask {
     pub template: Option<Box<TaskTemplate>>,
 }
 
+/// Bind one stage spec to a VM's resources. Single source of binding
+/// truth: [`RunningTask::bind`] and the engine's arena-backed dispatch
+/// both go through here, so tier→key mapping can never diverge between
+/// the engines.
+pub(crate) fn bind_spec(vm: u32, s: &StageSpec) -> BoundStage {
+    let obj_ratio = s
+        .read
+        .iter()
+        .chain(s.write.iter())
+        .filter(|&&(t, _)| t == Tier::ObjStore)
+        .map(|&(_, r)| r)
+        .sum::<f64>();
+    BoundStage {
+        label: s.label,
+        fixed_remaining: s.fixed,
+        units_remaining: s.units,
+        read: s.read.map(|(t, r)| {
+            (
+                ResKey {
+                    vm,
+                    kind: ResKind::Volume(t),
+                },
+                r,
+            )
+        }),
+        write: s.write.map(|(t, r)| {
+            (
+                ResKey {
+                    vm,
+                    kind: ResKind::Volume(t),
+                },
+                r,
+            )
+        }),
+        net: (s.net_ratio > 0.0).then_some((
+            ResKey {
+                vm,
+                kind: ResKind::Nic,
+            },
+            s.net_ratio,
+        )),
+        global: (obj_ratio > 0.0).then_some((
+            ResKey {
+                vm: GLOBAL_VM,
+                kind: ResKind::Volume(Tier::ObjStore),
+            },
+            obj_ratio,
+        )),
+        rate_cap: s.rate_cap,
+    }
+}
+
 impl RunningTask {
     /// Bind a template to a VM.
     pub fn bind(job: usize, vm: u32, template: &TaskTemplate) -> RunningTask {
-        let stages = template
-            .stages
-            .iter()
-            .map(|s| {
-                let obj_ratio = s
-                    .read
-                    .iter()
-                    .chain(s.write.iter())
-                    .filter(|&&(t, _)| t == Tier::ObjStore)
-                    .map(|&(_, r)| r)
-                    .sum::<f64>();
-                BoundStage {
-                    label: s.label,
-                    fixed_remaining: s.fixed,
-                    units_remaining: s.units,
-                    read: s.read.map(|(t, r)| {
-                        (
-                            ResKey {
-                                vm,
-                                kind: ResKind::Volume(t),
-                            },
-                            r,
-                        )
-                    }),
-                    write: s.write.map(|(t, r)| {
-                        (
-                            ResKey {
-                                vm,
-                                kind: ResKind::Volume(t),
-                            },
-                            r,
-                        )
-                    }),
-                    net: (s.net_ratio > 0.0).then_some((
-                        ResKey {
-                            vm,
-                            kind: ResKind::Nic,
-                        },
-                        s.net_ratio,
-                    )),
-                    global: (obj_ratio > 0.0).then_some((
-                        ResKey {
-                            vm: GLOBAL_VM,
-                            kind: ResKind::Volume(Tier::ObjStore),
-                        },
-                        obj_ratio,
-                    )),
-                    rate_cap: s.rate_cap,
-                }
-            })
-            .collect();
+        let stages = template.stages.iter().map(|s| bind_spec(vm, s)).collect();
         RunningTask {
             job,
             vm,

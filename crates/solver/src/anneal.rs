@@ -15,12 +15,15 @@
 //!   applied in place and undone on rejection, and utility-mode solves
 //!   score through [`IncrementalEval`]'s ledger + memo instead of a full
 //!   [`evaluate`] per neighbour (bit-identical scores, same trajectory);
-//! * `restarts > 1` runs N independent annealing chains in parallel with
-//!   `std::thread::scope`, each seeded deterministically from the base
-//!   seed; the winner is chosen by `(score, seed)` so the result is
-//!   machine-independent and identical to running the chains one by one.
+//! * `restarts > 1` runs N independent annealing chains on the
+//!   [`cast_sim::par`] worker pool (index-claimed, capped at the
+//!   machine's parallelism instead of one thread per restart), each
+//!   seeded deterministically from its restart index; the winner is
+//!   chosen by `(score, seed)` so the result is machine-independent and
+//!   identical to running the chains one by one.
 
 use cast_obs::{Collector, EventBody};
+use cast_sim::par;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -211,24 +214,13 @@ impl Annealer {
 
         let restarts = self.cfg.restarts.max(1);
         let t0 = std::time::Instant::now();
-        let run = |r: usize, seed: u64| self.chain_incremental(ctx, &init, &gen, r, seed);
-        let mut chains: Vec<Result<ChainResult<Vec<Assignment>>, SolverError>> = if restarts == 1 {
-            vec![run(0, self.cfg.seed)]
-        } else {
-            std::thread::scope(|s| {
-                let handles: Vec<_> = (0..restarts)
-                    .map(|r| {
-                        let run = &run;
-                        let seed = restart_seed(self.cfg.seed, r);
-                        s.spawn(move || run(r, seed))
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("restart chain panicked"))
-                    .collect()
-            })
-        };
+        // Independent chains on the worker pool: each restart derives its
+        // seed from its index, so results are bit-identical for any
+        // worker count (cast_sim::par's determinism contract).
+        let mut chains: Vec<Result<ChainResult<Vec<Assignment>>, SolverError>> =
+            par::run_indexed(par::default_workers(), restarts, |r| {
+                self.chain_incremental(ctx, &init, &gen, r, restart_seed(self.cfg.seed, r))
+            });
         self.observe_chains(&mut chains, t0.elapsed().as_secs_f64());
         let winner = pick_best(chains)?;
         let plan = plan_from_assignments(ctx, &winner.best);
@@ -360,25 +352,17 @@ impl Annealer {
     {
         let restarts = self.cfg.restarts.max(1);
         let t0 = std::time::Instant::now();
-        let run =
-            |r: usize, seed: u64| self.chain_plan(init.clone(), gen, &score, cursor_order, r, seed);
-        let mut chains: Vec<Result<ChainResult<TieringPlan>, SolverError>> = if restarts == 1 {
-            vec![run(0, self.cfg.seed)]
-        } else {
-            std::thread::scope(|s| {
-                let handles: Vec<_> = (0..restarts)
-                    .map(|r| {
-                        let run = &run;
-                        let seed = restart_seed(self.cfg.seed, r);
-                        s.spawn(move || run(r, seed))
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("restart chain panicked"))
-                    .collect()
-            })
-        };
+        let mut chains: Vec<Result<ChainResult<TieringPlan>, SolverError>> =
+            par::run_indexed(par::default_workers(), restarts, |r| {
+                self.chain_plan(
+                    init.clone(),
+                    gen,
+                    &score,
+                    cursor_order,
+                    r,
+                    restart_seed(self.cfg.seed, r),
+                )
+            });
         self.observe_chains(&mut chains, t0.elapsed().as_secs_f64());
         let winner = pick_best(chains)?;
         Ok(SearchOutcome {
