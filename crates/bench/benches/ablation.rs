@@ -18,7 +18,7 @@ use cast_cloud::Catalog;
 use cast_estimator::MonotoneSpline;
 use cast_sim::config::SimConfig;
 use cast_sim::placement::{JobPlacement, PlacementMap, SplitPlacement};
-use cast_sim::runner::simulate;
+use cast_sim::Sim;
 use cast_solver::{
     evaluate, greedy_plan, AnnealConfig, Annealer, Cooling, EvalContext, GreedyMode,
 };
@@ -47,10 +47,21 @@ fn ablation_placement_granularity(c: &mut Criterion) {
         placement.input = SplitPlacement::split(Tier::EphSsd, frac, Tier::PersHdd);
         let mut placements = PlacementMap::new();
         placements.set(JobId(0), placement);
-        let runtime = simulate(&spec, &placements, &cfg).expect("sim").makespan;
+        let runtime = Sim::builder(&cfg)
+            .jobs(&spec, &placements)
+            .build()
+            .and_then(|s| s.run())
+            .expect("sim")
+            .makespan;
         eprintln!("[ablation] placement {label}: simulated runtime {runtime}");
         group.bench_function(label, |b| {
-            b.iter(|| simulate(&spec, &placements, &cfg).expect("sim"))
+            b.iter(|| {
+                Sim::builder(&cfg)
+                    .jobs(&spec, &placements)
+                    .build()
+                    .and_then(|s| s.run())
+                    .expect("sim")
+            })
         });
     }
     group.finish();

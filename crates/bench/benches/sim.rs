@@ -7,7 +7,7 @@ use cast_cloud::units::DataSize;
 use cast_cloud::Catalog;
 use cast_sim::config::SimConfig;
 use cast_sim::placement::PlacementMap;
-use cast_sim::runner::simulate;
+use cast_sim::Sim;
 use cast_workload::apps::AppKind;
 use cast_workload::synth;
 
@@ -23,7 +23,13 @@ fn bench_single_job(c: &mut Criterion) {
         let placements = PlacementMap::uniform(spec.jobs.iter().map(|j| j.id), Tier::PersSsd);
         let config = cfg(4);
         group.bench_with_input(BenchmarkId::from_parameter(gb as u64), &gb, |b, _| {
-            b.iter(|| simulate(&spec, &placements, &config).expect("simulation"))
+            b.iter(|| {
+                Sim::builder(&config)
+                    .jobs(&spec, &placements)
+                    .build()
+                    .and_then(|s| s.run())
+                    .expect("simulation")
+            })
         });
     }
     group.finish();
@@ -36,7 +42,13 @@ fn bench_per_app(c: &mut Criterion) {
         let placements = PlacementMap::uniform(spec.jobs.iter().map(|j| j.id), Tier::PersSsd);
         let config = cfg(4);
         group.bench_with_input(BenchmarkId::from_parameter(app.name()), &app, |b, _| {
-            b.iter(|| simulate(&spec, &placements, &config).expect("simulation"))
+            b.iter(|| {
+                Sim::builder(&config)
+                    .jobs(&spec, &placements)
+                    .build()
+                    .and_then(|s| s.run())
+                    .expect("simulation")
+            })
         });
     }
     group.finish();
@@ -49,7 +61,13 @@ fn bench_facebook_workload(c: &mut Criterion) {
     let mut group = c.benchmark_group("sim/facebook_100_jobs");
     group.sample_size(10);
     group.bench_function("persSSD_uniform", |b| {
-        b.iter(|| simulate(&spec, &placements, &config).expect("simulation"))
+        b.iter(|| {
+            Sim::builder(&config)
+                .jobs(&spec, &placements)
+                .build()
+                .and_then(|s| s.run())
+                .expect("simulation")
+        })
     });
     group.finish();
 }
@@ -59,7 +77,13 @@ fn bench_workflow(c: &mut Criterion) {
     let placements = PlacementMap::uniform(spec.jobs.iter().map(|j| j.id), Tier::PersSsd);
     let config = cfg(4);
     c.bench_function("sim/fig4_workflow", |b| {
-        b.iter(|| simulate(&spec, &placements, &config).expect("simulation"))
+        b.iter(|| {
+            Sim::builder(&config)
+                .jobs(&spec, &placements)
+                .build()
+                .and_then(|s| s.run())
+                .expect("simulation")
+        })
     });
 }
 

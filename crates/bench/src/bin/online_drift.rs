@@ -28,6 +28,23 @@ fn main() {
     );
     println!("hysteresis vs periodic migration volume: {hysteresis_mb:.0} vs {periodic_mb:.0} MB");
     io.save_json("online_drift", &json);
+
+    // Fork-equivalence acceptance: serving the periodic policy with
+    // what-if candidates scored by forking the live mid-epoch engine
+    // must commit exactly the plan decisions of cold re-simulation.
+    let (cold, fork) = online_drift::scoring_equivalence(&cfg);
+    assert_eq!(
+        cold, fork,
+        "fork-live scoring diverged from cold-restart scoring"
+    );
+    let scored: cast_runtime::OnlineReport =
+        serde_json::from_str(&fork).expect("scored report parses");
+    let winners: Vec<usize> = scored.epochs.iter().map(|e| e.whatif_winner).collect();
+    println!(
+        "fork-live what-if scoring matches cold-restart bit-for-bit \
+         ({} epochs, winners {winners:?})",
+        scored.epochs.len()
+    );
     io.finish();
     assert!(
         periodic_cost < static_cost,

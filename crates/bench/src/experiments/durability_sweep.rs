@@ -28,6 +28,7 @@
 
 use cast_cloud::units::{DataSize, Duration};
 use cast_cloud::{Catalog, PriceSheet, RedundancyScheme, Tier};
+use cast_obs::Observe;
 use cast_runtime::{
     AdmissionPolicy, MigrationProtocol, OnlineReport, OnlineRuntime, ReplanPolicy, RuntimeConfig,
 };
@@ -97,6 +98,7 @@ pub fn serve(
         seed: SOLVER_SEED,
         protocol,
         migration_fault_prob: fault_prob,
+        scoring: cast_runtime::CandidateScoring::Analytic,
     };
     OnlineRuntime::new(&estimator, anneal, rt_cfg)
         .observe(crate::observer())

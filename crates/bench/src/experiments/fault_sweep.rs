@@ -11,9 +11,7 @@
 use cast_cloud::tier::{PerTier, Tier};
 use cast_cloud::units::DataSize;
 use cast_cloud::Catalog;
-use cast_sim::{
-    simulate_observed, DegradationWindow, FaultPlan, PlacementMap, SimConfig, SimReport, VmCrash,
-};
+use cast_sim::{DegradationWindow, FaultPlan, PlacementMap, Sim, SimConfig, SimReport, VmCrash};
 use cast_workload::spec::WorkloadSpec;
 use cast_workload::synth::{facebook_workload, FacebookConfig};
 
@@ -99,7 +97,11 @@ fn scenarios(makespan_hint_secs: f64) -> Vec<Scenario> {
 fn run_one(spec: &WorkloadSpec, placements: &PlacementMap, plan: &FaultPlan) -> SimReport {
     let mut cfg = cluster();
     cfg.faults = plan.clone();
-    simulate_observed(spec, placements, &cfg, &crate::harness::observer())
+    Sim::builder(&cfg)
+        .jobs(spec, placements)
+        .collector(crate::harness::observer())
+        .build()
+        .and_then(|s| s.run())
         .expect("fault scenario must finish via recovery")
 }
 

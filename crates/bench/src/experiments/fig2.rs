@@ -14,7 +14,7 @@ use cast_cloud::Catalog;
 use cast_estimator::MonotoneSpline;
 use cast_sim::config::SimConfig;
 use cast_sim::placement::PlacementMap;
-use cast_sim::runner::simulate;
+use cast_sim::Sim;
 use cast_workload::apps::AppKind;
 use cast_workload::synth;
 
@@ -34,7 +34,10 @@ pub fn observe(app: AppKind, input: DataSize, per_vm_gb: f64) -> f64 {
     let cfg = SimConfig::with_aggregate_capacity(Catalog::google_cloud(), NVM, &agg)
         .expect("valid capacity");
     let placements = PlacementMap::uniform(spec.jobs.iter().map(|j| j.id), Tier::PersSsd);
-    simulate(&spec, &placements, &cfg)
+    Sim::builder(&cfg)
+        .jobs(&spec, &placements)
+        .build()
+        .and_then(|s| s.run())
         .expect("simulation")
         .makespan
         .secs()

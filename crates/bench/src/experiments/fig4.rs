@@ -86,8 +86,14 @@ pub fn evaluate_plans() -> Vec<(&'static str, f64, f64)> {
                 &caps,
             )
             .expect("provisionable");
-            let report =
-                cast_sim::runner::simulate(&spec, &plan.to_placements(), &cfg).expect("sim");
+            let report = {
+                let placements = plan.to_placements();
+                cast_sim::Sim::builder(&cfg)
+                    .jobs(&spec, &placements)
+                    .build()
+                    .and_then(|s| s.run())
+                    .expect("sim")
+            };
             let wf_time = report
                 .workflow_completion(&spec.workflows[0].jobs)
                 .expect("workflow members simulated");

@@ -11,7 +11,7 @@ use cast_cloud::units::DataSize;
 use cast_cloud::Catalog;
 use cast_sim::config::SimConfig;
 use cast_sim::placement::{JobPlacement, PlacementMap, SplitPlacement};
-use cast_sim::runner::simulate;
+use cast_sim::Sim;
 use cast_workload::apps::AppKind;
 use cast_workload::job::JobId;
 use cast_workload::synth;
@@ -42,7 +42,10 @@ pub fn grep_runtime(input: SplitPlacement) -> f64 {
     placement.output = Tier::EphSsd;
     let mut placements = PlacementMap::new();
     placements.set(JobId(0), placement);
-    simulate(&spec, &placements, &cfg)
+    Sim::builder(&cfg)
+        .jobs(&spec, &placements)
+        .build()
+        .and_then(|s| s.run())
         .expect("simulation")
         .makespan
         .secs()

@@ -12,7 +12,7 @@ use cast_cloud::units::DataSize;
 use cast_estimator::{Estimator, PredictionError};
 use cast_sim::config::SimConfig;
 use cast_sim::placement::PlacementMap;
-use cast_sim::runner::simulate;
+use cast_sim::Sim;
 use cast_workload::spec::WorkloadSpec;
 use cast_workload::synth;
 
@@ -45,7 +45,10 @@ pub fn observe(estimator: &Estimator, spec: &WorkloadSpec, per_vm_gb: f64) -> f6
     let cfg = SimConfig::with_aggregate_capacity(estimator.catalog.clone(), nvm, &agg)
         .expect("valid capacity");
     let placements = PlacementMap::uniform(spec.jobs.iter().map(|j| j.id), Tier::PersSsd);
-    simulate(spec, &placements, &cfg)
+    Sim::builder(&cfg)
+        .jobs(spec, &placements)
+        .build()
+        .and_then(|s| s.run())
         .expect("simulation")
         .makespan
         .mins()

@@ -12,10 +12,11 @@ use cast_core::framework::{Cast, CastBuilder};
 use cast_estimator::mrcute::ClusterSpec;
 use cast_estimator::profiler::{profile_all, ProfilerConfig};
 use cast_estimator::{Estimator, ModelMatrix};
+use cast_obs::Observe;
 use cast_sim::config::SimConfig;
 use cast_sim::metrics::JobMetrics;
 use cast_sim::placement::PlacementMap;
-use cast_sim::runner::simulate;
+use cast_sim::Sim;
 use cast_solver::objective::provision_round;
 use cast_solver::TieringPlan;
 use cast_workload::apps::AppKind;
@@ -276,7 +277,11 @@ pub fn single_run(
     let cfg = SimConfig::with_aggregate_capacity(catalog.clone(), nvm, &capacities)
         .expect("provisionable capacities");
     let placements = PlacementMap::uniform(spec.jobs.iter().map(|j| j.id), tier);
-    let first = simulate(&spec, &placements, &cfg).expect("simulation");
+    let first = Sim::builder(&cfg)
+        .jobs(&spec, &placements)
+        .build()
+        .and_then(|s| s.run())
+        .expect("simulation");
     let first_m = first.jobs[0];
 
     // Re-accesses: data already resident on its tier, so persistent tiers
@@ -290,7 +295,11 @@ pub fn single_run(
             placement.stage_in_from = None;
             p2.set(spec.jobs[0].id, placement);
         }
-        let rerun = simulate(&spec, &p2, &cfg).expect("re-access simulation");
+        let rerun = Sim::builder(&cfg)
+            .jobs(&spec, &p2)
+            .build()
+            .and_then(|s| s.run())
+            .expect("re-access simulation");
         rerun.makespan
     } else {
         Duration::ZERO

@@ -106,7 +106,11 @@ pub fn deploy_observed(
     let nvm = estimator.cluster.nvm;
     let mut cfg = SimConfig::with_aggregate_capacity(estimator.catalog.clone(), nvm, &capacities)?;
     cfg.faults = faults.clone();
-    let report = cast_sim::runner::simulate_observed(spec, &plan.to_placements(), &cfg, collector)?;
+    let report = cast_sim::Sim::builder(&cfg)
+        .jobs(spec, &plan.to_placements())
+        .collector(collector.clone())
+        .build()?
+        .run()?;
     let makespan = report.makespan;
     let cost_model = CostModel::new(&estimator.catalog, nvm);
     let cost = cost_model.breakdown(&capacities, makespan);

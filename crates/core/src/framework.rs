@@ -7,6 +7,7 @@ use cast_cloud::Catalog;
 use cast_estimator::mrcute::ClusterSpec;
 use cast_estimator::profiler::{profile_all, ProfilerConfig};
 use cast_estimator::Estimator;
+use cast_obs::Observe;
 use cast_solver::castpp::{CastPlusPlus, CastPlusPlusConfig};
 use cast_solver::{
     evaluate, greedy_plan, AnnealConfig, Annealer, EvalContext, GreedyMode, PlanEval, SolverError,
@@ -158,13 +159,6 @@ impl CastBuilder {
         self
     }
 
-    /// Attach an observability collector; forwarded to the built
-    /// framework (see [`Cast::observe`]).
-    pub fn observe(mut self, collector: cast_obs::Collector) -> Self {
-        self.obs = collector;
-        self
-    }
-
     /// Run the offline profiling campaign and produce the framework.
     pub fn build(self) -> Result<Cast, crate::error::CastError> {
         let matrix = profile_all(&self.catalog, &self.profiles, &self.profiler)?;
@@ -206,6 +200,25 @@ impl CastBuilder {
     }
 }
 
+/// Subsequent [`Cast::plan`] calls record solver spans and counters into
+/// the attached collector, and deployment calls record the simulator's
+/// job/phase/wave/task spans. With a recording collector the results stay
+/// bit-identical; with the default [`cast_obs::Collector::noop`] every
+/// instrumentation point is a no-op.
+impl cast_obs::Observe for Cast {
+    fn collector_slot(&mut self) -> &mut cast_obs::Collector {
+        &mut self.obs
+    }
+}
+
+/// The collector is forwarded to the built framework (see the
+/// [`cast_obs::Observe`] impl on [`Cast`]).
+impl cast_obs::Observe for CastBuilder {
+    fn collector_slot(&mut self) -> &mut cast_obs::Collector {
+        &mut self.obs
+    }
+}
+
 impl Cast {
     /// Start building a framework.
     pub fn builder() -> CastBuilder {
@@ -217,18 +230,8 @@ impl Cast {
         &self.estimator
     }
 
-    /// Attach an observability collector: subsequent [`Cast::plan`] calls
-    /// record solver spans and counters into it, and deployment calls
-    /// record the simulator's job/phase/wave/task spans. With a recording
-    /// collector the results stay bit-identical; with the default
-    /// [`cast_obs::Collector::noop`] every instrumentation point is a
-    /// no-op.
-    pub fn observe(mut self, collector: cast_obs::Collector) -> Cast {
-        self.obs = collector;
-        self
-    }
-
-    /// The attached collector (no-op unless [`Cast::observe`] was called).
+    /// The attached collector (no-op unless [`cast_obs::Observe::observe`]
+    /// was called).
     pub fn collector(&self) -> &cast_obs::Collector {
         &self.obs
     }

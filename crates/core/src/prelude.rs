@@ -20,11 +20,16 @@ pub use cast_cloud::{Catalog, Tier};
 // Estimator: the profiled performance model consumed by the solvers.
 pub use cast_estimator::{Estimator, ModelMatrix};
 
-// Simulator: fault-injection inputs for deploy-time stress tests.
-pub use cast_sim::{DegradationWindow, FaultPlan, VmCrash};
+// Simulator: the unified entry point (`Sim::builder`), live-state capture
+// for what-if forks, and fault-injection inputs for deploy-time stress
+// tests.
+pub use cast_sim::{
+    DegradationWindow, EngineSnapshot, FaultPlan, RunState, Sim, SimBuilder, VmCrash,
+};
 
-// Solver: plan representation and annealer tuning knobs.
-pub use cast_solver::{AnnealConfig, Assignment, TieringPlan};
+// Solver: plan representation, annealer tuning knobs, and the
+// simulation-backed candidate scoring used at live replan points.
+pub use cast_solver::{AnnealConfig, Assignment, CandidateScoring, TieringPlan};
 
 // Workload: job and workload descriptions, plus the arrival streams the
 // online runtime consumes.
@@ -35,7 +40,7 @@ pub use cast_workload::{
 // Online runtime: rolling-horizon replanning over an arrival stream.
 pub use cast_runtime::{AdmissionPolicy, OnlineReport, OnlineRuntime, ReplanPolicy, RuntimeConfig};
 
-// Observability: attach a recording `Collector` via `Cast::observe` (or
-// any layer's `*_observed` / `.observe(..)` entry point), then drain its
-// trace into a `TraceSink` and snapshot its metrics.
-pub use cast_obs::{Collector, MetricsSnapshot, TraceSink};
+// Observability: attach a recording `Collector` via the `Observe` trait
+// (`X::new(..).observe(collector)` at every layer), then drain its trace
+// into a `TraceSink` and snapshot its metrics.
+pub use cast_obs::{Collector, MetricsSnapshot, Observe, TraceSink};

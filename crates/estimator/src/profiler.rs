@@ -12,7 +12,7 @@ use cast_cloud::units::DataSize;
 use cast_cloud::Catalog;
 use cast_sim::config::SimConfig;
 use cast_sim::placement::PlacementMap;
-use cast_sim::runner::simulate;
+use cast_sim::Sim;
 use cast_workload::apps::AppKind;
 use cast_workload::job::JobId;
 use cast_workload::profile::ProfileSet;
@@ -130,7 +130,10 @@ pub fn profile_point(
     let mut spec = spec;
     spec.profiles = profiles.clone();
     let placements = PlacementMap::uniform([JobId(0)], tier);
-    let report = simulate(&spec, &placements, &sim_cfg)
+    let report = Sim::builder(&sim_cfg)
+        .jobs(&spec, &placements)
+        .build()
+        .and_then(|s| s.run())
         .map_err(|e| EstimatorError::Profiling(e.to_string()))?;
     let metrics = report.jobs[0];
 

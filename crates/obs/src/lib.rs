@@ -30,11 +30,13 @@
 pub mod collector;
 pub mod event;
 pub mod metrics;
+pub mod observe;
 pub mod sink;
 
 pub use collector::Collector;
 pub use event::{EventBody, TraceEvent};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot};
+pub use observe::Observe;
 pub use sink::{parse_ndjson, to_ndjson, NdjsonWriter, TraceSink, VecSink};
 
 #[cfg(test)]

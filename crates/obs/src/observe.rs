@@ -1,0 +1,57 @@
+//! Builder-style observability attachment.
+//!
+//! Every layer of the stack — the simulator's entry point, the solvers,
+//! the CAST framework, the online runtime — carries a [`Collector`] and
+//! used to declare its own near-identical `observe(..)` builder method.
+//! [`Observe`] is that method, once: implementors expose their collector
+//! slot and inherit the attachment behaviour, so `X::new(..).observe(c)`
+//! reads the same at every layer and generic orchestration code can
+//! instrument anything observable.
+
+use crate::Collector;
+
+/// Something that carries an observability [`Collector`].
+///
+/// Attaching a collector never changes results: implementors only record
+/// what they already compute, so an observed run is bit-identical to an
+/// unobserved one (wall-clock metrics are quarantined under `.wall`
+/// names, which determinism checks skip).
+pub trait Observe: Sized {
+    /// The receiver's collector slot (defaults to
+    /// [`Collector::noop`] in every implementor's constructor).
+    fn collector_slot(&mut self) -> &mut Collector;
+
+    /// Attach `collector`, builder-style: spans, counters and gauges
+    /// from this component (and the components it drives) land in it.
+    #[must_use]
+    fn observe(mut self, collector: Collector) -> Self {
+        *self.collector_slot() = collector;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Widget {
+        obs: Collector,
+    }
+
+    impl Observe for Widget {
+        fn collector_slot(&mut self) -> &mut Collector {
+            &mut self.obs
+        }
+    }
+
+    #[test]
+    fn observe_replaces_the_slot() {
+        let recording = Collector::recording();
+        let w = Widget {
+            obs: Collector::noop(),
+        }
+        .observe(recording.clone());
+        w.obs.counter("widget.test").inc();
+        assert_eq!(recording.snapshot().counter("widget.test"), Some(1));
+    }
+}

@@ -4,7 +4,7 @@
 use serde::{Deserialize, Serialize};
 
 use cast_cloud::units::Duration;
-use cast_solver::WarmStart;
+use cast_solver::{CandidateScoring, WarmStart};
 
 /// When and whether the runtime re-runs the solver at epoch boundaries.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -125,6 +125,15 @@ pub struct RuntimeConfig {
     /// (sampled per attempt from a keyed RNG, so sweeps are monotone).
     /// `0.0` = faultless migrations.
     pub migration_fault_prob: f64,
+    /// How the epoch's candidate plans are scored at the replan point.
+    /// The default, [`CandidateScoring::Analytic`], trusts the Eq. 4
+    /// estimator and simulates only the committed plan — the behaviour
+    /// the runtime always had. The simulated modes redirect still-waiting
+    /// jobs mid-epoch and commit the winning what-if fork's result;
+    /// [`CandidateScoring::ForkLive`] and [`CandidateScoring::SimCold`]
+    /// make identical decisions (fork equivalence), differing only in
+    /// replan latency.
+    pub scoring: CandidateScoring,
 }
 
 impl Default for RuntimeConfig {
@@ -138,6 +147,7 @@ impl Default for RuntimeConfig {
             seed: 0xCA57_0711,
             protocol: MigrationProtocol::default(),
             migration_fault_prob: 0.0,
+            scoring: CandidateScoring::default(),
         }
     }
 }
@@ -170,6 +180,7 @@ mod tests {
             admission: AdmissionPolicy::Deadline { slack: 1.2 },
             protocol: MigrationProtocol::safe(),
             migration_fault_prob: 0.25,
+            scoring: CandidateScoring::ForkLive,
             ..RuntimeConfig::default()
         };
         let json = serde_json::to_string(&cfg).unwrap();

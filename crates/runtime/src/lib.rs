@@ -35,6 +35,7 @@ pub mod migrate;
 pub mod report;
 pub mod runtime;
 
+pub use cast_solver::CandidateScoring;
 pub use config::{AdmissionPolicy, MigrationProtocol, ReplanPolicy, RuntimeConfig};
 pub use error::RuntimeError;
 pub use forecast::{is_forecast, planning_spec, strip_forecast, FORECAST_ID_BASE};

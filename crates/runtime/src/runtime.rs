@@ -22,12 +22,13 @@ use cast_cloud::cost::CostModel;
 use cast_cloud::tier::{PerTier, Tier};
 use cast_cloud::units::Duration;
 use cast_estimator::Estimator;
-use cast_obs::{Collector, EventBody};
+use cast_obs::{Collector, EventBody, Observe};
 use cast_sim::config::Concurrency;
-use cast_sim::{simulate_with_migrations, SimConfig};
+use cast_sim::{prepare_runs, Sim, SimConfig};
 use cast_solver::objective::provision_round;
 use cast_solver::{
-    evaluate, restart_seed, AnnealConfig, Annealer, Assignment, EvalContext, TieringPlan,
+    candidate_slate, evaluate, restart_seed, score_candidates, AnnealConfig, Annealer, Assignment,
+    EvalContext, TieringPlan,
 };
 use cast_workload::arrival::assemble_spec;
 use cast_workload::{AppKind, Arrival, ArrivalStream, Job, WorkloadSpec};
@@ -49,12 +50,34 @@ pub const INGEST_FALLBACK: Tier = Tier::PersSsd;
 /// epoch index keeps the two sequences from aliasing).
 const EPOCH_SEED_OFFSET: usize = 0x10_0000;
 
+/// Under simulated candidate scoring, the fraction of the epoch length
+/// that elapses (in simulated time) before the mid-epoch what-if fires:
+/// enough for the batch's early waves to be genuinely in flight, enough
+/// epoch left for a redirect to matter.
+const WHATIF_HORIZON_FRACTION: f64 = 0.5;
+
+/// Worker threads fanning what-if candidates out. Any value yields the
+/// same decisions ([`cast_sim::par::run_indexed`]'s determinism
+/// contract), so this only trades replan latency for cores.
+const WHATIF_WORKERS: usize = 4;
+
 /// The online tiering service.
 pub struct OnlineRuntime<'a> {
     estimator: &'a Estimator,
     anneal: AnnealConfig,
     cfg: RuntimeConfig,
     obs: Collector,
+}
+
+/// Epoch-plan and migration events, runtime counters/gauges plus the
+/// solver's and simulator's own instrumentation all land in the attached
+/// collector. Results are bit-identical to an unobserved run (replan
+/// latency is recorded under a `.wall` metric, which determinism checks
+/// quarantine).
+impl cast_obs::Observe for OnlineRuntime<'_> {
+    fn collector_slot(&mut self) -> &mut Collector {
+        &mut self.obs
+    }
 }
 
 impl<'a> OnlineRuntime<'a> {
@@ -68,16 +91,6 @@ impl<'a> OnlineRuntime<'a> {
             cfg,
             obs: Collector::noop(),
         }
-    }
-
-    /// Attach an observability collector: epoch-plan and migration
-    /// events, runtime counters/gauges plus the solver's and simulator's
-    /// own instrumentation all land in it. Results are bit-identical to
-    /// an unobserved run (replan latency is recorded under a `.wall`
-    /// metric, which determinism checks quarantine).
-    pub fn observe(mut self, collector: Collector) -> Self {
-        self.obs = collector;
-        self
     }
 
     /// The runtime's configuration.
@@ -220,13 +233,59 @@ impl<'a> OnlineRuntime<'a> {
                     exec.assign(jid, a);
                 }
             }
-            let report = simulate_with_migrations(
-                &spec,
-                &exec.to_placements(),
-                &protocol.flows,
-                &scfg,
-                &self.obs,
-            )?;
+            // Simulate the epoch. Under analytic scoring the committed
+            // plan runs once, observed. Under simulated scoring the
+            // committed plan is only the leading candidate: at the
+            // mid-epoch horizon a what-if slate redirects still-waiting
+            // jobs, and the winning fork's report *is* the epoch result
+            // (fork equivalence makes sim-cold and fork-live commit
+            // identical decisions).
+            let placements = exec.to_placements();
+            let mut whatif_winner = 0usize;
+            let report = if self.cfg.scoring.simulated() {
+                let runs = prepare_runs(&spec, &placements, &protocol.flows, &scfg)?;
+                // Only provisioned services are viable redirect targets —
+                // an unprovisioned tier has zero bandwidth — and ephSSD /
+                // objStore placements also lean on their backing tier.
+                let has = |t: Tier| capacities.get(t).gb() > 0.0;
+                let viable: Vec<Tier> = Tier::ALL
+                    .into_iter()
+                    .filter(|&t| {
+                        has(t)
+                            && match t {
+                                Tier::EphSsd => has(Tier::ObjStore),
+                                Tier::ObjStore => has(Tier::PersSsd),
+                                _ => true,
+                            }
+                    })
+                    .collect();
+                let slate = candidate_slate(&spec, &viable);
+                let horizon = epoch_len.secs() * WHATIF_HORIZON_FRACTION;
+                let t_wall = std::time::Instant::now();
+                let decision = score_candidates(
+                    self.cfg.scoring,
+                    &scfg,
+                    runs,
+                    &slate,
+                    horizon,
+                    WHATIF_WORKERS,
+                )?;
+                self.obs
+                    .gauge("runtime.whatif_latency.wall")
+                    .set(t_wall.elapsed().as_secs_f64());
+                whatif_winner = decision.winner;
+                if whatif_winner > 0 {
+                    self.obs.counter("runtime.whatif_redirects").inc();
+                }
+                decision.report
+            } else {
+                Sim::builder(&scfg)
+                    .jobs(&spec, &placements)
+                    .migrations(&protocol.flows)
+                    .collector(self.obs.clone())
+                    .build()?
+                    .run()?
+            };
             // Retry backoff is wall time the protocol serialized into the
             // epoch on top of the simulated flows.
             let makespan = report.makespan + Duration::from_secs(protocol.backoff_secs);
@@ -329,6 +388,7 @@ impl<'a> OnlineRuntime<'a> {
                 wasted_mb: protocol.wasted_mb,
                 backoff_secs: protocol.backoff_secs,
                 replan_moves,
+                whatif_winner,
                 makespan_secs: makespan.secs(),
                 vm_cost: cost.vm.dollars(),
                 storage_cost: cost.storage_total().dollars(),
@@ -445,6 +505,7 @@ fn empty_epoch(k: u32, boundary: Duration, start: Duration, rejected: usize) -> 
         wasted_mb: 0.0,
         backoff_secs: 0.0,
         replan_moves: 0,
+        whatif_winner: 0,
         makespan_secs: 0.0,
         vm_cost: 0.0,
         storage_cost: 0.0,

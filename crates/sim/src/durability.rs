@@ -43,7 +43,7 @@ use crate::config::SimConfig;
 use crate::error::SimError;
 use crate::metrics::SimReport;
 use crate::placement::PlacementMap;
-use crate::runner::{simulate_with_migrations, MigrationSpec};
+use crate::runner::MigrationSpec;
 
 /// Liveness of one dataset's redundancy shards.
 #[derive(Debug, Clone, PartialEq)]
@@ -200,19 +200,27 @@ fn apply_loss_timeline(
     Ok(())
 }
 
-/// [`simulate_with_migrations`] with the durability pre-pass applied.
-///
-/// Returns the simulation report together with a [`DurabilityReport`]
-/// describing the damage and the repair work that was injected. With no
-/// shard losses in the plan the simulation is bit-identical to
-/// [`simulate_with_migrations`].
-pub fn simulate_durable(
+/// What the durability pre-pass decided before the simulation runs:
+/// either the inputs were undamaged (simulate them unmodified — the
+/// bit-identical fast path) or they were rewritten with degraded-read
+/// inflation and repair transfers. Shared by [`simulate_durable`] and
+/// the [`crate::Sim`] builder's durable mode.
+pub(crate) struct DurabilityPrepass {
+    /// Rewritten `(placements, migrations)` when datasets were damaged;
+    /// `None` when the loss timeline left everything intact.
+    pub(crate) rewritten: Option<(PlacementMap, Vec<MigrationSpec>)>,
+    pub(crate) report: DurabilityReport,
+}
+
+/// Run the shard-loss timeline and compute the simulation inputs it
+/// implies, without running the simulation itself.
+pub(crate) fn durability_prepass(
     spec: &WorkloadSpec,
     placements: &PlacementMap,
     migrations: &[MigrationSpec],
     cfg: &SimConfig,
     collector: &Collector,
-) -> Result<(SimReport, DurabilityReport), SimError> {
+) -> Result<DurabilityPrepass, SimError> {
     if let Err(reason) = cfg.faults.validate(cfg.nvm) {
         return Err(SimError::InvalidFaultPlan { reason });
     }
@@ -221,8 +229,10 @@ pub fn simulate_durable(
 
     let damaged: Vec<usize> = (0..states.len()).filter(|&i| states[i].lost > 0).collect();
     if damaged.is_empty() {
-        let report = simulate_with_migrations(spec, placements, migrations, cfg, collector)?;
-        return Ok((report, DurabilityReport::default()));
+        return Ok(DurabilityPrepass {
+            rewritten: None,
+            report: DurabilityReport::default(),
+        });
     }
 
     // Degraded readers pay reconstruction bandwidth: inflate (or create)
@@ -294,24 +304,48 @@ pub fn simulate_durable(
         repairs += 1;
     }
 
-    let report = simulate_with_migrations(spec, &placements, &all_migrations, cfg, collector)?;
     let degraded_datasets = damaged.len() as u32;
-    Ok((
-        report,
-        DurabilityReport {
+    Ok(DurabilityPrepass {
+        rewritten: Some((placements, all_migrations)),
+        report: DurabilityReport {
             states,
             degraded_datasets,
             degraded_read_mb,
             repair_mb,
             repairs,
         },
-    ))
+    })
+}
+
+/// Migration-aware simulation with the durability pre-pass applied.
+///
+/// Returns the simulation report together with a [`DurabilityReport`]
+/// describing the damage and the repair work that was injected. With no
+/// shard losses in the plan the simulation is bit-identical to the
+/// plain migration-aware run.
+#[deprecated(note = "use `cast_sim::Sim::builder(..).durability(true)` instead")]
+pub fn simulate_durable(
+    spec: &WorkloadSpec,
+    placements: &PlacementMap,
+    migrations: &[MigrationSpec],
+    cfg: &SimConfig,
+    collector: &Collector,
+) -> Result<(SimReport, DurabilityReport), SimError> {
+    crate::sim::Sim::builder(cfg)
+        .jobs(spec, placements)
+        .migrations(migrations)
+        .collector(collector.clone())
+        .durability(true)
+        .build()?
+        .run_durable()
 }
 
 #[cfg(test)]
 mod tests {
+    #![allow(deprecated)]
     use super::*;
     use crate::fault::{FaultPlan, ShardKill, VmCrash};
+    use crate::runner::simulate_with_migrations;
     use cast_cloud::tier::PerTier;
     use cast_cloud::Catalog;
     use cast_workload::apps::AppKind;

@@ -11,7 +11,7 @@
 //!   recomputed rate is bit-equal to its current rate keeps its heap
 //!   entry untouched.
 //! * **Completion heap** — each task's predicted completion (or doom
-//!   point) sits in an *indexed* binary min-heap ([`TaskHeap`]): the
+//!   point) sits in an *indexed* binary min-heap (`TaskHeap`): the
 //!   task table stores each entry's heap position, so a rate change
 //!   re-keys the existing entry in place (one sift) and task removal
 //!   deletes it outright. The heap holds exactly one entry per
@@ -25,12 +25,12 @@
 //!
 //! ## Data-oriented hot state
 //!
-//! Per-task state is struct-of-arrays ([`crate::soa::TaskTable`]): flat
+//! Per-task state is struct-of-arrays (`soa::TaskTable`): flat
 //! index-parallel columns addressed by dense indices, with the current
 //! stage's remaining work and pre-resolved resource indices mirrored into
 //! hot columns so a rate refresh reads four contiguous arrays instead of
 //! chasing per-task pointers. Task templates are interned in a
-//! reference-counted arena ([`crate::soa::TemplateArena`]) — dispatch
+//! reference-counted arena (`soa::TemplateArena`) — dispatch
 //! moves them out of the job queue once; retries and speculative backups
 //! share by id instead of cloning boxes. Stage buffers, retry slots and
 //! every per-run scratch vector live in an [`EngineScratch`] that can be
@@ -284,6 +284,16 @@ pub struct EngineStats {
     pub scratch_reallocs: u64,
 }
 
+/// Outcome of a bounded run segment ([`Engine::run_until`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunState {
+    /// The horizon was reached with work still in flight; the engine is
+    /// live and can be advanced further, snapshotted, or forked.
+    Running,
+    /// Every job reached `Done`; call [`Engine::finish`] for the report.
+    Done,
+}
+
 /// Indexed binary min-heap of predicted task milestones, keyed
 /// `(time, task)` — earliest time first, ties broken by the smaller
 /// task index for determinism. The task table's `heap_pos` column names
@@ -295,6 +305,18 @@ pub struct EngineStats {
 #[derive(Default)]
 struct TaskHeap {
     v: Vec<(f64, u32)>,
+}
+
+/// Hand-written so `clone_from` reuses the entry buffer on the
+/// snapshot/fork resume path.
+impl Clone for TaskHeap {
+    fn clone(&self) -> Self {
+        TaskHeap { v: self.v.clone() }
+    }
+
+    fn clone_from(&mut self, src: &Self) {
+        self.v.clone_from(&src.v);
+    }
 }
 
 impl TaskHeap {
@@ -410,7 +432,7 @@ impl TaskHeap {
 
 /// Bare clock wake-up (scheduled fault event, retry backoff) in the
 /// wake heap. Ordering reversed so `BinaryHeap` pops the earliest.
-#[derive(PartialEq)]
+#[derive(PartialEq, Clone, Copy)]
 struct Wake(f64);
 
 impl Eq for Wake {}
@@ -580,6 +602,55 @@ impl Default for EngineScratch {
     }
 }
 
+/// Hand-written so `clone_from` reuses every buffer: restoring a
+/// snapshot into a previously-sized scratch ([`EngineSnapshot::fork_with_scratch`])
+/// allocates nothing. `BinaryHeap`'s own `clone_from` already forwards to
+/// the backing vector's.
+impl Clone for EngineScratch {
+    fn clone(&self) -> Self {
+        let mut s = EngineScratch::new();
+        s.clone_from(self);
+        s
+    }
+
+    fn clone_from(&mut self, src: &Self) {
+        self.reg.clone_from(&src.reg);
+        self.table.clone_from(&src.table);
+        self.arena.clone_from(&src.arena);
+        self.buf_pool.truncate(src.buf_pool.len());
+        for (dst, s) in self.buf_pool.iter_mut().zip(&src.buf_pool) {
+            dst.clone_from(s);
+        }
+        for s in &src.buf_pool[self.buf_pool.len()..] {
+            self.buf_pool.push(s.clone());
+        }
+        self.heap.clone_from(&src.heap);
+        self.wakes.clone_from(&src.wakes);
+        self.dirty_tasks.clone_from(&src.dirty_tasks);
+        self.due.clone_from(&src.due);
+        self.winners.clone_from(&src.winners);
+        self.affected_jobs.clone_from(&src.affected_jobs);
+        self.affected_flags.clone_from(&src.affected_flags);
+        self.pending_jobs.clone_from(&src.pending_jobs);
+        self.front_slot.clone_from(&src.front_slot);
+        self.dispatch_scratch.clone_from(&src.dispatch_scratch);
+        self.spec_rates.clone_from(&src.spec_rates);
+        self.stragglers.clone_from(&src.stragglers);
+        self.wave_scratch.clone_from(&src.wave_scratch);
+        self.free_map.clone_from(&src.free_map);
+        self.free_red.clone_from(&src.free_red);
+        self.avail_map = src.avail_map;
+        self.avail_red = src.avail_red;
+        self.slot_heap_map.clone_from(&src.slot_heap_map);
+        self.slot_heap_red.clone_from(&src.slot_heap_red);
+        self.crashed.clone_from(&src.crashed);
+        self.seq.clone_from(&src.seq);
+        self.retries.clone_from(&src.retries);
+        self.fault_events.clone_from(&src.fault_events);
+        self.reallocs = src.reallocs;
+    }
+}
+
 /// Owned-or-borrowed scratch; both deref to [`EngineScratch`] so the hot
 /// path is identical.
 enum ScratchRef<'a> {
@@ -624,6 +695,120 @@ struct Removed {
     moved: Option<usize>,
 }
 
+/// Version stamp carried by every [`EngineSnapshot`]; bumped when the
+/// captured state inventory changes shape.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// An owned, opaque copy of a live simulation's complete state, taken
+/// with [`Engine::snapshot`]. Independent of the source engine's
+/// lifetime (it owns its own `SimConfig` and job runs) and `Send + Sync`,
+/// so one snapshot can be shared across a worker pool and forked once
+/// per candidate plan ([`crate::par::run_indexed`]).
+///
+/// Captured: the clock, the SoA task table and template arena, the
+/// completion and wake heaps, the `ShareRegistry` (flows, loads,
+/// degradation scales), VM slot pools and slot heaps, per-job RNG
+/// streams and uid counters, retry backlog, fault cursors, and every
+/// determinism-relevant scalar (dispatch cursor, done-prefix watermark,
+/// event/budget counters). Not captured: the observability collector —
+/// each fork attaches its own (default: no-op).
+pub struct EngineSnapshot {
+    version: u32,
+    cfg: SimConfig,
+    jobs: Vec<JobRun>,
+    state: Box<EngineScratch>,
+    jobs_changed: bool,
+    clock: f64,
+    dispatch_cursor: usize,
+    done_prefix: usize,
+    trace: Option<Trace>,
+    fault_enabled: bool,
+    next_fault_event: usize,
+    vm_crashes: u32,
+    started: bool,
+    events: u64,
+    steps_done: u64,
+    heap_stale_popped: u64,
+    wake_entries_allocated: u64,
+    dirty_drain_batches: u64,
+}
+
+impl EngineSnapshot {
+    /// Format version of this snapshot.
+    pub fn version(&self) -> u32 {
+        self.version
+    }
+
+    /// Simulated time the snapshot was taken at.
+    pub fn clock(&self) -> f64 {
+        self.clock
+    }
+
+    /// The configuration the captured run executes under.
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// The captured job runs (placements, phases, progress counters).
+    pub fn jobs(&self) -> &[JobRun] {
+        &self.jobs
+    }
+
+    /// Restore the snapshot into `st` and return a live engine. All
+    /// fork flavors funnel through here.
+    fn fork_into<'s>(&'s self, collector: Collector, st: ScratchRef<'s>) -> Engine<'s> {
+        Engine {
+            cfg: &self.cfg,
+            st,
+            jobs: self.jobs.clone(),
+            jobs_changed: self.jobs_changed,
+            clock: self.clock,
+            dispatch_cursor: self.dispatch_cursor,
+            done_prefix: self.done_prefix,
+            trace: self.trace.clone(),
+            fault_enabled: self.fault_enabled,
+            next_fault_event: self.next_fault_event,
+            vm_crashes: self.vm_crashes,
+            obs: SimObs::new(collector),
+            started: self.started,
+            events: self.events,
+            steps_done: self.steps_done,
+            heap_stale_popped: self.heap_stale_popped,
+            wake_entries_allocated: self.wake_entries_allocated,
+            dirty_drain_batches: self.dirty_drain_batches,
+        }
+    }
+
+    /// Fork a fresh engine resuming from the captured state. Each fork
+    /// is fully independent; the snapshot can be forked any number of
+    /// times. Running a fork to completion is bit-identical to the
+    /// source engine having run uninterrupted (with the same
+    /// post-snapshot decisions).
+    pub fn fork(&self) -> Engine<'_> {
+        self.fork_into(
+            Collector::noop(),
+            ScratchRef::Owned(Box::new((*self.state).clone())),
+        )
+    }
+
+    /// [`EngineSnapshot::fork`] with an observability collector
+    /// attached.
+    pub fn fork_observed(&self, collector: Collector) -> Engine<'_> {
+        self.fork_into(
+            collector,
+            ScratchRef::Owned(Box::new((*self.state).clone())),
+        )
+    }
+
+    /// [`EngineSnapshot::fork`] restoring into caller-owned scratch —
+    /// the zero-allocation resume path: restoring into a scratch that
+    /// previously held a same-or-larger run reuses every buffer.
+    pub fn fork_with_scratch<'s>(&'s self, scratch: &'s mut EngineScratch) -> Engine<'s> {
+        scratch.clone_from(&self.state);
+        self.fork_into(Collector::noop(), ScratchRef::Borrowed(scratch))
+    }
+}
+
 /// The simulation engine. Construct with [`Engine::new`], run with
 /// [`Engine::run`].
 pub struct Engine<'a> {
@@ -645,6 +830,13 @@ pub struct Engine<'a> {
     next_fault_event: usize,
     vm_crashes: u32,
     obs: SimObs,
+    /// Whether start-of-run work (fault-plan validation, fault-edge
+    /// wake-ups) has happened; [`Engine::run_until`] makes runs
+    /// resumable, so it must happen exactly once.
+    started: bool,
+    /// Events processed so far, counted against the budget across
+    /// [`Engine::run_until`] segments.
+    events: u64,
     steps_done: u64,
     heap_stale_popped: u64,
     wake_entries_allocated: u64,
@@ -708,6 +900,8 @@ impl<'a> Engine<'a> {
             next_fault_event: 0,
             vm_crashes: 0,
             obs: SimObs::new(collector),
+            started: false,
+            events: 0,
             steps_done: 0,
             heap_stale_popped: 0,
             wake_entries_allocated: 0,
@@ -724,7 +918,16 @@ impl<'a> Engine<'a> {
     /// [`Engine::run`], also returning execution statistics (step count,
     /// for events/sec benchmarking, plus heap/allocation health
     /// counters).
-    pub fn run_with_stats(mut self) -> Result<(SimReport, EngineStats), SimError> {
+    pub fn run_with_stats(self) -> Result<(SimReport, EngineStats), SimError> {
+        self.finish()
+    }
+
+    /// Start-of-run work, exactly once per engine (or fork) regardless of
+    /// how the run is segmented into [`Engine::run_until`] calls.
+    fn ensure_started(&mut self) -> Result<(), SimError> {
+        if self.started {
+            return Ok(());
+        }
         if let Err(reason) = self.cfg.faults.validate(self.cfg.nvm) {
             return Err(SimError::InvalidFaultPlan { reason });
         }
@@ -733,39 +936,78 @@ impl<'a> Engine<'a> {
             let at = self.st.fault_events[k].at;
             self.push_wake(at);
         }
-        let budget = self.cfg.event_budget;
-        let mut events: u64 = 0;
-        loop {
-            self.process_fault_events();
-            if self.jobs_changed {
-                self.jobs_changed = false;
-                self.activate_ready_jobs();
+        self.started = true;
+        Ok(())
+    }
+
+    /// Count one event against the budget.
+    #[inline]
+    fn bump_events(&mut self) -> Result<(), SimError> {
+        self.events += 1;
+        if self.events > self.cfg.event_budget {
+            return Err(self.budget_error(self.events));
+        }
+        Ok(())
+    }
+
+    /// One full scheduling round: fault edges, job activation, retry and
+    /// fresh dispatch, speculation, then a single clock advance. Returns
+    /// `true` once every job is `Done`. This is the engine's atomic unit
+    /// with respect to snapshot/fork — decision state such as the
+    /// dispatch cursor (which rotates once per round even with nothing to
+    /// dispatch) is never captured mid-update, so a run segmented at any
+    /// round boundary is bit-identical to an uninterrupted one.
+    fn step_once(&mut self) -> Result<bool, SimError> {
+        self.process_fault_events();
+        if self.jobs_changed {
+            self.jobs_changed = false;
+            self.activate_ready_jobs();
+        }
+        self.dispatch_retries();
+        self.dispatch();
+        self.speculate()?;
+        if self.st.table.is_empty() {
+            if self.jobs.iter().all(|j| j.phase == JobPhase::Done) {
+                return Ok(true);
             }
-            self.dispatch_retries();
-            self.dispatch();
-            self.speculate()?;
-            if self.st.table.is_empty() {
-                if self.jobs.iter().all(|j| j.phase == JobPhase::Done) {
-                    break;
-                }
-                // No runnable work, but a retry backoff or a scheduled
-                // fault event (e.g. a VM recovery) may unblock us.
-                if let Some(wake) = self.next_wake() {
-                    self.clock = wake;
-                    events += 1;
-                    if events > budget {
-                        return Err(self.budget_error(events));
-                    }
-                    continue;
-                }
-                return Err(self.stalled_error());
+            // No runnable work, but a retry backoff or a scheduled
+            // fault event (e.g. a VM recovery) may unblock us.
+            if let Some(wake) = self.next_wake() {
+                self.clock = wake;
+                self.bump_events()?;
+                return Ok(false);
             }
-            self.step()?;
-            events += 1;
-            if events > budget {
-                return Err(self.budget_error(events));
+            return Err(self.stalled_error());
+        }
+        self.step()?;
+        self.bump_events()?;
+        Ok(false)
+    }
+
+    /// Advance the simulation until the clock reaches `horizon` (the
+    /// round that crosses it completes in full) or the workload
+    /// finishes, whichever comes first. The engine stays live either
+    /// way: snapshot it, fork candidates, keep running. Event budget
+    /// and error semantics are identical to [`Engine::run`] — a run
+    /// segmented into `run_until` slices is bit-identical to an
+    /// uninterrupted one.
+    pub fn run_until(&mut self, horizon: f64) -> Result<RunState, SimError> {
+        self.ensure_started()?;
+        while self.clock < horizon {
+            if self.step_once()? {
+                return Ok(RunState::Done);
             }
         }
+        Ok(RunState::Running)
+    }
+
+    /// Run whatever remains to completion and produce the report plus
+    /// execution statistics. Counters cover the whole run, including any
+    /// prior [`Engine::run_until`] segments (and, on a fork, the parent's
+    /// pre-snapshot work).
+    pub fn finish(mut self) -> Result<(SimReport, EngineStats), SimError> {
+        self.ensure_started()?;
+        while !self.step_once()? {}
         let mut metrics: Vec<JobMetrics> = self
             .jobs
             .iter()
@@ -799,13 +1041,102 @@ impl<'a> Engine<'a> {
             trace: self.trace,
         };
         let stats = EngineStats {
-            steps: events,
+            steps: self.events,
             heap_stale_popped: self.heap_stale_popped,
             wake_entries_allocated: self.wake_entries_allocated,
             dirty_drain_batches: self.dirty_drain_batches,
             scratch_reallocs: self.st.reallocs,
         };
         Ok((report, stats))
+    }
+
+    // ---- snapshot / fork ----
+
+    /// Capture the complete simulation state — clock, task table, heaps,
+    /// share registry, slot pools, per-job RNG streams, fault cursors —
+    /// as an owned, engine-lifetime-independent [`EngineSnapshot`]. Cost
+    /// is O(live state). The engine keeps running; snapshot at a replan
+    /// point, fork one candidate per plan, and keep the live run as the
+    /// incumbent.
+    pub fn snapshot(&self) -> EngineSnapshot {
+        EngineSnapshot {
+            version: SNAPSHOT_VERSION,
+            cfg: self.cfg.clone(),
+            jobs: self.jobs.clone(),
+            state: Box::new((*self.st).clone()),
+            jobs_changed: self.jobs_changed,
+            clock: self.clock,
+            dispatch_cursor: self.dispatch_cursor,
+            done_prefix: self.done_prefix,
+            trace: self.trace.clone(),
+            fault_enabled: self.fault_enabled,
+            next_fault_event: self.next_fault_event,
+            vm_crashes: self.vm_crashes,
+            started: self.started,
+            events: self.events,
+            steps_done: self.steps_done,
+            heap_stale_popped: self.heap_stale_popped,
+            wake_entries_allocated: self.wake_entries_allocated,
+            dirty_drain_batches: self.dirty_drain_batches,
+        }
+    }
+
+    /// Fork an independent engine continuing from this one's current
+    /// state (shorthand for `snapshot` + fork when the snapshot itself
+    /// is not needed). The fork owns its state; running it does not
+    /// perturb the original.
+    pub fn fork(&self) -> Engine<'a> {
+        Engine {
+            cfg: self.cfg,
+            st: ScratchRef::Owned(Box::new((*self.st).clone())),
+            jobs: self.jobs.clone(),
+            jobs_changed: self.jobs_changed,
+            clock: self.clock,
+            dispatch_cursor: self.dispatch_cursor,
+            done_prefix: self.done_prefix,
+            trace: self.trace.clone(),
+            fault_enabled: self.fault_enabled,
+            next_fault_event: self.next_fault_event,
+            vm_crashes: self.vm_crashes,
+            obs: SimObs::new(self.obs.col.clone()),
+            started: self.started,
+            events: self.events,
+            steps_done: self.steps_done,
+            heap_stale_popped: self.heap_stale_popped,
+            wake_entries_allocated: self.wake_entries_allocated,
+            dirty_drain_batches: self.dirty_drain_batches,
+        }
+    }
+
+    /// Current simulated time.
+    pub fn clock(&self) -> f64 {
+        self.clock
+    }
+
+    /// The engine's job runs (placements, phases, progress counters).
+    pub fn jobs(&self) -> &[JobRun] {
+        &self.jobs
+    }
+
+    /// Swap the placement of a still-[`JobPhase::Waiting`] job — the
+    /// what-if lever for candidate-plan scoring on a fork. Waiting jobs
+    /// have generated no task templates yet, so the swap is exact: the
+    /// fork behaves as if the job had been prepared with this placement
+    /// from the start. Jobs past `Waiting` have work derived from their
+    /// old placement in flight and cannot be redirected.
+    pub fn set_placement(
+        &mut self,
+        job: usize,
+        placement: crate::placement::JobPlacement,
+    ) -> Result<(), SimError> {
+        if self.jobs[job].phase != JobPhase::Waiting {
+            return Err(SimError::PlacementLocked {
+                job: self.jobs[job].job.id.0,
+                phase: self.jobs[job].phase.name(),
+            });
+        }
+        self.jobs[job].placement = placement;
+        Ok(())
     }
 
     fn budget_error(&self, steps: u64) -> SimError {

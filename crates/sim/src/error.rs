@@ -55,6 +55,14 @@ pub enum SimError {
         /// The referenced id that was not found before it.
         missing: u32,
     },
+    /// A what-if placement swap targeted a job that has already started
+    /// (only still-waiting jobs can be redirected on a forked engine).
+    PlacementLocked {
+        /// Job whose placement was frozen.
+        job: u32,
+        /// Phase the job had reached.
+        phase: &'static str,
+    },
     /// The configured [`crate::fault::FaultPlan`] is malformed.
     InvalidFaultPlan {
         /// What was wrong.
@@ -122,6 +130,11 @@ impl fmt::Display for SimError {
                 f,
                 "migration #{id} waits on migration #{missing}, which does not \
                  precede it"
+            ),
+            SimError::PlacementLocked { job, phase } => write!(
+                f,
+                "job #{job} is already in phase {phase}: placements can only \
+                 be swapped while a job is waiting"
             ),
             SimError::InvalidFaultPlan { reason } => {
                 write!(f, "invalid fault plan: {reason}")

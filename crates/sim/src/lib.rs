@@ -39,9 +39,10 @@
 //!
 //! ## Entry points
 //!
-//! [`runner::simulate`] runs a [`cast_workload::WorkloadSpec`] under a
+//! [`Sim::builder`] runs a [`cast_workload::WorkloadSpec`] under a
 //! [`placement::PlacementMap`] on a [`config::SimConfig`], returning a
 //! [`metrics::SimReport`] with per-job phase timings and the makespan.
+//! The old `simulate*` free functions survive as deprecated shims.
 
 pub mod config;
 pub mod durability;
@@ -56,18 +57,23 @@ pub mod placement;
 pub mod reference;
 pub mod resources;
 pub mod runner;
+pub mod sim;
 mod soa;
 pub mod task;
 pub mod trace;
+pub mod whatif;
 
 pub use config::SimConfig;
-pub use durability::{simulate_durable, DurabilityReport, ShardState};
-pub use engine::{Engine, EngineScratch, EngineStats};
+#[allow(deprecated)]
+pub use durability::simulate_durable;
+pub use durability::{DurabilityReport, ShardState};
+pub use engine::{Engine, EngineScratch, EngineSnapshot, EngineStats, RunState, SNAPSHOT_VERSION};
 pub use error::SimError;
 pub use fault::{DegradationWindow, FaultPlan, ShardKill, VmCrash};
 pub use metrics::{FaultSummary, JobMetrics, SimReport};
 pub use placement::{JobPlacement, PlacementMap, SplitPlacement};
-pub use runner::{
-    prepare_runs, simulate, simulate_observed, simulate_with_migrations, MigrationSpec,
-    MIGRATION_JOB_BASE,
-};
+pub use runner::{prepare_runs, MigrationSpec, MIGRATION_JOB_BASE};
+#[allow(deprecated)]
+pub use runner::{simulate, simulate_observed, simulate_with_migrations};
+pub use sim::{Sim, SimBuilder};
+pub use whatif::{pick_winner, score_cold, score_forked, CandidateOverride};

@@ -100,7 +100,7 @@ pub struct MovedFlow {
 }
 
 /// Tracks capacity and aggregate flow demand for every resource.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct ShareRegistry {
     caps: Vec<f64>,
     /// Memoized `caps / load` per resource (`+inf` when unloaded),
@@ -127,6 +127,36 @@ pub struct ShareRegistry {
     tier_demand: [f64; NTIERS],
     /// Running per-tier capacity across VM volumes.
     tier_cap: [f64; NTIERS],
+}
+
+/// Hand-written so `clone_from` reuses every buffer — including the
+/// per-resource flow lists — making engine-state restore on a prepared
+/// scratch allocation-free (`Flow` is `Copy`, so each inner `clone_from`
+/// is a memcpy).
+impl Clone for ShareRegistry {
+    fn clone(&self) -> Self {
+        let mut r = ShareRegistry::empty();
+        r.clone_from(self);
+        r
+    }
+
+    fn clone_from(&mut self, src: &Self) {
+        self.caps.clone_from(&src.caps);
+        self.unit_cache.clone_from(&src.unit_cache);
+        self.base.clone_from(&src.base);
+        self.load.clone_from(&src.load);
+        self.flows.truncate(src.flows.len());
+        for (dst, s) in self.flows.iter_mut().zip(&src.flows) {
+            dst.clone_from(s);
+        }
+        for s in &src.flows[self.flows.len()..] {
+            self.flows.push(s.clone());
+        }
+        self.dirty.clone_from(&src.dirty);
+        self.dirty_list.clone_from(&src.dirty_list);
+        self.tier_demand = src.tier_demand;
+        self.tier_cap = src.tier_cap;
+    }
 }
 
 impl ShareRegistry {

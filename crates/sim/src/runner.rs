@@ -15,7 +15,6 @@ use cast_workload::job::{Job, JobId};
 use cast_workload::spec::WorkloadSpec;
 
 use crate::config::SimConfig;
-use crate::engine::Engine;
 use crate::error::SimError;
 use crate::jobrun::JobRun;
 use crate::metrics::SimReport;
@@ -56,24 +55,33 @@ pub struct MigrationSpec {
 /// output tier differs from the child's input tier, the child is given a
 /// stage-in transfer from the parent's tier (the cross-tier pipelining of
 /// §3.1.3, whose cost CAST++ accounts and plain CAST does not).
+#[deprecated(note = "use `cast_sim::Sim::builder` instead")]
 pub fn simulate(
     spec: &WorkloadSpec,
     placements: &PlacementMap,
     cfg: &SimConfig,
 ) -> Result<SimReport, SimError> {
-    simulate_observed(spec, placements, cfg, &cast_obs::Collector::noop())
+    crate::sim::Sim::builder(cfg)
+        .jobs(spec, placements)
+        .build()?
+        .run()
 }
 
 /// [`simulate`] with an observability collector attached: the engine
 /// records job/phase/wave/task spans, tier-contention samples and fault
 /// edges into `collector`. The report is bit-identical to [`simulate`]'s.
+#[deprecated(note = "use `cast_sim::Sim::builder(..).collector(..)` instead")]
 pub fn simulate_observed(
     spec: &WorkloadSpec,
     placements: &PlacementMap,
     cfg: &SimConfig,
     collector: &cast_obs::Collector,
 ) -> Result<SimReport, SimError> {
-    simulate_with_migrations(spec, placements, &[], cfg, collector)
+    crate::sim::Sim::builder(cfg)
+        .jobs(spec, placements)
+        .collector(collector.clone())
+        .build()?
+        .run()
 }
 
 /// [`simulate_observed`] with mid-run reconfiguration: each
@@ -83,6 +91,7 @@ pub fn simulate_observed(
 /// (listed in the migration's `blocks`) waits for the move to finish
 /// before starting, while every other job proceeds immediately — i.e.
 /// in-flight work keeps its old placement until the data has landed.
+#[deprecated(note = "use `cast_sim::Sim::builder(..).migrations(..)` instead")]
 pub fn simulate_with_migrations(
     spec: &WorkloadSpec,
     placements: &PlacementMap,
@@ -90,8 +99,12 @@ pub fn simulate_with_migrations(
     cfg: &SimConfig,
     collector: &cast_obs::Collector,
 ) -> Result<SimReport, SimError> {
-    let runs = prepare_runs(spec, placements, migrations, cfg)?;
-    Engine::observed(cfg, runs, collector.clone()).run()
+    crate::sim::Sim::builder(cfg)
+        .jobs(spec, placements)
+        .migrations(migrations)
+        .collector(collector.clone())
+        .build()?
+        .run()
 }
 
 /// Validate and lower a workload + placement (+ migrations) into the
@@ -276,6 +289,7 @@ fn validate_placement(
 
 #[cfg(test)]
 mod tests {
+    #![allow(deprecated)]
     use super::*;
     use cast_cloud::tier::PerTier;
     use cast_cloud::units::DataSize;

@@ -2,6 +2,9 @@
 //! contention scaling, staging accounting, jitter bounds, and failure
 //! modes.
 
+// The deprecated `simulate*` shims stay under test until they are removed.
+#![allow(deprecated)]
+
 use cast_cloud::tier::{PerTier, Tier};
 use cast_cloud::units::DataSize;
 use cast_cloud::Catalog;

@@ -168,6 +168,16 @@ pub struct Annealer {
     obs: Collector,
 }
 
+/// Solves record restart / epoch / move spans plus acceptance and cache
+/// counters into the attached collector. Emission never touches the RNG
+/// stream or the scoring arithmetic, so results are bit-identical to an
+/// unobserved solve.
+impl cast_obs::Observe for Annealer {
+    fn collector_slot(&mut self) -> &mut Collector {
+        &mut self.obs
+    }
+}
+
 impl Annealer {
     /// Create with the given parameters (no observability).
     pub fn new(cfg: AnnealConfig) -> Annealer {
@@ -175,15 +185,6 @@ impl Annealer {
             cfg,
             obs: Collector::noop(),
         }
-    }
-
-    /// Attach an observability collector: solves record restart / epoch /
-    /// move spans plus acceptance and cache counters into it. Emission
-    /// never touches the RNG stream or the scoring arithmetic, so results
-    /// are bit-identical to an unobserved solve.
-    pub fn observe(mut self, collector: Collector) -> Annealer {
-        self.obs = collector;
-        self
     }
 
     /// Maximise tenant utility starting from `init` (Algorithm 2).

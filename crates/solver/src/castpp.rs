@@ -16,6 +16,7 @@ use serde::{Deserialize, Serialize};
 
 use cast_cloud::tier::{PerTier, Tier};
 use cast_cloud::units::{DataSize, Duration, Money};
+use cast_obs::Observe;
 use cast_workload::job::JobId;
 use cast_workload::workflow::Workflow;
 
@@ -86,6 +87,14 @@ pub struct CastPlusPlus {
     obs: cast_obs::Collector,
 }
 
+/// The attached collector is forwarded to the utility and per-workflow
+/// annealers. Results stay bit-identical.
+impl cast_obs::Observe for CastPlusPlus {
+    fn collector_slot(&mut self) -> &mut cast_obs::Collector {
+        &mut self.obs
+    }
+}
+
 impl CastPlusPlus {
     /// Create with the given parameters.
     pub fn new(cfg: CastPlusPlusConfig) -> CastPlusPlus {
@@ -93,13 +102,6 @@ impl CastPlusPlus {
             cfg,
             obs: cast_obs::Collector::noop(),
         }
-    }
-
-    /// Attach an observability collector, forwarded to the utility and
-    /// per-workflow annealers. Results stay bit-identical.
-    pub fn observe(mut self, collector: cast_obs::Collector) -> CastPlusPlus {
-        self.obs = collector;
-        self
     }
 
     /// Run the full CAST++ pipeline over `ctx.spec`.

@@ -16,7 +16,7 @@ use cast_cloud::tier::PerTier;
 use cast_estimator::profiler::ProfilerConfig;
 use cast_sim::config::SimConfig;
 use cast_sim::placement::PlacementMap;
-use cast_sim::runner::simulate;
+use cast_sim::Sim;
 
 const NVM: usize = 4;
 
@@ -50,7 +50,11 @@ fn main() {
         let cfg = SimConfig::with_aggregate_capacity(estimator.catalog.clone(), NVM, &agg)
             .expect("provisionable");
         let placements = PlacementMap::uniform([job.id], Tier::PersSsd);
-        let observed = simulate(&spec, &placements, &cfg).expect("simulation");
+        let observed = Sim::builder(&cfg)
+            .jobs(&spec, &placements)
+            .build()
+            .and_then(|s| s.run())
+            .expect("simulation");
 
         let caps = agg;
         let cost = cost_model.breakdown(&caps, observed.makespan).total();

@@ -1,8 +1,11 @@
-//! Quickstart: profile, plan, deploy.
+//! Quickstart: profile, plan, deploy, then ask a what-if.
 //!
 //! Builds a CAST framework for a small cluster, plans a four-job workload
 //! with each strategy, deploys the CAST++ plan on the simulated cluster
-//! and prints the predicted-vs-observed report.
+//! and prints the predicted-vs-observed report. A final section drives
+//! the simulator directly through its unified entry point
+//! (`Sim::builder`) and uses the snapshot/fork API to score a what-if
+//! against the live mid-stream state.
 //!
 //! ```text
 //! cargo run --release --example quickstart
@@ -90,4 +93,53 @@ fn main() {
     println!("\n{}", report.render());
 
     assert!(report.time_error_pct() < 30.0, "prediction should be sane");
+
+    // The same plan through the simulator's unified entry point: one
+    // builder covers jobs, migrations, faults and observability.
+    let estimator = framework.estimator();
+    let capacities = planned
+        .plan
+        .capacities(&spec, true)
+        .expect("plan capacities");
+    let cfg = cast::sim::config::SimConfig::with_aggregate_capacity(
+        estimator.catalog.clone(),
+        estimator.cluster.nvm,
+        &capacities,
+    )
+    .expect("provisionable cluster");
+    let placements = planned.plan.to_placements();
+    let mut live = Sim::builder(&cfg)
+        .jobs(&spec, &placements)
+        .build()
+        .expect("simulation setup");
+
+    // A live what-if: advance mid-stream, snapshot, and score a fork
+    // that redirects every still-waiting job onto one of the plan's own
+    // provisioned tiers. The fork owns its state — the live run is
+    // untouched and finishes bit-identically to an uninterrupted one.
+    let replan_at = report.predicted.time.secs() * 0.5;
+    live.run_until(replan_at).expect("prefix");
+    let snapshot = live.snapshot();
+    let target = planned
+        .plan
+        .iter()
+        .last()
+        .map(|(_, a)| a.tier)
+        .expect("non-empty plan");
+    let candidate: Vec<_> = spec
+        .jobs
+        .iter()
+        .map(|j| cast::sim::CandidateOverride {
+            job: j.id,
+            placement: cast::sim::placement::JobPlacement::all_on(target),
+        })
+        .collect();
+    let scored = cast::sim::score_forked(&snapshot, &[candidate], 2).expect("what-if scoring");
+    let (committed, _) = live.finish().expect("live run");
+    println!(
+        "\nwhat-if at t={replan_at:.0}s: committed plan finishes at {:.0}s, \
+         all-{target} fork at {:.0}s",
+        committed.makespan.secs(),
+        scored[0].makespan.secs()
+    );
 }

@@ -2,6 +2,9 @@
 //! deterministic under parallel multi-restart solves, and instrumentation
 //! never changes a result bit.
 
+// The deprecated `simulate*` shims stay under test until they are removed.
+#![allow(deprecated)]
+
 mod common;
 
 use std::collections::BTreeSet;
@@ -10,7 +13,7 @@ use std::sync::OnceLock;
 use proptest::prelude::*;
 
 use cast::cloud::tier::PerTier;
-use cast::obs::{parse_ndjson, to_ndjson, EventBody};
+use cast::obs::{parse_ndjson, to_ndjson, EventBody, Observe};
 use cast::prelude::*;
 use cast::sim::config::SimConfig;
 use cast::sim::placement::PlacementMap;

@@ -1,6 +1,9 @@
 //! Cross-crate property-based tests: invariants that must hold for
 //! arbitrary workloads and placements.
 
+// The deprecated `simulate*` shims stay under test until they are removed.
+#![allow(deprecated)]
+
 mod common;
 
 use proptest::prelude::*;
@@ -138,6 +141,66 @@ proptest! {
         let small = run(100.0);
         let large = run(400.0);
         prop_assert!(large <= small * 1.01, "more capacity slower: {small} -> {large}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// A snapshot taken at an arbitrary mid-run point forks into an
+    /// engine whose completed run is bit-identical to an uninterrupted
+    /// one — under task-failure injection, a VM crash, and a migration
+    /// barrier alike. This is the guarantee live what-if replanning
+    /// leans on: scoring a candidate on a fork equals scoring it on a
+    /// cold restart.
+    #[test]
+    fn forked_runs_bit_match_fresh_runs(
+        spec in arb_spec(),
+        tier in arb_tier(),
+        mig_to in arb_tier(),
+        seed in 0u64..100_000,
+        failure_prob in 0.0f64..0.08,
+        crash_at in 5.0f64..120.0,
+        frac in 0.0f64..1.0,
+    ) {
+        use cast::sim::{prepare_runs, Engine, MigrationSpec};
+
+        let mut cfg = sim_config(2);
+        cfg.faults = FaultPlan {
+            seed,
+            task_failure_prob: failure_prob,
+            // Generous retry budget: the property is about determinism,
+            // not about runs surviving, but both arms must complete.
+            max_task_attempts: 16,
+            vm_crashes: vec![VmCrash {
+                vm: 0,
+                at_secs: crash_at,
+                down_secs: Some(60.0),
+            }],
+            ..FaultPlan::default()
+        };
+        let placements = PlacementMap::uniform(spec.jobs.iter().map(|j| j.id), tier);
+        let migrations = vec![MigrationSpec {
+            id: 0,
+            bytes: DataSize::from_gb(8.0),
+            from: tier,
+            to: mig_to,
+            blocks: vec![spec.jobs[0].id],
+            after: vec![],
+        }];
+        let runs = prepare_runs(&spec, &placements, &migrations, &cfg).expect("lowering");
+
+        let (fresh, _) = Engine::new(&cfg, runs.clone()).finish().expect("fresh run");
+
+        let mut live = Engine::new(&cfg, runs);
+        live.run_until(fresh.makespan.secs() * frac).expect("prefix");
+        let snapshot = live.snapshot();
+        let (forked, _) = snapshot.fork().finish().expect("forked run");
+
+        prop_assert_eq!(
+            serde_json::to_string(&fresh).expect("serializable"),
+            serde_json::to_string(&forked).expect("serializable")
+        );
     }
 }
 
