@@ -1,0 +1,352 @@
+//! `tenant_scale` — multi-tenant serving throughput for `cast-fleet`,
+//! with a machine-readable regression gate.
+//!
+//! The bin serves one sharded region ([`cast_fleet::Fleet`]) to
+//! completion and reports **tenants per second** of wall time plus the
+//! p50/p99 of every per-tenant replan's wall latency. Full mode serves
+//! 1024 tenants on an 8-shard map; `--smoke` serves 192 tenants on 4
+//! shards with identical per-tenant work, so throughput stays
+//! comparable across modes and a smoke run can be gated against the
+//! committed full baseline.
+//!
+//! Two correctness pins ride along, off the throughput clock:
+//!
+//! 1. **Worker-count byte-identity** — a 64-tenant fleet is served with
+//!    1, 2 and 8 workers and the merged reports' JSON must be
+//!    byte-identical (the determinism contract `cast-fleet` inherits
+//!    from `cast_sim::par`).
+//! 2. **Guaranteed-class fairness** — on a deliberately contended pool,
+//!    every interactive tenant admitted at every boundary must finish
+//!    with deadline misses at or below its single-tenant baseline
+//!    (full grants are bit-identical to running alone, so admission
+//!    may never make a guaranteed tenant worse).
+//!
+//! ```text
+//! tenant_scale [--smoke] [--out PATH] [--check BASELINE] [--tolerance 0.25]
+//! ```
+//!
+//! * `--smoke` shrinks the fleet (CI-friendly).
+//! * `--out` writes the JSON report to a file (default: stdout only).
+//! * `--check` loads a baseline JSON and fails (exit 1) if
+//!   `fleet.tenants_per_sec` regressed by more than the tolerance
+//!   (default 25%). The baseline is parsed generically so reports from
+//!   older or newer versions of this bin still check.
+//!
+//! Throughput numbers from this container are single-core: the worker
+//! pool only overlaps replans when the machine has cores to run them.
+
+use cast_cloud::tier::PerTier;
+use cast_cloud::units::{DataSize, Duration};
+use cast_fleet::{Fleet, FleetConfig, FleetOutcome, TenantRegistry};
+use cast_runtime::{OnlineRuntime, ReplanPolicy, RuntimeConfig};
+use cast_solver::AnnealConfig;
+use cast_workload::{tenant_fleet, FleetWorkloadConfig, TenantClass};
+
+const FLEET_SEED: u64 = 0xCA57_F1EE;
+const SOLVER_SEED: u64 = 0xCA57_0712;
+
+/// Tenants in the throughput fleet (the acceptance bar's "≥ 1000
+/// concurrent tenants on one shard map").
+const FULL_TENANTS: usize = 1024;
+const FULL_SHARDS: u32 = 8;
+const SMOKE_TENANTS: usize = 192;
+const SMOKE_SHARDS: u32 = 4;
+/// Tenants in the off-the-clock byte-identity and fairness fleets.
+const PIN_TENANTS: usize = 64;
+const PIN_SHARDS: u32 = 2;
+
+fn workload(tenants: usize) -> FleetWorkloadConfig {
+    FleetWorkloadConfig {
+        seed: FLEET_SEED,
+        tenants,
+        horizon: Duration::from_mins(60.0),
+        base_jobs_per_hour: 6.0,
+        max_bin: 3,
+        ..FleetWorkloadConfig::default()
+    }
+}
+
+/// Per-tenant work is identical in both modes: same epoch grid, same
+/// anneal budget, same arrival rate. Only the fleet size changes.
+fn fleet_config(workers: usize, capacity: PerTier<DataSize>) -> FleetConfig {
+    FleetConfig {
+        workers,
+        shard_capacity: capacity,
+        runtime: RuntimeConfig {
+            epoch: Duration::from_mins(30.0),
+            policy: ReplanPolicy::Hysteresis { min_gain: 0.02 },
+            ..RuntimeConfig::default()
+        },
+        anneal: AnnealConfig {
+            iterations: 600,
+            restarts: 1,
+            seed: SOLVER_SEED,
+            ..AnnealConfig::default()
+        },
+        ..FleetConfig::default()
+    }
+}
+
+fn serve(tenants: usize, shards: u32, workers: usize, capacity_gb: f64) -> FleetOutcome {
+    let specs = tenant_fleet(&workload(tenants)).expect("tenant synthesis");
+    let registry = TenantRegistry::new(specs, shards).expect("registry");
+    let estimator = cast_bench::paper_estimator();
+    let capacity = PerTier::from_fn(|_| DataSize::from_gb(capacity_gb));
+    Fleet::new(&estimator, fleet_config(workers, capacity))
+        .run(&registry)
+        .expect("fleet run")
+}
+
+#[derive(serde::Serialize)]
+struct Report {
+    bench: String,
+    mode: String,
+    fleet: FleetSection,
+    identity: IdentitySection,
+    fairness: FairnessSection,
+}
+
+/// The throughput run: one region served to completion on the clock.
+#[derive(serde::Serialize)]
+struct FleetSection {
+    tenants: usize,
+    shards: u32,
+    workers: usize,
+    epochs: u32,
+    /// Tenants served per second of wall time — the gated metric.
+    tenants_per_sec: f64,
+    total_wall_secs: f64,
+    replan_p50_secs: f64,
+    replan_p99_secs: f64,
+    executed_epochs: usize,
+    jobs_completed: usize,
+    deadline_misses: usize,
+    deferrals: usize,
+    rejected: usize,
+}
+
+/// The worker-count determinism pin (off the throughput clock).
+#[derive(serde::Serialize)]
+struct IdentitySection {
+    tenants: usize,
+    workers_checked: Vec<usize>,
+    byte_identical: bool,
+}
+
+/// The guaranteed-class fairness pin on a contended pool (off the
+/// throughput clock).
+#[derive(serde::Serialize)]
+struct FairnessSection {
+    tenants: usize,
+    /// Tenant-epochs that contended (partial grants + deferrals) — the
+    /// pin is vacuous without pressure.
+    contended_epochs: usize,
+    /// Interactive tenants admitted at every boundary, each checked
+    /// against its single-tenant baseline.
+    interactive_checked: usize,
+    /// Checked tenants whose fleet deadline misses exceeded solo.
+    violations: usize,
+}
+
+/// Serve the pin fleet with 1, 2 and 8 workers and require the merged
+/// reports to serialise byte-identically.
+fn pin_identity() -> IdentitySection {
+    let workers = vec![1usize, 2, 8];
+    let mut jsons = Vec::new();
+    for &w in &workers {
+        let out = serve(PIN_TENANTS, PIN_SHARDS, w, 100_000.0);
+        jsons.push(serde_json::to_string(&out.report).expect("serialize"));
+    }
+    let identical = jsons.windows(2).all(|w| w[0] == w[1]);
+    assert!(
+        identical,
+        "merged fleet report must be byte-identical across worker counts"
+    );
+    IdentitySection {
+        tenants: PIN_TENANTS,
+        workers_checked: workers,
+        byte_identical: identical,
+    }
+}
+
+/// Serve the pin fleet on a pool tight enough that best-effort classes
+/// contend, then check every always-admitted interactive tenant against
+/// its solo baseline.
+fn pin_fairness() -> FairnessSection {
+    let specs = tenant_fleet(&workload(PIN_TENANTS)).expect("tenant synthesis");
+    let registry = TenantRegistry::new(specs, PIN_SHARDS).expect("registry");
+    let estimator = cast_bench::paper_estimator();
+    let cfg = fleet_config(1, PerTier::from_fn(|_| DataSize::from_gb(300.0)));
+    let out = Fleet::new(&estimator, cfg.clone())
+        .run(&registry)
+        .expect("fleet run");
+
+    let contended_epochs: usize = out
+        .report
+        .tenants
+        .iter()
+        .map(|t| t.admitted_partial + t.deferrals)
+        .sum();
+    assert!(
+        contended_epochs > 0,
+        "the fairness pool must actually contend ({} tenants on {} GB/tier shards)",
+        PIN_TENANTS,
+        300
+    );
+
+    let solo = OnlineRuntime::new(&estimator, cfg.anneal, cfg.runtime);
+    let mut checked = 0;
+    let mut violations = 0;
+    for (spec, summary) in registry.specs().iter().zip(out.report.tenants.iter()) {
+        if spec.class != TenantClass::Interactive {
+            continue;
+        }
+        // "Admitted" means admitted at every boundary: deferrals push a
+        // guaranteed tenant's batches late, which is exactly the case
+        // the acceptance bar excludes.
+        if summary.admitted_partial > 0 || summary.deferrals > 0 {
+            continue;
+        }
+        let baseline = solo.run(&spec.stream().expect("stream")).expect("solo run");
+        checked += 1;
+        if summary.deadline_misses > baseline.deadline_misses {
+            violations += 1;
+            eprintln!(
+                "fairness violation: tenant {} misses {} > solo {}",
+                spec.id, summary.deadline_misses, baseline.deadline_misses
+            );
+        }
+    }
+    assert!(checked > 0, "no admitted interactive tenant to check");
+    assert_eq!(
+        violations, 0,
+        "admitted guaranteed tenants must never miss more deadlines than solo"
+    );
+    FairnessSection {
+        tenants: PIN_TENANTS,
+        contended_epochs,
+        interactive_checked: checked,
+        violations,
+    }
+}
+
+/// Compare `current` against a committed baseline on `tenants_per_sec`.
+/// Generic JSON parse: the vendored serde shim hard-errors on missing
+/// fields, and baselines outlive the report schema.
+fn check(current: &Report, baseline_path: &str, tolerance: f64) -> Result<(), String> {
+    let raw = std::fs::read_to_string(baseline_path)
+        .map_err(|e| format!("cannot read baseline {baseline_path}: {e}"))?;
+    let baseline: serde_json::Value =
+        serde_json::from_str(&raw).map_err(|e| format!("bad baseline JSON: {e}"))?;
+    let Some(base_tps) = baseline["fleet"]["tenants_per_sec"].as_f64() else {
+        eprintln!("baseline {baseline_path} has no fleet.tenants_per_sec; nothing to check");
+        return Ok(());
+    };
+    let floor = base_tps * (1.0 - tolerance);
+    let tps = current.fleet.tenants_per_sec;
+    let verdict = if tps < floor { "REGRESSED" } else { "ok" };
+    eprintln!(
+        "check tenants_per_sec: {tps:.1} vs baseline {base_tps:.1} (floor {floor:.1}) {verdict}"
+    );
+    if tps < floor {
+        return Err(format!(
+            "tenants_per_sec {tps:.1} < {floor:.1} ({}% below baseline {base_tps:.1})",
+            (100.0 * (1.0 - tps / base_tps)).round(),
+        ));
+    }
+    Ok(())
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut out: Option<String> = None;
+    let mut baseline: Option<String> = None;
+    let mut tolerance = 0.25;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => out = Some(args.next().expect("--out PATH")),
+            "--check" => baseline = Some(args.next().expect("--check BASELINE")),
+            "--tolerance" => {
+                tolerance = args
+                    .next()
+                    .expect("--tolerance FRACTION")
+                    .parse()
+                    .expect("tolerance is a fraction")
+            }
+            other => {
+                eprintln!("unknown flag {other}");
+                eprintln!(
+                    "usage: tenant_scale [--smoke] [--out PATH] [--check BASELINE] [--tolerance 0.25]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let (tenants, shards) = if smoke {
+        (SMOKE_TENANTS, SMOKE_SHARDS)
+    } else {
+        (FULL_TENANTS, FULL_SHARDS)
+    };
+    let workers = cast_sim::par::default_workers();
+    eprintln!("tenant_scale: serving {tenants} tenants on {shards} shards with {workers} workers");
+    let outcome = serve(tenants, shards, workers, 100_000.0);
+    let fleet = FleetSection {
+        tenants,
+        shards,
+        workers,
+        epochs: outcome.report.epochs,
+        tenants_per_sec: tenants as f64 / outcome.stats.total_wall_secs,
+        total_wall_secs: outcome.stats.total_wall_secs,
+        replan_p50_secs: outcome.stats.replan_percentile(50.0),
+        replan_p99_secs: outcome.stats.replan_percentile(99.0),
+        executed_epochs: outcome.stats.executed_epochs,
+        jobs_completed: outcome.report.jobs_completed,
+        deadline_misses: outcome.report.deadline_misses,
+        deferrals: outcome.report.deferrals,
+        rejected: outcome.report.rejected,
+    };
+    eprintln!(
+        "tenant_scale fleet: {:.1} tenants/s ({:.2}s total), replan p50 {:.5}s p99 {:.5}s, \
+         {} jobs",
+        fleet.tenants_per_sec,
+        fleet.total_wall_secs,
+        fleet.replan_p50_secs,
+        fleet.replan_p99_secs,
+        fleet.jobs_completed
+    );
+
+    let identity = pin_identity();
+    eprintln!(
+        "tenant_scale identity: {} tenants byte-identical across {:?} workers",
+        identity.tenants, identity.workers_checked
+    );
+    let fairness = pin_fairness();
+    eprintln!(
+        "tenant_scale fairness: {} interactive tenants checked against solo baselines \
+         ({} contended tenant-epochs), {} violations",
+        fairness.interactive_checked, fairness.contended_epochs, fairness.violations
+    );
+
+    let report = Report {
+        bench: "tenant_scale".to_string(),
+        mode: if smoke { "smoke" } else { "full" }.to_string(),
+        fleet,
+        identity,
+        fairness,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("serialize");
+    println!("{json}");
+    if let Some(path) = &out {
+        std::fs::write(path, format!("{json}\n")).expect("write report");
+        eprintln!("wrote {path}");
+    }
+    if let Some(path) = &baseline {
+        if let Err(msg) = check(&report, path, tolerance) {
+            eprintln!("tenant-throughput regression:\n{msg}");
+            std::process::exit(1);
+        }
+    }
+}

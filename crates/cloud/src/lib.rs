@@ -13,6 +13,9 @@
 //!   bandwidth with provisioned capacity ([`scaling`]),
 //! * **provisioning rules** — volume granularity and per-VM attachment
 //!   limits ([`provision`]),
+//! * **shared-capacity accounting** — the per-shard capacity ledger and
+//!   weighted max-min fair-share allocator multi-tenant serving draws
+//!   epoch grants from ([`ledger`]),
 //! * **VM shapes and prices** ([`vm`]), and
 //! * **cost accounting** — the hourly-rounded storage billing and per-minute
 //!   VM billing of Eq. 5/6 ([`cost`]).
@@ -23,6 +26,7 @@
 pub mod catalog;
 pub mod cost;
 pub mod error;
+pub mod ledger;
 pub mod pricing;
 pub mod provision;
 pub mod redundancy;
@@ -35,6 +39,7 @@ pub mod vm;
 pub use catalog::Catalog;
 pub use cost::{CostBreakdown, CostModel};
 pub use error::CloudError;
+pub use ledger::{weighted_max_min, CapacityLedger, ShareRequest};
 pub use pricing::PriceSheet;
 pub use provision::{ProvisionPlan, Provisioner, VolumeSpec};
 pub use redundancy::RedundancyScheme;

@@ -1,0 +1,47 @@
+//! Unified error type for fleet serving.
+
+use cast_runtime::RuntimeError;
+use cast_workload::WorkloadError;
+
+/// Anything that can go wrong while serving a tenant fleet.
+#[derive(Debug)]
+pub enum FleetError {
+    /// A tenant's epoch loop failed (solver, simulator or provisioning).
+    Runtime(RuntimeError),
+    /// A tenant's arrival stream could not be generated.
+    Workload(WorkloadError),
+    /// The fleet configuration is unusable.
+    Config(&'static str),
+}
+
+impl std::fmt::Display for FleetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FleetError::Runtime(e) => write!(f, "fleet tenant runtime error: {e}"),
+            FleetError::Workload(e) => write!(f, "fleet workload error: {e}"),
+            FleetError::Config(what) => write!(f, "fleet configuration error: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for FleetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FleetError::Runtime(e) => Some(e),
+            FleetError::Workload(e) => Some(e),
+            FleetError::Config(_) => None,
+        }
+    }
+}
+
+impl From<RuntimeError> for FleetError {
+    fn from(e: RuntimeError) -> Self {
+        FleetError::Runtime(e)
+    }
+}
+
+impl From<WorkloadError> for FleetError {
+    fn from(e: WorkloadError) -> Self {
+        FleetError::Workload(e)
+    }
+}

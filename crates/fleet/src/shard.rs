@@ -1,0 +1,141 @@
+//! The tenant registry and its shard map.
+//!
+//! A region is split into `shards` independent capacity pools; every
+//! tenant hashes onto exactly one shard for its whole lifetime. The hash
+//! is [`cast_workload::splitmix64`] over the tenant id — stateless,
+//! machine-independent, and well-mixed enough that shard populations
+//! stay balanced without any rebalancing machinery. Two fleets with the
+//! same tenants and shard count therefore always agree on placement,
+//! which is what keeps merged fleet reports byte-identical regardless of
+//! how many workers served them.
+
+use cast_workload::{splitmix64, TenantId, TenantSpec};
+
+use crate::error::FleetError;
+
+/// Shard a tenant id hashes onto under `shards` shards.
+pub fn shard_of(id: TenantId, shards: u32) -> u32 {
+    (splitmix64(id.0 as u64) % shards as u64) as u32
+}
+
+/// The fleet's tenant directory: specs in dense index order plus the
+/// shard each hashes onto.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantRegistry {
+    specs: Vec<TenantSpec>,
+    shards: u32,
+    assignment: Vec<u32>,
+    by_shard: Vec<Vec<usize>>,
+}
+
+impl TenantRegistry {
+    /// Register `specs` across `shards` shards. Tenant ids must be
+    /// unique (the shard map and the reports key on them).
+    pub fn new(specs: Vec<TenantSpec>, shards: u32) -> Result<TenantRegistry, FleetError> {
+        if shards == 0 {
+            return Err(FleetError::Config("shards must be > 0"));
+        }
+        if specs.is_empty() {
+            return Err(FleetError::Config("a fleet needs at least one tenant"));
+        }
+        let mut seen = std::collections::HashSet::with_capacity(specs.len());
+        for s in &specs {
+            if !seen.insert(s.id) {
+                return Err(FleetError::Config("duplicate tenant id"));
+            }
+        }
+        let assignment: Vec<u32> = specs.iter().map(|s| shard_of(s.id, shards)).collect();
+        let mut by_shard: Vec<Vec<usize>> = vec![Vec::new(); shards as usize];
+        for (i, &sh) in assignment.iter().enumerate() {
+            by_shard[sh as usize].push(i);
+        }
+        Ok(TenantRegistry {
+            specs,
+            shards,
+            assignment,
+            by_shard,
+        })
+    }
+
+    /// Number of tenants.
+    pub fn len(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// Whether the registry is empty (never true post-construction).
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> u32 {
+        self.shards
+    }
+
+    /// All tenant specs, in dense index order.
+    pub fn specs(&self) -> &[TenantSpec] {
+        &self.specs
+    }
+
+    /// The shard tenant index `i` lives on.
+    pub fn shard_of_index(&self, i: usize) -> u32 {
+        self.assignment[i]
+    }
+
+    /// Tenant indices on `shard`, ascending.
+    pub fn shard_tenants(&self, shard: u32) -> &[usize] {
+        &self.by_shard[shard as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cast_workload::{tenant_fleet, FleetWorkloadConfig};
+
+    fn fleet(n: usize) -> Vec<TenantSpec> {
+        tenant_fleet(&FleetWorkloadConfig {
+            tenants: n,
+            ..FleetWorkloadConfig::default()
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn assignment_is_stable_and_partitioned() {
+        let reg = TenantRegistry::new(fleet(128), 8).unwrap();
+        // Every tenant appears on exactly one shard.
+        let total: usize = (0..8).map(|s| reg.shard_tenants(s).len()).sum();
+        assert_eq!(total, 128);
+        for s in 0..8 {
+            for &i in reg.shard_tenants(s) {
+                assert_eq!(reg.shard_of_index(i), s);
+                assert_eq!(shard_of(reg.specs()[i].id, 8), s);
+            }
+        }
+        // Same inputs, same map.
+        let again = TenantRegistry::new(fleet(128), 8).unwrap();
+        assert_eq!(reg, again);
+    }
+
+    #[test]
+    fn shards_stay_balanced() {
+        let reg = TenantRegistry::new(fleet(1024), 8).unwrap();
+        for s in 0..8 {
+            let n = reg.shard_tenants(s).len();
+            // 1024/8 = 128 expected; splitmix64 keeps every shard within
+            // a loose factor-of-two band.
+            assert!((64..=256).contains(&n), "shard {s} holds {n} tenants");
+        }
+    }
+
+    #[test]
+    fn bad_registries_are_rejected() {
+        assert!(TenantRegistry::new(fleet(4), 0).is_err());
+        assert!(TenantRegistry::new(Vec::new(), 4).is_err());
+        let mut dup = fleet(4);
+        let clone = dup[0].clone();
+        dup.push(clone);
+        assert!(TenantRegistry::new(dup, 4).is_err());
+    }
+}

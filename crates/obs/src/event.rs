@@ -205,6 +205,23 @@ pub enum EventBody {
         /// Repair traffic charged through the engine, in MB.
         mb: f64,
     },
+    /// One tenant's epoch under fleet scheduling: the tenant/shard span
+    /// dimension. `t` is the epoch boundary in stream seconds. Emitted by
+    /// `cast-fleet` at settlement, in deterministic (shard, tenant)
+    /// order, so traces are byte-identical across worker counts.
+    TenantEpoch {
+        /// Fleet-unique tenant id.
+        tenant: u32,
+        /// Shard the tenant hashes onto.
+        shard: u32,
+        /// Region epoch index.
+        epoch: u32,
+        /// Admission outcome: `"admitted"`, `"deferred"` or `"rejected"`.
+        admission: String,
+        /// Fraction of the tenant's demanded capacity the fair-share
+        /// allocator granted (1.0 = uncontended, 0.0 = not admitted).
+        granted_frac: f64,
+    },
 }
 
 impl EventBody {
@@ -227,6 +244,7 @@ impl EventBody {
             EventBody::MigrationPhase { .. } => "migration_phase",
             EventBody::ShardLost { .. } => "shard_lost",
             EventBody::Reconstructed { .. } => "reconstructed",
+            EventBody::TenantEpoch { .. } => "tenant_epoch",
         }
     }
 }

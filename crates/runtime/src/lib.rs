@@ -34,6 +34,7 @@ pub mod forecast;
 pub mod migrate;
 pub mod report;
 pub mod runtime;
+pub mod session;
 
 pub use cast_solver::CandidateScoring;
 pub use config::{AdmissionPolicy, MigrationProtocol, ReplanPolicy, RuntimeConfig};
@@ -41,4 +42,5 @@ pub use error::RuntimeError;
 pub use forecast::{is_forecast, planning_spec, strip_forecast, FORECAST_ID_BASE};
 pub use migrate::{execute_schedule, home_tier, plan_delta, MigrationSchedule, ProtocolOutcome};
 pub use report::{EpochReport, OnlineReport};
-pub use runtime::{ingest_plan, majority_tiers, OnlineRuntime, INGEST_FALLBACK};
+pub use runtime::OnlineRuntime;
+pub use session::{ingest_plan, majority_tiers, PlannedEpoch, TenantSession, INGEST_FALLBACK};

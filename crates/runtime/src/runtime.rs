@@ -10,56 +10,29 @@
 //! migrations as explicit transfers that contend for tier bandwidth in
 //! the same epoch simulation as the jobs themselves.
 //!
+//! The machinery lives in [`TenantSession`](crate::session::TenantSession):
+//! each boundary is planned ([`plan_epoch`](crate::session::TenantSession::plan_epoch))
+//! and then executed under a capacity grant
+//! ([`execute_epoch`](crate::session::TenantSession::execute_epoch)).
+//! `OnlineRuntime::run` is the solo special case — one tenant, every
+//! grant full — and is bit-identical to serving the same stream through
+//! a fleet scheduler that never contends.
+//!
 //! The whole loop is a pure function of `(estimator, AnnealConfig,
 //! RuntimeConfig, ArrivalStream)`: every random choice flows from seeds,
 //! simulated time never reads the wall clock, and the multi-restart
 //! annealer picks winners machine-independently, so a run's
 //! [`OnlineReport`] is byte-identical across repetitions.
 
-use std::collections::HashMap;
-
-use cast_cloud::cost::CostModel;
-use cast_cloud::tier::{PerTier, Tier};
-use cast_cloud::units::Duration;
 use cast_estimator::Estimator;
-use cast_obs::{Collector, EventBody, Observe};
-use cast_sim::config::Concurrency;
-use cast_sim::{prepare_runs, Sim, SimConfig};
-use cast_solver::objective::provision_round;
-use cast_solver::{
-    candidate_slate, evaluate, restart_seed, score_candidates, AnnealConfig, Annealer, Assignment,
-    EvalContext, TieringPlan,
-};
-use cast_workload::arrival::assemble_spec;
-use cast_workload::{AppKind, Arrival, ArrivalStream, Job, WorkloadSpec};
+use cast_obs::Collector;
+use cast_solver::AnnealConfig;
+use cast_workload::ArrivalStream;
 
-use crate::config::{AdmissionPolicy, ReplanPolicy, RuntimeConfig};
+use crate::config::RuntimeConfig;
 use crate::error::RuntimeError;
-use crate::forecast::{planning_spec, strip_forecast};
-use crate::migrate::{execute_schedule, plan_delta, MigrationSchedule};
-use crate::report::{EpochReport, OnlineReport};
-
-/// Tier newly-arrived data lands on when the incumbent plan has no
-/// opinion about the job's application yet (before the first solve, or
-/// for an app the plan never placed). Persistent SSD is the safe middle:
-/// durable, fast enough for anything, never the paper's worst choice.
-pub const INGEST_FALLBACK: Tier = Tier::PersSsd;
-
-/// Decorrelates per-epoch solver seeds from the annealer's own
-/// per-restart seeds (both walks use [`restart_seed`]; offsetting the
-/// epoch index keeps the two sequences from aliasing).
-const EPOCH_SEED_OFFSET: usize = 0x10_0000;
-
-/// Under simulated candidate scoring, the fraction of the epoch length
-/// that elapses (in simulated time) before the mid-epoch what-if fires:
-/// enough for the batch's early waves to be genuinely in flight, enough
-/// epoch left for a redirect to matter.
-const WHATIF_HORIZON_FRACTION: f64 = 0.5;
-
-/// Worker threads fanning what-if candidates out. Any value yields the
-/// same decisions ([`cast_sim::par::run_indexed`]'s determinism
-/// contract), so this only trades replan latency for cores.
-const WHATIF_WORKERS: usize = 4;
+use crate::report::OnlineReport;
+use crate::session::TenantSession;
 
 /// The online tiering service.
 pub struct OnlineRuntime<'a> {
@@ -98,430 +71,40 @@ impl<'a> OnlineRuntime<'a> {
         &self.cfg
     }
 
-    /// Serve the stream to completion and report what happened.
+    /// Open a steppable session over `stream` (the fleet entry point:
+    /// plan and execute epochs under external capacity grants).
+    pub fn session(&self, stream: ArrivalStream) -> TenantSession<'a> {
+        let mut s = TenantSession::new(self.estimator, self.anneal, self.cfg, stream);
+        use cast_obs::Observe;
+        *s.collector_slot() = self.obs.clone();
+        s
+    }
+
+    /// Serve the stream to completion and report what happened: every
+    /// epoch planned, granted its full capacity demand, and executed.
     pub fn run(&self, stream: &ArrivalStream) -> Result<OnlineReport, RuntimeError> {
-        let epoch_len = self.cfg.epoch;
-        let n_epochs = (stream.horizon.secs() / epoch_len.secs()).ceil().max(1.0) as u32;
-
-        // Live state: the per-app ingest rule distilled from the last
-        // adopted plan, whether a solve has happened yet (the first one
-        // is cold; replans after it warm-start from the incumbent
-        // placement rule, adopted or not), the previous window's jobs
-        // (the persistence forecast) and the cluster's next free instant.
-        let mut ingest_map: HashMap<AppKind, Tier> = HashMap::new();
-        let mut solved_once = false;
-        let mut prev_jobs: Vec<Job> = Vec::new();
-        let mut clock = Duration::ZERO;
-        let mut epochs: Vec<EpochReport> = Vec::new();
-
-        for k in 0..n_epochs {
-            let t0 = epoch_len * k as f64;
-            let t1 = epoch_len * (k + 1) as f64;
-            let window = stream.window(t0, t1);
-            if window.is_empty() {
-                continue;
-            }
-            // Arrivals in [t0, t1) execute at the boundary t1 — or later,
-            // when the previous batch still holds the cluster.
-            let batch_start = t1.max(clock);
-            let (admitted, rejected) = self.admit(window, batch_start, &ingest_map)?;
-            if admitted.is_empty() {
-                self.obs.counter("runtime.rejected").add(rejected as u64);
-                epochs.push(empty_epoch(k, t1, batch_start, rejected));
-                continue;
-            }
-            let spec = assemble_spec(admitted.iter().copied());
-            spec.validate()?;
-            let ingest = ingest_plan(&spec, &ingest_map);
-
-            // Replan (policy-dependent), adopt (hysteresis-gated), diff.
-            let mut replanned = false;
-            let mut adopted = false;
-            let mut score_delta = 0.0;
-            let mut replan_moves = 0;
-            let mut exec = ingest.clone();
-            let mut sched = MigrationSchedule::default();
-            let must_replan = match self.cfg.policy {
-                ReplanPolicy::Static => !solved_once,
-                ReplanPolicy::Periodic | ReplanPolicy::Hysteresis { .. } => true,
-            };
-            if must_replan {
-                replanned = true;
-                let pspec = if self.cfg.forecast {
-                    planning_spec(&spec, &prev_jobs)
-                } else {
-                    spec.clone()
-                };
-                let pctx = EvalContext::new(self.estimator, &pspec).with_reuse_awareness();
-                let init = ingest_plan(&pspec, &ingest_map);
-                let acfg = AnnealConfig {
-                    seed: restart_seed(self.cfg.seed, k as usize + EPOCH_SEED_OFFSET),
-                    ..self.anneal
-                };
-                let annealer = Annealer::new(acfg).observe(self.obs.clone());
-                let t_wall = std::time::Instant::now();
-                let outcome = if solved_once {
-                    annealer.resume_from(&pctx, init, self.cfg.warm)?
-                } else {
-                    annealer.solve(&pctx, init)?
-                };
-                solved_once = true;
-                self.obs
-                    .gauge("runtime.replan_latency.wall")
-                    .set(t_wall.elapsed().as_secs_f64());
-                let d = &outcome.diagnostics;
-                replan_moves = d.moves_to_reach(d.best_score).unwrap_or(d.iterations);
-                let candidate = strip_forecast(&outcome.plan);
-
-                // Judge the candidate on the *real* batch only — forecast
-                // jobs must not pad its score.
-                let rctx = EvalContext::new(self.estimator, &spec).with_reuse_awareness();
-                let incumbent_utility = evaluate(&ingest, &rctx)?.utility;
-                let candidate_utility = evaluate(&candidate, &rctx)?.utility;
-                score_delta = if incumbent_utility > 0.0 {
-                    (candidate_utility - incumbent_utility) / incumbent_utility
-                } else {
-                    f64::INFINITY
-                };
-                let accept = match self.cfg.policy {
-                    ReplanPolicy::Hysteresis { min_gain } => score_delta >= min_gain,
-                    ReplanPolicy::Static | ReplanPolicy::Periodic => true,
-                };
-                if accept {
-                    adopted = true;
-                    sched = plan_delta(&spec, &ingest, &candidate);
-                    exec = candidate;
-                    for (app, tier) in majority_tiers(&spec, &exec) {
-                        ingest_map.insert(app, tier);
-                    }
-                }
-            }
-
-            // Provision for the epoch. During a migration epoch both the
-            // old (ingest) and new layout hold data simultaneously, so
-            // each tier gets the larger of the two demands.
-            let raw_ingest = ingest.capacities(&spec, true)?;
-            let raw = if adopted {
-                let raw_exec = exec.capacities(&spec, true)?;
-                PerTier::from_fn(|t| (*raw_ingest.get(t)).max(*raw_exec.get(t)))
-            } else {
-                raw_ingest
-            };
-            let capacities = provision_round(self.estimator, &raw);
-            let nvm = self.estimator.cluster.nvm;
-            let mut scfg = SimConfig::with_aggregate_capacity(
-                self.estimator.catalog.clone(),
-                nvm,
-                &capacities,
-            )?;
-            scfg.concurrency = Concurrency::Parallel;
-
-            // Lower the schedule through the migration protocol: retries,
-            // verify passes and rollbacks become explicit flows; moves
-            // that rolled back revert their readers to the incumbent
-            // placement before the epoch simulates.
-            let protocol = execute_schedule(
-                &sched,
-                self.cfg.protocol,
-                self.cfg.migration_fault_prob,
-                self.cfg.seed,
-                k,
-                &self.obs,
-            );
-            for &jid in &protocol.rolled_back_jobs {
-                if let Some(a) = ingest.get(jid) {
-                    exec.assign(jid, a);
-                }
-            }
-            // Simulate the epoch. Under analytic scoring the committed
-            // plan runs once, observed. Under simulated scoring the
-            // committed plan is only the leading candidate: at the
-            // mid-epoch horizon a what-if slate redirects still-waiting
-            // jobs, and the winning fork's report *is* the epoch result
-            // (fork equivalence makes sim-cold and fork-live commit
-            // identical decisions).
-            let placements = exec.to_placements();
-            let mut whatif_winner = 0usize;
-            let report = if self.cfg.scoring.simulated() {
-                let runs = prepare_runs(&spec, &placements, &protocol.flows, &scfg)?;
-                // Only provisioned services are viable redirect targets —
-                // an unprovisioned tier has zero bandwidth — and ephSSD /
-                // objStore placements also lean on their backing tier.
-                let has = |t: Tier| capacities.get(t).gb() > 0.0;
-                let viable: Vec<Tier> = Tier::ALL
-                    .into_iter()
-                    .filter(|&t| {
-                        has(t)
-                            && match t {
-                                Tier::EphSsd => has(Tier::ObjStore),
-                                Tier::ObjStore => has(Tier::PersSsd),
-                                _ => true,
-                            }
-                    })
-                    .collect();
-                let slate = candidate_slate(&spec, &viable);
-                let horizon = epoch_len.secs() * WHATIF_HORIZON_FRACTION;
-                let t_wall = std::time::Instant::now();
-                let decision = score_candidates(
-                    self.cfg.scoring,
-                    &scfg,
-                    runs,
-                    &slate,
-                    horizon,
-                    WHATIF_WORKERS,
-                )?;
-                self.obs
-                    .gauge("runtime.whatif_latency.wall")
-                    .set(t_wall.elapsed().as_secs_f64());
-                whatif_winner = decision.winner;
-                if whatif_winner > 0 {
-                    self.obs.counter("runtime.whatif_redirects").inc();
-                }
-                decision.report
-            } else {
-                Sim::builder(&scfg)
-                    .jobs(&spec, &placements)
-                    .migrations(&protocol.flows)
-                    .collector(self.obs.clone())
-                    .build()?
-                    .run()?
-            };
-            // Retry backoff is wall time the protocol serialized into the
-            // epoch on top of the simulated flows.
-            let makespan = report.makespan + Duration::from_secs(protocol.backoff_secs);
-
-            // Deadline accounting: a workflow's budget runs from its
-            // arrival instant, so queueing before batch start counts.
-            let mut misses = 0usize;
-            for a in &admitted {
-                if let Some(wf) = &a.workflow {
-                    let end = wf
-                        .jobs
-                        .iter()
-                        .filter_map(|id| report.job(*id))
-                        .map(|m| m.finished)
-                        .fold(Duration::ZERO, Duration::max);
-                    if (batch_start + end - a.at).secs() > wf.deadline.secs() {
-                        misses += 1;
-                    }
-                }
-            }
-
-            let cost_model = CostModel::new(&self.estimator.catalog, nvm);
-            let cost = cost_model.breakdown(&capacities, makespan);
-
-            self.obs.emit(
-                batch_start.secs(),
-                EventBody::EpochPlan {
-                    epoch: k,
-                    arrivals: admitted.len() as u32,
-                    replanned,
-                    adopted,
-                    score_delta,
-                    churn: sched.churn as u32,
-                },
-            );
-            for m in &sched.moves {
-                self.obs.emit(
-                    batch_start.secs(),
-                    EventBody::Migration {
-                        epoch: k,
-                        from: m.from.name().to_string(),
-                        to: m.to.name().to_string(),
-                        mb: m.bytes.mb(),
-                    },
-                );
-            }
-            self.obs.counter("runtime.epochs").inc();
-            self.obs
-                .counter("runtime.migrations")
-                .add(sched.moves.len() as u64);
-            self.obs
-                .counter("runtime.migrated_mb")
-                .add(sched.total.mb().round() as u64);
-            // Protocol counters only materialize when the protocol did
-            // something — default (faultless unsafe) snapshots stay
-            // byte-identical to pre-protocol runs.
-            if protocol.retries > 0 {
-                self.obs
-                    .counter("runtime.migration_retries")
-                    .add(protocol.retries as u64);
-            }
-            if protocol.rollbacks > 0 {
-                self.obs
-                    .counter("runtime.migration_rollbacks")
-                    .add(protocol.rollbacks as u64);
-            }
-            if !protocol.lost.is_empty() {
-                self.obs
-                    .counter("runtime.datasets_lost")
-                    .add(protocol.lost.len() as u64);
-            }
-            self.obs.counter("runtime.rejected").add(rejected as u64);
-            self.obs
-                .counter("runtime.deadline_misses")
-                .add(misses as u64);
-            self.obs.gauge("runtime.plan_churn").set(sched.churn as f64);
-            self.obs
-                .histogram(
-                    "runtime.replan_moves",
-                    &[100.0, 300.0, 1_000.0, 3_000.0, 10_000.0],
-                )
-                .record(replan_moves as f64);
-
-            epochs.push(EpochReport {
-                epoch: k,
-                boundary_secs: t1.secs(),
-                start_secs: batch_start.secs(),
-                arrivals: admitted.len(),
-                jobs: spec.jobs.len(),
-                replanned,
-                adopted,
-                score_delta,
-                churn: sched.churn,
-                migrations: sched.moves.len(),
-                migrated_mb: sched.total.mb(),
-                migration_retries: protocol.retries,
-                migration_rollbacks: protocol.rollbacks,
-                datasets_lost: protocol.lost.len(),
-                verify_mb: protocol.verify_mb,
-                wasted_mb: protocol.wasted_mb,
-                backoff_secs: protocol.backoff_secs,
-                replan_moves,
-                whatif_winner,
-                makespan_secs: makespan.secs(),
-                vm_cost: cost.vm.dollars(),
-                storage_cost: cost.storage_total().dollars(),
-                deadline_misses: misses,
-                rejected,
-            });
-            clock = batch_start + makespan;
-            prev_jobs = spec.jobs.clone();
-        }
-        Ok(OnlineReport::from_epochs(self.cfg.policy.label(), epochs))
-    }
-
-    /// Split one boundary's arrivals into admitted arrivals and a
-    /// rejection count. Plain jobs are always admitted; under
-    /// [`AdmissionPolicy::Deadline`] a workflow is turned away when the
-    /// queueing delay it has already absorbed plus the Eq. 4 estimate of
-    /// its chain on the current ingest tiers exceeds `slack × deadline`.
-    fn admit(
-        &self,
-        window: &'a [Arrival],
-        batch_start: Duration,
-        ingest_map: &HashMap<AppKind, Tier>,
-    ) -> Result<(Vec<&'a Arrival>, usize), RuntimeError> {
-        let AdmissionPolicy::Deadline { slack } = self.cfg.admission else {
-            return Ok((window.iter().collect(), 0));
-        };
-        let mut admitted = Vec::with_capacity(window.len());
-        let mut rejected = 0;
-        for a in window {
-            let Some(wf) = &a.workflow else {
-                admitted.push(a);
-                continue;
-            };
-            let mut estimate = batch_start - a.at;
-            for job in &a.jobs {
-                let tier = ingest_tier(job.app, ingest_map);
-                estimate += self.estimator.reg(job, tier, job.input)?;
-            }
-            if estimate.secs() > slack * wf.deadline.secs() {
-                rejected += 1;
-            } else {
-                admitted.push(a);
+        let mut session = self.session(stream.clone());
+        for k in 0..session.epoch_count() {
+            if let Some(planned) = session.plan_epoch(k)? {
+                session.execute_epoch(planned, 1.0)?;
             }
         }
-        Ok((admitted, rejected))
-    }
-}
-
-/// Where `app`'s fresh data lands under the current ingest rule.
-fn ingest_tier(app: AppKind, map: &HashMap<AppKind, Tier>) -> Tier {
-    map.get(&app).copied().unwrap_or(INGEST_FALLBACK)
-}
-
-/// The incumbent-derived placement for a batch: every job on its app's
-/// ingest tier. This is both the no-replan execution plan and the warm
-/// start the annealer resumes from.
-pub fn ingest_plan(spec: &WorkloadSpec, map: &HashMap<AppKind, Tier>) -> TieringPlan {
-    let mut plan = TieringPlan::new();
-    for job in &spec.jobs {
-        plan.assign(
-            job.id,
-            Assignment {
-                tier: ingest_tier(job.app, map),
-                overprov: 1.0,
-            },
-        );
-    }
-    plan
-}
-
-/// Per-app majority tier of `plan` over `spec`'s jobs, in deterministic
-/// (tier-order) tie-breaking. This is what the next epoch's ingest rule
-/// becomes when the plan is adopted.
-pub fn majority_tiers(spec: &WorkloadSpec, plan: &TieringPlan) -> Vec<(AppKind, Tier)> {
-    let mut counts: HashMap<AppKind, PerTier<usize>> = HashMap::new();
-    for job in &spec.jobs {
-        if let Some(a) = plan.get(job.id) {
-            *counts.entry(job.app).or_default().get_mut(a.tier) += 1;
-        }
-    }
-    let mut out: Vec<(AppKind, Tier)> = counts
-        .into_iter()
-        .map(|(app, per)| {
-            let tier = Tier::ALL
-                .into_iter()
-                .max_by_key(|&t| (*per.get(t), std::cmp::Reverse(t)))
-                .expect("four tiers");
-            (app, tier)
-        })
-        .collect();
-    out.sort_by_key(|&(app, _)| app);
-    out
-}
-
-/// Report row for a boundary whose every arrival was rejected: nothing
-/// ran, nothing was provisioned, nothing cost anything.
-fn empty_epoch(k: u32, boundary: Duration, start: Duration, rejected: usize) -> EpochReport {
-    EpochReport {
-        epoch: k,
-        boundary_secs: boundary.secs(),
-        start_secs: start.secs(),
-        arrivals: 0,
-        jobs: 0,
-        replanned: false,
-        adopted: false,
-        score_delta: 0.0,
-        churn: 0,
-        migrations: 0,
-        migrated_mb: 0.0,
-        migration_retries: 0,
-        migration_rollbacks: 0,
-        datasets_lost: 0,
-        verify_mb: 0.0,
-        wasted_mb: 0.0,
-        backoff_secs: 0.0,
-        replan_moves: 0,
-        whatif_winner: 0,
-        makespan_secs: 0.0,
-        vm_cost: 0.0,
-        storage_cost: 0.0,
-        deadline_misses: 0,
-        rejected,
+        Ok(session.finish())
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cast_cloud::tier::Tier;
+    use cast_cloud::units::Duration;
     use cast_cloud::Catalog;
     use cast_estimator::model::{CapacityCurve, ModelMatrix, PhaseBw};
     use cast_estimator::mrcute::ClusterSpec;
     use cast_workload::profile::ProfileSet;
-    use cast_workload::{ArrivalConfig, ArrivalProcess, DriftConfig};
+    use cast_workload::{AppKind, ArrivalConfig, ArrivalProcess, DriftConfig};
+
+    use crate::config::{AdmissionPolicy, ReplanPolicy};
 
     fn estimator(nvm: usize) -> Estimator {
         let mut matrix = ModelMatrix::new();
@@ -650,6 +233,81 @@ mod tests {
             serde_json::to_string(&rt.run(&stream(11)).unwrap()).unwrap()
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn session_with_full_grants_matches_run() {
+        // The steppable session under all-full grants IS the solo loop:
+        // same stream, same config ⇒ byte-identical report.
+        let est = estimator(4);
+        let cfg = quick_cfg(ReplanPolicy::Hysteresis { min_gain: 0.02 });
+        let rt = OnlineRuntime::new(&est, quick_anneal(600), cfg);
+        let direct = serde_json::to_string(&rt.run(&stream(11)).unwrap()).unwrap();
+        let mut session = rt.session(stream(11));
+        for k in 0..session.epoch_count() {
+            if let Some(p) = session.plan_epoch(k).unwrap() {
+                session.execute_epoch(p, 1.0).unwrap();
+            }
+        }
+        let stepped = serde_json::to_string(&session.finish()).unwrap();
+        assert_eq!(direct, stepped);
+    }
+
+    #[test]
+    fn deferred_epochs_carry_their_batch_forward() {
+        let est = estimator(4);
+        let cfg = quick_cfg(ReplanPolicy::Periodic);
+        let rt = OnlineRuntime::new(&est, quick_anneal(600), cfg);
+        // Defer the first planned boundary, grant everything after.
+        let mut session = rt.session(stream(7));
+        let mut deferred_once = false;
+        let mut planned_jobs = Vec::new();
+        for k in 0..session.epoch_count() {
+            if let Some(p) = session.plan_epoch(k).unwrap() {
+                if !deferred_once {
+                    deferred_once = true;
+                    planned_jobs.push(p.jobs());
+                    session.defer_epoch(p);
+                } else {
+                    planned_jobs.push(p.jobs());
+                    session.execute_epoch(p, 1.0).unwrap();
+                }
+            }
+        }
+        assert!(deferred_once);
+        assert_eq!(session.deferrals(), 1);
+        let report = session.finish();
+        // Nothing is lost: the deferred batch's jobs execute later.
+        assert_eq!(report.jobs_completed, stream(7).total_jobs());
+        // The boundary after the deferral served both batches.
+        assert!(planned_jobs[1] >= planned_jobs[0]);
+    }
+
+    #[test]
+    fn partial_grants_slow_the_epoch_but_lose_nothing() {
+        let est = estimator(4);
+        let cfg = quick_cfg(ReplanPolicy::Periodic);
+        let rt = OnlineRuntime::new(&est, quick_anneal(600), cfg);
+        let serve = |frac: f64| {
+            let mut session = rt.session(stream(7));
+            for k in 0..session.epoch_count() {
+                if let Some(p) = session.plan_epoch(k).unwrap() {
+                    session.execute_epoch(p, frac).unwrap();
+                }
+            }
+            session.finish()
+        };
+        let full = serve(1.0);
+        let half = serve(0.5);
+        assert_eq!(half.jobs_completed, full.jobs_completed);
+        // Less provisioned capacity ⇒ slower volumes ⇒ longer epochs.
+        let span = |r: &OnlineReport| -> f64 { r.epochs.iter().map(|e| e.makespan_secs).sum() };
+        assert!(
+            span(&half) > span(&full),
+            "half grant {} vs full {}",
+            span(&half),
+            span(&full)
+        );
     }
 
     #[test]

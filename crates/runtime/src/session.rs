@@ -1,0 +1,691 @@
+//! The steppable per-tenant epoch machine behind [`OnlineRuntime`] and
+//! `cast-fleet`.
+//!
+//! [`crate::OnlineRuntime::run`] serves one stream start-to-finish; a
+//! multi-tenant fleet interleaves *thousands* of such loops against
+//! shared tier capacity. [`TenantSession`] is the epoch loop broken at
+//! its natural seam:
+//!
+//! * [`TenantSession::plan_epoch`] — batch + admit + (warm-started)
+//!   replan + hysteresis + migration diff, returning a [`PlannedEpoch`]
+//!   that carries the batch's raw per-tier capacity demand. Nothing has
+//!   been provisioned or simulated yet, so a scheduler can inspect the
+//!   demand of every tenant before committing any capacity.
+//! * [`TenantSession::execute_epoch`] — provision (scaled by the granted
+//!   capacity fraction), lower migrations through the protocol, simulate,
+//!   and account. A grant of `1.0` is bit-identical to the solo runtime.
+//! * [`TenantSession::defer_epoch`] / [`TenantSession::reject_epoch`] —
+//!   the two ways a fleet scheduler can deny capacity: deferred batches
+//!   re-enter the next boundary (keeping their original arrival instants,
+//!   so queueing counts against deadlines); rejected batches are turned
+//!   away wholesale.
+//!
+//! A session is a pure function of `(estimator, AnnealConfig,
+//! RuntimeConfig, stream, grant sequence)` — the determinism contract the
+//! solo runtime pins extends to any deterministic grant sequence.
+
+use std::collections::HashMap;
+
+use cast_cloud::cost::CostModel;
+use cast_cloud::tier::{PerTier, Tier};
+use cast_cloud::units::{DataSize, Duration};
+use cast_estimator::Estimator;
+use cast_obs::{Collector, EventBody, Observe};
+use cast_sim::config::Concurrency;
+use cast_sim::{prepare_runs, Sim, SimConfig};
+use cast_solver::objective::provision_round;
+use cast_solver::{
+    candidate_slate, evaluate, restart_seed, score_candidates, AnnealConfig, Annealer, Assignment,
+    EvalContext, TieringPlan,
+};
+use cast_workload::arrival::assemble_spec;
+use cast_workload::{AppKind, Arrival, ArrivalStream, Job, WorkloadSpec};
+
+use crate::config::{AdmissionPolicy, ReplanPolicy, RuntimeConfig};
+use crate::error::RuntimeError;
+use crate::forecast::{planning_spec, strip_forecast};
+use crate::migrate::{execute_schedule, plan_delta, MigrationSchedule};
+use crate::report::{EpochReport, OnlineReport};
+
+/// Tier newly-arrived data lands on when the incumbent plan has no
+/// opinion about the job's application yet (before the first solve, or
+/// for an app the plan never placed). Persistent SSD is the safe middle:
+/// durable, fast enough for anything, never the paper's worst choice.
+pub const INGEST_FALLBACK: Tier = Tier::PersSsd;
+
+/// Decorrelates per-epoch solver seeds from the annealer's own
+/// per-restart seeds (both walks use [`restart_seed`]; offsetting the
+/// epoch index keeps the two sequences from aliasing).
+const EPOCH_SEED_OFFSET: usize = 0x10_0000;
+
+/// Under simulated candidate scoring, the fraction of the epoch length
+/// that elapses (in simulated time) before the mid-epoch what-if fires:
+/// enough for the batch's early waves to be genuinely in flight, enough
+/// epoch left for a redirect to matter.
+const WHATIF_HORIZON_FRACTION: f64 = 0.5;
+
+/// Worker threads fanning what-if candidates out. Any value yields the
+/// same decisions ([`cast_sim::par::run_indexed`]'s determinism
+/// contract), so this only trades replan latency for cores.
+const WHATIF_WORKERS: usize = 4;
+
+/// One planned-but-not-yet-executed epoch: the replanning decision plus
+/// the batch's raw per-tier capacity demand, waiting on a capacity grant.
+#[derive(Debug)]
+pub struct PlannedEpoch {
+    epoch: u32,
+    boundary: Duration,
+    batch_start: Duration,
+    admitted: Vec<Arrival>,
+    rejected: usize,
+    spec: WorkloadSpec,
+    ingest: TieringPlan,
+    exec: TieringPlan,
+    sched: MigrationSchedule,
+    replanned: bool,
+    adopted: bool,
+    score_delta: f64,
+    replan_moves: usize,
+    demand: PerTier<DataSize>,
+}
+
+impl PlannedEpoch {
+    /// Epoch index on the region grid.
+    pub fn epoch(&self) -> u32 {
+        self.epoch
+    }
+
+    /// Raw (pre-provisioning) per-tier capacity the batch wants. This is
+    /// what a fleet scheduler feeds the fair-share allocator.
+    pub fn demand(&self) -> &PerTier<DataSize> {
+        &self.demand
+    }
+
+    /// Arrivals admitted into the batch.
+    pub fn arrivals(&self) -> usize {
+        self.admitted.len()
+    }
+
+    /// Jobs across the admitted arrivals.
+    pub fn jobs(&self) -> usize {
+        self.spec.jobs.len()
+    }
+
+    /// When the batch starts executing (boundary, or later under
+    /// backlog).
+    pub fn batch_start_secs(&self) -> f64 {
+        self.batch_start.secs()
+    }
+}
+
+/// One tenant's online tiering loop, broken at the plan/execute seam so
+/// an external scheduler can mediate capacity between the two halves.
+pub struct TenantSession<'a> {
+    estimator: &'a Estimator,
+    anneal: AnnealConfig,
+    cfg: RuntimeConfig,
+    obs: Collector,
+    stream: ArrivalStream,
+    n_epochs: u32,
+    // Live state: the per-app ingest rule distilled from the last
+    // adopted plan, whether a solve has happened yet (the first one is
+    // cold; replans after it warm-start from the incumbent placement
+    // rule, adopted or not), the previous window's jobs (the persistence
+    // forecast) and the cluster's next free instant.
+    ingest_map: HashMap<AppKind, Tier>,
+    solved_once: bool,
+    prev_jobs: Vec<Job>,
+    clock: Duration,
+    // Batches a fleet scheduler deferred, re-entering the next boundary.
+    carryover: Vec<Arrival>,
+    // Admission rejections from a boundary whose batch was then
+    // deferred; surfaced in the next report row.
+    pending_rejected: usize,
+    deferrals: usize,
+    epochs: Vec<EpochReport>,
+}
+
+impl<'a> TenantSession<'a> {
+    /// Open a session over `stream`. `anneal` is the cold-start solver
+    /// schedule; replans after the first run the scaled-down `cfg.warm`.
+    pub fn new(
+        estimator: &'a Estimator,
+        anneal: AnnealConfig,
+        cfg: RuntimeConfig,
+        stream: ArrivalStream,
+    ) -> Self {
+        let n_epochs = (stream.horizon.secs() / cfg.epoch.secs()).ceil().max(1.0) as u32;
+        TenantSession {
+            estimator,
+            anneal,
+            cfg,
+            obs: Collector::noop(),
+            stream,
+            n_epochs,
+            ingest_map: HashMap::new(),
+            solved_once: false,
+            prev_jobs: Vec::new(),
+            clock: Duration::ZERO,
+            carryover: Vec::new(),
+            pending_rejected: 0,
+            deferrals: 0,
+            epochs: Vec::new(),
+        }
+    }
+
+    /// Epochs on the session's grid (`ceil(horizon / epoch)`, min 1).
+    pub fn epoch_count(&self) -> u32 {
+        self.n_epochs
+    }
+
+    /// Batches a scheduler deferred so far.
+    pub fn deferrals(&self) -> usize {
+        self.deferrals
+    }
+
+    /// The instant the cluster frees up (end of the last executed batch).
+    pub fn clock(&self) -> Duration {
+        self.clock
+    }
+
+    /// Plan boundary `k`: batch arrivals (plus any deferred carryover),
+    /// admit, replan per policy and diff migrations. Returns `None` when
+    /// the boundary has nothing to execute (empty window, or every
+    /// arrival rejected by admission — the latter still writes its
+    /// report row).
+    pub fn plan_epoch(&mut self, k: u32) -> Result<Option<PlannedEpoch>, RuntimeError> {
+        let epoch_len = self.cfg.epoch;
+        let t0 = epoch_len * k as f64;
+        let t1 = epoch_len * (k + 1) as f64;
+        // Deferred batches go first: they arrived earlier, and their
+        // original `at` instants keep deadline accounting honest.
+        let mut batch = std::mem::take(&mut self.carryover);
+        batch.extend(self.stream.window(t0, t1).iter().cloned());
+        if batch.is_empty() {
+            return Ok(None);
+        }
+        // Arrivals in [t0, t1) execute at the boundary t1 — or later,
+        // when the previous batch still holds the cluster.
+        let batch_start = t1.max(self.clock);
+        let (admitted, mut rejected) = self.admit(&batch, batch_start)?;
+        rejected += std::mem::take(&mut self.pending_rejected);
+        if admitted.is_empty() {
+            self.obs.counter("runtime.rejected").add(rejected as u64);
+            self.epochs.push(empty_epoch(k, t1, batch_start, rejected));
+            return Ok(None);
+        }
+        let spec = assemble_spec(admitted.iter());
+        spec.validate()?;
+        let ingest = ingest_plan(&spec, &self.ingest_map);
+
+        // Replan (policy-dependent), adopt (hysteresis-gated), diff.
+        let mut replanned = false;
+        let mut adopted = false;
+        let mut score_delta = 0.0;
+        let mut replan_moves = 0;
+        let mut exec = ingest.clone();
+        let mut sched = MigrationSchedule::default();
+        let must_replan = match self.cfg.policy {
+            ReplanPolicy::Static => !self.solved_once,
+            ReplanPolicy::Periodic | ReplanPolicy::Hysteresis { .. } => true,
+        };
+        if must_replan {
+            replanned = true;
+            let pspec = if self.cfg.forecast {
+                planning_spec(&spec, &self.prev_jobs)
+            } else {
+                spec.clone()
+            };
+            let pctx = EvalContext::new(self.estimator, &pspec).with_reuse_awareness();
+            let init = ingest_plan(&pspec, &self.ingest_map);
+            let acfg = AnnealConfig {
+                seed: restart_seed(self.cfg.seed, k as usize + EPOCH_SEED_OFFSET),
+                ..self.anneal
+            };
+            let annealer = Annealer::new(acfg).observe(self.obs.clone());
+            let t_wall = std::time::Instant::now();
+            let outcome = if self.solved_once {
+                annealer.resume_from(&pctx, init, self.cfg.warm)?
+            } else {
+                annealer.solve(&pctx, init)?
+            };
+            self.solved_once = true;
+            self.obs
+                .gauge("runtime.replan_latency.wall")
+                .set(t_wall.elapsed().as_secs_f64());
+            let d = &outcome.diagnostics;
+            replan_moves = d.moves_to_reach(d.best_score).unwrap_or(d.iterations);
+            let candidate = strip_forecast(&outcome.plan);
+
+            // Judge the candidate on the *real* batch only — forecast
+            // jobs must not pad its score.
+            let rctx = EvalContext::new(self.estimator, &spec).with_reuse_awareness();
+            let incumbent_utility = evaluate(&ingest, &rctx)?.utility;
+            let candidate_utility = evaluate(&candidate, &rctx)?.utility;
+            score_delta = if incumbent_utility > 0.0 {
+                (candidate_utility - incumbent_utility) / incumbent_utility
+            } else {
+                f64::INFINITY
+            };
+            let accept = match self.cfg.policy {
+                ReplanPolicy::Hysteresis { min_gain } => score_delta >= min_gain,
+                ReplanPolicy::Static | ReplanPolicy::Periodic => true,
+            };
+            if accept {
+                adopted = true;
+                sched = plan_delta(&spec, &ingest, &candidate);
+                exec = candidate;
+                for (app, tier) in majority_tiers(&spec, &exec) {
+                    self.ingest_map.insert(app, tier);
+                }
+            }
+        }
+
+        // The epoch's raw capacity demand. During a migration epoch both
+        // the old (ingest) and new layout hold data simultaneously, so
+        // each tier wants the larger of the two demands.
+        let raw_ingest = ingest.capacities(&spec, true)?;
+        let demand = if adopted {
+            let raw_exec = exec.capacities(&spec, true)?;
+            PerTier::from_fn(|t| (*raw_ingest.get(t)).max(*raw_exec.get(t)))
+        } else {
+            raw_ingest
+        };
+
+        Ok(Some(PlannedEpoch {
+            epoch: k,
+            boundary: t1,
+            batch_start,
+            admitted,
+            rejected,
+            spec,
+            ingest,
+            exec,
+            sched,
+            replanned,
+            adopted,
+            score_delta,
+            replan_moves,
+            demand,
+        }))
+    }
+
+    /// Execute a planned epoch under a capacity grant. `grant_frac` is
+    /// the fraction of the demanded capacity the scheduler awarded:
+    /// `1.0` provisions exactly what the solo runtime would (bit-
+    /// identical), smaller grants provision proportionally less on every
+    /// capacity-scaled tier — so volumes are slower — and throttle the
+    /// shared object-store ceiling by the same factor.
+    pub fn execute_epoch(
+        &mut self,
+        planned: PlannedEpoch,
+        grant_frac: f64,
+    ) -> Result<(), RuntimeError> {
+        let PlannedEpoch {
+            epoch: k,
+            boundary,
+            batch_start,
+            admitted,
+            rejected,
+            spec,
+            ingest,
+            mut exec,
+            sched,
+            replanned,
+            adopted,
+            score_delta,
+            replan_moves,
+            demand,
+        } = planned;
+        let frac = grant_frac.clamp(0.0, 1.0);
+        // A full grant must reproduce the solo runtime bit-for-bit, so
+        // only scale when the scheduler actually took capacity away.
+        let raw = if frac < 1.0 {
+            PerTier::from_fn(|t| *demand.get(t) * frac)
+        } else {
+            demand
+        };
+        let capacities = provision_round(self.estimator, &raw);
+        let nvm = self.estimator.cluster.nvm;
+        let mut scfg =
+            SimConfig::with_aggregate_capacity(self.estimator.catalog.clone(), nvm, &capacities)?;
+        scfg.concurrency = Concurrency::Parallel;
+        if frac < 1.0 {
+            scfg.objstore_cluster_mbps *= frac;
+        }
+
+        // Lower the schedule through the migration protocol: retries,
+        // verify passes and rollbacks become explicit flows; moves that
+        // rolled back revert their readers to the incumbent placement
+        // before the epoch simulates.
+        let protocol = execute_schedule(
+            &sched,
+            self.cfg.protocol,
+            self.cfg.migration_fault_prob,
+            self.cfg.seed,
+            k,
+            &self.obs,
+        );
+        for &jid in &protocol.rolled_back_jobs {
+            if let Some(a) = ingest.get(jid) {
+                exec.assign(jid, a);
+            }
+        }
+        // Simulate the epoch. Under analytic scoring the committed plan
+        // runs once, observed. Under simulated scoring the committed
+        // plan is only the leading candidate: at the mid-epoch horizon a
+        // what-if slate redirects still-waiting jobs, and the winning
+        // fork's report *is* the epoch result (fork equivalence makes
+        // sim-cold and fork-live commit identical decisions).
+        let placements = exec.to_placements();
+        let mut whatif_winner = 0usize;
+        let report = if self.cfg.scoring.simulated() {
+            let runs = prepare_runs(&spec, &placements, &protocol.flows, &scfg)?;
+            // Only provisioned services are viable redirect targets — an
+            // unprovisioned tier has zero bandwidth — and ephSSD /
+            // objStore placements also lean on their backing tier.
+            let has = |t: Tier| capacities.get(t).gb() > 0.0;
+            let viable: Vec<Tier> = Tier::ALL
+                .into_iter()
+                .filter(|&t| {
+                    has(t)
+                        && match t {
+                            Tier::EphSsd => has(Tier::ObjStore),
+                            Tier::ObjStore => has(Tier::PersSsd),
+                            _ => true,
+                        }
+                })
+                .collect();
+            let slate = candidate_slate(&spec, &viable);
+            let horizon = self.cfg.epoch.secs() * WHATIF_HORIZON_FRACTION;
+            let t_wall = std::time::Instant::now();
+            let decision = score_candidates(
+                self.cfg.scoring,
+                &scfg,
+                runs,
+                &slate,
+                horizon,
+                WHATIF_WORKERS,
+            )?;
+            self.obs
+                .gauge("runtime.whatif_latency.wall")
+                .set(t_wall.elapsed().as_secs_f64());
+            whatif_winner = decision.winner;
+            if whatif_winner > 0 {
+                self.obs.counter("runtime.whatif_redirects").inc();
+            }
+            decision.report
+        } else {
+            Sim::builder(&scfg)
+                .jobs(&spec, &placements)
+                .migrations(&protocol.flows)
+                .collector(self.obs.clone())
+                .build()?
+                .run()?
+        };
+        // Retry backoff is wall time the protocol serialized into the
+        // epoch on top of the simulated flows.
+        let makespan = report.makespan + Duration::from_secs(protocol.backoff_secs);
+
+        // Deadline accounting: a workflow's budget runs from its arrival
+        // instant, so queueing before batch start counts.
+        let mut misses = 0usize;
+        for a in &admitted {
+            if let Some(wf) = &a.workflow {
+                let end = wf
+                    .jobs
+                    .iter()
+                    .filter_map(|id| report.job(*id))
+                    .map(|m| m.finished)
+                    .fold(Duration::ZERO, Duration::max);
+                if (batch_start + end - a.at).secs() > wf.deadline.secs() {
+                    misses += 1;
+                }
+            }
+        }
+
+        let cost_model = CostModel::new(&self.estimator.catalog, nvm);
+        let cost = cost_model.breakdown(&capacities, makespan);
+
+        self.obs.emit(
+            batch_start.secs(),
+            EventBody::EpochPlan {
+                epoch: k,
+                arrivals: admitted.len() as u32,
+                replanned,
+                adopted,
+                score_delta,
+                churn: sched.churn as u32,
+            },
+        );
+        for m in &sched.moves {
+            self.obs.emit(
+                batch_start.secs(),
+                EventBody::Migration {
+                    epoch: k,
+                    from: m.from.name().to_string(),
+                    to: m.to.name().to_string(),
+                    mb: m.bytes.mb(),
+                },
+            );
+        }
+        self.obs.counter("runtime.epochs").inc();
+        self.obs
+            .counter("runtime.migrations")
+            .add(sched.moves.len() as u64);
+        self.obs
+            .counter("runtime.migrated_mb")
+            .add(sched.total.mb().round() as u64);
+        // Protocol counters only materialize when the protocol did
+        // something — default (faultless unsafe) snapshots stay
+        // byte-identical to pre-protocol runs.
+        if protocol.retries > 0 {
+            self.obs
+                .counter("runtime.migration_retries")
+                .add(protocol.retries as u64);
+        }
+        if protocol.rollbacks > 0 {
+            self.obs
+                .counter("runtime.migration_rollbacks")
+                .add(protocol.rollbacks as u64);
+        }
+        if !protocol.lost.is_empty() {
+            self.obs
+                .counter("runtime.datasets_lost")
+                .add(protocol.lost.len() as u64);
+        }
+        self.obs.counter("runtime.rejected").add(rejected as u64);
+        self.obs
+            .counter("runtime.deadline_misses")
+            .add(misses as u64);
+        self.obs.gauge("runtime.plan_churn").set(sched.churn as f64);
+        self.obs
+            .histogram(
+                "runtime.replan_moves",
+                &[100.0, 300.0, 1_000.0, 3_000.0, 10_000.0],
+            )
+            .record(replan_moves as f64);
+
+        self.epochs.push(EpochReport {
+            epoch: k,
+            boundary_secs: boundary.secs(),
+            start_secs: batch_start.secs(),
+            arrivals: admitted.len(),
+            jobs: spec.jobs.len(),
+            replanned,
+            adopted,
+            score_delta,
+            churn: sched.churn,
+            migrations: sched.moves.len(),
+            migrated_mb: sched.total.mb(),
+            migration_retries: protocol.retries,
+            migration_rollbacks: protocol.rollbacks,
+            datasets_lost: protocol.lost.len(),
+            verify_mb: protocol.verify_mb,
+            wasted_mb: protocol.wasted_mb,
+            backoff_secs: protocol.backoff_secs,
+            replan_moves,
+            whatif_winner,
+            makespan_secs: makespan.secs(),
+            vm_cost: cost.vm.dollars(),
+            storage_cost: cost.storage_total().dollars(),
+            deadline_misses: misses,
+            rejected,
+        });
+        self.clock = batch_start + makespan;
+        self.prev_jobs = spec.jobs;
+        Ok(())
+    }
+
+    /// Push a planned batch to the next boundary (capacity denied, try
+    /// again). The batch's arrivals keep their original instants, so the
+    /// deferral delay counts against their deadlines; admission
+    /// rejections from the boundary surface in the next report row.
+    pub fn defer_epoch(&mut self, planned: PlannedEpoch) {
+        self.deferrals += 1;
+        self.pending_rejected += planned.rejected;
+        self.obs.counter("runtime.deferred").inc();
+        self.carryover = planned.admitted;
+    }
+
+    /// Turn a planned batch away wholesale (capacity denied for good).
+    /// Every arrival — admitted or not — is recorded as rejected and
+    /// nothing executes, provisions or costs anything.
+    pub fn reject_epoch(&mut self, planned: PlannedEpoch) {
+        let rejected = planned.admitted.len() + planned.rejected;
+        self.obs.counter("runtime.rejected").add(rejected as u64);
+        self.epochs.push(empty_epoch(
+            planned.epoch,
+            planned.boundary,
+            planned.batch_start,
+            rejected,
+        ));
+    }
+
+    /// Close the session and roll its epochs up into an [`OnlineReport`].
+    pub fn finish(self) -> OnlineReport {
+        OnlineReport::from_epochs(self.cfg.policy.label(), self.epochs)
+    }
+
+    /// Split one boundary's batch into admitted arrivals and a rejection
+    /// count. Plain jobs are always admitted; under
+    /// [`AdmissionPolicy::Deadline`] a workflow is turned away when the
+    /// queueing delay it has already absorbed plus the Eq. 4 estimate of
+    /// its chain on the current ingest tiers exceeds `slack × deadline`.
+    fn admit(
+        &self,
+        batch: &[Arrival],
+        batch_start: Duration,
+    ) -> Result<(Vec<Arrival>, usize), RuntimeError> {
+        let AdmissionPolicy::Deadline { slack } = self.cfg.admission else {
+            return Ok((batch.to_vec(), 0));
+        };
+        let mut admitted = Vec::with_capacity(batch.len());
+        let mut rejected = 0;
+        for a in batch {
+            let Some(wf) = &a.workflow else {
+                admitted.push(a.clone());
+                continue;
+            };
+            let mut estimate = batch_start - a.at;
+            for job in &a.jobs {
+                let tier = ingest_tier(job.app, &self.ingest_map);
+                estimate += self.estimator.reg(job, tier, job.input)?;
+            }
+            if estimate.secs() > slack * wf.deadline.secs() {
+                rejected += 1;
+            } else {
+                admitted.push(a.clone());
+            }
+        }
+        Ok((admitted, rejected))
+    }
+}
+
+/// Epoch-plan and migration events, runtime counters/gauges plus the
+/// solver's and simulator's own instrumentation all land in the attached
+/// collector. Results are bit-identical to an unobserved run (replan
+/// latency is recorded under a `.wall` metric, which determinism checks
+/// quarantine).
+impl cast_obs::Observe for TenantSession<'_> {
+    fn collector_slot(&mut self) -> &mut Collector {
+        &mut self.obs
+    }
+}
+
+/// Where `app`'s fresh data lands under the current ingest rule.
+fn ingest_tier(app: AppKind, map: &HashMap<AppKind, Tier>) -> Tier {
+    map.get(&app).copied().unwrap_or(INGEST_FALLBACK)
+}
+
+/// The incumbent-derived placement for a batch: every job on its app's
+/// ingest tier. This is both the no-replan execution plan and the warm
+/// start the annealer resumes from.
+pub fn ingest_plan(spec: &WorkloadSpec, map: &HashMap<AppKind, Tier>) -> TieringPlan {
+    let mut plan = TieringPlan::new();
+    for job in &spec.jobs {
+        plan.assign(
+            job.id,
+            Assignment {
+                tier: ingest_tier(job.app, map),
+                overprov: 1.0,
+            },
+        );
+    }
+    plan
+}
+
+/// Per-app majority tier of `plan` over `spec`'s jobs, in deterministic
+/// (tier-order) tie-breaking. This is what the next epoch's ingest rule
+/// becomes when the plan is adopted.
+pub fn majority_tiers(spec: &WorkloadSpec, plan: &TieringPlan) -> Vec<(AppKind, Tier)> {
+    let mut counts: HashMap<AppKind, PerTier<usize>> = HashMap::new();
+    for job in &spec.jobs {
+        if let Some(a) = plan.get(job.id) {
+            *counts.entry(job.app).or_default().get_mut(a.tier) += 1;
+        }
+    }
+    let mut out: Vec<(AppKind, Tier)> = counts
+        .into_iter()
+        .map(|(app, per)| {
+            let tier = Tier::ALL
+                .into_iter()
+                .max_by_key(|&t| (*per.get(t), std::cmp::Reverse(t)))
+                .expect("four tiers");
+            (app, tier)
+        })
+        .collect();
+    out.sort_by_key(|&(app, _)| app);
+    out
+}
+
+/// Report row for a boundary whose every arrival was rejected: nothing
+/// ran, nothing was provisioned, nothing cost anything.
+fn empty_epoch(k: u32, boundary: Duration, start: Duration, rejected: usize) -> EpochReport {
+    EpochReport {
+        epoch: k,
+        boundary_secs: boundary.secs(),
+        start_secs: start.secs(),
+        arrivals: 0,
+        jobs: 0,
+        replanned: false,
+        adopted: false,
+        score_delta: 0.0,
+        churn: 0,
+        migrations: 0,
+        migrated_mb: 0.0,
+        migration_retries: 0,
+        migration_rollbacks: 0,
+        datasets_lost: 0,
+        verify_mb: 0.0,
+        wasted_mb: 0.0,
+        backoff_secs: 0.0,
+        replan_moves: 0,
+        whatif_winner: 0,
+        makespan_secs: 0.0,
+        vm_cost: 0.0,
+        storage_cost: 0.0,
+        deadline_misses: 0,
+        rejected,
+    }
+}

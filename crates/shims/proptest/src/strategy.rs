@@ -153,3 +153,4 @@ tuple_strategy!(A: 0, B: 1);
 tuple_strategy!(A: 0, B: 1, C: 2);
 tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
 tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4);
+tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);

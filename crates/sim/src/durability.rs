@@ -41,7 +41,6 @@ use cast_workload::spec::WorkloadSpec;
 
 use crate::config::SimConfig;
 use crate::error::SimError;
-use crate::metrics::SimReport;
 use crate::placement::PlacementMap;
 use crate::runner::MigrationSpec;
 
@@ -317,39 +316,38 @@ pub(crate) fn durability_prepass(
     })
 }
 
-/// Migration-aware simulation with the durability pre-pass applied.
-///
-/// Returns the simulation report together with a [`DurabilityReport`]
-/// describing the damage and the repair work that was injected. With no
-/// shard losses in the plan the simulation is bit-identical to the
-/// plain migration-aware run.
-#[deprecated(note = "use `cast_sim::Sim::builder(..).durability(true)` instead")]
-pub fn simulate_durable(
-    spec: &WorkloadSpec,
-    placements: &PlacementMap,
-    migrations: &[MigrationSpec],
-    cfg: &SimConfig,
-    collector: &Collector,
-) -> Result<(SimReport, DurabilityReport), SimError> {
-    crate::sim::Sim::builder(cfg)
-        .jobs(spec, placements)
-        .migrations(migrations)
-        .collector(collector.clone())
-        .durability(true)
-        .build()?
-        .run_durable()
-}
-
 #[cfg(test)]
 mod tests {
-    #![allow(deprecated)]
     use super::*;
     use crate::fault::{FaultPlan, ShardKill, VmCrash};
-    use crate::runner::simulate_with_migrations;
+    use crate::metrics::SimReport;
+    use crate::sim::Sim;
     use cast_cloud::tier::PerTier;
     use cast_cloud::Catalog;
     use cast_workload::apps::AppKind;
     use cast_workload::synth;
+
+    fn simulate_plain(
+        spec: &WorkloadSpec,
+        placements: &PlacementMap,
+        cfg: &SimConfig,
+    ) -> Result<SimReport, SimError> {
+        Sim::builder(cfg).jobs(spec, placements).build()?.run()
+    }
+
+    fn simulate_durable(
+        spec: &WorkloadSpec,
+        placements: &PlacementMap,
+        cfg: &SimConfig,
+        collector: &Collector,
+    ) -> Result<(SimReport, DurabilityReport), SimError> {
+        Sim::builder(cfg)
+            .jobs(spec, placements)
+            .collector(collector.clone())
+            .durability(true)
+            .build()?
+            .run_durable()
+    }
 
     fn cfg_with(catalog: Catalog, nvm: usize, faults: FaultPlan) -> SimConfig {
         let mut agg = PerTier::from_fn(|_| DataSize::ZERO);
@@ -372,10 +370,9 @@ mod tests {
     fn no_kills_is_bit_identical_to_plain_sim() {
         let (spec, placements) = ec_spec_and_placement();
         let cfg = cfg_with(Catalog::with_ec_cold_tier(), 2, FaultPlan::default());
-        let plain =
-            simulate_with_migrations(&spec, &placements, &[], &cfg, &Collector::noop()).unwrap();
+        let plain = simulate_plain(&spec, &placements, &cfg).unwrap();
         let (durable, rep) =
-            simulate_durable(&spec, &placements, &[], &cfg, &Collector::noop()).unwrap();
+            simulate_durable(&spec, &placements, &cfg, &Collector::noop()).unwrap();
         assert_eq!(
             plain.makespan.secs().to_bits(),
             durable.makespan.secs().to_bits()
@@ -396,10 +393,9 @@ mod tests {
         };
         let cfg = cfg_with(Catalog::with_ec_cold_tier(), 2, faults);
         let quiet = cfg_with(Catalog::with_ec_cold_tier(), 2, FaultPlan::default());
-        let baseline =
-            simulate_with_migrations(&spec, &placements, &[], &quiet, &Collector::noop()).unwrap();
+        let baseline = simulate_plain(&spec, &placements, &quiet).unwrap();
         let col = Collector::recording();
-        let (report, durability) = simulate_durable(&spec, &placements, &[], &cfg, &col).unwrap();
+        let (report, durability) = simulate_durable(&spec, &placements, &cfg, &col).unwrap();
         assert_eq!(durability.degraded_datasets, 1);
         assert_eq!(durability.repairs, 1);
         assert!(durability.degraded_read_mb > 0.0);
@@ -430,7 +426,7 @@ mod tests {
             ..FaultPlan::default()
         };
         let cfg = cfg_with(Catalog::with_ec_cold_tier(), 2, faults);
-        let err = simulate_durable(&spec, &placements, &[], &cfg, &Collector::noop()).unwrap_err();
+        let err = simulate_durable(&spec, &placements, &cfg, &Collector::noop()).unwrap_err();
         assert!(matches!(
             err,
             SimError::DataLoss {
@@ -454,7 +450,7 @@ mod tests {
             ..FaultPlan::default()
         };
         let cfg = cfg_with(Catalog::google_cloud(), 2, faults);
-        let err = simulate_durable(&spec, &placements, &[], &cfg, &Collector::noop()).unwrap_err();
+        let err = simulate_durable(&spec, &placements, &cfg, &Collector::noop()).unwrap_err();
         assert!(matches!(err, SimError::DataLoss { dataset: 0, .. }));
     }
 
@@ -482,7 +478,7 @@ mod tests {
             ..FaultPlan::default()
         };
         let cfg = cfg_with(Catalog::with_ec_cold_tier(), 2, faults);
-        let err = simulate_durable(&spec, &placements, &[], &cfg, &Collector::noop()).unwrap_err();
+        let err = simulate_durable(&spec, &placements, &cfg, &Collector::noop()).unwrap_err();
         assert!(matches!(err, SimError::DataLoss { lost: 3, .. }));
     }
 
@@ -500,12 +496,12 @@ mod tests {
         // Persistent tier: the crash destroys no shards.
         let placements = PlacementMap::uniform(spec.jobs.iter().map(|j| j.id), Tier::PersHdd);
         let cfg = cfg_with(Catalog::google_cloud(), 2, faults.clone());
-        let (_, rep) = simulate_durable(&spec, &placements, &[], &cfg, &Collector::noop()).unwrap();
+        let (_, rep) = simulate_durable(&spec, &placements, &cfg, &Collector::noop()).unwrap();
         assert_eq!(rep, DurabilityReport::default());
         // Ephemeral tier under rep(1): the crash takes the only copy.
         let eph = PlacementMap::uniform(spec.jobs.iter().map(|j| j.id), Tier::EphSsd);
         let cfg = cfg_with(Catalog::google_cloud(), 1, faults);
-        let err = simulate_durable(&spec, &eph, &[], &cfg, &Collector::noop()).unwrap_err();
+        let err = simulate_durable(&spec, &eph, &cfg, &Collector::noop()).unwrap_err();
         assert!(matches!(err, SimError::DataLoss { .. }));
     }
 

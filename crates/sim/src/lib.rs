@@ -42,7 +42,6 @@
 //! [`Sim::builder`] runs a [`cast_workload::WorkloadSpec`] under a
 //! [`placement::PlacementMap`] on a [`config::SimConfig`], returning a
 //! [`metrics::SimReport`] with per-job phase timings and the makespan.
-//! The old `simulate*` free functions survive as deprecated shims.
 
 pub mod config;
 pub mod durability;
@@ -64,8 +63,6 @@ pub mod trace;
 pub mod whatif;
 
 pub use config::SimConfig;
-#[allow(deprecated)]
-pub use durability::simulate_durable;
 pub use durability::{DurabilityReport, ShardState};
 pub use engine::{Engine, EngineScratch, EngineSnapshot, EngineStats, RunState, SNAPSHOT_VERSION};
 pub use error::SimError;
@@ -73,7 +70,5 @@ pub use fault::{DegradationWindow, FaultPlan, ShardKill, VmCrash};
 pub use metrics::{FaultSummary, JobMetrics, SimReport};
 pub use placement::{JobPlacement, PlacementMap, SplitPlacement};
 pub use runner::{prepare_runs, MigrationSpec, MIGRATION_JOB_BASE};
-#[allow(deprecated)]
-pub use runner::{simulate, simulate_observed, simulate_with_migrations};
 pub use sim::{Sim, SimBuilder};
 pub use whatif::{pick_winner, score_cold, score_forked, CandidateOverride};

@@ -29,6 +29,7 @@
 //! returning and re-raises the first panic it sees.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Worker count matching the machine's available parallelism (at least
 /// one). The pool never helps when `n == 1`; callers can pass this
@@ -89,6 +90,72 @@ where
         .collect()
 }
 
+/// [`run_indexed`] for *stateful* tasks: run `f(i, &mut states[i])` for
+/// every index on up to `workers` scoped threads and return the results
+/// in index order. Each state is visited exactly once, so tasks get
+/// exclusive `&mut` access to their own slot while the batch as a whole
+/// fans out — the shape of a fleet scheduler dispatching per-tenant
+/// epochs, where every tenant owns mutable session state.
+///
+/// The determinism contract is [`run_indexed`]'s, extended to state:
+/// `f`'s output and the state it leaves behind may depend only on the
+/// index and the state it was handed, never on worker count or claim
+/// order. Under that contract both the returned `Vec` and the final
+/// `states` are bit-identical for every `workers`, including `1`.
+///
+/// Each slot is wrapped in an uncontended [`Mutex`] (one claimant per
+/// index by construction), so the synchronization cost is a single
+/// lock/unlock pair per task.
+pub fn run_indexed_mut<S, T, F>(workers: usize, states: &mut [S], f: F) -> Vec<T>
+where
+    S: Send,
+    T: Send,
+    F: Fn(usize, &mut S) -> T + Sync,
+{
+    let n = states.len();
+    let w = workers.min(n).max(1);
+    if w == 1 {
+        return states
+            .iter_mut()
+            .enumerate()
+            .map(|(i, s)| f(i, s))
+            .collect();
+    }
+    let cells: Vec<Mutex<&mut S>> = states.iter_mut().map(Mutex::new).collect();
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<T>> = Vec::with_capacity(n);
+    slots.resize_with(n, || None);
+    let f = &f;
+    let next = &next;
+    let cells = &cells;
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(w);
+        for _ in 0..w {
+            handles.push(scope.spawn(move || {
+                let mut done: Vec<(usize, T)> = Vec::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let mut state = cells[i].lock().expect("unpoisoned: one claimant per index");
+                    done.push((i, f(i, &mut state)));
+                }
+                done
+            }));
+        }
+        for h in handles {
+            for (i, v) in h.join().expect("parallel worker panicked") {
+                slots[i] = Some(v);
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("every index claimed exactly once"))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -106,6 +173,37 @@ mod tests {
     fn handles_empty_and_singleton() {
         assert_eq!(run_indexed(8, 0, |i| i), Vec::<usize>::new());
         assert_eq!(run_indexed(8, 1, |i| i + 10), vec![10]);
+    }
+
+    #[test]
+    fn stateful_runs_mutate_every_slot_once_for_any_worker_count() {
+        // Each task folds its index into its own state and returns the
+        // new value; results and final states must match the sequential
+        // loop for every worker count.
+        let expect_states: Vec<u64> = (0..61u64).map(|i| i * 1000 + i * 7 + 1).collect();
+        for w in [1, 2, 3, 8, 64] {
+            let mut states: Vec<u64> = (0..61u64).map(|i| i * 1000).collect();
+            let got = run_indexed_mut(w, &mut states, |i, s| {
+                *s += i as u64 * 7 + 1;
+                *s
+            });
+            assert_eq!(states, expect_states, "workers={w}");
+            assert_eq!(got, expect_states, "workers={w}");
+        }
+    }
+
+    #[test]
+    fn stateful_handles_empty_and_singleton() {
+        let mut empty: Vec<u8> = Vec::new();
+        assert_eq!(
+            run_indexed_mut(8, &mut empty, |i, _| i),
+            Vec::<usize>::new()
+        );
+        let mut one = vec![5u8];
+        assert_eq!(
+            run_indexed_mut(8, &mut one, |i, s| i + *s as usize),
+            vec![5]
+        );
     }
 
     #[test]

@@ -1,9 +1,11 @@
-//! High-level simulation entry points.
+//! Workload lowering for the simulation engine.
 //!
-//! [`simulate`] validates a workload + placement against a cluster
+//! [`prepare_runs`] validates a workload + placement against a cluster
 //! configuration, wires up workflow dependencies (including cross-tier
 //! transfer staging between producer and consumer jobs), orders jobs
-//! topologically, and runs the engine.
+//! topologically, and lowers everything into the dependency-ordered
+//! [`JobRun`] table an engine executes. [`crate::Sim::builder`] is the
+//! entry point that drives it.
 
 use std::collections::HashMap;
 
@@ -17,7 +19,6 @@ use cast_workload::spec::WorkloadSpec;
 use crate::config::SimConfig;
 use crate::error::SimError;
 use crate::jobrun::JobRun;
-use crate::metrics::SimReport;
 use crate::placement::{JobPlacement, PlacementMap};
 
 /// Job-id namespace for synthetic migration runs: ids at or above this
@@ -47,64 +48,6 @@ pub struct MigrationSpec {
     /// verify pass after the copy this way. Each referenced id must appear
     /// before this spec in the migration list.
     pub after: Vec<u32>,
-}
-
-/// Simulate `spec` under `placements` on the cluster `cfg`.
-///
-/// Jobs inside workflows wait for their parents; when a parent's effective
-/// output tier differs from the child's input tier, the child is given a
-/// stage-in transfer from the parent's tier (the cross-tier pipelining of
-/// §3.1.3, whose cost CAST++ accounts and plain CAST does not).
-#[deprecated(note = "use `cast_sim::Sim::builder` instead")]
-pub fn simulate(
-    spec: &WorkloadSpec,
-    placements: &PlacementMap,
-    cfg: &SimConfig,
-) -> Result<SimReport, SimError> {
-    crate::sim::Sim::builder(cfg)
-        .jobs(spec, placements)
-        .build()?
-        .run()
-}
-
-/// [`simulate`] with an observability collector attached: the engine
-/// records job/phase/wave/task spans, tier-contention samples and fault
-/// edges into `collector`. The report is bit-identical to [`simulate`]'s.
-#[deprecated(note = "use `cast_sim::Sim::builder(..).collector(..)` instead")]
-pub fn simulate_observed(
-    spec: &WorkloadSpec,
-    placements: &PlacementMap,
-    cfg: &SimConfig,
-    collector: &cast_obs::Collector,
-) -> Result<SimReport, SimError> {
-    crate::sim::Sim::builder(cfg)
-        .jobs(spec, placements)
-        .collector(collector.clone())
-        .build()?
-        .run()
-}
-
-/// [`simulate_observed`] with mid-run reconfiguration: each
-/// [`MigrationSpec`] becomes an explicit transfer-only run whose streams
-/// contend for tier bandwidth like any other I/O. Migration runs are
-/// dispatchable from `t = 0`; a workload job that reads migrated data
-/// (listed in the migration's `blocks`) waits for the move to finish
-/// before starting, while every other job proceeds immediately — i.e.
-/// in-flight work keeps its old placement until the data has landed.
-#[deprecated(note = "use `cast_sim::Sim::builder(..).migrations(..)` instead")]
-pub fn simulate_with_migrations(
-    spec: &WorkloadSpec,
-    placements: &PlacementMap,
-    migrations: &[MigrationSpec],
-    cfg: &SimConfig,
-    collector: &cast_obs::Collector,
-) -> Result<SimReport, SimError> {
-    crate::sim::Sim::builder(cfg)
-        .jobs(spec, placements)
-        .migrations(migrations)
-        .collector(collector.clone())
-        .build()?
-        .run()
 }
 
 /// Validate and lower a workload + placement (+ migrations) into the
@@ -289,13 +232,35 @@ fn validate_placement(
 
 #[cfg(test)]
 mod tests {
-    #![allow(deprecated)]
     use super::*;
+    use crate::metrics::SimReport;
+    use crate::sim::Sim;
     use cast_cloud::tier::PerTier;
     use cast_cloud::units::DataSize;
     use cast_cloud::Catalog;
     use cast_workload::apps::AppKind;
     use cast_workload::synth;
+
+    fn simulate(
+        spec: &WorkloadSpec,
+        placements: &PlacementMap,
+        cfg: &SimConfig,
+    ) -> Result<SimReport, SimError> {
+        Sim::builder(cfg).jobs(spec, placements).build()?.run()
+    }
+
+    fn simulate_with_migrations(
+        spec: &WorkloadSpec,
+        placements: &PlacementMap,
+        migrations: &[MigrationSpec],
+        cfg: &SimConfig,
+    ) -> Result<SimReport, SimError> {
+        Sim::builder(cfg)
+            .jobs(spec, placements)
+            .migrations(migrations)
+            .build()?
+            .run()
+    }
 
     fn full_cfg(nvm: usize) -> SimConfig {
         let mut agg = PerTier::from_fn(|_| DataSize::ZERO);
@@ -392,14 +357,7 @@ mod tests {
             blocks: vec![JobId(0)],
             after: vec![],
         }];
-        let report = simulate_with_migrations(
-            &spec,
-            &placements,
-            &migrations,
-            &cfg,
-            &cast_obs::Collector::noop(),
-        )
-        .unwrap();
+        let report = simulate_with_migrations(&spec, &placements, &migrations, &cfg).unwrap();
         assert_eq!(report.jobs.len(), 3, "two jobs plus the migration run");
         let mover = report.job(JobId(MIGRATION_JOB_BASE)).unwrap();
         assert!(mover.finished.secs() > 0.0, "migration moves real bytes");
@@ -431,14 +389,7 @@ mod tests {
             blocks: vec![],
             after: vec![],
         }];
-        let busy = simulate_with_migrations(
-            &spec,
-            &placements,
-            &migrations,
-            &cfg,
-            &cast_obs::Collector::noop(),
-        )
-        .unwrap();
+        let busy = simulate_with_migrations(&spec, &placements, &migrations, &cfg).unwrap();
         let quiet_job = quiet.job(JobId(0)).unwrap();
         let busy_job = busy.job(JobId(0)).unwrap();
         assert!(
@@ -455,9 +406,7 @@ mod tests {
         let cfg = full_cfg(2);
         let placements = PlacementMap::uniform(spec.jobs.iter().map(|j| j.id), Tier::PersSsd);
         let plain = simulate(&spec, &placements, &cfg).unwrap();
-        let with =
-            simulate_with_migrations(&spec, &placements, &[], &cfg, &cast_obs::Collector::noop())
-                .unwrap();
+        let with = simulate_with_migrations(&spec, &placements, &[], &cfg).unwrap();
         assert_eq!(
             plain.makespan.secs().to_bits(),
             with.makespan.secs().to_bits()

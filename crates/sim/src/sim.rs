@@ -1,12 +1,11 @@
 //! The unified simulation entry point.
 //!
-//! [`Sim::builder`] replaces the old free-function zoo (`simulate`,
-//! `simulate_observed`, `simulate_with_migrations`, `simulate_durable`)
-//! with one builder: configure jobs, migrations, observability,
-//! durability and scratch reuse in any combination, then [`SimBuilder::build`]
-//! to lower the workload and obtain a live [`Sim`]. The old functions
-//! survive as thin `#[deprecated]` shims delegating here, so their
-//! results stay bit-identical.
+//! [`Sim::builder`] replaced the old free-function zoo (`simulate`,
+//! `simulate_observed`, `simulate_with_migrations`, `simulate_durable`,
+//! since deleted) with one builder: configure jobs, migrations,
+//! observability, durability and scratch reuse in any combination, then
+//! [`SimBuilder::build`] to lower the workload and obtain a live
+//! [`Sim`].
 //!
 //! A built [`Sim`] is a live engine: run it to completion ([`Sim::run`]),
 //! or advance it to a time horizon ([`Sim::run_until`]), snapshot it
@@ -227,23 +226,6 @@ mod tests {
         let mut cfg = SimConfig::with_aggregate_capacity(Catalog::aws_like(), 4, &agg).unwrap();
         cfg.jitter = 0.0;
         (spec, placements, cfg)
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn builder_matches_deprecated_shims_bit_for_bit() {
-        let (spec, placements, cfg) = setup();
-        let via_builder = Sim::builder(&cfg)
-            .jobs(&spec, &placements)
-            .build()
-            .unwrap()
-            .run()
-            .unwrap();
-        let via_shim = crate::runner::simulate(&spec, &placements, &cfg).unwrap();
-        assert_eq!(
-            serde_json::to_string(&via_builder).unwrap(),
-            serde_json::to_string(&via_shim).unwrap()
-        );
     }
 
     #[test]

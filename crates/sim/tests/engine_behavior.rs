@@ -2,19 +2,25 @@
 //! contention scaling, staging accounting, jitter bounds, and failure
 //! modes.
 
-// The deprecated `simulate*` shims stay under test until they are removed.
-#![allow(deprecated)]
-
 use cast_cloud::tier::{PerTier, Tier};
 use cast_cloud::units::DataSize;
 use cast_cloud::Catalog;
 use cast_sim::config::{Concurrency, SimConfig};
+use cast_sim::metrics::SimReport;
 use cast_sim::placement::{JobPlacement, PlacementMap};
-use cast_sim::runner::simulate;
-use cast_sim::SimError;
+use cast_sim::{Sim, SimError};
 use cast_workload::apps::AppKind;
 use cast_workload::job::JobId;
+use cast_workload::spec::WorkloadSpec;
 use cast_workload::synth;
+
+fn simulate(
+    spec: &WorkloadSpec,
+    placements: &PlacementMap,
+    cfg: &SimConfig,
+) -> Result<SimReport, SimError> {
+    Sim::builder(cfg).jobs(spec, placements).build()?.run()
+}
 
 fn cfg_with(nvm: usize, per_vm_gb: f64) -> SimConfig {
     let mut agg = PerTier::from_fn(|_| DataSize::ZERO);

@@ -10,6 +10,9 @@
 //!   plus PageRank from the Fig. 4 workflow) and their I/O/CPU character,
 //! * [`arrival`] — timestamped job-arrival streams (Poisson/bursty
 //!   processes with workload drift) for the online runtime,
+//! * [`tenant`] — the multi-tenant fleet factory: deterministic
+//!   per-tenant arrival streams with service classes (priority +
+//!   fair-share weight) for `cast-fleet`,
 //! * [`profile`] — quantitative application profiles: phase selectivities,
 //!   per-task processing rates and file-count behaviour that parameterise
 //!   both the simulator and the performance estimator,
@@ -34,6 +37,7 @@ pub mod reuse;
 pub mod spec;
 pub mod stats;
 pub mod synth;
+pub mod tenant;
 pub mod workflow;
 
 pub use apps::AppKind;
@@ -45,4 +49,7 @@ pub use profile::{AppProfile, ProfileSet};
 pub use reuse::ReusePattern;
 pub use spec::WorkloadSpec;
 pub use stats::WorkloadStats;
+pub use tenant::{
+    splitmix64, tenant_fleet, FleetWorkloadConfig, TenantClass, TenantId, TenantSpec,
+};
 pub use workflow::{Workflow, WorkflowId};

@@ -18,6 +18,7 @@
 pub use cast_cloud as cloud;
 pub use cast_core as core;
 pub use cast_estimator as estimator;
+pub use cast_fleet as fleet;
 pub use cast_obs as obs;
 pub use cast_runtime as runtime;
 pub use cast_sim as sim;

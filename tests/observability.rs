@@ -2,9 +2,6 @@
 //! deterministic under parallel multi-restart solves, and instrumentation
 //! never changes a result bit.
 
-// The deprecated `simulate*` shims stay under test until they are removed.
-#![allow(deprecated)]
-
 mod common;
 
 use std::collections::BTreeSet;
@@ -17,7 +14,7 @@ use cast::obs::{parse_ndjson, to_ndjson, EventBody, Observe};
 use cast::prelude::*;
 use cast::sim::config::SimConfig;
 use cast::sim::placement::PlacementMap;
-use cast::sim::runner::{simulate, simulate_observed};
+use cast::sim::Sim;
 use cast::solver::{Annealer, EvalContext};
 use cast::workload::dataset::{Dataset, DatasetId};
 use common::{mixed_spec, quick_framework};
@@ -104,11 +101,26 @@ fn durability_events_round_trip_ndjson() {
             mb: 2048.0,
         },
     );
+    col.emit(
+        13.0,
+        EventBody::TenantEpoch {
+            tenant: 17,
+            shard: 3,
+            epoch: 1,
+            admission: "admitted".into(),
+            granted_frac: 0.75,
+        },
+    );
     let events = col.events();
     let labels: Vec<&'static str> = events.iter().map(|e| e.body.label()).collect();
     assert_eq!(
         labels,
-        vec!["migration_phase", "shard_lost", "reconstructed"]
+        vec![
+            "migration_phase",
+            "shard_lost",
+            "reconstructed",
+            "tenant_epoch"
+        ]
     );
     let parsed = parse_ndjson(&to_ndjson(&events)).expect("parseable NDJSON");
     assert_eq!(events, parsed);
@@ -201,9 +213,18 @@ proptest! {
         let cfg = SimConfig::with_aggregate_capacity(Catalog::google_cloud(), 2, &agg)
             .expect("provisionable");
         let placements = PlacementMap::uniform(spec.jobs.iter().map(|j| j.id), tier);
-        let plain = simulate(&spec, &placements, &cfg).expect("simulation");
+        let plain = Sim::builder(&cfg)
+            .jobs(&spec, &placements)
+            .build()
+            .and_then(Sim::run)
+            .expect("simulation");
         let col = Collector::recording();
-        let observed = simulate_observed(&spec, &placements, &cfg, &col).expect("simulation");
+        let observed = Sim::builder(&cfg)
+            .jobs(&spec, &placements)
+            .collector(col.clone())
+            .build()
+            .and_then(Sim::run)
+            .expect("simulation");
         prop_assert_eq!(plain, observed);
         prop_assert!(col.event_count() > 0);
     }

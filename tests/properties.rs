@@ -1,9 +1,6 @@
 //! Cross-crate property-based tests: invariants that must hold for
 //! arbitrary workloads and placements.
 
-// The deprecated `simulate*` shims stay under test until they are removed.
-#![allow(deprecated)]
-
 mod common;
 
 use proptest::prelude::*;
@@ -12,9 +9,17 @@ use cast::cloud::tier::PerTier;
 use cast::prelude::*;
 use cast::sim::config::SimConfig;
 use cast::sim::placement::PlacementMap;
-use cast::sim::runner::simulate;
+use cast::sim::{Sim, SimError, SimReport};
 use cast::solver::{evaluate, EvalContext, TieringPlan};
 use cast::workload::dataset::{Dataset, DatasetId};
+
+fn simulate(
+    spec: &WorkloadSpec,
+    placements: &PlacementMap,
+    cfg: &SimConfig,
+) -> Result<SimReport, SimError> {
+    Sim::builder(cfg).jobs(spec, placements).build()?.run()
+}
 
 fn arb_app() -> impl Strategy<Value = AppKind> {
     prop::sample::select(AppKind::ALL.to_vec())
