@@ -276,7 +276,8 @@ fn run_fault_sweep() -> Section {
 fn run_online_drift() -> Section {
     let cfg = online_drift::OnlineDriftConfig::smoke();
     let (table, json) = online_drift::run(&cfg);
-    let (static_cost, periodic_cost, periodic_mb, hysteresis_mb) = online_drift::headline(&json);
+    let (static_cost, periodic_cost, periodic_mb, hysteresis_mb, periodic_adopt, hyst_adopt) =
+        online_drift::headline(&json);
     let mut md = String::new();
     let _ = writeln!(md, "```\n{}```\n", table.render());
     let _ = writeln!(
@@ -285,7 +286,8 @@ fn run_online_drift() -> Section {
          online under the three replanning policies (plus deadline admission).\n\
          Periodic replanning beats static serving on tenancy cost\n\
          ({periodic_cost:.2} vs {static_cost:.2} $, {:+.1} %), and hysteresis\n\
-         migrates strictly fewer bytes than naive replanning ({hysteresis_mb:.0}\n\
+         vetoes marginal adoptions ({hyst_adopt} vs {periodic_adopt}) without\n\
+         ever migrating more bytes than naive replanning ({hysteresis_mb:.0}\n\
          vs {periodic_mb:.0} MB) while keeping most of the cost advantage over\n\
          static. The full-size\n\
          run (`cargo run --release -p cast-bench --bin online_drift`) serves a\n\

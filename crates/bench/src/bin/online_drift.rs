@@ -20,13 +20,17 @@ fn main() {
     };
     let (table, json) = online_drift::run(&cfg);
     println!("{}", table.render());
-    let (static_cost, periodic_cost, periodic_mb, hysteresis_mb) = online_drift::headline(&json);
+    let (static_cost, periodic_cost, periodic_mb, hysteresis_mb, periodic_adopt, hyst_adopt) =
+        online_drift::headline(&json);
     println!(
         "periodic vs static tenancy cost: {periodic_cost:.2} vs {static_cost:.2} $ \
          ({:+.1} %)",
         (periodic_cost / static_cost - 1.0) * 100.0
     );
-    println!("hysteresis vs periodic migration volume: {hysteresis_mb:.0} vs {periodic_mb:.0} MB");
+    println!(
+        "hysteresis vs periodic migration volume: {hysteresis_mb:.0} vs {periodic_mb:.0} MB \
+         ({hyst_adopt} vs {periodic_adopt} adoptions)"
+    );
     io.save_json("online_drift", &json);
 
     // Fork-equivalence acceptance: serving the periodic policy with
@@ -50,8 +54,16 @@ fn main() {
         periodic_cost < static_cost,
         "expected periodic replanning to beat static serving on cost"
     );
+    // With content-derived solve seeds an un-drifted epoch re-solves to
+    // the identical plan, so periodic replanning no longer churns on
+    // anneal noise; hysteresis must still never migrate more, and must
+    // veto at least one marginal adoption.
     assert!(
-        hysteresis_mb < periodic_mb,
-        "expected hysteresis to migrate strictly fewer bytes than naive replanning"
+        hysteresis_mb <= periodic_mb,
+        "expected hysteresis to migrate no more bytes than naive replanning"
+    );
+    assert!(
+        hyst_adopt < periodic_adopt,
+        "expected hysteresis to veto at least one marginal adoption"
     );
 }

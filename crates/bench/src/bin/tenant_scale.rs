@@ -3,11 +3,23 @@
 //!
 //! The bin serves one sharded region ([`cast_fleet::Fleet`]) to
 //! completion and reports **tenants per second** of wall time plus the
-//! p50/p99 of every per-tenant replan's wall latency. Full mode serves
-//! 1024 tenants on an 8-shard map; `--smoke` serves 192 tenants on 4
-//! shards with identical per-tenant work, so throughput stays
-//! comparable across modes and a smoke run can be gated against the
-//! committed full baseline.
+//! p50/p99 of every per-tenant replan's wall latency and a phase-time
+//! breakdown (plan / admit / execute) with the plan-cache tallies
+//! (solves, dedup fan-outs, replans skipped). Full mode serves 1024
+//! tenants on an 8-shard map, then an 8192-tenant region on 16 shards,
+//! then a 192-tenant smoke-sized reference; `--smoke` serves only the
+//! 192-tenant fleet with identical per-tenant work. Dedup amortizes
+//! solves over more tenants at larger scale, so tenants/s *grows* with
+//! fleet size: the CI smoke run gates against the committed baseline's
+//! smoke reference section, not the 1024-tenant number.
+//!
+//! The throughput scenario runs the fast planning path the fleet ships
+//! with: cross-tenant solve dedup plus the drift-gated replan skip
+//! (`max_drift` 0.4, `max_score_delta` 0.10) — tenants whose batch
+//! shape barely moved serve their incumbent plan instead of re-running
+//! the annealer. Full mode asserts the fast path actually engages
+//! (dedup fan-outs > 0, replans skipped > 0): a silent fall-back to
+//! always-fresh planning must fail the bench, not quietly regress it.
 //!
 //! Two correctness pins ride along, off the throughput clock:
 //!
@@ -18,37 +30,44 @@
 //! 2. **Guaranteed-class fairness** — on a deliberately contended pool,
 //!    every interactive tenant admitted at every boundary must finish
 //!    with deadline misses at or below its single-tenant baseline
-//!    (full grants are bit-identical to running alone, so admission
-//!    may never make a guaranteed tenant worse).
+//!    (full grants are bit-identical to running alone — the skip gate
+//!    and dedup are per-session-deterministic, so the solo baseline
+//!    runs the identical fast path).
 //!
 //! ```text
 //! tenant_scale [--smoke] [--out PATH] [--check BASELINE] [--tolerance 0.25]
 //! ```
 //!
-//! * `--smoke` shrinks the fleet (CI-friendly).
+//! * `--smoke` shrinks the fleet (CI-friendly) and skips the 8192 run.
 //! * `--out` writes the JSON report to a file (default: stdout only).
 //! * `--check` loads a baseline JSON and fails (exit 1) if
-//!   `fleet.tenants_per_sec` regressed by more than the tolerance
-//!   (default 25%). The baseline is parsed generically so reports from
-//!   older or newer versions of this bin still check.
+//!   `fleet.tenants_per_sec` regressed below, or `fleet.replan_p50_secs`
+//!   / `fleet.replan_p99_secs` rose above, the baseline by more than the
+//!   tolerance (default 25%). The baseline is parsed generically so
+//!   reports from older or newer versions of this bin still check.
 //!
 //! Throughput numbers from this container are single-core: the worker
 //! pool only overlaps replans when the machine has cores to run them.
 
+use std::collections::BTreeSet;
+
 use cast_cloud::tier::PerTier;
 use cast_cloud::units::{DataSize, Duration};
-use cast_fleet::{Fleet, FleetConfig, FleetOutcome, TenantRegistry};
-use cast_runtime::{OnlineRuntime, ReplanPolicy, RuntimeConfig};
+use cast_fleet::{DedupMode, Fleet, FleetConfig, FleetOutcome, TenantRegistry};
+use cast_runtime::{OnlineRuntime, ReplanPolicy, RuntimeConfig, SkipPolicy};
 use cast_solver::AnnealConfig;
-use cast_workload::{tenant_fleet, FleetWorkloadConfig, TenantClass};
+use cast_workload::{tenant_fleet, FleetWorkloadConfig, TenantClass, TenantSpec};
 
 const FLEET_SEED: u64 = 0xCA57_F1EE;
 const SOLVER_SEED: u64 = 0xCA57_0712;
 
-/// Tenants in the throughput fleet (the acceptance bar's "≥ 1000
+/// Tenants in the gated throughput fleet (the acceptance bar's "≥ 1000
 /// concurrent tenants on one shard map").
 const FULL_TENANTS: usize = 1024;
 const FULL_SHARDS: u32 = 8;
+/// The scale-out scenario full mode runs after the gated fleet.
+const XL_TENANTS: usize = 8192;
+const XL_SHARDS: u32 = 16;
 const SMOKE_TENANTS: usize = 192;
 const SMOKE_SHARDS: u32 = 4;
 /// Tenants in the off-the-clock byte-identity and fairness fleets.
@@ -67,7 +86,8 @@ fn workload(tenants: usize) -> FleetWorkloadConfig {
 }
 
 /// Per-tenant work is identical in both modes: same epoch grid, same
-/// anneal budget, same arrival rate. Only the fleet size changes.
+/// anneal budget, same arrival rate, same skip thresholds. Only the
+/// fleet size changes.
 fn fleet_config(workers: usize, capacity: PerTier<DataSize>) -> FleetConfig {
     FleetConfig {
         workers,
@@ -75,6 +95,11 @@ fn fleet_config(workers: usize, capacity: PerTier<DataSize>) -> FleetConfig {
         runtime: RuntimeConfig {
             epoch: Duration::from_mins(30.0),
             policy: ReplanPolicy::Hysteresis { min_gain: 0.02 },
+            skip: SkipPolicy {
+                enabled: true,
+                max_drift: 0.4,
+                max_score_delta: 0.10,
+            },
             ..RuntimeConfig::default()
         },
         anneal: AnnealConfig {
@@ -83,13 +108,22 @@ fn fleet_config(workers: usize, capacity: PerTier<DataSize>) -> FleetConfig {
             seed: SOLVER_SEED,
             ..AnnealConfig::default()
         },
+        // Template-derived tenants share coarse shape but not exact byte
+        // counts: class-quantized grouping is what lets one anneal serve
+        // a whole template cohort (each member's own hysteresis
+        // judgement vets the transfer).
+        dedup: DedupMode::Class,
         ..FleetConfig::default()
     }
 }
 
-fn serve(tenants: usize, shards: u32, workers: usize, capacity_gb: f64) -> FleetOutcome {
+fn registry(tenants: usize, shards: u32) -> TenantRegistry {
     let specs = tenant_fleet(&workload(tenants)).expect("tenant synthesis");
-    let registry = TenantRegistry::new(specs, shards).expect("registry");
+    TenantRegistry::new(specs, shards).expect("registry")
+}
+
+fn serve(tenants: usize, shards: u32, workers: usize, capacity_gb: f64) -> FleetOutcome {
+    let registry = registry(tenants, shards);
     let estimator = cast_bench::paper_estimator();
     let capacity = PerTier::from_fn(|_| DataSize::from_gb(capacity_gb));
     Fleet::new(&estimator, fleet_config(workers, capacity))
@@ -97,32 +131,112 @@ fn serve(tenants: usize, shards: u32, workers: usize, capacity_gb: f64) -> Fleet
         .expect("fleet run")
 }
 
+/// Distinct planning templates across the fleet's specs
+/// ([`TenantSpec::planning_signature`] — class × arrival shape, seed
+/// excluded). Context for the dedup tallies: tenants sharing a template
+/// are drawn from the same distribution, the upper bound on what
+/// content-equality grouping could ever merge.
+fn distinct_templates(specs: &[TenantSpec]) -> usize {
+    specs
+        .iter()
+        .map(|s| s.planning_signature())
+        .collect::<BTreeSet<u64>>()
+        .len()
+}
+
 #[derive(serde::Serialize)]
 struct Report {
     bench: String,
     mode: String,
     fleet: FleetSection,
+    /// The 8192-tenant scale-out run (full mode only; absent → smoke).
+    #[serde(skip_serializing_if = "Option::is_none")]
+    xl: Option<FleetSection>,
+    /// A smoke-sized reference run (full mode only): dedup amortizes
+    /// solves over more tenants at larger scale, so tenants/s grows with
+    /// fleet size and a smoke run must gate against a smoke-sized
+    /// baseline, not the 1024-tenant number.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    smoke: Option<FleetSection>,
     identity: IdentitySection,
     fairness: FairnessSection,
 }
 
-/// The throughput run: one region served to completion on the clock.
+/// One throughput run: a region served to completion on the clock.
 #[derive(serde::Serialize)]
 struct FleetSection {
     tenants: usize,
     shards: u32,
     workers: usize,
     epochs: u32,
+    /// Distinct `TenantSpec::planning_signature` values in the fleet.
+    planning_templates: usize,
     /// Tenants served per second of wall time — the gated metric.
     tenants_per_sec: f64,
     total_wall_secs: f64,
     replan_p50_secs: f64,
     replan_p99_secs: f64,
+    /// Phase walls, summed over epochs.
+    plan_wall_secs: f64,
+    admit_wall_secs: f64,
+    exec_wall_secs: f64,
+    /// Plan-cache tallies: annealer solves actually run, plans fanned
+    /// out from a group representative, epochs the skip gates sealed.
+    solves: u64,
+    dedup_fanouts: u64,
+    replans_skipped: u64,
     executed_epochs: usize,
     jobs_completed: usize,
     deadline_misses: usize,
     deferrals: usize,
     rejected: usize,
+}
+
+impl FleetSection {
+    fn from_run(tenants: usize, shards: u32, workers: usize, out: &FleetOutcome) -> FleetSection {
+        let specs = tenant_fleet(&workload(tenants)).expect("tenant synthesis");
+        FleetSection {
+            tenants,
+            shards,
+            workers,
+            epochs: out.report.epochs,
+            planning_templates: distinct_templates(&specs),
+            tenants_per_sec: tenants as f64 / out.stats.total_wall_secs,
+            total_wall_secs: out.stats.total_wall_secs,
+            replan_p50_secs: out.stats.replan_percentile(50.0),
+            replan_p99_secs: out.stats.replan_percentile(99.0),
+            plan_wall_secs: out.stats.plan_wall_secs,
+            admit_wall_secs: out.stats.admit_wall_secs,
+            exec_wall_secs: out.stats.exec_wall_secs,
+            solves: out.stats.solves,
+            dedup_fanouts: out.stats.dedup_fanouts,
+            replans_skipped: out.stats.replans_skipped,
+            executed_epochs: out.stats.executed_epochs,
+            jobs_completed: out.report.jobs_completed,
+            deadline_misses: out.report.deadline_misses,
+            deferrals: out.report.deferrals,
+            rejected: out.report.rejected,
+        }
+    }
+
+    fn log(&self, label: &str) {
+        eprintln!(
+            "tenant_scale {label}: {:.1} tenants/s ({:.2}s total: plan {:.2}s, admit {:.3}s, \
+             exec {:.2}s), replan p50 {:.5}s p99 {:.5}s, {} solves + {} deduped + {} skipped, \
+             {} jobs",
+            self.tenants_per_sec,
+            self.total_wall_secs,
+            self.plan_wall_secs,
+            self.admit_wall_secs,
+            self.exec_wall_secs,
+            self.replan_p50_secs,
+            self.replan_p99_secs,
+            self.solves,
+            self.dedup_fanouts,
+            self.replans_skipped,
+            self.jobs_completed
+        );
+    }
 }
 
 /// The worker-count determinism pin (off the throughput clock).
@@ -173,8 +287,7 @@ fn pin_identity() -> IdentitySection {
 /// contend, then check every always-admitted interactive tenant against
 /// its solo baseline.
 fn pin_fairness() -> FairnessSection {
-    let specs = tenant_fleet(&workload(PIN_TENANTS)).expect("tenant synthesis");
-    let registry = TenantRegistry::new(specs, PIN_SHARDS).expect("registry");
+    let registry = registry(PIN_TENANTS, PIN_SHARDS);
     let estimator = cast_bench::paper_estimator();
     let cfg = fleet_config(1, PerTier::from_fn(|_| DataSize::from_gb(300.0)));
     let out = Fleet::new(&estimator, cfg.clone())
@@ -230,16 +343,33 @@ fn pin_fairness() -> FairnessSection {
     }
 }
 
-/// Compare `current` against a committed baseline on `tenants_per_sec`.
-/// Generic JSON parse: the vendored serde shim hard-errors on missing
-/// fields, and baselines outlive the report schema.
+/// Compare `current` against a committed baseline: `tenants_per_sec`
+/// may not fall below, and the replan p50/p99 latencies may not rise
+/// above, the baseline by more than `tolerance`. Generic JSON parse:
+/// the vendored serde shim hard-errors on missing fields, and baselines
+/// outlive the report schema.
 fn check(current: &Report, baseline_path: &str, tolerance: f64) -> Result<(), String> {
     let raw = std::fs::read_to_string(baseline_path)
         .map_err(|e| format!("cannot read baseline {baseline_path}: {e}"))?;
-    let baseline: serde_json::Value =
+    let parsed: serde_json::Value =
         serde_json::from_str(&raw).map_err(|e| format!("bad baseline JSON: {e}"))?;
-    let Some(base_tps) = baseline["fleet"]["tenants_per_sec"].as_f64() else {
-        eprintln!("baseline {baseline_path} has no fleet.tenants_per_sec; nothing to check");
+    let mut failures = Vec::new();
+
+    // Dedup makes tenants/s grow with fleet size (more tenants per
+    // solved template), so a smoke run checks against the baseline's
+    // smoke-sized reference section when one exists; older baselines
+    // without it fall back to the full fleet section.
+    let section =
+        if current.mode == "smoke" && parsed["smoke"]["tenants_per_sec"].as_f64().is_some() {
+            "smoke"
+        } else {
+            "fleet"
+        };
+    eprintln!("check: comparing against baseline section `{section}`");
+    let baseline = &parsed[section];
+
+    let Some(base_tps) = baseline["tenants_per_sec"].as_f64() else {
+        eprintln!("baseline {baseline_path} has no {section}.tenants_per_sec; nothing to check");
         return Ok(());
     };
     let floor = base_tps * (1.0 - tolerance);
@@ -249,12 +379,36 @@ fn check(current: &Report, baseline_path: &str, tolerance: f64) -> Result<(), St
         "check tenants_per_sec: {tps:.1} vs baseline {base_tps:.1} (floor {floor:.1}) {verdict}"
     );
     if tps < floor {
-        return Err(format!(
+        failures.push(format!(
             "tenants_per_sec {tps:.1} < {floor:.1} ({}% below baseline {base_tps:.1})",
             (100.0 * (1.0 - tps / base_tps)).round(),
         ));
     }
-    Ok(())
+
+    for (name, cur) in [
+        ("replan_p50_secs", current.fleet.replan_p50_secs),
+        ("replan_p99_secs", current.fleet.replan_p99_secs),
+    ] {
+        let Some(base) = baseline[name].as_f64() else {
+            eprintln!("baseline {baseline_path} has no {section}.{name}; skipping");
+            continue;
+        };
+        let ceiling = base * (1.0 + tolerance);
+        let verdict = if cur > ceiling { "REGRESSED" } else { "ok" };
+        eprintln!("check {name}: {cur:.6} vs baseline {base:.6} (ceiling {ceiling:.6}) {verdict}");
+        if cur > ceiling {
+            failures.push(format!(
+                "{name} {cur:.6} > {ceiling:.6} ({}% above baseline {base:.6})",
+                (100.0 * (cur / base - 1.0)).round(),
+            ));
+        }
+    }
+
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(failures.join("\n"))
+    }
 }
 
 fn main() {
@@ -293,30 +447,40 @@ fn main() {
     let workers = cast_sim::par::default_workers();
     eprintln!("tenant_scale: serving {tenants} tenants on {shards} shards with {workers} workers");
     let outcome = serve(tenants, shards, workers, 100_000.0);
-    let fleet = FleetSection {
-        tenants,
-        shards,
-        workers,
-        epochs: outcome.report.epochs,
-        tenants_per_sec: tenants as f64 / outcome.stats.total_wall_secs,
-        total_wall_secs: outcome.stats.total_wall_secs,
-        replan_p50_secs: outcome.stats.replan_percentile(50.0),
-        replan_p99_secs: outcome.stats.replan_percentile(99.0),
-        executed_epochs: outcome.stats.executed_epochs,
-        jobs_completed: outcome.report.jobs_completed,
-        deadline_misses: outcome.report.deadline_misses,
-        deferrals: outcome.report.deferrals,
-        rejected: outcome.report.rejected,
+    let fleet = FleetSection::from_run(tenants, shards, workers, &outcome);
+    fleet.log("fleet");
+    if !smoke {
+        assert!(
+            fleet.dedup_fanouts > 0,
+            "the full fleet must dedup at least one solve"
+        );
+        assert!(
+            fleet.replans_skipped > 0,
+            "the full fleet must skip at least one replan"
+        );
+    }
+
+    let smoke_ref = if smoke {
+        None
+    } else {
+        eprintln!("tenant_scale: serving {SMOKE_TENANTS} tenants on {SMOKE_SHARDS} shards (smoke reference)");
+        let out = serve(SMOKE_TENANTS, SMOKE_SHARDS, workers, 100_000.0);
+        let section = FleetSection::from_run(SMOKE_TENANTS, SMOKE_SHARDS, workers, &out);
+        section.log("smoke-ref");
+        Some(section)
     };
-    eprintln!(
-        "tenant_scale fleet: {:.1} tenants/s ({:.2}s total), replan p50 {:.5}s p99 {:.5}s, \
-         {} jobs",
-        fleet.tenants_per_sec,
-        fleet.total_wall_secs,
-        fleet.replan_p50_secs,
-        fleet.replan_p99_secs,
-        fleet.jobs_completed
-    );
+
+    let xl = if smoke {
+        None
+    } else {
+        eprintln!("tenant_scale: serving {XL_TENANTS} tenants on {XL_SHARDS} shards (scale-out)");
+        let out = serve(XL_TENANTS, XL_SHARDS, workers, 100_000.0);
+        let section = FleetSection::from_run(XL_TENANTS, XL_SHARDS, workers, &out);
+        section.log("xl");
+        assert!(section.dedup_fanouts > 0);
+        assert!(section.replans_skipped > 0);
+        Some(section)
+    };
 
     let identity = pin_identity();
     eprintln!(
@@ -334,6 +498,8 @@ fn main() {
         bench: "tenant_scale".to_string(),
         mode: if smoke { "smoke" } else { "full" }.to_string(),
         fleet,
+        xl,
+        smoke: smoke_ref,
         identity,
         fairness,
     };

@@ -99,6 +99,7 @@ pub fn serve(
         protocol,
         migration_fault_prob: fault_prob,
         scoring: cast_runtime::CandidateScoring::Analytic,
+        skip: cast_runtime::SkipPolicy::default(),
     };
     OnlineRuntime::new(&estimator, anneal, rt_cfg)
         .observe(crate::observer())

@@ -3,30 +3,42 @@
 //!
 //! Each region epoch runs four phases:
 //!
-//! 1. **Plan (parallel)** — every tenant's
-//!    [`TenantSession::plan_epoch`] fans out over
-//!    [`cast_sim::par::run_indexed_mut`]'s work-stealing pool:
-//!    warm-started solves, hysteresis and migration diffs all happen
-//!    here, producing each tenant's raw capacity demand.
-//! 2. **Admit (sequential)** — shard by shard, the planned demands meet
-//!    the shard's [`CapacityLedger`] under priority admission
+//! 1. **Plan (parallel with a sequential grouping step)** — every
+//!    tenant's [`TenantSession::begin_epoch`] fans out over
+//!    [`cast_sim::par::run_indexed_mut`]'s work-stealing pool. Batches
+//!    that still need the annealer come back as `PendingPlan`s; the
+//!    fleet groups them by solve signature, confirms each member's
+//!    canonical [`cast_runtime::SolveInputs`] equal its group
+//!    representative's, solves **one representative per group** in
+//!    parallel ([`TenantSession::solve_pending`] takes `&self`), and
+//!    fans the winning assignment out via
+//!    [`TenantSession::finish_epoch`] — bit-identical to a fresh solve
+//!    because the solver seed is content-derived.
+//! 2. **Admit (parallel across shards)** — each shard's planned demands
+//!    meet its own [`CapacityLedger`] under priority admission
 //!    ([`crate::admission::admit_epoch`]): guaranteed tenants get full
 //!    grants or defer; best-effort tenants split the leftovers by
-//!    weighted max-min fair share.
+//!    weighted max-min fair share. Shards are independent pure
+//!    functions of `(capacity, config, requests)`, so the fan-out
+//!    changes wall time only; verdicts merge in shard order.
 //! 3. **Execute (parallel)** — admitted batches run
 //!    [`TenantSession::execute_epoch`] under their granted fraction;
 //!    deferred batches re-enter the next boundary; rejected batches are
 //!    turned away.
 //! 4. **Settle (sequential)** — verdicts land in the fleet collector as
-//!    `tenant_epoch` trace events and in the per-tenant/per-shard
+//!    `tenant_epoch` trace events (tagged with the plan's provenance:
+//!    fresh / deduped / skipped) and in the per-tenant/per-shard
 //!    accumulators, always in (shard, tenant-id) order.
 //!
-//! Phases 1 and 3 run under the `run_indexed` determinism contract
-//! (outputs depend only on the tenant index, never on worker count or
-//! claim order), and phases 2 and 4 are single-threaded walks in fixed
-//! order — so the merged [`FleetReport`] serialises byte-identically
-//! across 1, 2 or 8 workers. Wall-clock measurements are quarantined in
-//! [`FleetStats`].
+//! The parallel stages run under the `run_indexed` determinism contract
+//! (outputs depend only on the index, never on worker count or claim
+//! order), and every merge is a single-threaded walk in fixed order —
+//! so the merged [`FleetReport`] serialises byte-identically across 1,
+//! 2 or 8 workers, and across [`DedupMode::Exact`] vs
+//! [`DedupMode::Off`] ([`DedupMode::Class`] is a deliberate
+//! approximation for template-derived fleets; clones within it stay
+//! exact). Wall-clock measurements and plan-cache counters are
+//! quarantined in [`FleetStats`].
 
 use std::sync::Mutex;
 use std::time::Instant;
@@ -36,8 +48,11 @@ use cast_cloud::units::DataSize;
 use cast_cloud::CapacityLedger;
 use cast_estimator::Estimator;
 use cast_obs::{Collector, EventBody};
-use cast_runtime::{PlannedEpoch, RuntimeConfig, TenantSession};
-use cast_sim::par::run_indexed_mut;
+use cast_runtime::{
+    PendingPlan, PlanPhase, PlanProvenance, PlannedEpoch, RuntimeConfig, SolveProduct,
+    TenantSession,
+};
+use cast_sim::par::{run_indexed, run_indexed_mut};
 use cast_solver::AnnealConfig;
 
 use crate::admission::{admit_epoch, Admission, AdmissionConfig, AdmissionRequest};
@@ -62,6 +77,34 @@ pub struct FleetConfig {
     /// Cold-start anneal schedule per tenant (replans use
     /// `runtime.warm`).
     pub anneal: AnnealConfig,
+    /// Cross-tenant solve dedup mode (see [`DedupMode`]).
+    pub dedup: DedupMode,
+}
+
+/// How the fleet groups pending solves for cross-tenant dedup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DedupMode {
+    /// Every pending solve runs its own annealer.
+    Off,
+    /// Group by the exact solve signature and verify each member's
+    /// canonical [`cast_runtime::SolveInputs`] equal the group
+    /// representative's. The solver seed is content-derived, so the
+    /// merged report is byte-identical to [`DedupMode::Off`] — exact
+    /// dedup only trades throughput for simpler accounting.
+    #[default]
+    Exact,
+    /// Group by the quantized class signature and verify each member's
+    /// [`cast_runtime::ClassInputs`] — the per-job equivalence classes
+    /// (coarse drift bucket × init placement) and warm flag — equal the
+    /// representative's. Members whose exact
+    /// byte counts differ adopt the representative's positional
+    /// assignment anyway; each member's own hysteresis judgement then
+    /// re-scores that candidate on its *real* batch, vetoing transfers
+    /// that don't genuinely pay. Tenants whose exact inputs also match
+    /// (clones) remain byte-identical to fresh solves; for the rest
+    /// this is a deliberate approximation — the throughput mode for
+    /// large fleets of template-derived tenants.
+    Class,
 }
 
 impl Default for FleetConfig {
@@ -72,6 +115,7 @@ impl Default for FleetConfig {
             admission: AdmissionConfig::default(),
             runtime: RuntimeConfig::default(),
             anneal: AnnealConfig::default(),
+            dedup: DedupMode::Exact,
         }
     }
 }
@@ -160,54 +204,214 @@ impl<'a> Fleet<'a> {
         let mut stats = FleetStats::default();
 
         for k in 0..epochs {
-            // Phase 1 — plan every tenant's boundary in parallel.
+            // Phase 1a — assemble every tenant's boundary in parallel.
+            // Epochs the skip gates or replan policy sealed come back
+            // `Planned`; the rest surface their solve inputs.
+            let t_plan = Instant::now();
             let outcomes = run_indexed_mut(cfg.workers, &mut sessions, |_, s| {
                 let t = Instant::now();
-                let r = s.plan_epoch(k);
+                let r = s.begin_epoch(k);
                 (r, t.elapsed().as_secs_f64())
             });
             let mut plans: Vec<Option<PlannedEpoch>> = Vec::with_capacity(n);
+            let mut walls: Vec<f64> = Vec::with_capacity(n);
+            let mut pendings: Vec<Option<Box<PendingPlan>>> = Vec::with_capacity(n);
             for (r, wall) in outcomes {
-                let p = r?;
-                if p.is_some() {
-                    stats.replan_wall_secs.push(wall);
-                }
-                plans.push(p);
+                let (plan, pending) = match r? {
+                    PlanPhase::Idle => (None, None),
+                    PlanPhase::Planned(p) => (Some(p), None),
+                    PlanPhase::Solve(pp) => (None, Some(pp)),
+                };
+                plans.push(plan);
+                pendings.push(pending);
+                walls.push(wall);
             }
 
-            // Phase 2 — shard-local priority admission over the ledger.
-            let mut verdicts: Vec<Option<Admission>> = vec![None; n];
-            for shard in 0..registry.shards() {
-                let idxs: Vec<usize> = registry
-                    .shard_tenants(shard)
-                    .iter()
-                    .copied()
-                    .filter(|&i| plans[i].is_some())
-                    .collect();
-                if idxs.is_empty() {
-                    continue;
+            // Phase 1b — group pending solves (sequential, cheap). The
+            // signature — exact or class-quantized per the dedup mode —
+            // is a grouping hint only: each member's canonical content
+            // must equal the representative's, or it falls out into its
+            // own group — a digest collision can cost a solve, never
+            // correctness. Grouping walks tenants in id order, so the
+            // representative choice is deterministic regardless of
+            // worker count.
+            let mut groups: Vec<(usize, Vec<usize>)> = Vec::new();
+            if cfg.dedup == DedupMode::Off {
+                for (i, p) in pendings.iter().enumerate() {
+                    if p.is_some() {
+                        groups.push((i, Vec::new()));
+                    }
                 }
-                let requests: Vec<AdmissionRequest> = idxs
-                    .iter()
-                    .map(|&i| {
-                        let spec = &registry.specs()[i];
-                        AdmissionRequest {
-                            tenant: spec.id.0,
-                            priority: spec.priority(),
-                            weight: spec.weight(),
-                            demand: *plans[i].as_ref().expect("filtered Some").demand(),
-                            deferrals: consec_defer[i],
+            } else {
+                let sig_of = |p: &PendingPlan| match cfg.dedup {
+                    DedupMode::Exact => p.signature(),
+                    DedupMode::Class => p.class_set_signature(),
+                    DedupMode::Off => unreachable!("handled above"),
+                };
+                let same = |a: &PendingPlan, b: &PendingPlan| match cfg.dedup {
+                    DedupMode::Exact => a.inputs() == b.inputs(),
+                    DedupMode::Class => a.class_set_matches(b),
+                    DedupMode::Off => unreachable!("handled above"),
+                };
+                let mut by_sig: std::collections::HashMap<u64, Vec<usize>> =
+                    std::collections::HashMap::new();
+                for (i, p) in pendings.iter().enumerate() {
+                    if let Some(p) = p {
+                        by_sig.entry(sig_of(p)).or_default().push(i);
+                    }
+                }
+                let mut sigs: Vec<u64> = by_sig.keys().copied().collect();
+                sigs.sort_unstable();
+                for sig in sigs {
+                    let members = &by_sig[&sig];
+                    // Members arrive in tenant order; the first becomes
+                    // the representative, and any member whose content
+                    // differs (collision) seeds a new sub-group.
+                    let mut subs: Vec<(usize, Vec<usize>)> = Vec::new();
+                    for &i in members {
+                        let p = pendings[i].as_ref().expect("grouped Some");
+                        match subs
+                            .iter_mut()
+                            .find(|(rep, _)| same(pendings[*rep].as_ref().expect("rep Some"), p))
+                        {
+                            Some((_, v)) => v.push(i),
+                            None => subs.push((i, Vec::new())),
                         }
-                    })
-                    .collect();
-                let mut ledger = CapacityLedger::new(cfg.shard_capacity);
-                let vs = admit_epoch(&mut ledger, &cfg.admission, &requests);
-                let s = &mut sacc[shard as usize];
-                s.peak_utilization = s.peak_utilization.max(ledger.utilization());
-                for (&i, v) in idxs.iter().zip(vs.iter()) {
-                    verdicts[i] = Some(*v);
+                    }
+                    groups.extend(subs);
                 }
             }
+            let fanouts = groups.iter().map(|(_, v)| v.len() as u64).sum::<u64>();
+            stats.cache_groups += groups.len() as u64;
+            stats.solves += groups.len() as u64;
+            stats.dedup_fanouts += fanouts;
+            self.obs
+                .counter("fleet.plan.solves")
+                .add(groups.len() as u64);
+            self.obs.counter("fleet.plan.deduped").add(fanouts);
+
+            // Phase 1c — solve one representative per group in
+            // parallel. `solve_pending` holds the sessions immutably.
+            let sessions_ref = &sessions;
+            let pendings_ref = &pendings;
+            let groups_ref = &groups;
+            let solve_results: Vec<(Result<SolveProduct, _>, f64)> =
+                run_indexed(cfg.workers, groups.len(), |g| {
+                    let rep = groups_ref[g].0;
+                    let t = Instant::now();
+                    let r = sessions_ref[rep]
+                        .solve_pending(pendings_ref[rep].as_ref().expect("rep Some"));
+                    (r, t.elapsed().as_secs_f64())
+                });
+
+            // Phase 1d — seal every pending epoch in parallel: each
+            // tenant adopts its group's product (the representative as
+            // Fresh, the rest as Deduped) and runs its own hysteresis
+            // judgement, migration diff and demand aggregation.
+            let finish_slots: Vec<Mutex<Option<(Box<PendingPlan>, SolveProduct, PlanProvenance)>>> =
+                (0..n).map(|_| Mutex::new(None)).collect();
+            for (g, (result, solve_wall)) in solve_results.into_iter().enumerate() {
+                let (rep, members) = &groups[g];
+                let product = result?;
+                walls[*rep] += solve_wall;
+                for &i in members {
+                    // Class members adopt through the class transfer
+                    // (permutation when multisets match, per-class
+                    // lookup otherwise); exact members share the
+                    // positional layout, so the product moves as-is.
+                    let member_product = if cfg.dedup == DedupMode::Class {
+                        cast_runtime::transfer_class_product(
+                            pendings[*rep].as_ref().expect("rep Some"),
+                            &product,
+                            pendings[i].as_ref().expect("member Some"),
+                        )
+                    } else {
+                        product.clone()
+                    };
+                    *finish_slots[i].lock().expect("uncontended") = Some((
+                        pendings[i].take().expect("member Some"),
+                        member_product,
+                        PlanProvenance::Deduped,
+                    ));
+                }
+                *finish_slots[*rep].lock().expect("uncontended") = Some((
+                    pendings[*rep].take().expect("rep Some"),
+                    product,
+                    PlanProvenance::Fresh,
+                ));
+            }
+            let fslots = &finish_slots;
+            let finished = run_indexed_mut(cfg.workers, &mut sessions, |i, s| {
+                match fslots[i].lock().expect("uncontended").take() {
+                    Some((pending, product, prov)) => {
+                        let t = Instant::now();
+                        let r = s.finish_epoch(*pending, &product, prov).map(Some);
+                        (r, t.elapsed().as_secs_f64())
+                    }
+                    None => (Ok(None), 0.0),
+                }
+            });
+            for (i, (r, wall)) in finished.into_iter().enumerate() {
+                if let Some(p) = r? {
+                    walls[i] += wall;
+                    plans[i] = Some(p);
+                }
+            }
+            for (i, p) in plans.iter().enumerate() {
+                if let Some(p) = p {
+                    stats.replan_wall_secs.push(walls[i]);
+                    if p.provenance() == PlanProvenance::Skipped {
+                        stats.replans_skipped += 1;
+                        self.obs.counter("fleet.plan.skipped").inc();
+                    }
+                }
+            }
+            stats.plan_wall_secs += t_plan.elapsed().as_secs_f64();
+
+            // Phase 2 — shard-local priority admission over per-shard
+            // ledgers, fanned out across shards (each shard is a pure
+            // function of its own requests; merge order is fixed).
+            let t_admit = Instant::now();
+            let plans_ref = &plans;
+            let defer_ref = &consec_defer;
+            let shard_verdicts: Vec<(Vec<(usize, Admission)>, f64)> =
+                run_indexed(cfg.workers, registry.shards() as usize, |shard| {
+                    let shard = shard as u32;
+                    let idxs: Vec<usize> = registry
+                        .shard_tenants(shard)
+                        .iter()
+                        .copied()
+                        .filter(|&i| plans_ref[i].is_some())
+                        .collect();
+                    if idxs.is_empty() {
+                        return (Vec::new(), 0.0);
+                    }
+                    let requests: Vec<AdmissionRequest> = idxs
+                        .iter()
+                        .map(|&i| {
+                            let spec = &registry.specs()[i];
+                            AdmissionRequest {
+                                tenant: spec.id.0,
+                                priority: spec.priority(),
+                                weight: spec.weight(),
+                                demand: *plans_ref[i].as_ref().expect("filtered Some").demand(),
+                                deferrals: defer_ref[i],
+                            }
+                        })
+                        .collect();
+                    let mut ledger = CapacityLedger::new(cfg.shard_capacity);
+                    let vs = admit_epoch(&mut ledger, &cfg.admission, &requests);
+                    (idxs.into_iter().zip(vs).collect(), ledger.utilization())
+                });
+            let mut verdicts: Vec<Option<Admission>> = vec![None; n];
+            for (shard, (vs, utilization)) in shard_verdicts.into_iter().enumerate() {
+                let s = &mut sacc[shard];
+                s.peak_utilization = s.peak_utilization.max(utilization);
+                for (i, v) in vs {
+                    verdicts[i] = Some(v);
+                }
+            }
+            stats.admit_wall_secs += t_admit.elapsed().as_secs_f64();
 
             // Phase 4a — settle verdicts in (shard, tenant) order:
             // trace events, accumulators, defer/reject bookkeeping; the
@@ -227,6 +431,7 @@ impl<'a> Fleet<'a> {
                             epoch: k,
                             admission: v.label().to_string(),
                             granted_frac: v.granted_frac(),
+                            planned: p.provenance().label().to_string(),
                         },
                     );
                     match v {
@@ -258,6 +463,7 @@ impl<'a> Fleet<'a> {
 
             // Phase 3 — execute admitted batches in parallel under their
             // grants.
+            let t_exec = Instant::now();
             let slots = &exec_slots;
             let results = run_indexed_mut(cfg.workers, &mut sessions, |i, s| {
                 match slots[i].lock().expect("uncontended").take() {
@@ -270,6 +476,7 @@ impl<'a> Fleet<'a> {
                     stats.executed_epochs += 1;
                 }
             }
+            stats.exec_wall_secs += t_exec.elapsed().as_secs_f64();
         }
 
         // Final settlement: per-tenant rollups in id order, region totals.
@@ -469,17 +676,45 @@ mod tests {
                 epoch,
                 admission,
                 granted_frac,
+                planned,
             } = &e.body
             {
                 seen += 1;
                 assert_eq!(admission, "admitted");
                 assert_eq!(*granted_frac, 1.0);
+                assert!(
+                    ["fresh", "deduped", "skipped"].contains(&planned.as_str()),
+                    "unexpected provenance {planned}"
+                );
                 let key = (*epoch, *shard, *tenant);
                 assert!(key > last || seen == 1, "{key:?} after {last:?}");
                 last = key;
             }
         }
         assert!(seen > 0, "settlement must trace tenant epochs");
+    }
+
+    #[test]
+    fn plan_cache_counters_land_in_the_metrics_registry() {
+        // FleetStats is the wall-clock side channel; the same plan-cache
+        // tallies must also flow through the attached collector so fleet
+        // dashboards see them without holding a FleetOutcome.
+        let est = estimator(4);
+        let reg = small_fleet(6, 0xE55);
+        let col = Collector::recording();
+        let fleet = Fleet::new(&est, quick_cfg(100.0)).observe(col.clone());
+        let out = fleet.run(&reg).unwrap();
+        let snap = col.snapshot();
+        assert!(out.stats.solves > 0);
+        assert_eq!(snap.counter("fleet.plan.solves"), Some(out.stats.solves));
+        assert_eq!(
+            snap.counter("fleet.plan.deduped").unwrap_or(0),
+            out.stats.dedup_fanouts
+        );
+        assert_eq!(
+            snap.counter("fleet.plan.skipped").unwrap_or(0),
+            out.stats.replans_skipped
+        );
     }
 
     #[test]

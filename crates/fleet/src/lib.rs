@@ -1,7 +1,7 @@
 //! # cast-fleet — sharded multi-tenant tiering service
 //!
 //! One simulated region serving thousands of tenants, each with its own
-//! tiering [`Goal`](cast_solver::Goal), deadlines, drift profile and
+//! tiering goal (`cast_core::TenantGoal`), deadlines, drift profile and
 //! arrival stream from [`cast_workload::tenant_fleet`]. The pieces:
 //!
 //! * [`TenantRegistry`] + [`shard_of`] — the shard map: tenants hash
@@ -66,6 +66,6 @@ pub mod shard;
 
 pub use admission::{admit_epoch, Admission, AdmissionConfig, AdmissionRequest};
 pub use error::FleetError;
-pub use fleet::{Fleet, FleetConfig, FleetOutcome};
+pub use fleet::{DedupMode, Fleet, FleetConfig, FleetOutcome};
 pub use report::{FleetReport, FleetStats, ShardReport, TenantSummary};
 pub use shard::{shard_of, TenantRegistry};

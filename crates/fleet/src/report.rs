@@ -99,12 +99,33 @@ impl FleetReport {
 #[derive(Debug, Clone, Default)]
 pub struct FleetStats {
     /// Wall seconds of each per-tenant plan call that produced a batch,
-    /// in (epoch, tenant) order.
+    /// in (epoch, tenant) order. A tenant's sample covers the work done
+    /// *for it*: batch assembly + epoch sealing, plus the annealer solve
+    /// when the tenant was its signature group's representative —
+    /// deduped and skip-gated tenants book only their share.
     pub replan_wall_secs: Vec<f64>,
     /// Wall seconds for the whole run.
     pub total_wall_secs: f64,
     /// Tenant-epochs executed (admitted batches).
     pub executed_epochs: usize,
+    /// Annealer solves actually run (one per signature group).
+    pub solves: u64,
+    /// Plans fanned out from a group representative's solve instead of
+    /// solving (cross-tenant dedup hits).
+    pub dedup_fanouts: u64,
+    /// Epochs whose annealer was skipped by the replan-skip gates
+    /// (exact cache hits + drift-gated skips + policy no-replans).
+    pub replans_skipped: u64,
+    /// Signature groups formed across all epochs (`solves` ≤ pending
+    /// plans; `cache_groups == solves` since each group solves once).
+    pub cache_groups: u64,
+    /// Wall seconds in the plan phase (begin + solve + finish), summed
+    /// over epochs.
+    pub plan_wall_secs: f64,
+    /// Wall seconds in shard admission, summed over epochs.
+    pub admit_wall_secs: f64,
+    /// Wall seconds in the execute phase, summed over epochs.
+    pub exec_wall_secs: f64,
 }
 
 impl FleetStats {
@@ -131,6 +152,7 @@ mod tests {
             replan_wall_secs: (1..=100).map(|i| i as f64).collect(),
             total_wall_secs: 1.0,
             executed_epochs: 100,
+            ..FleetStats::default()
         };
         assert_eq!(stats.replan_percentile(0.0), 1.0);
         assert_eq!(stats.replan_percentile(50.0), 51.0);

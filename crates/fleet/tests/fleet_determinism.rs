@@ -17,8 +17,8 @@ use cast_cloud::Catalog;
 use cast_estimator::model::{CapacityCurve, ModelMatrix, PhaseBw};
 use cast_estimator::mrcute::ClusterSpec;
 use cast_estimator::Estimator;
-use cast_fleet::{Fleet, FleetConfig, FleetReport, TenantRegistry};
-use cast_runtime::{CandidateScoring, MigrationProtocol, ReplanPolicy, RuntimeConfig};
+use cast_fleet::{DedupMode, Fleet, FleetConfig, FleetReport, TenantRegistry};
+use cast_runtime::{CandidateScoring, MigrationProtocol, ReplanPolicy, RuntimeConfig, SkipPolicy};
 use cast_solver::AnnealConfig;
 use cast_workload::profile::ProfileSet;
 use cast_workload::{tenant_fleet, AppKind, FleetWorkloadConfig};
@@ -116,6 +116,16 @@ fn fleet_config(sc: &Scenario, workers: usize) -> FleetConfig {
 }
 
 fn serve(est: &Estimator, sc: &Scenario, workers: usize) -> (String, FleetReport) {
+    serve_with(est, sc, workers, DedupMode::Exact, SkipPolicy::default())
+}
+
+fn serve_with(
+    est: &Estimator,
+    sc: &Scenario,
+    workers: usize,
+    dedup: DedupMode,
+    skip: SkipPolicy,
+) -> (String, FleetReport) {
     let specs = tenant_fleet(&FleetWorkloadConfig {
         seed: sc.seed,
         tenants: sc.tenants,
@@ -126,9 +136,10 @@ fn serve(est: &Estimator, sc: &Scenario, workers: usize) -> (String, FleetReport
     })
     .unwrap();
     let registry = TenantRegistry::new(specs, sc.shards).unwrap();
-    let outcome = Fleet::new(est, fleet_config(sc, workers))
-        .run(&registry)
-        .unwrap();
+    let mut cfg = fleet_config(sc, workers);
+    cfg.dedup = dedup;
+    cfg.runtime.skip = skip;
+    let outcome = Fleet::new(est, cfg).run(&registry).unwrap();
     let json = serde_json::to_string(&outcome.report).unwrap();
     (json, outcome.report)
 }
@@ -153,6 +164,103 @@ proptest! {
             );
         }
     }
+
+    /// The fast planning path is invisible in the results: grouped
+    /// exact-dedup solves and the exact replan-skip gate produce a
+    /// merged report byte-identical to always-fresh planning (dedup
+    /// off, skip gate disabled), at every worker count, fault plans and
+    /// what-if scoring included.
+    #[test]
+    fn dedup_and_exact_skip_match_always_fresh_planning(sc in scenario_strategy()) {
+        let est = estimator(4);
+        let off = SkipPolicy { enabled: false, ..SkipPolicy::default() };
+        let (fresh, _) = serve_with(&est, &sc, 1, DedupMode::Off, off);
+        for (workers, dedup) in [
+            (1usize, DedupMode::Exact),
+            (2, DedupMode::Exact),
+            (8, DedupMode::Off),
+        ] {
+            let (fast, _) = serve_with(&est, &sc, workers, dedup, SkipPolicy::default());
+            prop_assert!(
+                fresh == fast,
+                "dedup={:?} workers={} diverged from always-fresh planning",
+                dedup,
+                workers
+            );
+        }
+    }
+}
+
+/// The equivalence property above is only meaningful if dedup actually
+/// groups. A fleet of cloned tenants (identical arrival configs, so
+/// identical streams and identical cold solve inputs) must fan most of
+/// its plans out from group representatives — and still serve the same
+/// bytes as dedup-off planning.
+#[test]
+fn cloned_tenants_dedup_into_shared_solves() {
+    let est = estimator(4);
+    let sc = Scenario {
+        tenants: 6,
+        shards: 2,
+        seed: 0xDEDA,
+        capacity_gb: 100_000.0,
+        faulty: false,
+        scoring: CandidateScoring::Analytic,
+    };
+    let template = tenant_fleet(&FleetWorkloadConfig {
+        seed: sc.seed,
+        tenants: 1,
+        horizon: Duration::from_mins(60.0),
+        base_jobs_per_hour: 6.0,
+        max_bin: 3,
+        ..FleetWorkloadConfig::default()
+    })
+    .unwrap()
+    .remove(0);
+    let specs: Vec<_> = (0..sc.tenants as u32)
+        .map(|i| {
+            let mut s = template.clone();
+            s.id = cast_workload::TenantId(i);
+            s
+        })
+        .collect();
+    let registry = TenantRegistry::new(specs, sc.shards).unwrap();
+
+    let fast = Fleet::new(&est, fleet_config(&sc, 2))
+        .run(&registry)
+        .unwrap();
+    assert!(
+        fast.stats.dedup_fanouts > 0,
+        "cloned tenants must share solves (solves={}, groups={})",
+        fast.stats.solves,
+        fast.stats.cache_groups
+    );
+    assert_eq!(fast.stats.solves, fast.stats.cache_groups);
+
+    let mut off = fleet_config(&sc, 2);
+    off.dedup = DedupMode::Off;
+    off.runtime.skip = SkipPolicy {
+        enabled: false,
+        ..SkipPolicy::default()
+    };
+    let fresh = Fleet::new(&est, off).run(&registry).unwrap();
+    assert_eq!(fresh.stats.dedup_fanouts, 0);
+    assert_eq!(
+        serde_json::to_string(&fast.report).unwrap(),
+        serde_json::to_string(&fresh.report).unwrap()
+    );
+
+    // Class-quantized grouping subsumes exact grouping for clones:
+    // equal exact inputs imply equal class inputs, so the class mode
+    // must fan out at least as widely and still serve the same bytes.
+    let mut class = fleet_config(&sc, 2);
+    class.dedup = DedupMode::Class;
+    let approx = Fleet::new(&est, class).run(&registry).unwrap();
+    assert!(approx.stats.dedup_fanouts >= fast.stats.dedup_fanouts);
+    assert_eq!(
+        serde_json::to_string(&approx.report).unwrap(),
+        serde_json::to_string(&fresh.report).unwrap()
+    );
 }
 
 /// A tight pool must actually exercise the contention paths the

@@ -221,6 +221,10 @@ pub enum EventBody {
         /// Fraction of the tenant's demanded capacity the fair-share
         /// allocator granted (1.0 = uncontended, 0.0 = not admitted).
         granted_frac: f64,
+        /// How the epoch's plan was obtained: `"fresh"` (annealer ran),
+        /// `"deduped"` (fanned out from an identical tenant's solve) or
+        /// `"skipped"` (replan-skip gate held).
+        planned: String,
     },
 }
 

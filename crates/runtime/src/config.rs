@@ -95,6 +95,54 @@ impl MigrationProtocol {
     }
 }
 
+/// When the runtime may skip the annealer entirely at an epoch boundary
+/// and keep serving the incumbent plan.
+///
+/// Two gates, both of which must pass:
+///
+/// * **Exact reuse** always applies while `enabled`: if the epoch's
+///   planning inputs (canonical spec content, init assignments, warm
+///   flag) are bit-identical to the session's last solved epoch, the
+///   cached solve *is* the fresh solve — the solver seed is derived from
+///   the input content, so re-running it would reproduce the same
+///   trajectory. Reusing it is byte-identical by construction.
+/// * **Drift-gated reuse** applies when the thresholds are loosened: the
+///   batch's drift distance (symmetric difference over per-job
+///   [`drift buckets`](cast_workload::Job::drift_key), normalized by
+///   batch size) must stay within `max_drift`, *and* the last fresh
+///   solve's relative gain over its own incumbent — the same-spec
+///   `score_delta` the hysteresis judgement already computed — must be
+///   within `max_score_delta`. A marginal last solve on an un-drifted
+///   stream predicts the next solve lands inside the hysteresis veto
+///   band, so the runtime serves the incumbent without paying for the
+///   anneal; a solve that genuinely improved things (or a batch whose
+///   shape moved) always re-runs the annealer.
+///
+/// The defaults (`0.0` thresholds) admit only the exact path, which
+/// never changes results; fleet benchmarks loosen them deliberately.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SkipPolicy {
+    /// Master switch; `false` restores solve-every-epoch behaviour.
+    pub enabled: bool,
+    /// Largest drift-bucket distance (0 = identical shape multiset)
+    /// still eligible for skipping.
+    pub max_drift: f64,
+    /// Largest relative gain the *last fresh solve* achieved over its own
+    /// incumbent (the hysteresis `score_delta`) still eligible for
+    /// skipping: a marginal last solve predicts a vetoed next one.
+    pub max_score_delta: f64,
+}
+
+impl Default for SkipPolicy {
+    fn default() -> Self {
+        SkipPolicy {
+            enabled: true,
+            max_drift: 0.0,
+            max_score_delta: 0.0,
+        }
+    }
+}
+
 /// Parameters of one online-runtime run.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct RuntimeConfig {
@@ -134,6 +182,10 @@ pub struct RuntimeConfig {
     /// make identical decisions (fork equivalence), differing only in
     /// replan latency.
     pub scoring: CandidateScoring,
+    /// Replan-skip gate (see [`SkipPolicy`]). `serde(default)` keeps old
+    /// serialized configs loadable.
+    #[serde(default)]
+    pub skip: SkipPolicy,
 }
 
 impl Default for RuntimeConfig {
@@ -148,6 +200,7 @@ impl Default for RuntimeConfig {
             protocol: MigrationProtocol::default(),
             migration_fault_prob: 0.0,
             scoring: CandidateScoring::default(),
+            skip: SkipPolicy::default(),
         }
     }
 }

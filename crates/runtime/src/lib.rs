@@ -37,10 +37,13 @@ pub mod runtime;
 pub mod session;
 
 pub use cast_solver::CandidateScoring;
-pub use config::{AdmissionPolicy, MigrationProtocol, ReplanPolicy, RuntimeConfig};
+pub use config::{AdmissionPolicy, MigrationProtocol, ReplanPolicy, RuntimeConfig, SkipPolicy};
 pub use error::RuntimeError;
 pub use forecast::{is_forecast, planning_spec, strip_forecast, FORECAST_ID_BASE};
 pub use migrate::{execute_schedule, home_tier, plan_delta, MigrationSchedule, ProtocolOutcome};
 pub use report::{EpochReport, OnlineReport};
 pub use runtime::OnlineRuntime;
-pub use session::{ingest_plan, majority_tiers, PlannedEpoch, TenantSession, INGEST_FALLBACK};
+pub use session::{
+    ingest_plan, majority_tiers, transfer_class_product, ClassInputs, PendingPlan, PlanPhase,
+    PlanProvenance, PlannedEpoch, SolveInputs, SolveProduct, TenantSession, INGEST_FALLBACK,
+};

@@ -10,7 +10,7 @@
 //! migrations as explicit transfers that contend for tier bandwidth in
 //! the same epoch simulation as the jobs themselves.
 //!
-//! The machinery lives in [`TenantSession`](crate::session::TenantSession):
+//! The machinery lives in [`TenantSession`]:
 //! each boundary is planned ([`plan_epoch`](crate::session::TenantSession::plan_epoch))
 //! and then executed under a capacity grant
 //! ([`execute_epoch`](crate::session::TenantSession::execute_epoch)).
@@ -377,6 +377,129 @@ mod tests {
         let open = rt.run(&stream(7)).unwrap();
         assert_eq!(open.rejected, 0);
         assert!(open.jobs_completed > strict.jobs_completed);
+    }
+
+    /// One single-job arrival per 30-minute epoch; ids are unique but
+    /// the shape at epoch `k` is whatever `gb`/`app` return.
+    fn shaped_stream(
+        epochs: u32,
+        gb: impl Fn(u32) -> f64,
+        app: impl Fn(u32) -> AppKind,
+    ) -> ArrivalStream {
+        use cast_cloud::units::DataSize;
+        use cast_workload::dataset::{Dataset, DatasetId};
+        use cast_workload::{Arrival, Job, JobId};
+        let arrivals = (0..epochs)
+            .map(|k| {
+                let ds = DatasetId(k);
+                let size = DataSize::from_gb(gb(k));
+                Arrival {
+                    at: Duration::from_mins(30.0 * k as f64 + 5.0),
+                    jobs: vec![Job::with_default_layout(JobId(k), app(k), ds, size)],
+                    datasets: vec![Dataset::single_use(ds, size)],
+                    workflow: None,
+                }
+            })
+            .collect();
+        ArrivalStream {
+            arrivals,
+            horizon: Duration::from_mins(30.0 * epochs as f64),
+        }
+    }
+
+    /// Serve `s` stepwise and return (report JSON, per-epoch provenance,
+    /// per-epoch replanned flags).
+    fn serve_stepped(
+        est: &Estimator,
+        skip: crate::SkipPolicy,
+        s: &ArrivalStream,
+    ) -> (String, Vec<crate::PlanProvenance>, Vec<bool>) {
+        let mut cfg = quick_cfg(ReplanPolicy::Periodic);
+        cfg.forecast = false;
+        cfg.skip = skip;
+        let rt = OnlineRuntime::new(est, quick_anneal(400), cfg);
+        let mut session = rt.session(s.clone());
+        let mut provs = Vec::new();
+        for k in 0..session.epoch_count() {
+            if let Some(p) = session.plan_epoch(k).unwrap() {
+                provs.push(p.provenance());
+                session.execute_epoch(p, 1.0).unwrap();
+            }
+        }
+        let report = session.finish();
+        let replanned = report.epochs.iter().map(|e| e.replanned).collect();
+        (serde_json::to_string(&report).unwrap(), provs, replanned)
+    }
+
+    #[test]
+    fn exact_skip_replays_the_cached_solve_bit_for_bit() {
+        // A stream repeating the identical batch shape every epoch:
+        // once the ingest map settles, canonical inputs stop changing
+        // and the exact gate serves the cached product. Because the
+        // solver seed is content-derived, the gated report must be
+        // byte-identical to an always-fresh run — and the gate must
+        // actually fire, or the identity is vacuous.
+        let est = estimator(4);
+        let s = shaped_stream(5, |_| 12.0, |_| AppKind::Grep);
+        let off = crate::SkipPolicy {
+            enabled: false,
+            ..crate::SkipPolicy::default()
+        };
+        let (fresh, fresh_provs, _) = serve_stepped(&est, off, &s);
+        assert!(fresh_provs
+            .iter()
+            .all(|p| *p == crate::PlanProvenance::Fresh));
+        let (fast, provs, replanned) = serve_stepped(&est, crate::SkipPolicy::default(), &s);
+        let skips = provs
+            .iter()
+            .filter(|p| **p == crate::PlanProvenance::Skipped)
+            .count();
+        assert!(skips > 0, "a repeating batch must hit the exact cache");
+        // The exact path replays a real solve: epochs still count as
+        // replanned, unlike the drift gate's seal-without-solve.
+        assert!(replanned.iter().all(|&r| r));
+        assert_eq!(fresh, fast);
+    }
+
+    #[test]
+    fn drift_gate_skips_stable_shapes_but_never_drifted_ones() {
+        let est = estimator(4);
+        // A wide-open score tolerance leaves the drift distance as the
+        // gate's only guard.
+        let gate = crate::SkipPolicy {
+            enabled: true,
+            max_drift: 0.25,
+            max_score_delta: 1e9,
+        };
+        // Sizes wobble inside one power-of-two bucket: drift distance 0,
+        // but canonical inputs differ so the exact path can't hit — any
+        // skip is the soft gate's (replanned == false).
+        let stable = shaped_stream(5, |k| 12.0 + 0.1 * k as f64, |_| AppKind::Grep);
+        let (_, provs, replanned) = serve_stepped(&est, gate, &stable);
+        assert!(
+            replanned.iter().any(|&r| !r),
+            "a shape-stable stream must soft-skip ({provs:?})"
+        );
+        // The app mix flips every boundary: each batch's class multiset
+        // is disjoint from the cache (distance 1.0 > 0.25), so every
+        // epoch must solve fresh no matter how loose the score gate is.
+        let drifted = shaped_stream(
+            5,
+            |_| 12.0,
+            |k| {
+                if k % 2 == 0 {
+                    AppKind::Grep
+                } else {
+                    AppKind::Sort
+                }
+            },
+        );
+        let (_, provs, replanned) = serve_stepped(&est, gate, &drifted);
+        assert!(
+            replanned.iter().all(|&r| r),
+            "a drifted batch must never be skipped ({provs:?})"
+        );
+        assert!(provs.iter().all(|p| *p == crate::PlanProvenance::Fresh));
     }
 
     #[test]

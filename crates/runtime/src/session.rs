@@ -1,5 +1,5 @@
-//! The steppable per-tenant epoch machine behind [`OnlineRuntime`] and
-//! `cast-fleet`.
+//! The steppable per-tenant epoch machine behind
+//! [`OnlineRuntime`](crate::OnlineRuntime) and `cast-fleet`.
 //!
 //! [`crate::OnlineRuntime::run`] serves one stream start-to-finish; a
 //! multi-tenant fleet interleaves *thousands* of such loops against
@@ -32,14 +32,16 @@ use cast_cloud::units::{DataSize, Duration};
 use cast_estimator::Estimator;
 use cast_obs::{Collector, EventBody, Observe};
 use cast_sim::config::Concurrency;
-use cast_sim::{prepare_runs, Sim, SimConfig};
+use cast_sim::{prepare_runs, EngineScratch, Sim, SimConfig};
 use cast_solver::objective::provision_round;
 use cast_solver::{
-    candidate_slate, evaluate, restart_seed, score_candidates, AnnealConfig, Annealer, Assignment,
-    EvalContext, TieringPlan,
+    candidate_slate, class_signature, evaluate, score_candidates, AnnealConfig, Annealer,
+    Assignment, EvalContext, TieringPlan,
 };
 use cast_workload::arrival::assemble_spec;
-use cast_workload::{AppKind, Arrival, ArrivalStream, Job, WorkloadSpec};
+use cast_workload::{
+    splitmix64, AppKind, Arrival, ArrivalStream, DatasetId, Job, ProfileSet, WorkloadSpec,
+};
 
 use crate::config::{AdmissionPolicy, ReplanPolicy, RuntimeConfig};
 use crate::error::RuntimeError;
@@ -53,10 +55,15 @@ use crate::report::{EpochReport, OnlineReport};
 /// durable, fast enough for anything, never the paper's worst choice.
 pub const INGEST_FALLBACK: Tier = Tier::PersSsd;
 
-/// Decorrelates per-epoch solver seeds from the annealer's own
-/// per-restart seeds (both walks use [`restart_seed`]; offsetting the
-/// epoch index keeps the two sequences from aliasing).
-const EPOCH_SEED_OFFSET: usize = 0x10_0000;
+/// Salt folded into the content-derived per-solve seed. The solver seed
+/// is a pure function of the solve's *inputs* (canonical spec content,
+/// init placement, warm flag, `cfg.seed`), not of the epoch index: two
+/// solves presented with identical inputs — the same tenant at a later
+/// boundary, or two tenants in a fleet — run identical trajectories.
+/// That is what makes exact replan-skipping and cross-tenant solve
+/// dedup bit-identical to fresh solves *by construction* rather than by
+/// approximation.
+const SOLVE_SEED_SALT: u64 = 0x5EED_CA57_0000_0001;
 
 /// Under simulated candidate scoring, the fraction of the epoch length
 /// that elapses (in simulated time) before the mid-epoch what-if fires:
@@ -68,6 +75,217 @@ const WHATIF_HORIZON_FRACTION: f64 = 0.5;
 /// same decisions ([`cast_sim::par::run_indexed`]'s determinism
 /// contract), so this only trades replan latency for cores.
 const WHATIF_WORKERS: usize = 4;
+
+/// How a [`PlannedEpoch`]'s execution plan was obtained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanProvenance {
+    /// The annealer ran for this tenant this epoch.
+    Fresh,
+    /// The winning assignment was fanned out from another tenant's
+    /// bit-identical solve (fleet cross-tenant dedup).
+    Deduped,
+    /// The annealer was skipped: replan policy said no, the plan cache
+    /// held an exact input match, or the drift gate held.
+    Skipped,
+}
+
+impl PlanProvenance {
+    /// Short label for traces and reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            PlanProvenance::Fresh => "fresh",
+            PlanProvenance::Deduped => "deduped",
+            PlanProvenance::Skipped => "skipped",
+        }
+    }
+}
+
+/// Canonical, *renumbering-invariant* content of one annealer solve:
+/// everything the solver reads, with raw `JobId`/`DatasetId` values
+/// replaced by positions and ranks. Two [`SolveInputs`] comparing equal
+/// (under a shared estimator and solver config) guarantee the annealer
+/// would walk identical trajectories — the foundation of both the exact
+/// replan-skip and fleet solve dedup.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolveInputs {
+    /// Per planning-spec job, in positional order: the solver class key
+    /// (app, input bits, maps, reduces) plus the rank of the job's
+    /// dataset among the spec's sorted distinct dataset ids.
+    jobs: Vec<(AppKind, u64, usize, usize, u32)>,
+    /// Dataset size bits, in rank order.
+    sizes: Vec<u64>,
+    /// App profiles (the estimator-side job parameters).
+    profiles: ProfileSet,
+    /// Init placement, positional over the planning spec's jobs.
+    init: Vec<Assignment>,
+    /// Whether the solve warm-starts (`resume_from`) or runs cold.
+    warm: bool,
+}
+
+/// Quantized equivalence-class content of one annealer solve: the
+/// *sorted multiset* of per-job class items — each job collapsed to its
+/// coarse [`drift bucket`](cast_workload::Job::drift_key), paired with
+/// its init assignment — plus the warm flag and profiles. Dataset
+/// identity is deliberately dropped: reuse structure rarely flips a
+/// class-level tiering call, and the member-side hysteresis re-score
+/// catches the cases where it would. Fleet class-level dedup groups
+/// batches whose
+/// *sets* of distinct class items coincide
+/// ([`PendingPlan::class_set_matches`]): same app mix, same size
+/// classes, same reuse structure, same starting placement per class —
+/// possibly different per-class job counts, byte counts and positional
+/// order. One representative solves; [`transfer_class_product`] carries
+/// the winning assignment to each member. The transfer is an
+/// approximation, not an identity — but a *safe* one, because
+/// [`TenantSession::finish_epoch`] re-scores the transferred candidate
+/// on each member's own real batch before the hysteresis judgement: a
+/// candidate that doesn't genuinely beat the member's incumbent is
+/// vetoed exactly as a marginal fresh solve would be. Tenants whose
+/// exact [`SolveInputs`] also match (clones) adopt byte-identically:
+/// their item multisets match, so the transfer degenerates to the
+/// identity permutation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassInputs {
+    /// Sorted per-job class items: `(drift_key, init tier index, init
+    /// overprov bits)`.
+    items: Vec<(u64, usize, u64)>,
+    /// App profiles (shared across a fleet built from one profile set).
+    profiles: ProfileSet,
+    /// Whether the solve warm-starts or runs cold.
+    warm: bool,
+}
+
+/// A batch that has been assembled and admitted but whose annealer solve
+/// has not run yet. Produced by [`TenantSession::begin_epoch`]; consumed
+/// by [`TenantSession::solve_pending`] + [`TenantSession::finish_epoch`].
+/// A fleet groups these by [`PendingPlan::signature`] and solves one
+/// representative per group.
+#[derive(Debug)]
+pub struct PendingPlan {
+    epoch: u32,
+    boundary: Duration,
+    batch_start: Duration,
+    admitted: Vec<Arrival>,
+    rejected: usize,
+    spec: WorkloadSpec,
+    ingest: TieringPlan,
+    pspec: WorkloadSpec,
+    init: TieringPlan,
+    inputs: SolveInputs,
+    signature: u64,
+    class_inputs: ClassInputs,
+    class_set_signature: u64,
+    class_order: Vec<u32>,
+    seed: u64,
+}
+
+impl PendingPlan {
+    /// Epoch index on the region grid.
+    pub fn epoch(&self) -> u32 {
+        self.epoch
+    }
+
+    /// 64-bit digest of the solve inputs (plus the config seed). Equal
+    /// signatures are a grouping hint; callers fanning a solve out must
+    /// confirm with [`PendingPlan::inputs`] equality — the digest
+    /// collides, the canonical content does not.
+    pub fn signature(&self) -> u64 {
+        self.signature
+    }
+
+    /// The canonical solve content backing the signature.
+    pub fn inputs(&self) -> &SolveInputs {
+        &self.inputs
+    }
+
+    /// 64-bit digest of the *set* of distinct quantized class items
+    /// (plus the config seed and warm flag). Equal set signatures are a
+    /// grouping hint for *approximate* cross-tenant dedup; callers must
+    /// confirm with [`PendingPlan::class_set_matches`].
+    pub fn class_set_signature(&self) -> u64 {
+        self.class_set_signature
+    }
+
+    /// The quantized equivalence-class content backing the class-set
+    /// signature.
+    pub fn class_inputs(&self) -> &ClassInputs {
+        &self.class_inputs
+    }
+
+    /// Whether `other` covers the same set of distinct class items —
+    /// the full (collision-free) class-dedup grouping predicate. Both
+    /// item lists are sorted, so this is one linear walk that collapses
+    /// duplicates on the fly.
+    pub fn class_set_matches(&self, other: &PendingPlan) -> bool {
+        let (a, b) = (&self.class_inputs, &other.class_inputs);
+        if a.warm != b.warm || a.profiles != b.profiles {
+            return false;
+        }
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < a.items.len() && j < b.items.len() {
+            if a.items[i] != b.items[j] {
+                return false;
+            }
+            let cur = a.items[i];
+            while i < a.items.len() && a.items[i] == cur {
+                i += 1;
+            }
+            while j < b.items.len() && b.items[j] == cur {
+                j += 1;
+            }
+        }
+        i == a.items.len() && j == b.items.len()
+    }
+
+    /// Jobs in the planning spec (forecast clones included).
+    pub fn planning_jobs(&self) -> usize {
+        self.pspec.jobs.len()
+    }
+}
+
+/// The portable result of one annealer solve: the winning assignment in
+/// planning-spec *positional* order (valid for any [`PendingPlan`] whose
+/// [`SolveInputs`] equal the solved one) plus replan diagnostics.
+#[derive(Debug, Clone)]
+pub struct SolveProduct {
+    /// Winning assignment, positional over the planning spec's jobs.
+    pub assignments: Vec<Assignment>,
+    /// Annealer moves to reach the best score (diagnostics).
+    pub replan_moves: usize,
+}
+
+/// The session's memory of its last real solve, backing the replan-skip
+/// gates.
+#[derive(Debug)]
+struct PlanCache {
+    /// Inputs of the last solved epoch (exact-skip comparand).
+    inputs: SolveInputs,
+    /// Its winning assignment (fanned back out on an exact hit).
+    product: SolveProduct,
+    /// The solve's relative gain over its own incumbent — the same-spec
+    /// `score_delta` the hysteresis judgement computed. A marginal gain
+    /// on an un-drifted stream predicts the *next* solve lands inside
+    /// the veto band too, which is what the drift gate bets on.
+    last_gain: f64,
+    /// Sorted drift-bucket keys of that epoch's real batch.
+    drift_keys: Vec<u64>,
+}
+
+/// What [`TenantSession::begin_epoch`] found at a boundary.
+#[derive(Debug)]
+pub enum PlanPhase {
+    /// Nothing to execute (empty window, or every arrival rejected —
+    /// the latter already wrote its report row).
+    Idle,
+    /// Fully planned without running the annealer (replan policy said
+    /// no, exact cache hit, or the drift gate held).
+    Planned(PlannedEpoch),
+    /// Batch assembled; the annealer still needs to run. Feed to
+    /// [`TenantSession::solve_pending`] (or adopt a matching group
+    /// representative's [`SolveProduct`]) and then
+    /// [`TenantSession::finish_epoch`].
+    Solve(Box<PendingPlan>),
+}
 
 /// One planned-but-not-yet-executed epoch: the replanning decision plus
 /// the batch's raw per-tier capacity demand, waiting on a capacity grant.
@@ -87,6 +305,7 @@ pub struct PlannedEpoch {
     score_delta: f64,
     replan_moves: usize,
     demand: PerTier<DataSize>,
+    provenance: PlanProvenance,
 }
 
 impl PlannedEpoch {
@@ -116,6 +335,11 @@ impl PlannedEpoch {
     pub fn batch_start_secs(&self) -> f64 {
         self.batch_start.secs()
     }
+
+    /// How this epoch's execution plan was obtained.
+    pub fn provenance(&self) -> PlanProvenance {
+        self.provenance
+    }
 }
 
 /// One tenant's online tiering loop, broken at the plan/execute seam so
@@ -143,6 +367,11 @@ pub struct TenantSession<'a> {
     pending_rejected: usize,
     deferrals: usize,
     epochs: Vec<EpochReport>,
+    // The last real solve, backing the replan-skip gates.
+    plan_cache: Option<PlanCache>,
+    // Reusable engine buffers: steady-state epochs simulate without
+    // reallocating the event heap, flow tables or wake arena.
+    scratch: EngineScratch,
 }
 
 impl<'a> TenantSession<'a> {
@@ -170,6 +399,8 @@ impl<'a> TenantSession<'a> {
             pending_rejected: 0,
             deferrals: 0,
             epochs: Vec::new(),
+            plan_cache: None,
+            scratch: EngineScratch::default(),
         }
     }
 
@@ -193,7 +424,31 @@ impl<'a> TenantSession<'a> {
     /// the boundary has nothing to execute (empty window, or every
     /// arrival rejected by admission — the latter still writes its
     /// report row).
+    ///
+    /// This is [`TenantSession::begin_epoch`] + [`TenantSession::
+    /// solve_pending`] + [`TenantSession::finish_epoch`] composed — the
+    /// solo path. A fleet drives the three stages itself so it can
+    /// group pending solves across tenants.
     pub fn plan_epoch(&mut self, k: u32) -> Result<Option<PlannedEpoch>, RuntimeError> {
+        match self.begin_epoch(k)? {
+            PlanPhase::Idle => Ok(None),
+            PlanPhase::Planned(planned) => Ok(Some(planned)),
+            PlanPhase::Solve(pending) => {
+                let product = self.solve_pending(&pending)?;
+                Ok(Some(self.finish_epoch(
+                    *pending,
+                    &product,
+                    PlanProvenance::Fresh,
+                )?))
+            }
+        }
+    }
+
+    /// Stage 1 of planning boundary `k`: batch, admit, and either seal
+    /// the epoch without a solve (empty boundary, replan policy says no,
+    /// exact cache hit, drift gate holds) or hand back a [`PendingPlan`]
+    /// carrying everything the annealer needs.
+    pub fn begin_epoch(&mut self, k: u32) -> Result<PlanPhase, RuntimeError> {
         let epoch_len = self.cfg.epoch;
         let t0 = epoch_len * k as f64;
         let t1 = epoch_len * (k + 1) as f64;
@@ -202,7 +457,7 @@ impl<'a> TenantSession<'a> {
         let mut batch = std::mem::take(&mut self.carryover);
         batch.extend(self.stream.window(t0, t1).iter().cloned());
         if batch.is_empty() {
-            return Ok(None);
+            return Ok(PlanPhase::Idle);
         }
         // Arrivals in [t0, t1) execute at the boundary t1 — or later,
         // when the previous batch still holds the cluster.
@@ -212,74 +467,209 @@ impl<'a> TenantSession<'a> {
         if admitted.is_empty() {
             self.obs.counter("runtime.rejected").add(rejected as u64);
             self.epochs.push(empty_epoch(k, t1, batch_start, rejected));
-            return Ok(None);
+            return Ok(PlanPhase::Idle);
         }
         let spec = assemble_spec(admitted.iter());
         spec.validate()?;
         let ingest = ingest_plan(&spec, &self.ingest_map);
 
-        // Replan (policy-dependent), adopt (hysteresis-gated), diff.
-        let mut replanned = false;
-        let mut adopted = false;
-        let mut score_delta = 0.0;
-        let mut replan_moves = 0;
-        let mut exec = ingest.clone();
-        let mut sched = MigrationSchedule::default();
         let must_replan = match self.cfg.policy {
             ReplanPolicy::Static => !self.solved_once,
             ReplanPolicy::Periodic | ReplanPolicy::Hysteresis { .. } => true,
         };
-        if must_replan {
-            replanned = true;
-            let pspec = if self.cfg.forecast {
-                planning_spec(&spec, &self.prev_jobs)
-            } else {
-                spec.clone()
-            };
-            let pctx = EvalContext::new(self.estimator, &pspec).with_reuse_awareness();
-            let init = ingest_plan(&pspec, &self.ingest_map);
-            let acfg = AnnealConfig {
-                seed: restart_seed(self.cfg.seed, k as usize + EPOCH_SEED_OFFSET),
-                ..self.anneal
-            };
-            let annealer = Annealer::new(acfg).observe(self.obs.clone());
-            let t_wall = std::time::Instant::now();
-            let outcome = if self.solved_once {
-                annealer.resume_from(&pctx, init, self.cfg.warm)?
-            } else {
-                annealer.solve(&pctx, init)?
-            };
-            self.solved_once = true;
-            self.obs
-                .gauge("runtime.replan_latency.wall")
-                .set(t_wall.elapsed().as_secs_f64());
-            let d = &outcome.diagnostics;
-            replan_moves = d.moves_to_reach(d.best_score).unwrap_or(d.iterations);
-            let candidate = strip_forecast(&outcome.plan);
+        if !must_replan {
+            let planned = seal_without_solve(k, t1, batch_start, admitted, rejected, spec, ingest)?;
+            return Ok(PlanPhase::Planned(planned));
+        }
 
-            // Judge the candidate on the *real* batch only — forecast
-            // jobs must not pad its score.
-            let rctx = EvalContext::new(self.estimator, &spec).with_reuse_awareness();
-            let incumbent_utility = evaluate(&ingest, &rctx)?.utility;
-            let candidate_utility = evaluate(&candidate, &rctx)?.utility;
-            score_delta = if incumbent_utility > 0.0 {
-                (candidate_utility - incumbent_utility) / incumbent_utility
-            } else {
-                f64::INFINITY
-            };
-            let accept = match self.cfg.policy {
-                ReplanPolicy::Hysteresis { min_gain } => score_delta >= min_gain,
-                ReplanPolicy::Static | ReplanPolicy::Periodic => true,
-            };
-            if accept {
-                adopted = true;
-                sched = plan_delta(&spec, &ingest, &candidate);
-                exec = candidate;
-                for (app, tier) in majority_tiers(&spec, &exec) {
-                    self.ingest_map.insert(app, tier);
+        let pspec = if self.cfg.forecast {
+            planning_spec(&spec, &self.prev_jobs)
+        } else {
+            spec.clone()
+        };
+        let init = ingest_plan(&pspec, &self.ingest_map);
+        let inputs = canonical_inputs(&pspec, &init, self.solved_once)?;
+        let signature = solve_signature(self.cfg.seed, &pspec, &inputs);
+        let (class_inputs, class_order) = class_quantized_inputs(&pspec, &inputs);
+        let class_set_signature = class_set_signature(self.cfg.seed, &class_inputs);
+        let seed = splitmix64(signature ^ SOLVE_SEED_SALT);
+        let pending = PendingPlan {
+            epoch: k,
+            boundary: t1,
+            batch_start,
+            admitted,
+            rejected,
+            spec,
+            ingest,
+            pspec,
+            init,
+            inputs,
+            signature,
+            class_inputs,
+            class_set_signature,
+            class_order,
+            seed,
+        };
+
+        if self.cfg.skip.enabled {
+            if let Some(cache) = &self.plan_cache {
+                // Exact path: identical inputs drive an identical
+                // trajectory (the seed is content-derived), so the
+                // cached product *is* this epoch's fresh solve.
+                if cache.inputs == pending.inputs {
+                    let product = cache.product.clone();
+                    self.obs.counter("runtime.replans_skipped").inc();
+                    let planned = self.finish_epoch(pending, &product, PlanProvenance::Skipped)?;
+                    return Ok(PlanPhase::Planned(planned));
+                }
+                // Drift gate (opt-in: zero thresholds disable it): when
+                // the batch's shape barely moved since the last real
+                // solve *and* that solve's own gain was already inside
+                // the tolerance, the next anneal is overwhelmingly
+                // likely to land inside the hysteresis veto band too —
+                // serve the incumbent without paying for it. Purely
+                // predictive: no estimator call, no anneal.
+                let skip = self.cfg.skip;
+                if pending.inputs.warm
+                    && (skip.max_drift > 0.0 || skip.max_score_delta > 0.0)
+                    && cache.last_gain <= skip.max_score_delta
+                {
+                    let keys = drift_keys(&pending.spec);
+                    if drift_distance(&keys, &cache.drift_keys) <= skip.max_drift {
+                        self.obs.counter("runtime.replans_skipped").inc();
+                        let PendingPlan {
+                            epoch,
+                            boundary,
+                            batch_start,
+                            admitted,
+                            rejected,
+                            spec,
+                            ingest,
+                            ..
+                        } = pending;
+                        let planned = seal_without_solve(
+                            epoch,
+                            boundary,
+                            batch_start,
+                            admitted,
+                            rejected,
+                            spec,
+                            ingest,
+                        )?;
+                        return Ok(PlanPhase::Planned(planned));
+                    }
                 }
             }
         }
+        Ok(PlanPhase::Solve(Box::new(pending)))
+    }
+
+    /// Stage 2: run the annealer on a pending plan. Takes `&self` — the
+    /// session's state is untouched — so a fleet can fan representative
+    /// solves out across threads while holding the sessions immutably.
+    pub fn solve_pending(&self, pending: &PendingPlan) -> Result<SolveProduct, RuntimeError> {
+        let pctx = EvalContext::new(self.estimator, &pending.pspec).with_reuse_awareness();
+        let acfg = AnnealConfig {
+            seed: pending.seed,
+            ..self.anneal
+        };
+        let annealer = Annealer::new(acfg).observe(self.obs.clone());
+        let t_wall = std::time::Instant::now();
+        let outcome = if pending.inputs.warm {
+            annealer.resume_from(&pctx, pending.init.clone(), self.cfg.warm)?
+        } else {
+            annealer.solve(&pctx, pending.init.clone())?
+        };
+        self.obs
+            .gauge("runtime.replan_latency.wall")
+            .set(t_wall.elapsed().as_secs_f64());
+        let d = &outcome.diagnostics;
+        let replan_moves = d.moves_to_reach(d.best_score).unwrap_or(d.iterations);
+        let assignments = pending
+            .pspec
+            .jobs
+            .iter()
+            .map(|j| outcome.plan.require(j.id))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(SolveProduct {
+            assignments,
+            replan_moves,
+        })
+    }
+
+    /// Stage 3: seal a pending epoch with a solve product — the
+    /// session's own ([`PlanProvenance::Fresh`]), a cache hit
+    /// ([`PlanProvenance::Skipped`]) or a group representative's
+    /// ([`PlanProvenance::Deduped`]; caller must have verified
+    /// [`SolveInputs`] equality). Runs the hysteresis judgement,
+    /// migration diff and demand aggregation, and refreshes the plan
+    /// cache.
+    pub fn finish_epoch(
+        &mut self,
+        pending: PendingPlan,
+        product: &SolveProduct,
+        provenance: PlanProvenance,
+    ) -> Result<PlannedEpoch, RuntimeError> {
+        let PendingPlan {
+            epoch: k,
+            boundary,
+            batch_start,
+            admitted,
+            rejected,
+            spec,
+            ingest,
+            pspec,
+            inputs,
+            ..
+        } = pending;
+        if product.assignments.len() != pspec.jobs.len() {
+            return Err(RuntimeError::Solver(cast_solver::SolverError::Unassigned(
+                pspec.jobs.len() as u32,
+            )));
+        }
+        self.solved_once = true;
+        let replan_moves = product.replan_moves;
+        // Rehydrate the positional assignment onto this tenant's own
+        // job ids, then drop the forecast tail.
+        let mut full = TieringPlan::new();
+        for (job, a) in pspec.jobs.iter().zip(product.assignments.iter()) {
+            full.assign(job.id, *a);
+        }
+        let candidate = strip_forecast(&full);
+
+        // Judge the candidate on the *real* batch only — forecast
+        // jobs must not pad its score.
+        let rctx = EvalContext::new(self.estimator, &spec).with_reuse_awareness();
+        let incumbent_utility = evaluate(&ingest, &rctx)?.utility;
+        let candidate_utility = evaluate(&candidate, &rctx)?.utility;
+        let score_delta = if incumbent_utility > 0.0 {
+            (candidate_utility - incumbent_utility) / incumbent_utility
+        } else {
+            f64::INFINITY
+        };
+        let accept = match self.cfg.policy {
+            ReplanPolicy::Hysteresis { min_gain } => score_delta >= min_gain,
+            ReplanPolicy::Static | ReplanPolicy::Periodic => true,
+        };
+        let mut adopted = false;
+        let mut exec = ingest.clone();
+        let mut sched = MigrationSchedule::default();
+        if accept {
+            adopted = true;
+            sched = plan_delta(&spec, &ingest, &candidate);
+            exec = candidate;
+            for (app, tier) in majority_tiers(&spec, &exec) {
+                self.ingest_map.insert(app, tier);
+            }
+        }
+        self.plan_cache = Some(PlanCache {
+            inputs,
+            product: product.clone(),
+            // INFINITY when the incumbent scored ≤ 0: an unscorable
+            // incumbent blocks future drift-skips until a clean solve.
+            last_gain: score_delta,
+            drift_keys: drift_keys(&spec),
+        });
 
         // The epoch's raw capacity demand. During a migration epoch both
         // the old (ingest) and new layout hold data simultaneously, so
@@ -292,9 +682,9 @@ impl<'a> TenantSession<'a> {
             raw_ingest
         };
 
-        Ok(Some(PlannedEpoch {
+        Ok(PlannedEpoch {
             epoch: k,
-            boundary: t1,
+            boundary,
             batch_start,
             admitted,
             rejected,
@@ -302,12 +692,13 @@ impl<'a> TenantSession<'a> {
             ingest,
             exec,
             sched,
-            replanned,
+            replanned: true,
             adopted,
             score_delta,
             replan_moves,
             demand,
-        }))
+            provenance,
+        })
     }
 
     /// Execute a planned epoch under a capacity grant. `grant_frac` is
@@ -336,6 +727,7 @@ impl<'a> TenantSession<'a> {
             score_delta,
             replan_moves,
             demand,
+            provenance: _,
         } = planned;
         let frac = grant_frac.clamp(0.0, 1.0);
         // A full grant must reproduce the solo runtime bit-for-bit, so
@@ -416,12 +808,13 @@ impl<'a> TenantSession<'a> {
             }
             decision.report
         } else {
-            Sim::builder(&scfg)
+            let sim = Sim::builder(&scfg)
                 .jobs(&spec, &placements)
                 .migrations(&protocol.flows)
                 .collector(self.obs.clone())
-                .build()?
-                .run()?
+                .scratch(&mut self.scratch)
+                .build()?;
+            sim.run()?
         };
         // Retry backoff is wall time the protocol serialized into the
         // epoch on top of the simulated flows.
@@ -611,6 +1004,228 @@ impl cast_obs::Observe for TenantSession<'_> {
     fn collector_slot(&mut self) -> &mut Collector {
         &mut self.obs
     }
+}
+
+/// Seal an epoch whose annealer never ran (replan policy said no, or the
+/// drift gate held): the incumbent-derived ingest placement executes
+/// as-is, nothing migrates, and the demand is the ingest layout's raw
+/// capacity.
+fn seal_without_solve(
+    k: u32,
+    boundary: Duration,
+    batch_start: Duration,
+    admitted: Vec<Arrival>,
+    rejected: usize,
+    spec: WorkloadSpec,
+    ingest: TieringPlan,
+) -> Result<PlannedEpoch, RuntimeError> {
+    let demand = ingest.capacities(&spec, true)?;
+    let exec = ingest.clone();
+    Ok(PlannedEpoch {
+        epoch: k,
+        boundary,
+        batch_start,
+        admitted,
+        rejected,
+        spec,
+        ingest,
+        exec,
+        sched: MigrationSchedule::default(),
+        replanned: false,
+        adopted: false,
+        score_delta: 0.0,
+        replan_moves: 0,
+        demand,
+        provenance: PlanProvenance::Skipped,
+    })
+}
+
+/// Reduce a planning spec + init placement to the canonical
+/// renumbering-invariant [`SolveInputs`] form.
+fn canonical_inputs(
+    pspec: &WorkloadSpec,
+    init: &TieringPlan,
+    warm: bool,
+) -> Result<SolveInputs, RuntimeError> {
+    let mut ds: Vec<DatasetId> = pspec.datasets.iter().map(|d| d.id).collect();
+    ds.sort_unstable();
+    ds.dedup();
+    let mut jobs = Vec::with_capacity(pspec.jobs.len());
+    let mut init_pos = Vec::with_capacity(pspec.jobs.len());
+    for job in &pspec.jobs {
+        let rank = ds
+            .binary_search(&job.dataset)
+            .expect("validated spec: every job's dataset exists") as u32;
+        jobs.push((
+            job.app,
+            job.input.bytes().to_bits(),
+            job.maps,
+            job.reduces,
+            rank,
+        ));
+        init_pos.push(init.require(job.id).map_err(RuntimeError::Solver)?);
+    }
+    let sizes = ds
+        .iter()
+        .map(|id| {
+            pspec
+                .dataset(*id)
+                .expect("validated spec")
+                .size
+                .bytes()
+                .to_bits()
+        })
+        .collect();
+    Ok(SolveInputs {
+        jobs,
+        sizes,
+        profiles: pspec.profiles.clone(),
+        init: init_pos,
+        warm,
+    })
+}
+
+/// Collapse canonical [`SolveInputs`] to their quantized
+/// [`ClassInputs`] plus the class-sort permutation: each job's exact
+/// `(app, bytes, maps, reduces)` key becomes its coarse drift bucket,
+/// paired with its init assignment; items are sorted (position as the
+/// final tie-break, so equal
+/// positional sequences sort through the identity-inducing
+/// permutation) and the pre-sort positions are returned alongside.
+fn class_quantized_inputs(pspec: &WorkloadSpec, inputs: &SolveInputs) -> (ClassInputs, Vec<u32>) {
+    let mut tagged: Vec<((u64, usize, u64), u32)> = pspec
+        .jobs
+        .iter()
+        .zip(&inputs.init)
+        .enumerate()
+        .map(|(pos, (job, a))| {
+            (
+                (job.drift_key(), a.tier.index(), a.overprov.to_bits()),
+                pos as u32,
+            )
+        })
+        .collect();
+    tagged.sort_unstable();
+    let (items, order): (Vec<_>, Vec<_>) = tagged.into_iter().unzip();
+    (
+        ClassInputs {
+            items,
+            profiles: inputs.profiles.clone(),
+            warm: inputs.warm,
+        },
+        order,
+    )
+}
+
+/// Digest the *set* of distinct quantized class items (and the config
+/// seed) into the approximate-dedup grouping signature. Items are
+/// sorted, so duplicates collapse in one pass.
+fn class_set_signature(cfg_seed: u64, class: &ClassInputs) -> u64 {
+    let mut h = splitmix64(cfg_seed ^ 0xC1A5_DEDA);
+    let mut last = None;
+    for &item in &class.items {
+        if last == Some(item) {
+            continue;
+        }
+        last = Some(item);
+        let (k, tier, overprov) = item;
+        h = splitmix64(h ^ k);
+        h = splitmix64(h ^ tier as u64);
+        h = splitmix64(h ^ overprov);
+    }
+    splitmix64(h ^ class.warm as u64)
+}
+
+/// Carry a representative's winning assignment to a class-equivalent
+/// member (caller must have verified [`PendingPlan::class_set_matches`]).
+/// When the two item *multisets* coincide (equal job counts per class —
+/// clones included), jobs map through the sort permutations, a
+/// bijection that degenerates to the identity for true clones. When
+/// only the *sets* coincide, each member job adopts the assignment of
+/// the representative's first (class-sorted) job of the same item —
+/// deterministic, and guaranteed present by the set match.
+pub fn transfer_class_product(
+    rep: &PendingPlan,
+    product: &SolveProduct,
+    member: &PendingPlan,
+) -> SolveProduct {
+    let mi = &member.class_inputs.items;
+    let ri = &rep.class_inputs.items;
+    let mut assignments = vec![
+        Assignment {
+            tier: INGEST_FALLBACK,
+            overprov: 1.0,
+        };
+        mi.len()
+    ];
+    if member.class_inputs == rep.class_inputs {
+        for (m, r) in member.class_order.iter().zip(&rep.class_order) {
+            assignments[*m as usize] = product.assignments[*r as usize];
+        }
+    } else {
+        // Both item lists are sorted: advance the rep cursor to the
+        // first occurrence of each member item.
+        let mut j = 0usize;
+        for (k, item) in mi.iter().enumerate() {
+            while j < ri.len() && ri[j] < *item {
+                j += 1;
+            }
+            debug_assert!(
+                j < ri.len() && ri[j] == *item,
+                "class-set match guarantees every member item exists in the rep"
+            );
+            assignments[member.class_order[k] as usize] =
+                product.assignments[rep.class_order[j] as usize];
+        }
+    }
+    SolveProduct {
+        assignments,
+        replan_moves: product.replan_moves,
+    }
+}
+
+/// Digest the solve inputs (and the config seed) into the grouping
+/// signature. [`class_signature`] covers the spec side — job classes,
+/// dataset ranks and sizes, profiles, reuse awareness — and the init
+/// placement + warm flag are folded on top.
+fn solve_signature(cfg_seed: u64, pspec: &WorkloadSpec, inputs: &SolveInputs) -> u64 {
+    let mut h = splitmix64(cfg_seed ^ class_signature(pspec, true));
+    for a in &inputs.init {
+        h = splitmix64(h ^ a.tier.index() as u64);
+        h = splitmix64(h ^ a.overprov.to_bits());
+    }
+    splitmix64(h ^ inputs.warm as u64)
+}
+
+/// Sorted drift-bucket keys of a batch (the shape multiset the drift
+/// gate compares across epochs).
+fn drift_keys(spec: &WorkloadSpec) -> Vec<u64> {
+    let mut keys: Vec<u64> = spec.jobs.iter().map(|j| j.drift_key()).collect();
+    keys.sort_unstable();
+    keys
+}
+
+/// Normalized multiset distance between two sorted key sets: the
+/// symmetric-difference count over the total count, in `[0, 1]` (0 =
+/// identical shape, 1 = nothing in common).
+fn drift_distance(a: &[u64], b: &[u64]) -> f64 {
+    let (mut i, mut j, mut common) = (0usize, 0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Equal => {
+                common += 1;
+                i += 1;
+                j += 1;
+            }
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+        }
+    }
+    let total = a.len() + b.len();
+    if total == 0 {
+        return 0.0;
+    }
+    (total - 2 * common) as f64 / total as f64
 }
 
 /// Where `app`'s fresh data lands under the current ingest rule.

@@ -31,6 +31,14 @@ impl Value {
         self.as_number().map(|n| n.as_f64())
     }
 
+    /// The boolean inside, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// The string inside, if this is a string.
     pub fn as_str(&self) -> Option<&str> {
         match self {

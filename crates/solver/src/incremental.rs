@@ -45,11 +45,59 @@ use cast_cloud::tier::{PerTier, Tier};
 use cast_cloud::units::{DataSize, Duration};
 use cast_estimator::regression::per_vm_capacity;
 use cast_estimator::PhaseBw;
-use cast_workload::job::JobId;
+use cast_workload::job::{Job, JobId};
+use cast_workload::{splitmix64, WorkloadSpec};
 
 use crate::error::SolverError;
 use crate::objective::{provision_round, EvalContext};
 use crate::plan::{Assignment, TieringPlan};
+
+/// The solver's job equivalence class: the whole of what `REG(·)` — and
+/// therefore the objective — reads from a job. Jobs with equal keys are
+/// interchangeable to the estimator; [`IncrementalEval`] memoises on this
+/// key, and fleet-level solve dedup reuses the same notion of sameness.
+pub fn job_class_key(job: &Job) -> (cast_workload::AppKind, u64, usize, usize) {
+    (job.app, job.input.bytes().to_bits(), job.maps, job.reduces)
+}
+
+/// Position-sensitive 64-bit digest of everything a solve reads from a
+/// spec: each job's [`job_class_key`] and the *rank* of its dataset among
+/// the spec's sorted distinct dataset ids (raw `DatasetId` values are
+/// renumbering noise — only the grouping structure matters), the dataset
+/// sizes in rank order, the app profiles in first-use order, and the
+/// reuse-awareness flag. Two specs with equal signatures present the
+/// annealer with isomorphic search landscapes: same job count, same
+/// per-position estimator behaviour, same reuse-group discounts — so a
+/// seed-matched solve of one is positionally valid for the other.
+/// Callers that fan a solve out across specs must still compare the
+/// underlying inputs (this is a digest, not a proof).
+pub fn class_signature(spec: &WorkloadSpec, reuse_aware: bool) -> u64 {
+    let mut ds: Vec<cast_workload::DatasetId> = spec.datasets.iter().map(|d| d.id).collect();
+    ds.sort_unstable();
+    ds.dedup();
+    let mut h = splitmix64(0x5016_C1A5 ^ reuse_aware as u64);
+    let mut apps: Vec<cast_workload::AppKind> = Vec::new();
+    for job in &spec.jobs {
+        h = splitmix64(h ^ job.class_bits());
+        let rank = ds.binary_search(&job.dataset).unwrap_or(usize::MAX) as u64;
+        h = splitmix64(h ^ rank);
+        if !apps.contains(&job.app) {
+            apps.push(job.app);
+        }
+    }
+    for id in &ds {
+        let size = spec.dataset(*id).map(|d| d.size.bytes()).unwrap_or(0.0);
+        h = splitmix64(h ^ size.to_bits());
+    }
+    for app in apps {
+        let p = spec.profiles.get(app);
+        h = splitmix64(h ^ p.map_selectivity.to_bits());
+        h = splitmix64(h ^ p.output_selectivity.to_bits());
+        h = splitmix64(h ^ p.map_rate.mb_per_sec().to_bits());
+        h = splitmix64(h ^ p.reduce_rate.mb_per_sec().to_bits());
+    }
+    h
+}
 
 /// Cache-effectiveness counters for one [`IncrementalEval`] lifetime.
 ///
@@ -162,7 +210,7 @@ impl<'a> IncrementalEval<'a> {
             footprint.push(job.footprint(profile));
             inter.push(job.inter(profile));
             in_out.push(job.input + job.output(profile));
-            let key = (job.app, job.input.bytes().to_bits(), job.maps, job.reduces);
+            let key = job_class_key(job);
             let next = class_of.len();
             let c = *class_of.entry(key).or_insert(next);
             if c == class_app.len() {

@@ -45,7 +45,7 @@ pub use cooling::Cooling;
 pub use diagnostics::SolveDiagnostics;
 pub use error::SolverError;
 pub use greedy::{greedy_plan, GreedyMode};
-pub use incremental::{CacheStats, IncrementalEval};
+pub use incremental::{class_signature, job_class_key, CacheStats, IncrementalEval};
 pub use objective::{evaluate, EvalContext, PlanEval};
 pub use plan::{Assignment, TieringPlan};
 pub use replan::{candidate_slate, score_candidates, CandidateScoring, ReplanDecision};

@@ -108,6 +108,42 @@ impl TenantSpec {
     pub fn weight(&self) -> f64 {
         self.class.weight()
     }
+
+    /// Digest of the tenant's *planning template*: the generator shape
+    /// that determines what kind of batches it will present — class,
+    /// arrival process (rates quantized to 1/16 job/hour so rate jitter
+    /// within a bucket shares a template), drift knobs, workflow mix,
+    /// horizon and Table-4 bin ceiling. The stream `seed` is deliberately
+    /// excluded: two tenants with equal signatures are drawn from the
+    /// same distribution even though their concrete arrivals differ.
+    /// Fleet benchmarks use this to count distinct templates; the solve
+    /// dedup cache keys on concrete batch content, not on this.
+    pub fn planning_signature(&self) -> u64 {
+        let q = |rate: f64| (rate * 16.0).round() as u64;
+        let mut h = splitmix64(self.class.priority() as u64 ^ 0x7E4A_17);
+        let a = &self.arrivals;
+        match a.process {
+            ArrivalProcess::Poisson { jobs_per_hour } => {
+                h = splitmix64(h ^ 0x1 ^ q(jobs_per_hour));
+            }
+            ArrivalProcess::Bursty {
+                jobs_per_hour,
+                burst_factor,
+                period,
+                duty,
+            } => {
+                h = splitmix64(h ^ 0x2 ^ q(jobs_per_hour));
+                h = splitmix64(h ^ burst_factor.to_bits());
+                h = splitmix64(h ^ period.secs().to_bits());
+                h = splitmix64(h ^ duty.to_bits());
+            }
+        }
+        h = splitmix64(h ^ a.drift.app_shift.to_bits());
+        h = splitmix64(h ^ a.drift.size_growth.to_bits());
+        h = splitmix64(h ^ a.workflow_fraction.to_bits());
+        h = splitmix64(h ^ a.horizon.secs().to_bits());
+        splitmix64(h ^ a.max_bin as u64)
+    }
 }
 
 /// Parameters of a synthesized tenant fleet.
@@ -297,6 +333,40 @@ mod tests {
         assert!(TenantClass::Interactive.priority() > TenantClass::Batch.priority());
         assert!(TenantClass::Batch.priority() > TenantClass::Bursty.priority());
         assert!(TenantClass::Interactive.weight() > TenantClass::Bursty.weight());
+    }
+
+    #[test]
+    fn planning_signature_ignores_seed_but_sees_shape() {
+        let fleet = tenant_fleet(&FleetWorkloadConfig::default()).unwrap();
+        let mut reseeded = fleet[0].clone();
+        reseeded.arrivals.seed ^= 0xDEAD_BEEF;
+        assert_eq!(
+            fleet[0].planning_signature(),
+            reseeded.planning_signature(),
+            "stream seed must not affect the template"
+        );
+        // Two tenants of different classes never share a template.
+        let interactive = fleet
+            .iter()
+            .find(|t| t.class == TenantClass::Interactive)
+            .unwrap();
+        let bursty = fleet
+            .iter()
+            .find(|t| t.class == TenantClass::Bursty)
+            .unwrap();
+        assert_ne!(
+            interactive.planning_signature(),
+            bursty.planning_signature()
+        );
+        // Rate jitter within a 1/16 job/hour bucket shares a template.
+        let mut nudged = fleet[0].clone();
+        if let ArrivalProcess::Poisson {
+            ref mut jobs_per_hour,
+        } = nudged.arrivals.process
+        {
+            *jobs_per_hour += 1e-6;
+        }
+        assert_eq!(fleet[0].planning_signature(), nudged.planning_signature());
     }
 
     #[test]

@@ -109,6 +109,7 @@ fn durability_events_round_trip_ndjson() {
             epoch: 1,
             admission: "admitted".into(),
             granted_frac: 0.75,
+            planned: "deduped".into(),
         },
     );
     let events = col.events();
